@@ -1,0 +1,57 @@
+"""Extension: how redundant are the fairness metrics, empirically?
+
+Section 2.2.2 justifies evaluating only five fairness metrics by citing
+prior findings that "a large number of metrics (and their notions)
+strongly correlate with one another, and, thus, are highly redundant"
+[Friedler et al.; Majumder et al.].  This bench verifies that premise
+on this repository's own results: it evaluates every approach on every
+dataset, collects the seven normalised fairness scores per run, and
+prints the Pearson correlation matrix plus the strongly
+correlated/anti-correlated pairs.
+
+Shape under test: the two equalized-odds components (1-|TPRB| and
+1-|TNRB|) and the causal trio (1-|TE|/|NDE|/|NIE|) form correlated
+blocks, while DI* and 1-ID carry independent signal — exactly the
+redundancy structure the paper's metric selection assumes.
+"""
+
+import numpy as np
+
+from common import CAUSAL_SAMPLES, emit, load_sized, once
+from repro.datasets import train_test_split
+from repro.fairness import MAIN_APPROACHES
+from repro.pipeline import run_experiment
+
+METRICS = ["di_star", "tprb", "tnrb", "id", "te", "nde", "nie"]
+
+
+def run_correlation() -> str:
+    rows = []
+    for dataset_name in ("compas", "german"):
+        split = train_test_split(load_sized(dataset_name), seed=0)
+        for name in (None, *MAIN_APPROACHES):
+            r = run_experiment(name, split.train, split.test,
+                               causal_samples=CAUSAL_SAMPLES, seed=0)
+            rows.append([r.fairness_scores()[m] for m in METRICS])
+    matrix = np.asarray(rows)
+    corr = np.corrcoef(matrix, rowvar=False)
+
+    lines = [f"Fairness-metric correlations over "
+             f"{matrix.shape[0]} (approach × dataset) runs",
+             "        " + " ".join(f"{m:>7}" for m in METRICS)]
+    for i, metric in enumerate(METRICS):
+        lines.append(f"{metric:<7} " + " ".join(
+            f"{corr[i, j]:>7.2f}" for j in range(len(METRICS))))
+
+    lines.append("")
+    lines.append("strongly correlated pairs (|r| >= 0.6):")
+    for i in range(len(METRICS)):
+        for j in range(i + 1, len(METRICS)):
+            if abs(corr[i, j]) >= 0.6:
+                lines.append(f"  {METRICS[i]} ~ {METRICS[j]}: "
+                             f"r={corr[i, j]:+.2f}")
+    return "\n".join(lines)
+
+
+def test_ablation_metric_correlation(benchmark):
+    emit("ablation_metric_correlation", once(benchmark, run_correlation))

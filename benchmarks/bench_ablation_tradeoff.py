@@ -1,0 +1,79 @@
+"""Ablation: how much tradeoff control does each stage really offer?
+
+Section 4.3's takeaway is that pre-/in-processing "offer more
+flexibility in controlling correctness-fairness tradeoffs" than
+post-processing.  This bench makes that claim measurable by sweeping
+each approach's own control knob and printing the resulting
+accuracy-vs-DI* frontier:
+
+* Zafar-dp (in): the covariance bound c (tight → fair, loose → LR);
+* Feld (pre): the repair level λ;
+* Calmon (pre): the distortion cap;
+* KamKar (post): the parity target — whose frontier is short, because
+  the reject-option mechanism saturates.
+
+A second ablation contrasts the two Salimi repair back-ends (MaxSAT vs
+MatFac rounding) head-to-head.
+"""
+
+import numpy as np
+
+from common import CAUSAL_SAMPLES, emit, load_sized, once
+from repro.datasets import train_test_split
+from repro.fairness.inprocessing import ZafarDPFair
+from repro.fairness.postprocessing import KamKar
+from repro.fairness.preprocessing import (Calmon, Feld, SalimiMatFac,
+                                          SalimiMaxSAT)
+from repro.pipeline import FairPipeline, evaluate_pipeline
+
+
+def frontier(split, factory, knob_name, knob_values):
+    rows = []
+    for value in knob_values:
+        pipe = FairPipeline(factory(value), seed=0).fit(split.train)
+        r = evaluate_pipeline(pipe, split.test,
+                              causal_samples=CAUSAL_SAMPLES)
+        rows.append(f"  {knob_name}={value:<8g} acc={r.accuracy:.3f} "
+                    f"DI*={r.di_star:.3f}")
+    return rows
+
+
+def run_tradeoff() -> str:
+    split = train_test_split(load_sized("adult"), seed=0)
+    lines = ["Ablation: accuracy-vs-DI* frontiers per control knob "
+             "(Adult)"]
+    lines.append("Zafar-dp-fair (in): covariance bound c")
+    lines += frontier(split, lambda c: ZafarDPFair(covariance_bound=c),
+                      "c", [1e-4, 1e-3, 1e-2, 1e-1])
+    lines.append("Feld (pre): repair level λ")
+    lines += frontier(split, lambda lam: Feld(lam=lam),
+                      "λ", [0.0, 0.5, 0.8, 1.0])
+    lines.append("Calmon (pre): distortion cap (max flip fraction)")
+    lines += frontier(split, lambda cap: Calmon(max_flip=cap, seed=0),
+                      "cap", [0.05, 0.2, 0.6, 1.0])
+    lines.append("KamKar (post): parity target")
+    lines += frontier(split, lambda t: KamKar(parity_target=t),
+                      "target", [0.2, 0.1, 0.05, 0.01])
+    return "\n".join(lines)
+
+
+def run_salimi_backends() -> str:
+    lines = ["Ablation: Salimi repair back-end (MaxSAT vs MatFac "
+             "rounding), COMPAS"]
+    split = train_test_split(load_sized("compas"), seed=0)
+    for cls in (SalimiMaxSAT, SalimiMatFac):
+        pipe = FairPipeline(cls(seed=0), seed=0).fit(split.train)
+        r = evaluate_pipeline(pipe, split.test,
+                              causal_samples=CAUSAL_SAMPLES)
+        lines.append(f"  {cls.__name__:13s} acc={r.accuracy:.3f} "
+                     f"DI*={r.di_star:.3f} 1-|TE|={r.te:.3f} "
+                     f"fit={pipe.fit_seconds_:.2f}s")
+    return "\n".join(lines)
+
+
+def test_ablation_tradeoff(benchmark):
+    emit("ablation_tradeoff", once(benchmark, run_tradeoff))
+
+
+def test_ablation_salimi_backend(benchmark):
+    emit("ablation_salimi", once(benchmark, run_salimi_backends))

@@ -1,0 +1,34 @@
+"""Figure 7: correctness and fairness of the 18 main variants on
+Adult, COMPAS, and German (LR downstream, 70/30 split).
+
+Regenerates one bar-group table per dataset: the four correctness
+metrics and the five headline normalised fairness metrics (plus
+NDE/NIE) for every approach, with the LR baseline as the first row.
+"""
+
+import pytest
+
+from common import CAUSAL_SAMPLES, emit, load_sized, once
+from repro.datasets import train_test_split
+from repro.fairness import MAIN_APPROACHES
+from repro.pipeline import format_results_table, run_experiment
+
+
+def run_dataset(dataset_name: str) -> str:
+    dataset = load_sized(dataset_name)
+    split = train_test_split(dataset, test_fraction=0.3, seed=0)
+    results = [run_experiment(None, split.train, split.test,
+                              causal_samples=CAUSAL_SAMPLES, seed=0)]
+    for name in MAIN_APPROACHES:
+        results.append(run_experiment(name, split.train, split.test,
+                                      causal_samples=CAUSAL_SAMPLES,
+                                      seed=0))
+    return format_results_table(
+        results, title=f"Figure 7 ({dataset_name}): correctness & "
+                       "fairness, 18 variants + LR baseline")
+
+
+@pytest.mark.parametrize("dataset_name", ["adult", "compas", "german"])
+def test_fig07(benchmark, dataset_name):
+    table = once(benchmark, lambda: run_dataset(dataset_name))
+    emit(f"fig07_{dataset_name}", table)

@@ -1,0 +1,79 @@
+"""Figure 8 (and Appendix Figure 24): efficiency and scalability.
+
+Two sweeps on Adult, exactly as in the paper: runtime overhead (total
+fit time minus the plain-LR fit time) as (a-c) the number of data
+points grows and (d-f) the number of attributes grows.  One runtime
+table per stage is printed; the log-scale "who is slowest" ordering is
+the shape under test.
+"""
+
+import numpy as np
+import pytest
+
+from common import FULL, emit, once
+from repro.datasets import load_adult
+from repro.fairness import Stage, make_approach
+from repro.fairness.registry import ALL_APPROACHES
+from repro.pipeline import FairPipeline, format_runtime_table
+
+ROW_SWEEP = ([1000, 5000, 10000, 20000, 31000] if FULL
+             else [500, 1000, 2000, 4000])
+ATTR_SWEEP = [2, 4, 6, 8, 9]
+
+#: Representative per-stage selections (all variants when FULL).
+SWEEP_APPROACHES = list(ALL_APPROACHES) if FULL else [
+    "KamCal-dp", "Feld-dp", "Calmon-dp", "ZhaWu-psf", "Salimi-jf-maxsat",
+    "Salimi-jf-matfac",
+    "Zafar-dp-fair", "ZhaLe-eo", "Kearns-pe", "Celis-pp", "Thomas-dp",
+    "KamKar-dp", "Hardt-eo", "Pleiss-eop",
+]
+
+
+def _overhead(approach_name: str, train) -> float:
+    baseline = FairPipeline().fit(train).fit_seconds_
+    pipeline = FairPipeline(make_approach(approach_name, seed=0), seed=0)
+    pipeline.fit(train)
+    return max(pipeline.fit_seconds_ - baseline, 0.0)
+
+
+def sweep_rows() -> dict[str, dict[int, float]]:
+    dataset = load_adult(max(ROW_SWEEP), seed=0)
+    series: dict[str, dict[int, float]] = {n: {} for n in SWEEP_APPROACHES}
+    for n_rows in ROW_SWEEP:
+        train = dataset.head(n_rows)
+        for name in SWEEP_APPROACHES:
+            series[name][n_rows] = _overhead(name, train)
+    return series
+
+
+def sweep_attributes() -> dict[str, dict[int, float]]:
+    dataset = load_adult(ROW_SWEEP[-1], seed=0)
+    series: dict[str, dict[int, float]] = {n: {} for n in SWEEP_APPROACHES}
+    for n_attrs in ATTR_SWEEP:
+        train = dataset.select_features(dataset.feature_names[:n_attrs])
+        for name in SWEEP_APPROACHES:
+            series[name][n_attrs] = _overhead(name, train)
+    return series
+
+
+def _stage_tables(series: dict[str, dict[int, float]], sweep_label: str,
+                  figure: str) -> str:
+    blocks = []
+    for stage in (Stage.PRE, Stage.IN, Stage.POST):
+        rows = [(name, values) for name, values in series.items()
+                if make_approach(name).stage is stage]
+        if rows:
+            blocks.append(format_runtime_table(
+                rows, sweep_label=sweep_label,
+                title=f"{figure} [{stage.value}] overhead seconds over LR"))
+    return "\n\n".join(blocks)
+
+
+def test_fig08_rows(benchmark):
+    series = once(benchmark, sweep_rows)
+    emit("fig08_rows", _stage_tables(series, "#rows", "Figure 8(a-c)"))
+
+
+def test_fig08_attributes(benchmark):
+    series = once(benchmark, sweep_attributes)
+    emit("fig08_attrs", _stage_tables(series, "#attrs", "Figure 8(d-f)"))

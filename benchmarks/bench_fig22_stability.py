@@ -1,0 +1,48 @@
+"""Appendix Figure 22: stability over random train/test folds.
+
+Each variant runs 10 times on random 2/3-train folds of Adult; the
+bench prints the per-metric standard deviations (the whisker widths of
+the paper's box plots).  The shape under test: variances are small and
+no stage stands out."""
+
+import numpy as np
+
+from common import CAUSAL_SAMPLES, FULL, emit, load_sized, once
+from repro.datasets import train_test_split
+from repro.fairness.registry import ALL_APPROACHES, MAIN_APPROACHES
+from repro.pipeline import run_experiment
+
+N_FOLDS = 10 if FULL else 5
+APPROACHES = list(ALL_APPROACHES) if FULL else [
+    "KamCal-dp", "Feld-dp", "Calmon-dp", "ZhaWu-psf", "Salimi-jf-maxsat",
+    "Zafar-dp-fair", "Zafar-eo-fair", "ZhaLe-eo", "Kearns-pe", "Celis-pp",
+    "Thomas-dp", "KamKar-dp", "Hardt-eo", "Pleiss-eop",
+]
+COLUMNS = ("accuracy", "f1", "di_star", "tprb", "id", "te")
+
+
+def run_stability() -> str:
+    dataset = load_sized("adult")
+    lines = ["Figure 22: std-dev over random 2/3 train folds (Adult)"]
+    header = " ".join(f"σ{c:>8s}" for c in COLUMNS)
+    lines.append(f"{'approach':18s} {header}")
+    lines.append("-" * (19 + 10 * len(COLUMNS)))
+    for name in (None, *APPROACHES):
+        values = {c: [] for c in COLUMNS}
+        for fold in range(N_FOLDS):
+            split = train_test_split(dataset, test_fraction=1 / 3,
+                                     seed=fold)
+            r = run_experiment(name, split.train, split.test,
+                               causal_samples=CAUSAL_SAMPLES, seed=fold)
+            merged = {**r.correctness_scores(), **r.fairness_scores()}
+            for c in COLUMNS:
+                values[c].append(merged[c])
+        row = " ".join(
+            f"{np.nanstd(np.array(values[c], dtype=float)):9.3f}"
+            for c in COLUMNS)
+        lines.append(f"{(name or 'LR'):18s} {row}")
+    return "\n".join(lines)
+
+
+def test_fig22(benchmark):
+    emit("fig22_stability", once(benchmark, run_stability))

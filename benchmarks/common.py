@@ -1,0 +1,54 @@
+"""Shared benchmark configuration and helpers.
+
+Every paper table/figure has one bench module.  Benches run at reduced
+scale by default so ``pytest benchmarks/ --benchmark-only`` finishes on
+a laptop; set ``REPRO_FULL=1`` for paper-scale sweeps.  Each bench
+prints the rows/series the corresponding figure reports and also writes
+them under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Per-dataset sample sizes (reduced / paper-scale).
+SIZES = {
+    "adult": 31000 if FULL else 4000,
+    "compas": 7200 if FULL else 4000,
+    "german": 1000,
+}
+
+#: Monte-Carlo samples for the interventional causal metrics.
+CAUSAL_SAMPLES = 20000 if FULL else 4000
+
+#: Smaller sizes for the 5-fold cross-validation sweep (it multiplies
+#: every run by the number of folds).
+CV_SIZES = {
+    "adult": 31000 if FULL else 2500,
+    "compas": 7200 if FULL else 2500,
+    "german": 1000 if FULL else 800,
+}
+
+
+def emit(name: str, text: str) -> str:
+    """Print a bench's table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def load_sized(dataset_name: str, seed: int = 0):
+    from repro.datasets import load
+
+    return load(dataset_name, n=SIZES[dataset_name], seed=seed)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

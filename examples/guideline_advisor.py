@@ -1,0 +1,61 @@
+"""The Section 5 advisor on four realistic deployment profiles.
+
+The paper closes with qualitative guidance on choosing a
+fairness-enforcing stage.  ``repro.pipeline.recommend`` turns that
+guidance into a scored, fully traceable recommendation.  This example
+runs the advisor on four scenarios modelled after the paper's
+motivating applications and prints the full reasoning trace for each.
+
+Run:  python examples/guideline_advisor.py
+"""
+
+from repro.pipeline import ApplicationProfile, recommend
+
+SCENARIOS = {
+    "Pre-trial risk assessment (COMPAS-like)": ApplicationProfile(
+        # The vendor's scoring model is a black box that cannot be
+        # retrained; error-rate parity is the legal focus after the
+        # ProPublica analysis; arrest data is known to be biased/dirty.
+        model_replaceable=False,
+        model_retrainable=False,
+        target_notion="error-rate",
+        dirty_data=True,
+    ),
+    "Mortgage approval (in-house model)": ApplicationProfile(
+        # Full control of the pipeline; disparate impact (the 80% rule)
+        # is the regulatory notion; tabular data with many attributes.
+        target_notion="demographic-parity",
+        high_dimensional=True,
+        fairness_priority=True,
+    ),
+    "Job applicant filtering with domain knowledge": ApplicationProfile(
+        # HR experts can articulate which attribute influences are
+        # legitimate → causal notions with a causal model.
+        target_notion="causal",
+        causal_model_available=True,
+    ),
+    "High-volume ad ranking (latency & scale critical)": ApplicationProfile(
+        # Tens of millions of rows, tight training budgets, accuracy
+        # guarded jealously.
+        target_notion="demographic-parity",
+        large_data=True,
+        runtime_critical=True,
+        fairness_priority=False,
+    ),
+}
+
+
+def main() -> None:
+    for title, profile in SCENARIOS.items():
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        recommendation = recommend(profile)
+        print(recommendation.summary())
+        best = recommendation.best_stage
+        print(f"\n--> recommended stage: "
+              f"{best.value if best else 'none viable'}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of "Through the Data Management
+Lens: Experimental Analysis and Evaluation of Fair Classification"
+(Islam, Fariha, Meliou, Salimi; SIGMOD 2022).
+
+Public API tour:
+
+* :mod:`repro.datasets` — synthetic Adult/COMPAS/German generators
+  (SCM-based), the tabular substrate, splits, and encoders.
+* :mod:`repro.models` — from-scratch LR / SVM / kNN / RF / MLP / NB.
+* :mod:`repro.causal` — causal graphs, SCMs, TE/NDE/NIE estimation.
+* :mod:`repro.metrics` — correctness + fairness metrics of the paper.
+* :mod:`repro.fairness` — the 21 evaluated fair-classification variants.
+* :mod:`repro.errors` — the T1/T2/T3 corruption recipes.
+* :mod:`repro.pipeline` — uniform experiment runner and reports.
+"""
+
+from .datasets import load, load_adult, load_compas, load_german
+from .fairness import ALL_APPROACHES, MAIN_APPROACHES, make_approach
+from .pipeline import (EvaluationResult, FairPipeline, evaluate_pipeline,
+                       format_results_table, run_experiment)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "load", "load_adult", "load_compas", "load_german",
+    "MAIN_APPROACHES", "ALL_APPROACHES", "make_approach",
+    "FairPipeline", "EvaluationResult", "evaluate_pipeline",
+    "run_experiment", "format_results_table",
+    "__version__",
+]

@@ -1,0 +1,296 @@
+"""Identification of causal effects from observational data.
+
+The paper's causal metrics assume the sensitive attribute is a root of
+the causal graph (true for its Adult/COMPAS/German graphs), in which
+case ``P(Y | do(S)) = P(Y | S)``.  A production causal-fairness library
+must also handle graphs where that shortcut fails.  This module
+implements the two classic graphical identification strategies:
+
+* the **backdoor criterion** — find a covariate set ``Z`` that contains
+  no descendant of the treatment and blocks every path into the
+  treatment; then ``P(y | do(x)) = Σ_z P(z) P(y | x, z)``;
+* the **frontdoor criterion** — find a mediator set ``Z`` intercepting
+  all directed treatment→outcome paths with the appropriate
+  unconfoundedness conditions; then
+  ``P(y | do(x)) = Σ_z P(z | x) Σ_x' P(x') P(y | x', z)``.
+
+plus helpers for enumerating minimal adjustment sets, detecting
+instrumental variables, and computing the adjusted estimates on
+discrete data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .graph import CausalGraph
+
+__all__ = [
+    "Identification",
+    "is_backdoor_set",
+    "backdoor_sets",
+    "is_frontdoor_set",
+    "frontdoor_sets",
+    "instruments",
+    "identify_effect",
+    "backdoor_estimate",
+    "frontdoor_estimate",
+    "interventional_distribution",
+]
+
+
+@dataclass(frozen=True)
+class Identification:
+    """A resolved identification strategy for ``P(outcome | do(treatment))``.
+
+    Attributes
+    ----------
+    strategy:
+        One of ``"root"`` (treatment has no parents; condition
+        directly), ``"backdoor"``, ``"frontdoor"``, or ``"none"``.
+    adjustment:
+        The covariate / mediator set used by the strategy (empty for
+        ``"root"`` and ``"none"``).
+    """
+
+    strategy: str
+    adjustment: frozenset[str]
+
+    @property
+    def identified(self) -> bool:
+        """Whether the effect is identified by this strategy."""
+        return self.strategy != "none"
+
+
+def _candidates(graph: CausalGraph, treatment: str, outcome: str
+                ) -> list[str]:
+    """Observed nodes usable in an adjustment set."""
+    banned = graph.descendants(treatment) | {treatment, outcome}
+    return sorted(n for n in graph.nodes if n not in banned)
+
+
+def _graph_without_outgoing(graph: CausalGraph, node: str) -> CausalGraph:
+    """Copy of the graph with all edges out of ``node`` removed."""
+    return graph.without_edges(
+        [(node, child) for child in graph.children(node)])
+
+
+def is_backdoor_set(graph: CausalGraph, treatment: str, outcome: str,
+                    adjustment: Iterable[str]) -> bool:
+    """Check Pearl's backdoor criterion for ``adjustment``.
+
+    ``adjustment`` must (1) contain no descendant of ``treatment`` and
+    (2) d-separate treatment from outcome in the graph with treatment's
+    outgoing edges removed.
+    """
+    z = set(adjustment)
+    if treatment in z or outcome in z:
+        return False
+    if z & graph.descendants(treatment):
+        return False
+    stripped = _graph_without_outgoing(graph, treatment)
+    return stripped.d_separated(treatment, outcome, z)
+
+
+def backdoor_sets(graph: CausalGraph, treatment: str, outcome: str,
+                  max_size: int | None = None
+                  ) -> list[frozenset[str]]:
+    """Enumerate all *minimal* backdoor adjustment sets.
+
+    A set is minimal if no proper subset also satisfies the criterion.
+    Sets are returned smallest-first; ``max_size`` caps the search.
+    """
+    pool = _candidates(graph, treatment, outcome)
+    limit = len(pool) if max_size is None else min(max_size, len(pool))
+    found: list[frozenset[str]] = []
+    for size in range(limit + 1):
+        for combo in combinations(pool, size):
+            z = frozenset(combo)
+            if any(prev <= z for prev in found):
+                continue  # a subset already works; z is not minimal
+            if is_backdoor_set(graph, treatment, outcome, z):
+                found.append(z)
+    return found
+
+
+def is_frontdoor_set(graph: CausalGraph, treatment: str, outcome: str,
+                     mediators: Iterable[str]) -> bool:
+    """Check Pearl's frontdoor criterion for ``mediators``.
+
+    Requires: (1) the mediators intercept every directed
+    treatment→outcome path, (2) there is no unblocked backdoor path
+    from treatment to the mediators, and (3) all backdoor paths from
+    the mediators to the outcome are blocked by the treatment.
+    """
+    z = set(mediators)
+    if not z or treatment in z or outcome in z:
+        return False
+    for path in graph.directed_paths(treatment, outcome):
+        if not z & set(path[1:-1]):
+            return False
+    # (2): in the graph with treatment's outgoing edges removed, any
+    # remaining treatment–mediator dependence is a backdoor path.
+    stripped_t = _graph_without_outgoing(graph, treatment)
+    if not stripped_t.d_separated(treatment, z, ()):
+        return False
+    # (3): remove the mediators' outgoing edges; treatment must block
+    # the remaining mediator–outcome paths.
+    stripped_z = graph
+    for m in z:
+        stripped_z = _graph_without_outgoing(stripped_z, m)
+    return stripped_z.d_separated(z, outcome, {treatment})
+
+
+def frontdoor_sets(graph: CausalGraph, treatment: str, outcome: str,
+                   max_size: int | None = None) -> list[frozenset[str]]:
+    """Enumerate minimal frontdoor mediator sets, smallest-first."""
+    pool = sorted(graph.mediators(treatment, outcome))
+    limit = len(pool) if max_size is None else min(max_size, len(pool))
+    found: list[frozenset[str]] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(pool, size):
+            z = frozenset(combo)
+            if any(prev <= z for prev in found):
+                continue
+            if is_frontdoor_set(graph, treatment, outcome, z):
+                found.append(z)
+    return found
+
+
+def instruments(graph: CausalGraph, treatment: str, outcome: str
+                ) -> list[str]:
+    """Nodes usable as instrumental variables for treatment → outcome.
+
+    A node ``I`` qualifies when it is d-connected to the treatment, is
+    not a descendant of it, and is d-separated from the outcome once
+    the treatment's outgoing edges are removed (its only route to the
+    outcome is *through* the treatment).
+    """
+    stripped = _graph_without_outgoing(graph, treatment)
+    banned = graph.descendants(treatment) | {treatment, outcome}
+    out = []
+    for node in graph.nodes:
+        if node in banned:
+            continue
+        connected = not graph.d_separated(node, treatment, ())
+        clean = stripped.d_separated(node, outcome, ())
+        if connected and clean:
+            out.append(node)
+    return sorted(out)
+
+
+def identify_effect(graph: CausalGraph, treatment: str, outcome: str,
+                    max_size: int | None = None) -> Identification:
+    """Pick an identification strategy for ``P(outcome | do(treatment))``.
+
+    Preference order: root shortcut, then the smallest backdoor set,
+    then the smallest frontdoor set, else ``"none"``.  ``max_size``
+    bounds the *backdoor* search (0 disables covariate adjustment
+    entirely); the frontdoor search is unbounded since its sets are
+    usually tiny.
+    """
+    if not graph.parents(treatment):
+        return Identification(strategy="root", adjustment=frozenset())
+    back = backdoor_sets(graph, treatment, outcome, max_size=max_size)
+    if back:
+        return Identification(strategy="backdoor", adjustment=back[0])
+    front = frontdoor_sets(graph, treatment, outcome)
+    if front:
+        return Identification(strategy="frontdoor", adjustment=front[0])
+    return Identification(strategy="none", adjustment=frozenset())
+
+
+# ----------------------------------------------------------------------
+# Discrete adjustment estimators
+# ----------------------------------------------------------------------
+def _row_keys(columns: list[np.ndarray]) -> np.ndarray:
+    if not columns:
+        raise ValueError("need at least one column to build row keys")
+    matrix = np.column_stack(columns)
+    _, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    return inverse
+
+
+def _mean_where(y: np.ndarray, mask: np.ndarray, fallback: float) -> float:
+    return float(np.mean(y[mask])) if np.any(mask) else fallback
+
+
+def backdoor_estimate(columns: Mapping[str, np.ndarray], treatment: str,
+                      outcome: str, adjustment: Iterable[str],
+                      treatment_value: float) -> float:
+    """``P(outcome=1 | do(treatment=v))`` via the adjustment formula.
+
+    All columns are treated as small discrete variables; cells with no
+    support fall back to the marginal outcome mean.
+    """
+    x = np.asarray(columns[treatment], dtype=float)
+    y = np.asarray(columns[outcome], dtype=float)
+    z_names = sorted(adjustment)
+    fallback = float(np.mean(y))
+    if not z_names:
+        return _mean_where(y, x == treatment_value, fallback)
+    keys = _row_keys([np.asarray(columns[z], dtype=float) for z in z_names])
+    total = 0.0
+    for key in np.unique(keys):
+        z_mask = keys == key
+        p_z = float(np.mean(z_mask))
+        cell = z_mask & (x == treatment_value)
+        total += p_z * _mean_where(y, cell, fallback)
+    return total
+
+
+def frontdoor_estimate(columns: Mapping[str, np.ndarray], treatment: str,
+                       outcome: str, mediators: Iterable[str],
+                       treatment_value: float) -> float:
+    """``P(outcome=1 | do(treatment=v))`` via the frontdoor formula."""
+    x = np.asarray(columns[treatment], dtype=float)
+    y = np.asarray(columns[outcome], dtype=float)
+    m_names = sorted(mediators)
+    if not m_names:
+        raise ValueError("frontdoor estimation needs at least one mediator")
+    keys = _row_keys([np.asarray(columns[m], dtype=float) for m in m_names])
+    fallback = float(np.mean(y))
+    x_values, x_counts = np.unique(x, return_counts=True)
+    p_x = x_counts / x_counts.sum()
+    treated = x == treatment_value
+    if not np.any(treated):
+        raise ValueError(f"no rows with {treatment}={treatment_value}")
+    total = 0.0
+    for key in np.unique(keys):
+        z_mask = keys == key
+        p_z_given_x = float(np.mean(z_mask[treated]))
+        inner = 0.0
+        for xv, pxv in zip(x_values, p_x):
+            cell = z_mask & (x == xv)
+            inner += pxv * _mean_where(y, cell, fallback)
+        total += p_z_given_x * inner
+    return total
+
+
+def interventional_distribution(columns: Mapping[str, np.ndarray],
+                                graph: CausalGraph, treatment: str,
+                                outcome: str, treatment_value: float,
+                                max_size: int | None = None) -> float:
+    """Identify and estimate ``P(outcome=1 | do(treatment=v))``.
+
+    Raises
+    ------
+    ValueError
+        If the effect is not identified by the root / backdoor /
+        frontdoor strategies on this graph.
+    """
+    ident = identify_effect(graph, treatment, outcome, max_size=max_size)
+    if ident.strategy in ("root", "backdoor"):
+        return backdoor_estimate(columns, treatment, outcome,
+                                 ident.adjustment, treatment_value)
+    if ident.strategy == "frontdoor":
+        return frontdoor_estimate(columns, treatment, outcome,
+                                  ident.adjustment, treatment_value)
+    raise ValueError(
+        f"effect of {treatment!r} on {outcome!r} is not identified "
+        "by backdoor or frontdoor on this graph"
+    )

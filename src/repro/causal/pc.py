@@ -1,0 +1,256 @@
+"""The PC algorithm: order-free causal structure discovery.
+
+:mod:`repro.causal.discovery` learns a DAG when the user supplies a
+causal ordering.  This module removes that requirement: it implements
+the classic PC algorithm (Spirtes-Glymour-Scheines), which recovers the
+Markov equivalence class of the data-generating DAG from conditional
+independence tests alone:
+
+1. **Skeleton** — start complete; for growing conditioning-set sizes
+   ``ℓ = 0, 1, 2, …`` remove the edge ``X — Y`` whenever some subset
+   ``Z`` of a neighbourhood with ``|Z| = ℓ`` renders them independent,
+   remembering ``Z`` as the *separating set*.
+2. **v-structures** — orient ``X → W ← Y`` for every unshielded triple
+   whose middle node is *not* in the stored separating set.
+3. **Meek rules** — propagate orientations that any DAG in the
+   equivalence class must share.
+
+The output is a :class:`CPDAG` — a partially directed graph whose
+undirected edges are genuinely unidentifiable from observational data.
+``CPDAG.to_dag`` extends it to one member DAG (useful when downstream
+code, like the Zha-Wu repairs, needs *some* consistent DAG), and
+``orient_with`` applies background knowledge such as "the sensitive
+attribute is a root", the assumption all the paper's graphs make.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from itertools import combinations
+
+import numpy as np
+
+from .discovery import _discretise, g_test
+from .graph import CausalGraph
+
+__all__ = ["CPDAG", "pc_skeleton", "pc_algorithm"]
+
+
+class CPDAG:
+    """A partially directed acyclic graph (PC output).
+
+    Attributes
+    ----------
+    nodes:
+        All variable names.
+    directed:
+        Set of oriented edges ``(cause, effect)``.
+    undirected:
+        Set of unoriented adjacencies, stored as sorted pairs.
+    """
+
+    def __init__(self, nodes: Iterable[str],
+                 directed: Iterable[tuple[str, str]] = (),
+                 undirected: Iterable[tuple[str, str]] = ()):
+        self.nodes = list(nodes)
+        self.directed: set[tuple[str, str]] = set(directed)
+        self.undirected: set[tuple[str, str]] = {
+            tuple(sorted(e)) for e in undirected}
+
+    # ------------------------------------------------------------------
+    def adjacent(self, a: str, b: str) -> bool:
+        return ((a, b) in self.directed or (b, a) in self.directed
+                or tuple(sorted((a, b))) in self.undirected)
+
+    def neighbours(self, node: str) -> set[str]:
+        out = set()
+        for x, y in self.directed:
+            if x == node:
+                out.add(y)
+            elif y == node:
+                out.add(x)
+        for x, y in self.undirected:
+            if x == node:
+                out.add(y)
+            elif y == node:
+                out.add(x)
+        return out
+
+    def orient(self, cause: str, effect: str) -> bool:
+        """Orient an undirected edge; returns True if anything changed."""
+        key = tuple(sorted((cause, effect)))
+        if key not in self.undirected:
+            return False
+        self.undirected.discard(key)
+        self.directed.add((cause, effect))
+        return True
+
+    # ------------------------------------------------------------------
+    def apply_meek_rules(self) -> None:
+        """Propagate forced orientations (Meek rules 1–3) to a fixpoint."""
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(self.undirected):
+                for x, y in ((a, b), (b, a)):
+                    # Rule 1: z → x, z not adjacent to y  ⇒  x → y.
+                    for z in self.nodes:
+                        if (z, x) in self.directed \
+                                and not self.adjacent(z, y):
+                            changed |= self.orient(x, y)
+                            break
+                    # Rule 2: x → z → y  ⇒  x → y (else a cycle).
+                    for z in self.nodes:
+                        if (x, z) in self.directed \
+                                and (z, y) in self.directed:
+                            changed |= self.orient(x, y)
+                            break
+                    # Rule 3: x — z1 → y and x — z2 → y with z1, z2
+                    # non-adjacent  ⇒  x → y.
+                    spokes = [z for z in self.nodes
+                              if tuple(sorted((x, z))) in self.undirected
+                              and (z, y) in self.directed]
+                    if any(not self.adjacent(z1, z2)
+                           for z1, z2 in combinations(spokes, 2)):
+                        changed |= self.orient(x, y)
+
+    def orient_with(self, roots: Iterable[str] = (),
+                    sinks: Iterable[str] = ()) -> None:
+        """Apply background knowledge, then re-propagate.
+
+        ``roots`` have no parents (every incident undirected edge
+        points away); ``sinks`` have no children.  This is how the
+        paper's standing assumptions — sensitive attributes are roots,
+        the label is a sink — are injected.
+        """
+        for root in roots:
+            for other in list(self.neighbours(root)):
+                self.orient(root, other)
+        for sink in sinks:
+            for other in list(self.neighbours(sink)):
+                self.orient(other, sink)
+        self.apply_meek_rules()
+
+    def to_dag(self) -> CausalGraph:
+        """Extend to one member DAG of the equivalence class.
+
+        Remaining undirected edges are oriented greedily in a way that
+        never creates a cycle or a new v-structure (Dor-Tarsi style
+        extension; falls back to acyclicity-only if needed).
+
+        Raises
+        ------
+        ValueError
+            If the directed part already contains a cycle (inconsistent
+            CI-test results on finite samples can cause this).
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.nodes)
+        g.add_edges_from(self.directed)
+        if not nx.is_directed_acyclic_graph(g):
+            raise ValueError("directed part of the CPDAG is cyclic; "
+                             "lower alpha or provide more data")
+        for a, b in sorted(self.undirected):
+            for cause, effect in ((a, b), (b, a)):
+                g.add_edge(cause, effect)
+                if nx.is_directed_acyclic_graph(g):
+                    break
+                g.remove_edge(cause, effect)
+            else:
+                raise ValueError(
+                    f"cannot orient {a!r} — {b!r} without a cycle")
+        return CausalGraph(edges=g.edges, nodes=self.nodes)
+
+    def __repr__(self) -> str:
+        return (f"CPDAG({len(self.nodes)} nodes, "
+                f"{len(self.directed)} directed, "
+                f"{len(self.undirected)} undirected)")
+
+
+# ----------------------------------------------------------------------
+# PC proper
+# ----------------------------------------------------------------------
+def _strata(data: Mapping[str, np.ndarray],
+            names: tuple[str, ...]) -> np.ndarray | None:
+    if not names:
+        return None
+    matrix = np.column_stack([data[n] for n in names])
+    _, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    return inverse
+
+
+def pc_skeleton(columns: Mapping[str, np.ndarray], alpha: float = 0.01,
+                max_condition: int = 3, max_levels: int = 4
+                ) -> tuple[set[tuple[str, str]],
+                           dict[tuple[str, str], frozenset[str]]]:
+    """Phase 1 of PC: the undirected skeleton plus separating sets.
+
+    Returns ``(edges, sepsets)`` where ``edges`` holds sorted node
+    pairs and ``sepsets`` records, for each *removed* pair, the subset
+    that separated it.
+    """
+    names = list(columns)
+    if len(names) < 2:
+        raise ValueError("need at least two variables")
+    data = {n: _discretise(np.asarray(columns[n]), max_levels)
+            for n in names}
+    edges = {tuple(sorted(pair)) for pair in combinations(names, 2)}
+    sepsets: dict[tuple[str, str], frozenset[str]] = {}
+
+    def neighbours(node: str) -> set[str]:
+        return {b for a, b in edges if a == node} | \
+               {a for a, b in edges if b == node}
+
+    for level in range(max_condition + 1):
+        removed_any = False
+        for pair in sorted(edges):
+            x, y = pair
+            candidates = (neighbours(x) | neighbours(y)) - {x, y}
+            if len(candidates) < level:
+                continue
+            for subset in combinations(sorted(candidates), level):
+                p = g_test(data[x], data[y], given=_strata(data, subset))
+                if p > alpha:
+                    edges.discard(pair)
+                    sepsets[pair] = frozenset(subset)
+                    removed_any = True
+                    break
+        if not removed_any and level > 0:
+            break
+    return edges, sepsets
+
+
+def pc_algorithm(columns: Mapping[str, np.ndarray], alpha: float = 0.01,
+                 max_condition: int = 3, max_levels: int = 4) -> CPDAG:
+    """Run the full PC algorithm on discrete observational columns.
+
+    Parameters
+    ----------
+    columns:
+        Column name → values; continuous columns are quantile-bucketed
+        into ``max_levels`` levels first.
+    alpha:
+        Significance level of the G-test CI oracle.
+    max_condition:
+        Largest conditioning-set size searched (computation grows
+        combinatorially beyond 3–4).
+    """
+    edges, sepsets = pc_skeleton(columns, alpha=alpha,
+                                 max_condition=max_condition,
+                                 max_levels=max_levels)
+    cpdag = CPDAG(nodes=list(columns), undirected=edges)
+
+    # v-structures: unshielded x — w — y with w ∉ sepset(x, y).
+    for x, y in sorted(sepsets):
+        for w in sorted(cpdag.nodes):
+            if w in (x, y) or w in sepsets[(x, y)]:
+                continue
+            if cpdag.adjacent(x, w) and cpdag.adjacent(y, w) \
+                    and not cpdag.adjacent(x, y):
+                cpdag.orient(x, w)
+                cpdag.orient(y, w)
+
+    cpdag.apply_meek_rules()
+    return cpdag

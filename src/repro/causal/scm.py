@@ -1,0 +1,134 @@
+"""Structural causal models: mechanisms, sampling, and interventions.
+
+A :class:`StructuralCausalModel` pairs a :class:`~repro.causal.graph.
+CausalGraph` with one structural equation per node.  Each equation is a
+callable ``f(parents: dict[str, np.ndarray], rng) -> np.ndarray`` that
+produces the node's values given its parents' sampled values — exogenous
+noise is drawn inside the equation from ``rng``.
+
+Interventions follow Pearl's ``do`` operator: ``scm.do(S=1)`` replaces
+the equation of ``S`` by the constant 1 and removes its dependence on
+its parents, which is exactly the graph surgery described in the paper's
+Appendix A.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from .graph import CausalGraph
+
+Mechanism = Callable[[dict[str, np.ndarray], np.random.Generator], np.ndarray]
+
+
+class SizedRNG:
+    """A numpy ``Generator`` proxy that also carries the sample size.
+
+    Root mechanisms have no parent arrays to infer the batch size from,
+    so :meth:`StructuralCausalModel.sample` hands mechanisms this proxy
+    and they may read ``rng.n``.  All ``Generator`` methods pass through.
+    """
+
+    def __init__(self, rng: np.random.Generator, n: int):
+        self._rng = rng
+        self.n = n
+
+    def __getattr__(self, name):
+        return getattr(self._rng, name)
+
+
+class StructuralCausalModel:
+    """A fully specified SCM over a causal graph.
+
+    Parameters
+    ----------
+    graph:
+        The causal DAG.
+    mechanisms:
+        Mapping node → structural equation.  Every graph node needs one.
+    """
+
+    def __init__(self, graph: CausalGraph,
+                 mechanisms: Mapping[str, Mechanism]):
+        missing = [n for n in graph.nodes if n not in mechanisms]
+        if missing:
+            raise ValueError(f"no mechanism for nodes: {missing}")
+        extra = [n for n in mechanisms if n not in graph]
+        if extra:
+            raise ValueError(f"mechanisms for unknown nodes: {extra}")
+        self.graph = graph
+        self._mechanisms = dict(mechanisms)
+        self._interventions: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def do(self, **interventions: float) -> "StructuralCausalModel":
+        """Return a new SCM with the given nodes forced to constants."""
+        unknown = [n for n in interventions if n not in self.graph]
+        if unknown:
+            raise ValueError(f"cannot intervene on unknown nodes: {unknown}")
+        new = StructuralCausalModel(self.graph, self._mechanisms)
+        new._interventions = {**self._interventions, **interventions}
+        return new
+
+    # ------------------------------------------------------------------
+    def sample(self, n: int, rng: np.random.Generator,
+               overrides: Mapping[str, np.ndarray] | None = None,
+               ) -> dict[str, np.ndarray]:
+        """Draw ``n`` joint samples in topological order.
+
+        Parameters
+        ----------
+        n:
+            Number of rows to draw.
+        rng:
+            Source of exogenous randomness.
+        overrides:
+            Optional per-node arrays that replace the node's sampled
+            values (used by the mediation estimators, which need to fix
+            mediators to values drawn under a different regime).
+        """
+        overrides = overrides or {}
+        sized_rng = rng if isinstance(rng, SizedRNG) else SizedRNG(rng, n)
+        values: dict[str, np.ndarray] = {}
+        for node in self.graph.topological_order():
+            if node in overrides:
+                arr = np.asarray(overrides[node])
+                if arr.shape != (n,):
+                    raise ValueError(
+                        f"override for {node!r} has shape {arr.shape}, want ({n},)"
+                    )
+                values[node] = arr
+            elif node in self._interventions:
+                values[node] = np.full(n, self._interventions[node])
+            else:
+                parents = {p: values[p] for p in self.graph.parents(node)}
+                out = np.asarray(self._mechanisms[node](parents, sized_rng))
+                if out.shape != (n,):
+                    raise ValueError(
+                        f"mechanism of {node!r} returned shape {out.shape}, want ({n},)"
+                    )
+                values[node] = out
+        return values
+
+    def mechanism(self, node: str) -> Mechanism:
+        """Return the structural equation of ``node``."""
+        return self._mechanisms[node]
+
+    def with_mechanism(self, node: str,
+                       mechanism: Mechanism) -> "StructuralCausalModel":
+        """Return an SCM where ``node``'s equation is replaced.
+
+        The causal-metric estimators use this to splice a *trained
+        classifier* in as the outcome equation, so that interventional
+        quantities of the deployed prediction pipeline can be computed.
+        """
+        mechanisms = {**self._mechanisms, node: mechanism}
+        new = StructuralCausalModel(self.graph, mechanisms)
+        new._interventions = dict(self._interventions)
+        return new
+
+    def __repr__(self) -> str:
+        dos = f", do={self._interventions}" if self._interventions else ""
+        return f"StructuralCausalModel({self.graph!r}{dos})"

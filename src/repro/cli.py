@@ -1,0 +1,245 @@
+"""Command-line interface: run and compare fair-classification
+approaches from the shell.
+
+Examples
+--------
+List everything that can be run::
+
+    python -m repro list
+
+Evaluate three approaches against the baseline on COMPAS::
+
+    python -m repro run --dataset compas --approach KamCal-dp \
+        --approach Hardt-eo
+
+Audit the fairness-unaware baseline only::
+
+    python -m repro audit --dataset adult --rows 4000
+
+Browse the paper's Figure 3 notion catalog::
+
+    python -m repro notions --association causal
+
+Get a stage recommendation for a deployment profile (Section 5)::
+
+    python -m repro recommend --notion error-rate --dirty-data
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .datasets import LOADERS, load, train_test_split
+from .fairness import ALL_APPROACHES, Stage, make_approach
+from .metrics.notions import (Association, CausalHierarchy, Granularity,
+                              catalog)
+from .pipeline import (ApplicationProfile, ResultStore,
+                       format_results_table, recommend, run_experiment)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Through the Data Management Lens' "
+                    "(SIGMOD 2022): fair-classification benchmarking.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list datasets and approaches")
+    list_cmd.set_defaults(func=cmd_list)
+
+    for name, help_text in (("run", "evaluate approaches vs the baseline"),
+                            ("audit", "score the fairness-unaware "
+                                      "baseline")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--dataset", choices=sorted(LOADERS),
+                         default="compas")
+        cmd.add_argument("--rows", type=int, default=4000,
+                         help="synthetic sample size")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--causal-samples", type=int, default=5000,
+                         help="Monte-Carlo samples for TE/NDE/NIE")
+        cmd.add_argument("--store", metavar="DIR", default=None,
+                         help="persist results as JSON under this directory")
+        cmd.add_argument("--run-name", default=None,
+                         help="name for the stored run (default: derived)")
+        if name == "run":
+            cmd.add_argument("--approach", action="append", default=[],
+                             metavar="NAME",
+                             help="approach to run (repeatable; default: "
+                                  "one per stage)")
+            cmd.set_defaults(func=cmd_run)
+        else:
+            cmd.set_defaults(func=cmd_audit)
+
+    describe_cmd = sub.add_parser(
+        "describe", help="summarise a dataset: stats, bias, MVD check")
+    describe_cmd.add_argument("--dataset", choices=sorted(LOADERS),
+                              default="compas")
+    describe_cmd.add_argument("--rows", type=int, default=4000)
+    describe_cmd.add_argument("--seed", type=int, default=0)
+    describe_cmd.set_defaults(func=cmd_describe)
+
+    notions_cmd = sub.add_parser(
+        "notions", help="browse the Figure 3 fairness-notion catalog")
+    notions_cmd.add_argument(
+        "--association", choices=[a.value for a in Association],
+        default=None)
+    notions_cmd.add_argument(
+        "--granularity", choices=[g.value for g in Granularity],
+        default=None)
+    notions_cmd.add_argument(
+        "--hierarchy", choices=[h.value for h in CausalHierarchy],
+        default=None)
+    notions_cmd.add_argument("--implemented-only", action="store_true")
+    notions_cmd.set_defaults(func=cmd_notions)
+
+    rec_cmd = sub.add_parser(
+        "recommend", help="Section 5 advisor: rank stages for a profile")
+    rec_cmd.add_argument(
+        "--notion", dest="target_notion", default="demographic-parity",
+        choices=["demographic-parity", "error-rate", "causal", "individual"])
+    rec_cmd.add_argument("--fixed-model", action="store_true",
+                         help="the learning algorithm cannot be replaced")
+    rec_cmd.add_argument("--no-retraining", action="store_true",
+                         help="the model cannot be retrained at all")
+    rec_cmd.add_argument("--frozen-data", action="store_true",
+                         help="training data may not be modified")
+    rec_cmd.add_argument("--causal-model", action="store_true",
+                         help="a causal graph is available")
+    rec_cmd.add_argument("--high-dimensional", action="store_true")
+    rec_cmd.add_argument("--large-data", action="store_true")
+    rec_cmd.add_argument("--dirty-data", action="store_true")
+    rec_cmd.add_argument("--runtime-critical", action="store_true")
+    rec_cmd.add_argument("--accuracy-first", action="store_true",
+                         help="prioritise accuracy over fairness")
+    rec_cmd.set_defaults(func=cmd_recommend)
+    return parser
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("datasets:")
+    for name in sorted(LOADERS):
+        print(f"  {name}")
+    print("approaches:")
+    for stage in (Stage.PRE, Stage.IN, Stage.POST):
+        print(f"  [{stage.value}]")
+        for name, factory in ALL_APPROACHES.items():
+            approach = factory()
+            if approach.stage is stage:
+                print(f"    {name:20s} targets {approach.notion.value}")
+    return 0
+
+
+def _evaluate(args: argparse.Namespace,
+              approach_names: Sequence[str | None]) -> int:
+    dataset = load(args.dataset, n=args.rows, seed=args.seed)
+    split = train_test_split(dataset, seed=args.seed)
+    results = []
+    for name in approach_names:
+        if name is not None and name not in ALL_APPROACHES:
+            print(f"error: unknown approach {name!r} "
+                  f"(see `repro list`)", file=sys.stderr)
+            return 2
+        results.append(run_experiment(
+            name, split.train, split.test, seed=args.seed,
+            causal_samples=args.causal_samples))
+    print(format_results_table(
+        results, title=f"{args.dataset} (n={args.rows}, seed={args.seed})"))
+    if args.store is not None:
+        run_name = args.run_name or f"{args.command}-{args.dataset}"
+        path = ResultStore(args.store).save(
+            run_name, results,
+            params={"dataset": args.dataset, "rows": args.rows,
+                    "seed": args.seed,
+                    "causal_samples": args.causal_samples})
+        print(f"saved: {path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = args.approach or ["KamCal-dp", "Zafar-dp-fair", "Hardt-eo"]
+    return _evaluate(args, [None, *names])
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    return _evaluate(args, [None])
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from .datasets import check_mvd, discretize_dataset
+
+    dataset = load(args.dataset, n=args.rows, seed=args.seed)
+    print(dataset)
+    print(f"base rates: P(Y=1|S=0) = {dataset.base_rate(0):.3f}, "
+          f"P(Y=1|S=1) = {dataset.base_rate(1):.3f}")
+    stats = dataset.table.describe()
+    names = list(stats["column"])
+    width = max(len(n) for n in names)
+    print(f"{'column':<{width}} {'mean':>9} {'std':>9} "
+          f"{'min':>9} {'max':>9}")
+    for i, name in enumerate(names):
+        print(f"{name:<{width}} {stats['mean'][i]:>9.3f} "
+              f"{stats['std'][i]:>9.3f} {stats['min'][i]:>9.3f} "
+              f"{stats['max'][i]:>9.3f}")
+    if dataset.admissible:
+        binned = discretize_dataset(dataset, n_bins=3)
+        report = check_mvd(binned.table, key=list(binned.admissible),
+                           left=[binned.label],
+                           right=list(binned.inadmissible))
+        status = "holds" if report.holds else "violated"
+        print(f"justifiable-fairness MVD (Y ⫫ inadmissible | admissible, "
+              f"3-bin discretised): {status} "
+              f"({report.missing} missing tuples of {report.n_joined})")
+    return 0
+
+
+def cmd_notions(args: argparse.Namespace) -> int:
+    rows = catalog(
+        association=(Association(args.association)
+                     if args.association else None),
+        granularity=(Granularity(args.granularity)
+                     if args.granularity else None),
+        hierarchy=(CausalHierarchy(args.hierarchy)
+                   if args.hierarchy else None),
+        implemented_only=args.implemented_only,
+    )
+    if not rows:
+        print("no notions match the given filters")
+        return 0
+    name_width = max(len(n.name) for n in rows)
+    for notion in rows:
+        impl = notion.implemented_as or "-"
+        print(f"{notion.name:<{name_width}}  "
+              f"{notion.association.value:<10} "
+              f"{notion.granularity.value:<10} "
+              f"{notion.hierarchy.value:<14} {impl}")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    profile = ApplicationProfile(
+        model_replaceable=not args.fixed_model,
+        model_retrainable=not args.no_retraining,
+        data_modifiable=not args.frozen_data,
+        target_notion=args.target_notion,
+        causal_model_available=args.causal_model,
+        high_dimensional=args.high_dimensional,
+        large_data=args.large_data,
+        dirty_data=args.dirty_data,
+        runtime_critical=args.runtime_critical,
+        fairness_priority=not args.accuracy_first,
+    )
+    print(recommend(profile).summary())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

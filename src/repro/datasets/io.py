@@ -1,0 +1,140 @@
+"""CSV input/output for :class:`~repro.datasets.table.Table`.
+
+A small, dependency-free CSV layer with the behaviours the loaders
+need: header handling, per-column type inference (int → float →
+string), configurable missing-value markers (surfaced as NaN for
+numeric columns), and round-tripping via :func:`write_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["read_csv", "write_csv", "parse_csv", "format_csv"]
+
+#: Cell values treated as missing by default (after stripping).
+DEFAULT_NA_VALUES = ("", "?", "NA", "N/A", "nan", "NaN", "null")
+
+
+def _infer_column(raw: list[str], na_values: frozenset[str]) -> np.ndarray:
+    """Convert raw string cells to the narrowest sensible dtype.
+
+    Numeric columns with missing cells become float with NaN; string
+    columns keep the missing marker as the empty string.
+    """
+    cleaned = [cell.strip() for cell in raw]
+    present = [c for c in cleaned if c not in na_values]
+    has_missing = len(present) != len(cleaned)
+
+    def try_parse(cast):
+        out = []
+        for cell in cleaned:
+            if cell in na_values:
+                out.append(float("nan"))
+            else:
+                out.append(cast(cell))
+        return out
+
+    if present:
+        try:
+            values = try_parse(int)
+            if has_missing:
+                return np.asarray(values, dtype=float)
+            return np.asarray(values, dtype=int)
+        except ValueError:
+            pass
+        try:
+            return np.asarray(try_parse(float), dtype=float)
+        except ValueError:
+            pass
+    return np.asarray(
+        ["" if c in na_values else c for c in cleaned], dtype=object)
+
+
+def parse_csv(text: str, delimiter: str = ",",
+              na_values: Iterable[str] = DEFAULT_NA_VALUES,
+              header: Sequence[str] | None = None) -> Table:
+    """Parse CSV text into a :class:`Table`.
+
+    Parameters
+    ----------
+    text:
+        The raw CSV content.
+    delimiter:
+        Field separator.
+    na_values:
+        Cell values (after whitespace stripping) treated as missing.
+    header:
+        Column names to use when the file has no header row; when
+        ``None`` the first row is the header.
+
+    Raises
+    ------
+    ValueError
+        On empty input, duplicate column names, or ragged rows.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError("CSV input is empty")
+    if header is None:
+        names = [c.strip() for c in rows[0]]
+        body = rows[1:]
+    else:
+        names = list(header)
+        body = rows
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate column names in header: {names}")
+    for i, row in enumerate(body):
+        if len(row) != len(names):
+            raise ValueError(
+                f"row {i + 1} has {len(row)} fields, expected {len(names)}"
+            )
+    na = frozenset(na_values)
+    columns = {
+        name: _infer_column([row[j] for row in body], na)
+        for j, name in enumerate(names)
+    }
+    return Table(columns)
+
+
+def read_csv(path: str | Path, delimiter: str = ",",
+             na_values: Iterable[str] = DEFAULT_NA_VALUES,
+             header: Sequence[str] | None = None) -> Table:
+    """Read a CSV file into a :class:`Table` (see :func:`parse_csv`)."""
+    return parse_csv(Path(path).read_text(), delimiter=delimiter,
+                     na_values=na_values, header=header)
+
+
+def format_csv(table: Table, delimiter: str = ",",
+               float_format: str = "{:g}") -> str:
+    """Serialise a table to CSV text (header row included)."""
+    out = io.StringIO()
+    writer = csv.writer(out, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(table.columns)
+    columns = [table[name] for name in table.columns]
+
+    def fmt(value) -> str:
+        if isinstance(value, (float, np.floating)):
+            if np.isnan(value):
+                return ""
+            return float_format.format(float(value))
+        return str(value)
+
+    for i in range(table.n_rows):
+        writer.writerow([fmt(col[i]) for col in columns])
+    return out.getvalue()
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",",
+              float_format: str = "{:g}") -> None:
+    """Write a table to a CSV file (see :func:`format_csv`)."""
+    Path(path).write_text(
+        format_csv(table, delimiter=delimiter, float_format=float_format))

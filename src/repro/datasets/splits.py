@@ -1,0 +1,102 @@
+"""Train/test splitting and cross-validation folds.
+
+Reproduces the paper's evaluation protocol: random 70/30 train-test
+splits (Section 4.1) and 5-fold cross validation with 50/20/30
+train/validation/test partitions (Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+@dataclass(frozen=True)
+class Split:
+    """A train/test (and optionally validation) partition of a dataset."""
+
+    train: Dataset
+    test: Dataset
+    validation: Dataset | None = None
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.3,
+                     seed: int = 0) -> Split:
+    """Randomly split a dataset into train and test parts.
+
+    The paper's default protocol: 70% train / 30% test by uniform
+    random selection.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(dataset.n_rows)
+    n_test = int(round(dataset.n_rows * test_fraction))
+    return Split(
+        train=dataset.take(perm[n_test:]),
+        test=dataset.take(perm[:n_test]),
+    )
+
+
+def train_validation_test_split(dataset: Dataset,
+                                validation_fraction: float = 0.2,
+                                test_fraction: float = 0.3,
+                                seed: int = 0) -> Split:
+    """Random 50/20/30-style three-way split (Appendix D protocol)."""
+    if validation_fraction + test_fraction >= 1.0:
+        raise ValueError("validation + test fractions must sum below 1")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(dataset.n_rows)
+    n_test = int(round(dataset.n_rows * test_fraction))
+    n_val = int(round(dataset.n_rows * validation_fraction))
+    return Split(
+        train=dataset.take(perm[n_test + n_val:]),
+        validation=dataset.take(perm[n_test:n_test + n_val]),
+        test=dataset.take(perm[:n_test]),
+    )
+
+
+def k_fold(dataset: Dataset, k: int = 5, seed: int = 0) -> list[Split]:
+    """Return ``k`` cross-validation splits (each fold once as test)."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if k > dataset.n_rows:
+        raise ValueError(f"cannot make {k} folds from {dataset.n_rows} rows")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(dataset.n_rows)
+    folds = np.array_split(perm, k)
+    splits = []
+    for i, fold in enumerate(folds):
+        rest = np.concatenate([f for j, f in enumerate(folds) if j != i])
+        splits.append(Split(train=dataset.take(rest), test=dataset.take(fold)))
+    return splits
+
+
+def stratified_k_fold(dataset: Dataset, k: int = 5,
+                      seed: int = 0) -> list[Split]:
+    """k-fold splits stratified jointly on ``(S, Y)``.
+
+    Keeps every sensitive-group/label cell represented in each fold,
+    which the fairness metrics need to stay well defined on small data.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    rng = np.random.default_rng(seed)
+    cell = dataset.s * 2 + dataset.y
+    fold_indices: list[list[int]] = [[] for _ in range(k)]
+    for value in np.unique(cell):
+        members = np.flatnonzero(cell == value)
+        members = members[rng.permutation(members.size)]
+        for i, chunk in enumerate(np.array_split(members, k)):
+            fold_indices[i].extend(chunk.tolist())
+    splits = []
+    for i in range(k):
+        test_idx = np.array(sorted(fold_indices[i]), dtype=int)
+        train_idx = np.array(sorted(
+            x for j in range(k) if j != i for x in fold_indices[j]), dtype=int)
+        splits.append(Split(train=dataset.take(train_idx),
+                            test=dataset.take(test_idx)))
+    return splits

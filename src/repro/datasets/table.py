@@ -1,0 +1,432 @@
+"""A lightweight, column-oriented tabular container.
+
+``Table`` is the repository's substitute for a pandas ``DataFrame``: a
+mapping from column names to equal-length one-dimensional numpy arrays.
+It supports exactly the operations the fair-classification pipelines
+need — column selection, boolean filtering, row sampling, column
+assignment, and conversion to a dense feature matrix — while staying
+immutable-by-convention (every operation returns a new ``Table``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class Table:
+    """An ordered collection of named, equal-length columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a 1-D array-like.  Order is
+        preserved and becomes the column order of the table.
+
+    Raises
+    ------
+    ValueError
+        If columns have differing lengths or a column is not 1-D.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence | np.ndarray]):
+        data: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            if n_rows is None:
+                n_rows = arr.shape[0]
+            elif arr.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {name!r} has length {arr.shape[0]}, expected {n_rows}"
+                )
+            data[name] = arr
+        self._data = data
+        self._n_rows = n_rows or 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in insertion order."""
+        return list(self._data)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the column array for ``name`` (a view, not a copy)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.columns}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of ``table[name]``."""
+        return self[name]
+
+    def __repr__(self) -> str:
+        return f"Table({self.n_rows} rows × {len(self._data)} cols: {self.columns})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.columns != other.columns or self.n_rows != other.n_rows:
+            return False
+        return all(np.array_equal(self[c], other[c]) for c in self.columns)
+
+    # ------------------------------------------------------------------
+    # Row operations (all return new tables)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Table":
+        """Return a new table containing the rows at ``indices`` (with
+        repetition allowed, so this also implements resampling)."""
+        idx = np.asarray(indices)
+        return Table({name: col[idx] for name, col in self._data.items()})
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return the rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_rows,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.n_rows},)")
+        return self.take(np.flatnonzero(mask))
+
+    def head(self, n: int) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def sample(self, n: int, rng: np.random.Generator,
+               replace: bool = False) -> "Table":
+        """Return ``n`` rows drawn at random using ``rng``."""
+        idx = rng.choice(self.n_rows, size=n, replace=replace)
+        return self.take(idx)
+
+    def shuffle(self, rng: np.random.Generator) -> "Table":
+        """Return the table with rows in a random permutation."""
+        return self.take(rng.permutation(self.n_rows))
+
+    # ------------------------------------------------------------------
+    # Column operations (all return new tables)
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        """Return a table with only the given columns, in that order."""
+        return Table({name: self[name] for name in names})
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return a table without the given columns."""
+        dropped = set(names)
+        return Table({n: c for n, c in self._data.items() if n not in dropped})
+
+    def assign(self, **columns: Sequence | np.ndarray) -> "Table":
+        """Return a table with columns added or replaced.
+
+        ``table.assign(y=new_labels)`` replaces column ``y`` in place
+        (keeping its position) or appends it if new.
+        """
+        new = dict(self._data)
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.shape != (self.n_rows,):
+                raise ValueError(
+                    f"column {name!r} has shape {arr.shape}, expected ({self.n_rows},)"
+                )
+            new[name] = arr
+        return Table(new)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a table with columns renamed per ``mapping``."""
+        return Table({mapping.get(n, n): c for n, c in self._data.items()})
+
+    # ------------------------------------------------------------------
+    # Ordering and aggregation
+    # ------------------------------------------------------------------
+    def sort_by(self, names: str | Sequence[str],
+                ascending: bool = True) -> "Table":
+        """Return the table sorted by one or more columns.
+
+        Later names break ties of earlier ones (lexicographic order),
+        and the sort is stable, so equal keys keep their input order.
+        """
+        names = [names] if isinstance(names, str) else list(names)
+        if not names:
+            raise ValueError("need at least one sort column")
+        order = np.lexsort([self[n] for n in reversed(names)])
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    def group_by(self, names: str | Sequence[str]) -> "GroupBy":
+        """Group rows by the distinct values of one or more columns.
+
+        >>> table.group_by("s").agg(y="mean")      # doctest: +SKIP
+        """
+        names = [names] if isinstance(names, str) else list(names)
+        if not names:
+            raise ValueError("need at least one grouping column")
+        for n in names:
+            self[n]  # raises KeyError with the available columns
+        return GroupBy(self, names)
+
+    def describe(self, names: Iterable[str] | None = None) -> "Table":
+        """Per-column summary statistics (count/mean/std/min/max).
+
+        Returns a table with one row per described column.  Non-numeric
+        columns are skipped.
+        """
+        names = self.columns if names is None else list(names)
+        rows = {"column": [], "count": [], "mean": [], "std": [],
+                "min": [], "max": []}
+        for name in names:
+            col = self[name]
+            if not np.issubdtype(col.dtype, np.number):
+                continue
+            values = col.astype(float)
+            rows["column"].append(name)
+            rows["count"].append(values.size)
+            rows["mean"].append(float(values.mean()) if values.size else
+                                float("nan"))
+            rows["std"].append(float(values.std(ddof=1))
+                               if values.size > 1 else float("nan"))
+            rows["min"].append(float(values.min()) if values.size else
+                               float("nan"))
+            rows["max"].append(float(values.max()) if values.size else
+                               float("nan"))
+        return Table({k: np.asarray(v) for k, v in rows.items()})
+
+    def distinct(self, names: Iterable[str] | None = None) -> "Table":
+        """Return the distinct rows (optionally projected to ``names``).
+
+        This is relational projection-with-dedup, written ``Π`` in the
+        paper's multi-valued-dependency formula for justifiable
+        fairness.  Row order follows first occurrence.
+        """
+        projected = self if names is None else self.select(names)
+        if projected.n_rows == 0:
+            return projected
+        matrix = np.column_stack(
+            [np.asarray(projected[c]) for c in projected.columns])
+        _, first = np.unique(matrix.astype("U"), axis=0, return_index=True)
+        return projected.take(np.sort(first))
+
+    def join(self, other: "Table", on: str | Sequence[str],
+             how: str = "inner") -> "Table":
+        """Relational join on one or more key columns.
+
+        Parameters
+        ----------
+        other:
+            Right-hand table.  Its non-key columns must not collide
+            with this table's columns.
+        on:
+            Key column name(s), present in both tables.
+        how:
+            ``"inner"`` (drop unmatched left rows) or ``"left"``
+            (keep them; right columns get NaN / empty string).
+
+        Notes
+        -----
+        Multiple matches multiply rows, exactly as in SQL — which is
+        what the MVD check ``D = Π_AY(D) ⋈ Π_YI(D)`` needs.
+        """
+        keys = [on] if isinstance(on, str) else list(on)
+        if not keys:
+            raise ValueError("need at least one join key")
+        for key in keys:
+            if key not in self or key not in other:
+                raise KeyError(f"join key {key!r} missing from a table")
+        right_extra = [c for c in other.columns if c not in keys]
+        collisions = [c for c in right_extra if c in self]
+        if collisions:
+            raise ValueError(f"column name collision: {collisions}")
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+
+        def key_tuples(table: "Table") -> list[tuple]:
+            cols = [table[k] for k in keys]
+            return [tuple(col[i] for col in cols)
+                    for i in range(table.n_rows)]
+
+        right_index: dict[tuple, list[int]] = {}
+        for j, key in enumerate(key_tuples(other)):
+            right_index.setdefault(key, []).append(j)
+
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        for i, key in enumerate(key_tuples(self)):
+            matches = right_index.get(key, [])
+            if matches:
+                left_rows.extend([i] * len(matches))
+                right_rows.extend(matches)
+            elif how == "left":
+                left_rows.append(i)
+                right_rows.append(-1)
+
+        left_part = self.take(np.asarray(left_rows, dtype=int)
+                              if left_rows else np.empty(0, dtype=int))
+        data = left_part.to_dict()
+        r_idx = np.asarray(right_rows, dtype=int)
+        for name in right_extra:
+            col = other[name]
+            if np.issubdtype(col.dtype, np.number):
+                values = np.full(r_idx.shape[0], np.nan)
+                filler = values
+            else:
+                values = np.full(r_idx.shape[0], "", dtype=object)
+                filler = values
+            matched = r_idx >= 0
+            filler[matched] = col[r_idx[matched]]
+            data[name] = values
+        return Table(data)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Stack tables vertically.  All must share the same columns."""
+        if not tables:
+            raise ValueError("need at least one table")
+        columns = tables[0].columns
+        for t in tables[1:]:
+            if t.columns != columns:
+                raise ValueError(f"column mismatch: {t.columns} vs {columns}")
+        return Table({
+            name: np.concatenate([t[name] for t in tables]) for name in columns
+        })
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_matrix(self, names: Iterable[str] | None = None,
+                  dtype=np.float64) -> np.ndarray:
+        """Return the given columns (default: all) as a dense 2-D array."""
+        names = self.columns if names is None else list(names)
+        if not names:
+            return np.empty((self.n_rows, 0), dtype=dtype)
+        return np.column_stack([self[n].astype(dtype) for n in names])
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the underlying column mapping."""
+        return dict(self._data)
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate over rows as tuples (column order)."""
+        cols = [self._data[n] for n in self.columns]
+        for i in range(self.n_rows):
+            yield tuple(col[i] for col in cols)
+
+    def copy(self) -> "Table":
+        """Return a deep copy (arrays are copied)."""
+        return Table({n: c.copy() for n, c in self._data.items()})
+
+
+#: Named aggregation functions accepted by :meth:`GroupBy.agg`.
+AGGREGATIONS = {
+    "mean": lambda v: float(np.mean(v)),
+    "sum": lambda v: float(np.sum(v)),
+    "min": lambda v: float(np.min(v)),
+    "max": lambda v: float(np.max(v)),
+    "std": lambda v: float(np.std(v, ddof=1)) if v.size > 1 else float("nan"),
+    "count": lambda v: float(v.size),
+    "median": lambda v: float(np.median(v)),
+}
+
+
+class GroupBy:
+    """Deferred grouping of a :class:`Table` (obtained via
+    :meth:`Table.group_by`).
+
+    Groups are the distinct value combinations of the key columns, in
+    sorted key order.
+    """
+
+    def __init__(self, table: Table, keys: Sequence[str]):
+        self._table = table
+        self._keys = list(keys)
+        matrix = np.column_stack(
+            [np.asarray(table[k], dtype=float) for k in self._keys])
+        self._combos, self._inverse = np.unique(
+            matrix, axis=0, return_inverse=True)
+
+    @property
+    def n_groups(self) -> int:
+        return self._combos.shape[0]
+
+    def groups(self) -> Iterable[tuple[tuple, Table]]:
+        """Iterate over ``(key_values, sub_table)`` pairs."""
+        for g in range(self.n_groups):
+            key = tuple(self._combos[g])
+            yield key, self._table.filter(self._inverse == g)
+
+    def size(self) -> Table:
+        """Row counts per group, as a table of keys plus ``count``."""
+        counts = np.bincount(self._inverse, minlength=self.n_groups)
+        data = {k: self._combos[:, i] for i, k in enumerate(self._keys)}
+        data["count"] = counts
+        return Table(data)
+
+    def agg(self, **specs: str) -> Table:
+        """Aggregate columns per group.
+
+        Each keyword is ``column_name="agg_name"`` where the
+        aggregation is one of ``mean/sum/min/max/std/count/median``.
+        Returns a table with the key columns followed by one aggregated
+        column per spec (named ``{column}_{agg}``).
+
+        >>> table.group_by("s").agg(y="mean", age="max")  # doctest: +SKIP
+        """
+        if not specs:
+            raise ValueError("need at least one aggregation spec")
+        for col, agg in specs.items():
+            self._table[col]
+            if agg not in AGGREGATIONS:
+                raise ValueError(
+                    f"unknown aggregation {agg!r}; "
+                    f"choose from {sorted(AGGREGATIONS)}"
+                )
+        data: dict[str, np.ndarray] = {
+            k: self._combos[:, i] for i, k in enumerate(self._keys)}
+        for col, agg in specs.items():
+            fn = AGGREGATIONS[agg]
+            values = np.asarray(self._table[col], dtype=float)
+            data[f"{col}_{agg}"] = np.asarray([
+                fn(values[self._inverse == g]) for g in range(self.n_groups)
+            ])
+        return Table(data)
+
+
+def value_counts(values: np.ndarray) -> dict:
+    """Return ``{value: count}`` for a 1-D array, in descending count order."""
+    uniques, counts = np.unique(np.asarray(values), return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return {uniques[i].item() if hasattr(uniques[i], "item") else uniques[i]:
+            int(counts[i]) for i in order}
+
+
+def crosstab(a: np.ndarray, b: np.ndarray) -> dict[tuple, int]:
+    """Return joint counts ``{(va, vb): count}`` of two aligned columns."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("columns must be aligned")
+    out: dict[tuple, int] = {}
+    for va in np.unique(a):
+        mask = a == va
+        for vb, cnt in value_counts(b[mask]).items():
+            key_a = va.item() if hasattr(va, "item") else va
+            out[(key_a, vb)] = cnt
+    return out

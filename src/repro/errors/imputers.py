@@ -1,0 +1,138 @@
+"""Missing-value imputation (the paper's "standard Scikit-learn
+imputers" used by corruption recipe T3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def impute_mean(values: np.ndarray) -> np.ndarray:
+    """Replace NaNs with the mean of the observed entries."""
+    values = np.asarray(values, dtype=float).copy()
+    missing = np.isnan(values)
+    if missing.all():
+        raise ValueError("cannot impute a fully missing column")
+    values[missing] = values[~missing].mean()
+    return values
+
+
+def impute_mode(values: np.ndarray) -> np.ndarray:
+    """Replace NaNs with the most frequent observed value."""
+    values = np.asarray(values, dtype=float).copy()
+    missing = np.isnan(values)
+    if missing.all():
+        raise ValueError("cannot impute a fully missing column")
+    observed = values[~missing]
+    uniques, counts = np.unique(observed, return_counts=True)
+    values[missing] = uniques[np.argmax(counts)]
+    return values
+
+
+def impute_median(values: np.ndarray) -> np.ndarray:
+    """Replace NaNs with the median of the observed entries."""
+    values = np.asarray(values, dtype=float).copy()
+    missing = np.isnan(values)
+    if missing.all():
+        raise ValueError("cannot impute a fully missing column")
+    values[missing] = np.median(values[~missing])
+    return values
+
+
+def impute_constant(values: np.ndarray, fill_value: float) -> np.ndarray:
+    """Replace NaNs with a fixed sentinel value."""
+    values = np.asarray(values, dtype=float).copy()
+    values[np.isnan(values)] = fill_value
+    return values
+
+
+def impute_knn(X: np.ndarray, k: int = 5) -> np.ndarray:
+    """k-nearest-neighbour imputation over a feature matrix.
+
+    For each missing cell, the imputed value is the mean of that column
+    over the ``k`` rows nearest in the observed coordinates (distances
+    use only features present in *both* rows, rescaled per column).
+
+    Parameters
+    ----------
+    X:
+        2-D matrix with NaNs marking missing entries.
+    k:
+        Neighbourhood size.
+
+    Raises
+    ------
+    ValueError
+        If some column is entirely missing or ``k`` is invalid.
+    """
+    X = np.asarray(X, dtype=float).copy()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    missing = np.isnan(X)
+    if not missing.any():
+        return X
+    if missing.all(axis=0).any():
+        raise ValueError("cannot impute a fully missing column")
+
+    # Column scaling for comparable distances.
+    col_mean = np.nanmean(X, axis=0)
+    col_std = np.nanstd(X, axis=0)
+    col_std[col_std == 0] = 1.0
+    Z = (X - col_mean) / col_std
+
+    out = X.copy()
+    needs = np.flatnonzero(missing.any(axis=1))
+    for i in needs:
+        shared = ~missing[i] & ~missing            # (n, d) overlap mask
+        diff = np.where(shared, Z - Z[i], 0.0)
+        counts = shared.sum(axis=1)
+        counts[i] = 0                              # never one's own row
+        with np.errstate(invalid="ignore", divide="ignore"):
+            dist = np.sqrt((diff ** 2).sum(axis=1) / np.maximum(counts, 1))
+        dist[counts == 0] = np.inf
+        order = np.argsort(dist, kind="stable")
+        for j in np.flatnonzero(missing[i]):
+            donors = [r for r in order
+                      if np.isfinite(dist[r]) and not missing[r, j]][:k]
+            out[i, j] = (float(np.mean(X[donors, j])) if donors
+                         else col_mean[j])
+    return out
+
+
+def impute_iterative(X: np.ndarray, n_iter: int = 5,
+                     ridge: float = 1.0) -> np.ndarray:
+    """Round-robin regression imputation (MICE-style).
+
+    Missing entries start at their column means; then each column with
+    holes is repeatedly re-predicted by ridge regression on all other
+    columns, for ``n_iter`` sweeps.  Captures cross-column structure
+    that mean imputation destroys.
+    """
+    X = np.asarray(X, dtype=float).copy()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if n_iter < 1:
+        raise ValueError("n_iter must be at least 1")
+    missing = np.isnan(X)
+    if not missing.any():
+        return X
+    if missing.all(axis=0).any():
+        raise ValueError("cannot impute a fully missing column")
+    col_mean = np.nanmean(X, axis=0)
+    filled = np.where(missing, col_mean, X)
+    holes = np.flatnonzero(missing.any(axis=0))
+    d = X.shape[1]
+    for _ in range(n_iter):
+        for j in holes:
+            observed = ~missing[:, j]
+            others = [c for c in range(d) if c != j]
+            A = np.column_stack([filled[:, others],
+                                 np.ones(X.shape[0])])
+            reg = ridge * np.eye(A.shape[1])
+            reg[-1, -1] = 0.0                      # don't shrink the bias
+            coef = np.linalg.solve(
+                A[observed].T @ A[observed] + reg,
+                A[observed].T @ filled[observed, j])
+            filled[missing[:, j], j] = (A @ coef)[missing[:, j]]
+    return filled

@@ -1,0 +1,16 @@
+"""Fair classification approaches: the paper's 13 approaches and 21
+evaluated variants, grouped by fairness-enforcing stage."""
+
+from .base import (FairApproach, InProcessor, Notion, PostProcessor,
+                   Preprocessor, Stage, group_masks)
+from .registry import (ADDITIONAL_APPROACHES, ALL_APPROACHES,
+                       EXTENSION_APPROACHES, MAIN_APPROACHES,
+                       approaches_by_stage, make_approach)
+
+__all__ = [
+    "Stage", "Notion", "FairApproach", "Preprocessor", "InProcessor",
+    "PostProcessor", "group_masks",
+    "MAIN_APPROACHES", "ADDITIONAL_APPROACHES", "EXTENSION_APPROACHES",
+    "ALL_APPROACHES",
+    "make_approach", "approaches_by_stage",
+]

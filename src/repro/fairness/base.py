@@ -1,0 +1,133 @@
+"""Stage interfaces for fair classification approaches.
+
+The paper groups every approach by the pipeline stage where its
+fairness-enforcing mechanism applies (Section 3):
+
+* :class:`Preprocessor` — repairs the *training data* before a
+  downstream model is fitted; optionally also transforms test data
+  (Feld and Calmon do, the others do not).
+* :class:`InProcessor` — a complete fair classifier that replaces the
+  model; consumes the annotated dataset directly.
+* :class:`PostProcessor` — adjusts the score output of an
+  already-trained classifier using only ``(score, S)`` (and ``Y`` at
+  fit time).
+
+The experiment pipeline (:mod:`repro.pipeline`) composes these into the
+uniform flow ``repair → encode → model → adjust`` so every variant is
+measured identically.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+
+
+class Stage(enum.Enum):
+    """Pipeline stage at which a fairness mechanism applies."""
+
+    PRE = "pre-processing"
+    IN = "in-processing"
+    POST = "post-processing"
+
+
+class Notion(enum.Enum):
+    """Fairness notions targeted by the evaluated approaches (Figure 5)."""
+
+    DEMOGRAPHIC_PARITY = "demographic parity"
+    EQUALIZED_ODDS = "equalized odds"
+    EQUAL_OPPORTUNITY = "equal opportunity"
+    PREDICTIVE_EQUALITY = "predictive equality"
+    PREDICTIVE_PARITY = "predictive parity"
+    PATH_SPECIFIC_FAIRNESS = "path-specific fairness"
+    DIRECT_CAUSAL_EFFECT = "direct causal effect"
+    JUSTIFIABLE_FAIRNESS = "justifiable fairness"
+
+
+class FairApproach(abc.ABC):
+    """Common metadata shared by all stages."""
+
+    #: Pipeline stage of the mechanism.
+    stage: Stage
+    #: The notion the variant optimises for (drawn as ↑ in the figures).
+    notion: Notion
+    #: Whether the downstream/internal model receives ``S`` as a feature.
+    #: Approaches that discard it trivially satisfy the ID metric
+    #: (Section 4.2, "Post-processing approaches tend to violate ID").
+    uses_sensitive_feature: bool = True
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class Preprocessor(FairApproach):
+    """Data-repair approaches (paper Section 3.1)."""
+
+    stage = Stage.PRE
+
+    @abc.abstractmethod
+    def repair(self, train: Dataset) -> Dataset:
+        """Return a repaired copy of the training data."""
+
+    def transform(self, test: Dataset) -> Dataset:
+        """Transform evaluation data.
+
+        Default: identity.  Only the approaches that, per the paper,
+        modify both training and test data (Feld, Calmon) override it.
+        """
+        return test
+
+
+class InProcessor(FairApproach):
+    """Constraint-in-the-objective approaches (paper Section 3.2).
+
+    An in-processor is itself the classifier: it consumes an annotated
+    dataset and produces predictions for (encoded) feature matrices,
+    with the sensitive column passed separately so the ID metric can
+    intervene on it.
+    """
+
+    stage = Stage.IN
+
+    @abc.abstractmethod
+    def fit(self, train: Dataset, X: np.ndarray) -> "InProcessor":
+        """Train on the dataset; ``X`` is its encoded feature matrix."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        """Hard predictions for encoded features + sensitive column."""
+
+    def predict_proba(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        """Positive-class scores; defaults to the hard predictions."""
+        return self.predict(X, s).astype(float)
+
+
+class PostProcessor(FairApproach):
+    """Prediction-adjustment approaches (paper Section 3.3)."""
+
+    stage = Stage.POST
+
+    @abc.abstractmethod
+    def fit(self, y: np.ndarray, scores: np.ndarray,
+            s: np.ndarray) -> "PostProcessor":
+        """Learn the adjustment from held-in labels, scores, and S."""
+
+    @abc.abstractmethod
+    def adjust(self, scores: np.ndarray, s: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        """Map base-classifier scores to adjusted hard predictions.
+
+        Randomised adjustments (Kam-Kar, Pleiss) draw from ``rng`` so
+        experiments stay reproducible.
+        """
+
+
+def group_masks(s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean masks ``(unprivileged, privileged)`` for a 0/1 column."""
+    s = np.asarray(s).astype(int)
+    return s == 0, s == 1

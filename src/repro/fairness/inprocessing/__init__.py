@@ -1,0 +1,11 @@
+"""In-processing approaches (paper Section 3.2 + Agarwal from B.4)."""
+
+from .agarwal import AgarwalDP, AgarwalEO
+from .celis import Celis
+from .kearns import Kearns
+from .thomas import ThomasDP, ThomasEO
+from .zafar import ZafarDPAcc, ZafarDPFair, ZafarEOFair
+from .zhale import ZhaLe
+
+__all__ = ["ZafarDPFair", "ZafarDPAcc", "ZafarEOFair", "ZhaLe", "Kearns",
+           "Celis", "ThomasDP", "ThomasEO", "AgarwalDP", "AgarwalEO"]

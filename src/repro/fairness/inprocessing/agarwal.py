@@ -1,0 +1,172 @@
+"""Agarwal: a reductions approach to fair classification.
+
+Agarwal et al. (ICML 2018).  Fair classification under moment
+constraints is reduced to a sequence of cost-sensitive problems: a
+Lagrange multiplier vector λ is updated by **exponentiated gradient**
+on the constraint violations, the learner best-responds with a
+classifier trained on λ-induced per-example costs, and the final
+predictor is the uniform randomisation over the iterates (paper
+Appendix B.4).  Two variants are evaluated: :class:`AgarwalDP`
+(demographic parity) and :class:`AgarwalEO` (equalized odds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...models.logistic import LogisticRegression
+from ..base import InProcessor, Notion
+
+
+class _AgarwalBase(InProcessor):
+    """Exponentiated-gradient reduction machinery.
+
+    Parameters
+    ----------
+    epsilon:
+        Allowed constraint slack.
+    n_rounds:
+        Exponentiated-gradient iterations (each trains one model).
+    eta:
+        Multiplier learning rate.
+    bound:
+        λ-ball radius B of the original (caps total multiplier mass).
+    """
+
+    uses_sensitive_feature = False
+
+    def __init__(self, epsilon: float = 0.02, n_rounds: int = 10,
+                 eta: float = 2.0, bound: float = 20.0, l2: float = 1.0):
+        self.epsilon = epsilon
+        self.n_rounds = n_rounds
+        self.eta = eta
+        self.bound = bound
+        self.l2 = l2
+        self.models_: list[LogisticRegression] | None = None
+
+    # -- notion-specific moments ----------------------------------------
+    def _moments(self, y_hat: np.ndarray, y: np.ndarray,
+                 s: np.ndarray) -> np.ndarray:
+        """Signed constraint violations g_j(h) (one per constraint)."""
+        raise NotImplementedError
+
+    def _costs(self, lambdas: np.ndarray, y: np.ndarray,
+               s: np.ndarray) -> np.ndarray:
+        """Per-example additive cost of predicting 1, induced by λ."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------------
+    def _n_constraints(self) -> int:
+        raise NotImplementedError
+
+    def fit(self, train: Dataset, X: np.ndarray) -> "_AgarwalBase":
+        X = np.asarray(X, float)
+        y = train.y
+        s = train.s
+        n = len(y)
+        k = self._n_constraints()
+        # λ lives on the positive orthant; exponentiated-gradient keeps
+        # log-weights.  Two entries per moment (±) encode |g| ≤ ε.
+        log_lambda = np.zeros(2 * k)
+        self.models_ = []
+
+        for _ in range(self.n_rounds):
+            lam = np.exp(log_lambda)
+            total = lam.sum()
+            if total > self.bound:
+                lam *= self.bound / total
+            signed = lam[:k] - lam[k:]
+
+            # Best response: weighted classification where predicting 1
+            # on example i costs its λ-induced amount.  Realised by
+            # label-dependent sample weights on a logistic learner.
+            costs = self._costs(signed, y, s)
+            weights = np.ones(n)
+            flipped = y.copy()
+            # cost > 0 discourages ŷ=1 → emphasise the 0-label;
+            # cost < 0 encourages ŷ=1 → emphasise the 1-label.
+            pos_cost = costs > 0
+            weights[pos_cost & (y == 0)] += costs[pos_cost & (y == 0)]
+            neg_cost = costs < 0
+            weights[neg_cost & (y == 1)] += -costs[neg_cost & (y == 1)]
+            model = LogisticRegression(l2=self.l2)
+            model.fit(X, flipped, sample_weight=weights)
+            self.models_.append(model)
+
+            # Multiplier update on the *ensemble so far*.
+            y_hat = self._ensemble_predict(X, s)
+            g = self._moments(y_hat, y, s)
+            grad = np.concatenate([g - self.epsilon, -g - self.epsilon])
+            log_lambda += self.eta * grad
+            log_lambda = np.clip(log_lambda, -30, 30)
+        return self
+
+    def _ensemble_predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        votes = np.zeros(X.shape[0])
+        for model in self.models_:
+            votes += model.predict(X)
+        return (votes / len(self.models_) >= 0.5).astype(int)
+
+    def predict_proba(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        if not self.models_:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, float)
+        votes = np.zeros(X.shape[0])
+        for model in self.models_:
+            votes += model.predict(X)
+        return votes / len(self.models_)
+
+    def predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X, s) >= 0.5).astype(int)
+
+
+class AgarwalDP(_AgarwalBase):
+    """Reductions with the demographic-parity moment
+    ``g = P(ŷ=1|S=1) − P(ŷ=1|S=0)``."""
+
+    notion = Notion.DEMOGRAPHIC_PARITY
+
+    def _n_constraints(self) -> int:
+        return 1
+
+    def _moments(self, y_hat, y, s):
+        return np.array([float(np.mean(y_hat[s == 1])
+                               - np.mean(y_hat[s == 0]))])
+
+    def _costs(self, signed, y, s):
+        lam = signed[0]
+        n1 = max(np.mean(s == 1), 1e-12)
+        n0 = max(np.mean(s == 0), 1e-12)
+        return np.where(s == 1, lam / n1, -lam / n0)
+
+
+class AgarwalEO(_AgarwalBase):
+    """Reductions with the two equalized-odds moments (TPR and FPR
+    disparities)."""
+
+    notion = Notion.EQUALIZED_ODDS
+
+    def _n_constraints(self) -> int:
+        return 2
+
+    def _moments(self, y_hat, y, s):
+        gaps = []
+        for label in (1, 0):
+            cells = [(s == g) & (y == label) for g in (0, 1)]
+            if cells[0].any() and cells[1].any():
+                gaps.append(float(np.mean(y_hat[cells[1]])
+                                  - np.mean(y_hat[cells[0]])))
+            else:
+                gaps.append(0.0)
+        return np.array(gaps)
+
+    def _costs(self, signed, y, s):
+        costs = np.zeros(len(y))
+        for j, label in enumerate((1, 0)):
+            lam = signed[j]
+            for g, sign in ((1, +1), (0, -1)):
+                cell = (s == g) & (y == label)
+                share = max(np.mean(cell), 1e-12)
+                costs[cell] += sign * lam / share
+        return costs

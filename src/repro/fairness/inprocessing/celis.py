@@ -1,0 +1,110 @@
+"""Celis: classification with fairness constraints (meta-algorithm).
+
+Celis et al. (FAT* 2019).  A single framework covers many group-fairness
+notions by writing each as linear constraints ``min_i q_i(f) ≥
+τ · max_i q_i(f)`` on group-performance functions ``q_i`` and solving
+the Lagrangian dual.  The key structural fact (their Theorem 3.1) is
+that the optimal classifier for the dual is a **group-dependent
+threshold on the regression function** ``η(x) = P(Y=1 | x)``; solving
+the program therefore reduces to fitting ``η`` and then choosing the
+two group thresholds by dual ascent / direct search.
+
+The evaluated variant, Celis-PP, enforces **predictive parity** via the
+false-discovery-rate functions ``q_i = P(Y=0 | ŷ=1, g_i)`` with
+τ = 0.8 (paper Appendix B.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...models.logistic import LogisticRegression
+from ..base import InProcessor, Notion
+
+
+class Celis(InProcessor):
+    """Lagrangian meta-algorithm with FDR-parity constraints (Celis-PP).
+
+    Parameters
+    ----------
+    tau:
+        Performance-ratio tolerance (paper setting 0.8; 1.0 = exact
+        parity).
+    n_grid:
+        Threshold-grid resolution of the dual search.
+    l2:
+        Regularisation of the internal regression function.
+    """
+
+    notion = Notion.PREDICTIVE_PARITY
+    uses_sensitive_feature = True
+
+    def __init__(self, tau: float = 0.8, n_grid: int = 41, l2: float = 1.0):
+        if not 0 < tau <= 1:
+            raise ValueError("tau must be in (0, 1]")
+        self.tau = tau
+        self.n_grid = n_grid
+        self.l2 = l2
+        self.model_: LogisticRegression | None = None
+        self.thresholds_: tuple[float, float] | None = None
+
+    @staticmethod
+    def _fdr(y: np.ndarray, y_hat: np.ndarray, mask: np.ndarray) -> float:
+        """False discovery rate P(Y=0 | ŷ=1) within a group."""
+        positives = mask & (y_hat == 1)
+        if not positives.any():
+            return 0.0
+        return float(np.mean(y[positives] == 0))
+
+    def _constraint_ok(self, y, y_hat, s) -> bool:
+        q = [1.0 - self._fdr(y, y_hat, s == g) for g in (0, 1)]
+        lo, hi = min(q), max(q)
+        return hi == 0 or lo / hi >= self.tau
+
+    def fit(self, train: Dataset, X: np.ndarray) -> "Celis":
+        Xs = np.column_stack([np.asarray(X, float),
+                              train.s.astype(float)])
+        y = train.y
+        s = train.s
+        self.model_ = LogisticRegression(l2=self.l2).fit(Xs, y)
+        scores = self.model_.predict_proba(Xs)
+
+        # Dual solution = group thresholds; search the grid for the
+        # feasible pair with minimum error (ties break toward the
+        # unconstrained thresholds 0.5/0.5).
+        grid = np.linspace(0.05, 0.95, self.n_grid)
+        best: tuple[float, float] | None = None
+        best_error = np.inf
+        for t0 in grid:
+            pred0 = scores >= t0
+            for t1 in grid:
+                y_hat = np.where(s == 0, pred0, scores >= t1).astype(int)
+                if not self._constraint_ok(y, y_hat, s):
+                    continue
+                error = float(np.mean(y_hat != y))
+                tie_break = abs(t0 - 0.5) + abs(t1 - 0.5)
+                if error < best_error - 1e-12 or (
+                        abs(error - best_error) <= 1e-12 and best is not None
+                        and tie_break < abs(best[0] - 0.5)
+                        + abs(best[1] - 0.5)):
+                    best, best_error = (float(t0), float(t1)), error
+        if best is None:
+            best = (0.5, 0.5)  # infeasible grid: fall back to plain LR
+        self.thresholds_ = best
+        return self
+
+    def predict_proba(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        if self.model_ is None:
+            raise RuntimeError("model not fitted")
+        Xs = np.column_stack([np.asarray(X, float), np.asarray(s, float)])
+        return self.model_.predict_proba(Xs)
+
+    def predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        if self.thresholds_ is None:
+            raise RuntimeError("model not fitted")
+        scores = self.predict_proba(X, s)
+        s = np.asarray(s).astype(int)
+        thresholds = np.where(s == 0, self.thresholds_[0],
+                              self.thresholds_[1])
+        return (scores >= thresholds).astype(int)

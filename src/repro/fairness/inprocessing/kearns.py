@@ -1,0 +1,122 @@
+"""Kearns: preventing fairness gerrymandering (GerryFair).
+
+Kearns et al. (ICML 2018).  The learner and an auditor play a zero-sum
+game by fictitious play: each round the auditor finds the subgroup with
+the largest (weighted) false-positive-rate disparity versus the whole
+population, and the learner best-responds with a cost-sensitive
+classifier whose per-row costs include the accumulated Lagrange
+penalties of the violated subgroups.  The final classifier is the
+uniform randomisation over all rounds' models (paper Appendix B.2;
+the evaluated variant enforces **predictive equality**, i.e. FPR
+parity, with γ = 0.005).
+
+Subgroups here are the conjunctions definable over the sensitive
+attribute — with one binary ``S`` these are ``{S=0}`` and ``{S=1}`` —
+matching the paper's configuration that defines subgroups over the
+sensitive attribute(s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...models.base import add_intercept, sigmoid
+from ...models.logistic import LogisticRegression
+from ..base import InProcessor, Notion
+
+
+class Kearns(InProcessor):
+    """GerryFair-style fictitious play for FPR-parity (Kearns-PE).
+
+    Parameters
+    ----------
+    gamma:
+        Allowed γ-weighted subgroup disparity (paper: 0.005).
+    n_rounds:
+        Fictitious-play rounds (each adds one model to the ensemble).
+    penalty_step:
+        Lagrange multiplier increment per violated subgroup round.
+    """
+
+    notion = Notion.PREDICTIVE_EQUALITY
+    uses_sensitive_feature = True
+
+    def __init__(self, gamma: float = 0.005, n_rounds: int = 40,
+                 penalty_step: float = 0.3):
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        self.gamma = gamma
+        self.n_rounds = n_rounds
+        self.penalty_step = penalty_step
+        self.models_: list[LogisticRegression] | None = None
+        self._with_sensitive = True
+
+    @staticmethod
+    def _fpr(y: np.ndarray, scores: np.ndarray,
+             mask: np.ndarray) -> float:
+        negatives = mask & (y == 0)
+        if not negatives.any():
+            return 0.0
+        return float(np.mean(scores[negatives]))
+
+    def fit(self, train: Dataset, X: np.ndarray) -> "Kearns":
+        Xs = np.column_stack([np.asarray(X, float),
+                              train.s.astype(float)])
+        y = train.y
+        s = train.s
+        n = len(y)
+        subgroups = [s == 0, s == 1]
+        multipliers = np.zeros(len(subgroups))
+
+        self.models_ = []
+        ensemble_scores = np.zeros(n)
+        for round_idx in range(self.n_rounds):
+            # Learner best-response: cost-sensitive weights where the
+            # auditor's penalties raise the cost of false positives in
+            # the flagged subgroups.
+            weights = np.ones(n)
+            for g_idx, mask in enumerate(subgroups):
+                if multipliers[g_idx] == 0:
+                    continue
+                affected = mask & (y == 0)
+                weights[affected] += multipliers[g_idx]
+            model = LogisticRegression(l2=1.0)
+            model.fit(Xs, y, sample_weight=weights)
+            self.models_.append(model)
+
+            # Auditor: measure ensemble FPR disparities so far.
+            ensemble_scores = ((ensemble_scores * round_idx
+                                + model.predict(Xs)) / (round_idx + 1))
+            overall_fpr = self._fpr(y, ensemble_scores, np.ones(n, bool))
+            worst_gap = 0.0
+            worst_idx = -1
+            worst_sign = 0.0
+            for g_idx, mask in enumerate(subgroups):
+                share = float(np.mean(mask))
+                signed = self._fpr(y, ensemble_scores, mask) - overall_fpr
+                gap = share * abs(signed)
+                if gap > worst_gap:
+                    worst_gap, worst_idx = gap, g_idx
+                    worst_sign = np.sign(signed)
+            if worst_gap <= self.gamma:
+                break
+            # Fictitious-play multiplier step: raise the FP penalty of a
+            # subgroup whose FPR exceeds the population's, relax it when
+            # the penalty overshot (multipliers stay non-negative).
+            multipliers[worst_idx] = max(
+                0.0, multipliers[worst_idx]
+                + worst_sign * self.penalty_step)
+        return self
+
+    def predict_proba(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        if not self.models_:
+            raise RuntimeError("model not fitted")
+        Xs = np.column_stack([np.asarray(X, float), np.asarray(s, float)])
+        votes = np.zeros(Xs.shape[0])
+        for model in self.models_:
+            votes += model.predict(Xs)
+        return votes / len(self.models_)
+
+    def predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X, s) >= 0.5).astype(int)

@@ -1,0 +1,113 @@
+"""Zha-Le: mitigating unwanted bias with adversarial learning.
+
+Zhang, Lemoine & Mitchell (AIES 2018).  A logistic classifier
+``f(X, S) → ŷ`` and a logistic adversary ``a(ŷ_logit[, Y]) → ŝ`` are
+trained together by simultaneous gradient descent.  The classifier's
+update direction removes the component aligned with the adversary's
+gradient and additionally pushes *against* it, so at convergence the
+prediction carries no information about ``S`` beyond what the target
+notion allows — equalized odds here, where the adversary also sees
+``Y`` (paper Appendix B.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...models.base import add_intercept, sigmoid
+from ..base import InProcessor, Notion
+
+
+class ZhaLe(InProcessor):
+    """Adversarial debiasing for equalized odds.
+
+    Parameters
+    ----------
+    adversary_weight:
+        α — strength of the adversarial term in the classifier update.
+    epochs, learning_rate, batch_size:
+        SGD schedule (shared by classifier and adversary).
+    seed:
+        Initialisation/shuffling seed.
+    """
+
+    notion = Notion.EQUALIZED_ODDS
+    uses_sensitive_feature = True  # f(X, S) per the original
+
+    def __init__(self, adversary_weight: float = 1.0, epochs: int = 60,
+                 learning_rate: float = 0.05, batch_size: int = 64,
+                 seed: int = 0):
+        self.adversary_weight = adversary_weight
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.w_: np.ndarray | None = None       # classifier weights
+        self.w_adv_: np.ndarray | None = None   # adversary weights
+
+    def _classifier_inputs(self, X: np.ndarray,
+                           s: np.ndarray) -> np.ndarray:
+        return add_intercept(np.column_stack([np.asarray(X, float),
+                                              np.asarray(s, float)]))
+
+    @staticmethod
+    def _adversary_inputs(logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # ŷ logit, ŷ·Y interaction, and Y — the EO adversary's view.
+        return np.column_stack([logits, logits * y, y,
+                                np.ones(len(logits))])
+
+    def fit(self, train: Dataset, X: np.ndarray) -> "ZhaLe":
+        rng = np.random.default_rng(self.seed)
+        Xb = self._classifier_inputs(X, train.s)
+        y = train.y.astype(float)
+        s = train.s.astype(float)
+        n, d = Xb.shape
+        w = rng.normal(0, 0.01, size=d)
+        w_adv = np.zeros(4)
+        lr = self.learning_rate
+
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            alpha = self.adversary_weight
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                xb, yb, sb = Xb[idx], y[idx], s[idx]
+                logits = xb @ w
+                p = sigmoid(logits)
+
+                # Adversary step: predict S from (logit, Y).
+                adv_in = self._adversary_inputs(logits, yb)
+                p_adv = sigmoid(adv_in @ w_adv)
+                g_adv = adv_in.T @ (p_adv - sb) / len(idx)
+                w_adv -= lr * g_adv
+
+                # Classifier step: descend task loss, subtract the
+                # projection onto the adversary's gradient, then push
+                # against it (the original's three-term update).
+                g_task = xb.T @ (p - yb) / len(idx)
+                # Adversary loss gradient wrt classifier weights, via
+                # the logit: ∂L_adv/∂logit · ∂logit/∂w.
+                dadv_dlogit = (p_adv - sb) * (w_adv[0] + w_adv[1] * yb)
+                g_adv_w = xb.T @ dadv_dlogit / len(idx)
+                norm = np.linalg.norm(g_adv_w)
+                if norm > 1e-12:
+                    unit = g_adv_w / norm
+                    projection = (g_task @ unit) * unit
+                else:
+                    projection = 0.0
+                w -= lr * (g_task - projection - alpha * g_adv_w)
+        self.w_ = w
+        self.w_adv_ = w_adv
+        return self
+
+    def decision_function(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        if self.w_ is None:
+            raise RuntimeError("model not fitted")
+        return self._classifier_inputs(X, s) @ self.w_
+
+    def predict(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X, s) >= 0).astype(int)
+
+    def predict_proba(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        return sigmoid(self.decision_function(X, s))

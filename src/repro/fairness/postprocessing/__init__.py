@@ -1,0 +1,8 @@
+"""Post-processing approaches (paper Section 3.3)."""
+
+from .hardt import Hardt
+from .kamkar import KamKar
+from .omnifair import OmniFair
+from .pleiss import Pleiss
+
+__all__ = ["KamKar", "OmniFair", "Hardt", "Pleiss"]

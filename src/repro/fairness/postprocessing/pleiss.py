@@ -1,0 +1,78 @@
+"""Pleiss: on fairness and calibration.
+
+Pleiss et al. (NeurIPS 2017).  Given a *calibrated* base classifier,
+exact equalized odds is unattainable without breaking calibration; the
+relaxation equalises a single cost — here the false-negative rate, i.e.
+**equal opportunity**, the variant the paper evaluates (Pleiss-EOp).
+The mechanism: for the advantaged group (lower FNR), a random α
+fraction of predictions is *withheld* and replaced by the group's base
+rate, which raises its cost to match the disadvantaged group while
+keeping the scores calibrated (paper Appendix B.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Notion, PostProcessor
+
+
+class Pleiss(PostProcessor):
+    """Calibration-preserving equal-opportunity relaxation."""
+
+    notion = Notion.EQUAL_OPPORTUNITY
+    uses_sensitive_feature = True
+
+    def __init__(self):
+        self.withhold_group_: int | None = None
+        self.alpha_: float | None = None
+        self.base_rates_: dict[int, float] | None = None
+
+    @staticmethod
+    def _fnr(y: np.ndarray, y_hat: np.ndarray, mask: np.ndarray) -> float:
+        positives = mask & (y == 1)
+        if not positives.any():
+            return 0.0
+        return float(np.mean(y_hat[positives] == 0))
+
+    def fit(self, y: np.ndarray, scores: np.ndarray,
+            s: np.ndarray) -> "Pleiss":
+        y = np.asarray(y).astype(int)
+        s = np.asarray(s).astype(int)
+        scores = np.asarray(scores, float)
+        y_hat = (scores >= 0.5).astype(int)
+
+        self.base_rates_ = {g: float(np.mean(y[s == g]))
+                            if (s == g).any() else 0.5 for g in (0, 1)}
+        fnr = {g: self._fnr(y, y_hat, s == g) for g in (0, 1)}
+        # The group with lower FNR is advantaged; withhold its
+        # predictions with probability α so its cost rises to match.
+        advantaged = 0 if fnr[0] < fnr[1] else 1
+        disadvantaged = 1 - advantaged
+        base = self.base_rates_[advantaged]
+        # Withholding predicts 1 with prob = base rate, whose FNR
+        # contribution is (1 − base).  Solve
+        #   (1−α)·fnr_adv + α·(1−base) = fnr_dis   for α.
+        trivial_fnr = 1.0 - base
+        denom = trivial_fnr - fnr[advantaged]
+        if abs(denom) < 1e-12:
+            alpha = 0.0
+        else:
+            alpha = (fnr[disadvantaged] - fnr[advantaged]) / denom
+        self.alpha_ = float(np.clip(alpha, 0.0, 1.0))
+        self.withhold_group_ = advantaged
+        return self
+
+    def adjust(self, scores: np.ndarray, s: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        if self.alpha_ is None:
+            raise RuntimeError("post-processor not fitted")
+        s = np.asarray(s).astype(int)
+        scores = np.asarray(scores, float)
+        y_hat = (scores >= 0.5).astype(int)
+        in_group = s == self.withhold_group_
+        withheld = in_group & (rng.random(len(s)) < self.alpha_)
+        base = self.base_rates_[self.withhold_group_]
+        replacement = (rng.random(len(s)) < base).astype(int)
+        y_hat[withheld] = replacement[withheld]
+        return y_hat

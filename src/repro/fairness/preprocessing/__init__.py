@@ -1,0 +1,11 @@
+"""Pre-processing approaches (paper Section 3.1 + Madras from B.4)."""
+
+from .calmon import Calmon
+from .feld import Feld
+from .kamcal import KamCal
+from .madras import Madras
+from .salimi import SalimiMatFac, SalimiMaxSAT
+from .zhawu import ZhaWuDCE, ZhaWuPSF
+
+__all__ = ["KamCal", "Feld", "Calmon", "ZhaWuPSF", "ZhaWuDCE",
+           "SalimiMaxSAT", "SalimiMatFac", "Madras"]

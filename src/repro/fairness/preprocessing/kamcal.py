@@ -1,0 +1,72 @@
+"""Kam-Cal: reweighing + resampling for demographic parity.
+
+Kamiran & Calders (KAIS 2012).  Each tuple gets the weight
+
+    w(t) = P_exp(S=s_t ∧ Y=y_t) / P_obs(S=s_t ∧ Y=y_t)
+
+where ``P_exp`` is the product of marginals (what the joint would be if
+``S ⟂ Y``) and ``P_obs`` the empirical joint.  The repaired training
+set is drawn by weighted sampling, so that the label becomes
+statistically independent of the sensitive attribute (paper
+Appendix B.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ..base import Notion, Preprocessor
+
+
+class KamCal(Preprocessor):
+    """Weighted-resampling repair enforcing ``S ⟂ Y`` in training data.
+
+    Parameters
+    ----------
+    seed:
+        Resampling seed.
+    resample:
+        If True (default, matching the paper's evaluated variant) the
+        repaired dataset is a weighted resample of the original rows.
+        If False, only :meth:`tuple_weights` is meaningful and
+        ``repair`` returns the input unchanged — callers can feed the
+        weights to a model that supports ``sample_weight`` instead.
+    """
+
+    notion = Notion.DEMOGRAPHIC_PARITY
+    uses_sensitive_feature = True
+
+    def __init__(self, seed: int = 0, resample: bool = True):
+        self.seed = seed
+        self.resample = resample
+
+    @staticmethod
+    def tuple_weights(s: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-tuple reweighing factors ``P_exp / P_obs``."""
+        s = np.asarray(s).astype(int)
+        y = np.asarray(y).astype(int)
+        n = len(s)
+        if n == 0:
+            raise ValueError("empty dataset")
+        weights = np.empty(n, dtype=float)
+        for s_val in (0, 1):
+            p_s = np.mean(s == s_val)
+            for y_val in (0, 1):
+                p_y = np.mean(y == y_val)
+                cell = (s == s_val) & (y == y_val)
+                p_obs = np.mean(cell)
+                if p_obs == 0:
+                    continue  # no tuples to weight in this cell
+                weights[cell] = (p_s * p_y) / p_obs
+        return weights
+
+    def repair(self, train: Dataset) -> Dataset:
+        weights = self.tuple_weights(train.s, train.y)
+        if not self.resample:
+            return train
+        rng = np.random.default_rng(self.seed)
+        probabilities = weights / weights.sum()
+        idx = rng.choice(train.n_rows, size=train.n_rows, replace=True,
+                         p=probabilities)
+        return train.take(idx)

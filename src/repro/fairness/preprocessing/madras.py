@@ -1,0 +1,131 @@
+"""Madras: learning adversarially fair and transferable representations.
+
+Madras et al. (ICML 2018, "LAFTR").  A linear encoder maps features to
+a low-dimensional representation ``z``; a classifier head predicts
+``Y`` from ``z`` while an adversary head tries to predict ``S`` from
+``z``.  The encoder is trained to help the classifier and *hurt* the
+adversary, so downstream models trained naively on ``z`` inherit
+(approximate) demographic parity (paper Appendix B.4).
+
+As a pre-processing approach, ``repair`` replaces the feature columns
+of the training data by the learned representation and ``transform``
+does the same for test data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...datasets.encoding import StandardScaler
+from ...models.base import sigmoid
+from ..base import Notion, Preprocessor
+
+
+class Madras(Preprocessor):
+    """Adversarial fair-representation learning (LAFTR-DP).
+
+    Parameters
+    ----------
+    n_components:
+        Dimension of the learned representation.
+    adversary_weight:
+        Trade-off γ between task loss and (negated) adversary loss.
+    epochs, learning_rate, batch_size:
+        SGD schedule for the three heads.
+    seed:
+        Initialisation/shuffling seed.
+    """
+
+    notion = Notion.DEMOGRAPHIC_PARITY
+    uses_sensitive_feature = False
+
+    def __init__(self, n_components: int = 8, adversary_weight: float = 1.0,
+                 epochs: int = 40, learning_rate: float = 5e-2,
+                 batch_size: int = 64, seed: int = 0):
+        if n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        self.n_components = n_components
+        self.adversary_weight = adversary_weight
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self._scaler: StandardScaler | None = None
+        self._encoder: np.ndarray | None = None
+        self._feature_names: tuple[str, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def _train_encoder(self, X: np.ndarray, y: np.ndarray,
+                       s: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        k = self.n_components
+        enc = rng.normal(0, 1 / np.sqrt(d), size=(d, k))
+        w_task = np.zeros(k + 1)   # classifier head (with bias)
+        w_adv = np.zeros(k + 1)    # adversary head (with bias)
+        lr = self.learning_rate
+
+        def head_grad(z: np.ndarray, target: np.ndarray,
+                      w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Gradient of logistic loss wrt head weights and wrt z."""
+            zb = np.column_stack([z, np.ones(len(z))])
+            p = sigmoid(zb @ w)
+            err = (p - target) / len(z)
+            return zb.T @ err, np.outer(err, w[:-1])
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                xb, yb, sb = X[idx], y[idx], s[idx]
+                z = xb @ enc
+                g_task_w, g_task_z = head_grad(z, yb, w_task)
+                g_adv_w, g_adv_z = head_grad(z, sb, w_adv)
+                # Heads: classifier descends its loss, adversary its own.
+                w_task -= lr * g_task_w
+                w_adv -= lr * g_adv_w
+                # Encoder: descend task loss, *ascend* adversary loss.
+                g_enc = xb.T @ (g_task_z
+                                - self.adversary_weight * g_adv_z)
+                enc -= lr * g_enc
+        self._encoder = enc
+
+    def _representation_names(self) -> tuple[str, ...]:
+        return tuple(f"z{i}" for i in range(self.n_components))
+
+    def _encode(self, dataset: Dataset) -> Dataset:
+        X = self._scaler.transform(
+            dataset.table.to_matrix(self._feature_names))
+        Z = X @ self._encoder
+        names = self._representation_names()
+        columns = {name: Z[:, i] for i, name in enumerate(names)}
+        columns[dataset.sensitive] = dataset.s
+        columns[dataset.label] = dataset.y
+        from ...datasets.table import Table
+
+        return Dataset(
+            table=Table(columns),
+            feature_names=names,
+            sensitive=dataset.sensitive,
+            label=dataset.label,
+            name=dataset.name,
+            causal_graph=None,  # representation space has no named graph
+            scm=dataset.scm,
+            categorical=(),
+            admissible=(),
+        )
+
+    # ------------------------------------------------------------------
+    def repair(self, train: Dataset) -> Dataset:
+        self._feature_names = train.feature_names
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(train.X)
+        self._train_encoder(X, train.y.astype(float),
+                            train.s.astype(float))
+        return self._encode(train)
+
+    def transform(self, test: Dataset) -> Dataset:
+        if self._encoder is None:
+            raise RuntimeError("call repair() on training data first")
+        return self._encode(test)

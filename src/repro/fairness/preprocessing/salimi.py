@@ -1,0 +1,207 @@
+"""Salimi: causal database repair for justifiable fairness.
+
+Salimi et al. (SIGMOD 2019, "Capuchin").  Justifiable fairness requires
+the label to be conditionally independent of the *inadmissible*
+attributes ``I`` given the *admissible* ones ``A`` — equivalently, the
+training database must satisfy the multi-valued dependency
+
+    D = Π_{A,Y}(D) ⋈ Π_{A,I}(D)
+
+(uniform-distribution form).  The repair inserts/deletes tuples until,
+within every admissible stratum ``a``, the joint counts of ``(I, Y)``
+factorise into the product of their marginals.
+
+Two solver back-ends mirror the paper's variants:
+
+* :class:`SalimiMaxSAT` — the per-stratum integral rounding of the
+  independent completion is posed as a small weighted MaxSAT problem
+  (one variable per cell: round up vs down; soft clauses weigh the
+  repair cost of each choice) and solved exactly, exactly in the spirit
+  of the original's reduction of minimal repair to MaxSAT.
+* :class:`SalimiMatFac` — within each stratum, the ``|I| × |Y|`` count
+  matrix is replaced by its best **rank-1** non-negative factorisation;
+  a rank-1 contingency table *is* an independent one, so the NMF
+  reconstruction is the matrix-factorisation repair of the original.
+
+Both then materialise the target counts by deleting surplus tuples and
+duplicating existing ones for deficits (the insertion side of the
+original's insert/delete repair, restricted to duplicating observed
+tuples so no synthetic attribute combinations appear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...datasets.encoding import discretize_dataset
+from ...optim.matfac import nmf
+from ...optim.maxsat import MaxSatInstance, solve_maxsat
+from ..base import Notion, Preprocessor
+
+
+def _encode_rows(dataset: Dataset, columns: list[str]) -> np.ndarray:
+    if not columns:
+        return np.zeros(dataset.n_rows, dtype=int)
+    matrix = np.column_stack(
+        [dataset.table[c].astype(float) for c in columns])
+    _, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    return inverse
+
+
+def _round_counts_maxsat(target: np.ndarray, total: int,
+                         seed: int) -> np.ndarray:
+    """Round a fractional count matrix to integers summing to ``total``.
+
+    Each cell gets a boolean "round up" variable.  Soft unit clauses
+    weigh the rounding error of each direction; additional soft clauses
+    penalise global drift from ``total`` by pushing the number of
+    round-ups toward the exact fractional residue.
+    """
+    flat = target.ravel()
+    floors = np.floor(flat)
+    residues = flat - floors
+    n = flat.size
+    need_up = int(round(residues.sum()))
+    instance = MaxSatInstance(n_vars=n)
+    for i in range(n):
+        # Rounding up costs (1 − residue); down costs residue.
+        instance.add_clause([+(i + 1)], weight=float(residues[i]))
+        instance.add_clause([-(i + 1)], weight=float(1.0 - residues[i]))
+    solution = solve_maxsat(instance, seed=seed)
+    ups = np.array([solution.value(i + 1) for i in range(n)])
+    # Enforce the cardinality side exactly with a greedy correction on
+    # the MaxSAT assignment (the instance's soft clauses already pull
+    # toward it, so corrections are tiny).
+    diff = int(ups.sum()) - need_up
+    if diff > 0:
+        order = np.argsort(residues)  # drop least-deserving ups
+        for i in order:
+            if diff == 0:
+                break
+            if ups[i]:
+                ups[i] = False
+                diff -= 1
+    elif diff < 0:
+        order = np.argsort(-residues)
+        for i in order:
+            if diff == 0:
+                break
+            if not ups[i]:
+                ups[i] = True
+                diff += 1
+    return (floors + ups).astype(int).reshape(target.shape)
+
+
+def _round_counts_matfac(counts: np.ndarray, seed: int) -> np.ndarray:
+    """Rank-1 NMF reconstruction of a contingency table, rescaled and
+    stochastically rounded to integers with the same grand total."""
+    total = counts.sum()
+    if total == 0:
+        return counts.astype(int)
+    result = nmf(counts.astype(float), rank=1, n_iter=500, seed=seed)
+    recon = result.reconstruct()
+    recon *= total / max(recon.sum(), 1e-12)
+    return _round_counts_maxsat(recon, int(total), seed)
+
+
+class _SalimiBase(Preprocessor):
+    """Shared stratified insert/delete repair machinery."""
+
+    notion = Notion.JUSTIFIABLE_FAIRNESS
+    uses_sensitive_feature = True
+
+    def __init__(self, seed: int = 0, max_stratum_cells: int = 64,
+                 n_bins: int = 3):
+        self.seed = seed
+        self.max_stratum_cells = max_stratum_cells
+        self.n_bins = n_bins
+
+    def repair(self, train: Dataset) -> Dataset:
+        admissible = [f for f in train.feature_names
+                      if f in train.admissible]
+        inadmissible = [f for f in train.feature_names
+                        if f not in train.admissible]
+        inadmissible.append(train.sensitive)
+
+        # Stratify on a coarse discretised view: the MVD is an
+        # integrity constraint over discrete domains, so continuous
+        # attributes are bucketed (the original also discretises).
+        coarse = discretize_dataset(train, n_bins=self.n_bins)
+        a_ids = _encode_rows(coarse, admissible)
+        i_ids = _encode_rows(coarse, inadmissible)
+        y = train.y
+        rng = np.random.default_rng(self.seed)
+
+        keep_indices: list[np.ndarray] = []
+        for stratum, a_val in enumerate(np.unique(a_ids)):
+            in_stratum = a_ids == a_val
+            local_i = i_ids[in_stratum]
+            i_values, local_i = np.unique(local_i, return_inverse=True)
+            rows = np.flatnonzero(in_stratum)
+            n_i = len(i_values)
+            counts = np.zeros((n_i, 2))
+            for r, iv, yv in zip(rows, local_i, y[in_stratum]):
+                counts[iv, yv] += 1
+            if counts.sum() <= 1 or n_i == 1:
+                keep_indices.append(rows)
+                continue
+            if n_i * 2 > self.max_stratum_cells:
+                # Oversized stratum: fall back to the independent
+                # completion without combinatorial rounding.
+                target = np.outer(counts.sum(1), counts.sum(0)) / counts.sum()
+                target = np.round(target).astype(int)
+            else:
+                marginal = (np.outer(counts.sum(1), counts.sum(0))
+                            / counts.sum())
+                target = self._target_counts_from(
+                    counts, marginal, seed=self.seed + stratum)
+            keep_indices.append(self._materialise(
+                rows, local_i, y[in_stratum], counts, target, rng))
+
+        all_rows = np.concatenate(keep_indices) if keep_indices else \
+            np.arange(train.n_rows)
+        return train.take(np.sort(all_rows))
+
+    def _target_counts_from(self, counts: np.ndarray, marginal: np.ndarray,
+                            seed: int) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _materialise(rows: np.ndarray, local_i: np.ndarray, y: np.ndarray,
+                     counts: np.ndarray, target: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Delete/duplicate rows per cell to reach the target counts."""
+        kept: list[np.ndarray] = []
+        for iv in range(counts.shape[0]):
+            for yv in (0, 1):
+                members = rows[(local_i == iv) & (y == yv)]
+                want = int(target[iv, yv])
+                have = members.size
+                if have == 0 or want == have:
+                    if have:
+                        kept.append(members)
+                    continue
+                if want < have:
+                    kept.append(rng.choice(members, size=want,
+                                           replace=False))
+                else:
+                    kept.append(members)
+                    kept.append(rng.choice(members, size=want - have,
+                                           replace=True))
+        return (np.concatenate(kept) if kept
+                else np.empty(0, dtype=int))
+
+
+class SalimiMaxSAT(_SalimiBase):
+    """MVD repair with MaxSAT-based integral rounding (Salimi-MaxSAT)."""
+
+    def _target_counts_from(self, counts, marginal, seed):
+        return _round_counts_maxsat(marginal, int(counts.sum()), seed)
+
+
+class SalimiMatFac(_SalimiBase):
+    """MVD repair with rank-1 NMF reconstruction (Salimi-MatFac)."""
+
+    def _target_counts_from(self, counts, marginal, seed):
+        return _round_counts_matfac(counts, seed)

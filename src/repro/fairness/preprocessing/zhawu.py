@@ -1,0 +1,161 @@
+"""Zha-Wu: causal label repair (path-specific fairness / direct effect).
+
+Zhang, Wu & Wu (KDD/IJCAI 2017).  Both variants use the dataset's
+causal graph to locate the causal influence of ``S`` on ``Y`` and
+minimally modify the *labels* of the training data until that influence
+is below a threshold (paper Appendix B.1.4):
+
+* :class:`ZhaWuPSF` removes the influence transmitted through **all**
+  causal paths.  Because ``S`` is a root, this amounts to equalising
+  ``P(Y=1 | S, C)`` across the groups within every stratum of the
+  non-descendant covariates ``C`` — the quadratic-programming solution
+  of the original reduces to exactly this per-stratum projection under
+  an L2 repair cost.
+* :class:`ZhaWuDCE` bounds only the **direct** effect: it computes the
+  blocking parent set ``Q`` of the label (the parents that cut all
+  indirect ``S → … → Y`` paths) and equalises the group rates within
+  every ``Q`` stratum up to the tolerance τ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ..base import Notion, Preprocessor
+
+
+def _strata_ids(dataset: Dataset, columns: list[str]) -> np.ndarray:
+    if not columns:
+        return np.zeros(dataset.n_rows, dtype=int)
+    matrix = np.column_stack(
+        [dataset.table[c].astype(float) for c in columns])
+    _, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    return inverse
+
+
+def _equalize_stratum(y: np.ndarray, s: np.ndarray, mask: np.ndarray,
+                      tolerance: float, rng: np.random.Generator) -> None:
+    """Flip the minimum number of labels inside a stratum so the group
+    positive-rates differ by at most ``tolerance`` (modifies ``y``)."""
+    idx0 = np.flatnonzero(mask & (s == 0))
+    idx1 = np.flatnonzero(mask & (s == 1))
+    if idx0.size == 0 or idx1.size == 0:
+        return
+    r0 = y[idx0].mean()
+    r1 = y[idx1].mean()
+    gap = r1 - r0
+    if abs(gap) <= tolerance:
+        return
+    # Minimal L2 repair: move both groups toward the (size-weighted)
+    # stratum mean, leaving a residual gap of `tolerance` — the
+    # advantaged group's positives flip down, the disadvantaged
+    # group's negatives flip up.
+    target = y[np.concatenate([idx0, idx1])].mean()
+    half_tol = tolerance / 2
+    for idx, rate in ((idx0, r0), (idx1, r1)):
+        if rate > target + half_tol:
+            n_flip = int(np.ceil((rate - target - half_tol) * idx.size))
+            positives = idx[y[idx] == 1]
+            if n_flip > 0 and positives.size:
+                chosen = rng.choice(positives,
+                                    size=min(n_flip, positives.size),
+                                    replace=False)
+                y[chosen] = 0
+        elif rate < target - half_tol:
+            n_flip = int(np.ceil((target - half_tol - rate) * idx.size))
+            negatives = idx[y[idx] == 0]
+            if n_flip > 0 and negatives.size:
+                chosen = rng.choice(negatives,
+                                    size=min(n_flip, negatives.size),
+                                    replace=False)
+                y[chosen] = 1
+
+
+def _resolve_graph(train: Dataset, learn: bool):
+    """The dataset's causal graph, learned from the data if requested
+    or absent (the original Zha-Wu learns its causal model)."""
+    if train.causal_graph is not None and not learn:
+        return train.causal_graph
+    from ...causal.discovery import learn_dataset_graph
+
+    return learn_dataset_graph(train)
+
+
+class ZhaWuPSF(Preprocessor):
+    """Remove the path-specific (total) causal effect of S on Y.
+
+    Parameters
+    ----------
+    epsilon:
+        Residual per-stratum effect tolerated (paper setting: 0.05).
+    seed:
+        Which labels get flipped inside each stratum.
+    learn_graph:
+        Learn the causal graph from the training data instead of using
+        the dataset's ground-truth graph (what the original does; the
+        default uses the known graph when available).
+    """
+
+    notion = Notion.PATH_SPECIFIC_FAIRNESS
+    uses_sensitive_feature = True
+
+    def __init__(self, epsilon: float = 0.05, seed: int = 0,
+                 learn_graph: bool = False):
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+        self.seed = seed
+        self.learn_graph = learn_graph
+
+    def repair(self, train: Dataset) -> Dataset:
+        graph = _resolve_graph(train, self.learn_graph)
+        if graph is None:
+            raise ValueError("ZhaWuPSF needs the dataset's causal graph")
+        descendants = graph.descendants(train.sensitive)
+        covariates = [f for f in train.feature_names
+                      if f in graph and f not in descendants]
+        strata = _strata_ids(train, covariates)
+        y = train.y.copy()
+        s = train.s
+        rng = np.random.default_rng(self.seed)
+        for value in np.unique(strata):
+            _equalize_stratum(y, s, strata == value, self.epsilon, rng)
+        return train.with_labels(y)
+
+
+class ZhaWuDCE(Preprocessor):
+    """Bound the direct causal effect of S on Y below τ.
+
+    Parameters
+    ----------
+    tau:
+        Allowed per-stratum direct effect Δ_q (paper setting: 0.05).
+    seed:
+        Which labels get flipped inside each stratum.
+    """
+
+    notion = Notion.DIRECT_CAUSAL_EFFECT
+    uses_sensitive_feature = True
+
+    def __init__(self, tau: float = 0.05, seed: int = 0,
+                 learn_graph: bool = False):
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        self.tau = tau
+        self.seed = seed
+        self.learn_graph = learn_graph
+
+    def repair(self, train: Dataset) -> Dataset:
+        graph = _resolve_graph(train, self.learn_graph)
+        if graph is None:
+            raise ValueError("ZhaWuDCE needs the dataset's causal graph")
+        blocking = [q for q in graph.blocking_parents(
+            train.sensitive, train.label) if q in train.feature_names]
+        strata = _strata_ids(train, blocking)
+        y = train.y.copy()
+        s = train.s
+        rng = np.random.default_rng(self.seed)
+        for value in np.unique(strata):
+            _equalize_stratum(y, s, strata == value, self.tau, rng)
+        return train.with_labels(y)

@@ -1,0 +1,95 @@
+"""Registry of all evaluated fair-classification variants.
+
+Maps the paper's variant names (Figure 5 plus the appendix's three
+additional approaches) to factories, so experiments and benchmarks can
+enumerate approaches uniformly.  Factories accept a ``seed`` keyword
+where the underlying approach is randomised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import FairApproach, Stage
+from .inprocessing.agarwal import AgarwalDP, AgarwalEO
+from .inprocessing.celis import Celis
+from .inprocessing.kamishima import Kamishima
+from .inprocessing.kearns import Kearns
+from .inprocessing.thomas import ThomasDP, ThomasEO
+from .inprocessing.zafar import ZafarDPAcc, ZafarDPFair, ZafarEOFair
+from .inprocessing.zhale import ZhaLe
+from .postprocessing.hardt import Hardt
+from .postprocessing.kamkar import KamKar
+from .postprocessing.omnifair import OmniFair
+from .postprocessing.pleiss import Pleiss
+from .preprocessing.calders import CaldersVerwer
+from .preprocessing.calmon import Calmon
+from .preprocessing.feld import Feld
+from .preprocessing.kamcal import KamCal
+from .preprocessing.madras import Madras
+from .preprocessing.salimi import SalimiMatFac, SalimiMaxSAT
+from .preprocessing.zhawu import ZhaWuDCE, ZhaWuPSF
+
+Factory = Callable[..., FairApproach]
+
+#: The 18 variants of the paper's main evaluation (Figure 5), keyed by
+#: the paper's names.
+MAIN_APPROACHES: dict[str, Factory] = {
+    # pre-processing
+    "KamCal-dp": lambda seed=0: KamCal(seed=seed),
+    "Feld-dp": lambda seed=0: Feld(lam=1.0),
+    "Calmon-dp": lambda seed=0: Calmon(seed=seed),
+    "ZhaWu-psf": lambda seed=0: ZhaWuPSF(epsilon=0.05, seed=seed),
+    "ZhaWu-dce": lambda seed=0: ZhaWuDCE(tau=0.05, seed=seed),
+    "Salimi-jf-maxsat": lambda seed=0: SalimiMaxSAT(seed=seed),
+    "Salimi-jf-matfac": lambda seed=0: SalimiMatFac(seed=seed),
+    # in-processing
+    "Zafar-dp-fair": lambda seed=0: ZafarDPFair(),
+    "Zafar-dp-acc": lambda seed=0: ZafarDPAcc(),
+    "Zafar-eo-fair": lambda seed=0: ZafarEOFair(),
+    "ZhaLe-eo": lambda seed=0: ZhaLe(seed=seed),
+    "Kearns-pe": lambda seed=0: Kearns(gamma=0.005),
+    "Celis-pp": lambda seed=0: Celis(tau=0.8),
+    "Thomas-dp": lambda seed=0: ThomasDP(delta=0.05, seed=seed),
+    "Thomas-eo": lambda seed=0: ThomasEO(delta=0.05, seed=seed),
+    # post-processing
+    "KamKar-dp": lambda seed=0: KamKar(),
+    "Hardt-eo": lambda seed=0: Hardt(),
+    "Pleiss-eop": lambda seed=0: Pleiss(),
+}
+
+#: The three additional variants of the paper's Appendix B.4.
+ADDITIONAL_APPROACHES: dict[str, Factory] = {
+    "Madras-dp": lambda seed=0: Madras(seed=seed),
+    "Agarwal-dp": lambda seed=0: AgarwalDP(),
+    "Agarwal-eo": lambda seed=0: AgarwalEO(),
+}
+
+#: Extension variants beyond the paper's evaluation: approaches the
+#: paper cites as related work ([14] massaging, [47] prejudice remover)
+#: that exercise mechanisms the evaluated set lacks.
+EXTENSION_APPROACHES: dict[str, Factory] = {
+    "CaldersVerwer-dp": lambda seed=0: CaldersVerwer(level=1.0),
+    "Kamishima-pr": lambda seed=0: Kamishima(eta=5.0),
+    "OmniFair-dp": lambda seed=0: OmniFair(metric="dp", epsilon=0.03),
+}
+
+ALL_APPROACHES: dict[str, Factory] = {**MAIN_APPROACHES,
+                                      **ADDITIONAL_APPROACHES,
+                                      **EXTENSION_APPROACHES}
+
+
+def make_approach(name: str, seed: int = 0) -> FairApproach:
+    """Instantiate a variant by its paper name."""
+    if name not in ALL_APPROACHES:
+        raise KeyError(
+            f"unknown approach {name!r}; choose from {sorted(ALL_APPROACHES)}")
+    return ALL_APPROACHES[name](seed=seed)
+
+
+def approaches_by_stage(stage: Stage,
+                        include_additional: bool = False) -> list[str]:
+    """Names of all registered variants operating at a given stage."""
+    pool = ALL_APPROACHES if include_additional else MAIN_APPROACHES
+    return [name for name, factory in pool.items()
+            if factory().stage is stage]

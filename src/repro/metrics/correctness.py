@@ -1,0 +1,62 @@
+"""Correctness metrics (paper Figure 2): accuracy, precision, recall, F1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .confusion import ConfusionCounts
+
+
+def accuracy(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Fraction of predictions matching the ground truth."""
+    c = ConfusionCounts.from_predictions(y, y_hat)
+    return (c.tp + c.tn) / c.total if c.total else float("nan")
+
+
+def precision(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """TP / (TP + FP); NaN when nothing is predicted positive."""
+    c = ConfusionCounts.from_predictions(y, y_hat)
+    den = c.tp + c.fp
+    return c.tp / den if den else float("nan")
+
+
+def recall(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """TP / (TP + FN); NaN when there are no positive ground truths."""
+    c = ConfusionCounts.from_predictions(y, y_hat)
+    den = c.tp + c.fn
+    return c.tp / den if den else float("nan")
+
+
+def f1_score(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Harmonic mean of precision and recall (0 when both degenerate)."""
+    p = precision(y, y_hat)
+    r = recall(y, y_hat)
+    if np.isnan(p) or np.isnan(r) or (p + r) == 0:
+        return float("nan") if np.isnan(p) and np.isnan(r) else 0.0
+    return 2 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class CorrectnessReport:
+    """All four correctness metrics of the paper's Figure 2."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_predictions(cls, y: np.ndarray,
+                         y_hat: np.ndarray) -> "CorrectnessReport":
+        return cls(
+            accuracy=accuracy(y, y_hat),
+            precision=precision(y, y_hat),
+            recall=recall(y, y_hat),
+            f1=f1_score(y, y_hat),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {"accuracy": self.accuracy, "precision": self.precision,
+                "recall": self.recall, "f1": self.f1}

@@ -1,0 +1,155 @@
+"""Fairness metrics (paper Figure 4): DI, TPRB, TNRB, ID, TE (+NDE/NIE).
+
+Raw metrics keep the paper's native ranges and signs; the
+:mod:`repro.metrics.normalize` helpers map them onto the shared
+"1 = fair" scale used in all the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from ..causal.effects import (Effects, interventional_effects,
+                              observational_effects)
+from .confusion import ConfusionCounts
+
+
+def _split_groups(s: np.ndarray, *arrays: np.ndarray):
+    s = np.asarray(s).astype(int)
+    for arr in arrays:
+        if np.asarray(arr).shape != s.shape:
+            raise ValueError("arrays must align with the sensitive column")
+    unprivileged = s == 0
+    privileged = s == 1
+    if not unprivileged.any() or not privileged.any():
+        raise ValueError("both sensitive groups must be present")
+    return unprivileged, privileged
+
+
+def disparate_impact(y_hat: np.ndarray, s: np.ndarray) -> float:
+    """``P(ŷ=1 | S=0) / P(ŷ=1 | S=1)`` — demographic parity ratio.
+
+    Range ``[0, ∞)``; 1 is perfectly fair; returns ``inf`` when only
+    the unprivileged group receives positives and ``nan`` when neither
+    group does.
+    """
+    unpriv, priv = _split_groups(s, y_hat)
+    y_hat = np.asarray(y_hat).astype(int)
+    p0 = float(np.mean(y_hat[unpriv]))
+    p1 = float(np.mean(y_hat[priv]))
+    if p1 == 0:
+        return float("nan") if p0 == 0 else float("inf")
+    return p0 / p1
+
+
+def true_positive_rate_balance(y: np.ndarray, y_hat: np.ndarray,
+                               s: np.ndarray) -> float:
+    """``TPR(S=1) − TPR(S=0)`` (one half of equalized odds).
+
+    Positive values mean the unprivileged group is misclassified more.
+    """
+    unpriv, priv = _split_groups(s, y, y_hat)
+    y = np.asarray(y).astype(int)
+    y_hat = np.asarray(y_hat).astype(int)
+    c1 = ConfusionCounts.from_predictions(y[priv], y_hat[priv])
+    c0 = ConfusionCounts.from_predictions(y[unpriv], y_hat[unpriv])
+    return c1.tpr - c0.tpr
+
+
+def true_negative_rate_balance(y: np.ndarray, y_hat: np.ndarray,
+                               s: np.ndarray) -> float:
+    """``TNR(S=1) − TNR(S=0)`` (the other half of equalized odds)."""
+    unpriv, priv = _split_groups(s, y, y_hat)
+    y = np.asarray(y).astype(int)
+    y_hat = np.asarray(y_hat).astype(int)
+    c1 = ConfusionCounts.from_predictions(y[priv], y_hat[priv])
+    c0 = ConfusionCounts.from_predictions(y[unpriv], y_hat[unpriv])
+    return c1.tnr - c0.tnr
+
+
+def id_sample_size(confidence: float = 0.99, error_bound: float = 0.01) -> int:
+    """Hoeffding bound on rows needed so the empirical ID estimate is
+    within ``error_bound`` of truth with the given confidence.
+
+    The paper uses 99% confidence with a 1% error bound.
+    """
+    if not 0 < confidence < 1 or not 0 < error_bound < 1:
+        raise ValueError("confidence and error_bound must lie in (0, 1)")
+    delta = 1 - confidence
+    return math.ceil(math.log(2.0 / delta) / (2 * error_bound ** 2))
+
+
+def individual_discrimination(
+        predict: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        X: np.ndarray, s: np.ndarray,
+        confidence: float = 0.99, error_bound: float = 0.01,
+        seed: int = 0) -> float:
+    """Fraction of rows whose prediction flips when ``S`` is flipped.
+
+    ``predict`` takes ``(X, s)`` and returns hard predictions; the
+    metric re-evaluates it with the sensitive column inverted on
+    otherwise identical rows (the paper's causal-discrimination test of
+    Galhotra et al.).  When the dataset exceeds the Hoeffding sample
+    bound for the requested confidence/error, a random subset of that
+    size is used — the paper's 99%/1% setting needs ~26.5K rows.
+    """
+    X = np.asarray(X, dtype=float)
+    s = np.asarray(s).astype(int)
+    if X.shape[0] != s.shape[0]:
+        raise ValueError("X and s must align")
+    needed = id_sample_size(confidence, error_bound)
+    if X.shape[0] > needed:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(X.shape[0], size=needed, replace=False)
+        X, s = X[idx], s[idx]
+    original = np.asarray(predict(X, s)).astype(int)
+    flipped = np.asarray(predict(X, 1 - s)).astype(int)
+    return float(np.mean(original != flipped))
+
+
+def causal_effects_of_predictions(dataset, y_hat: np.ndarray,
+                                  predict=None, n_samples: int = 20000,
+                                  seed: int = 0) -> Effects:
+    """TE/NDE/NIE of the sensitive attribute on a classifier's output.
+
+    When the dataset carries its generating SCM *and* a ``predict``
+    callable is supplied, effects are computed by true intervention:
+    counterfactual populations are sampled from the SCM and labelled by
+    the classifier (the paper's DoWhy protocol).  Otherwise the
+    observational mediation formulas are applied to the evaluated rows
+    and their predictions.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.datasets.dataset.Dataset` (its graph/SCM and
+        schema name the source and outcome).
+    y_hat:
+        Predictions aligned with ``dataset`` rows (observational path).
+    predict:
+        Optional ``predict(columns: dict[str, ndarray]) -> ndarray``
+        over raw SCM samples (interventional path).
+    """
+    if dataset.scm is not None and predict is not None:
+        return interventional_effects(
+            dataset.scm, dataset.sensitive, dataset.label,
+            n=n_samples, rng=np.random.default_rng(seed), predict=predict)
+    if dataset.causal_graph is None:
+        raise ValueError("dataset has no causal graph; cannot compute "
+                         "causal metrics")
+    columns = {name: dataset.table[name]
+               for name in (*dataset.feature_names, dataset.sensitive,
+                            dataset.label)}
+    return observational_effects(
+        columns, dataset.causal_graph, dataset.sensitive, dataset.label,
+        outcome_values=np.asarray(y_hat))
+
+
+def total_effect(dataset, y_hat: np.ndarray, predict=None,
+                 n_samples: int = 20000, seed: int = 0) -> float:
+    """Convenience wrapper returning only TE (paper Figure 4, row 5)."""
+    return causal_effects_of_predictions(
+        dataset, y_hat, predict=predict, n_samples=n_samples, seed=seed).te

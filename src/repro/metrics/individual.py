@@ -1,0 +1,340 @@
+"""Individual-level fairness metrics beyond the ID metric.
+
+Completes the individual rows of the paper's Figure 3 that the headline
+evaluation excludes because they need a similarity metric or a causal
+model:
+
+* **counterfactual fairness** [Kusner et al.] — a predictor is fair for
+  an individual if its prediction would not change had the individual's
+  sensitive attribute been different, *holding the exogenous background
+  fixed* (a rung-3 quantity computed by abduction).
+* **path-specific counterfactual fairness** [Wu et al.] — the same, but
+  only the discriminatory paths are flipped.
+* **individual direct discrimination / situation testing** [Zhang et
+  al.] — compare an individual's decision against the decisions of its
+  k nearest neighbours in each sensitive group.
+* **fairness through awareness** [Dwork et al.] — a Lipschitz condition
+  tying prediction distance to individual similarity.
+* **metric multifairness** [Kim et al.] — the awareness condition
+  relaxed to hold on average over a collection of comparison sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..causal.counterfactual import CounterfactualSCM
+from ..causal.pse import path_specific_effect
+
+__all__ = [
+    "CounterfactualFairnessResult",
+    "counterfactual_fairness",
+    "path_specific_counterfactual_fairness",
+    "SituationTestingResult",
+    "situation_testing",
+    "fairness_through_awareness",
+    "metric_multifairness",
+    "normalized_euclidean",
+]
+
+Predictor = Callable[[dict[str, np.ndarray]], np.ndarray]
+Similarity = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Counterfactual fairness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CounterfactualFairnessResult:
+    """Per-population summary of counterfactual prediction flips.
+
+    Attributes
+    ----------
+    mean_gap:
+        Mean over audited rows of ``|P(Ŷ_{S←1}=1 | row) −
+        P(Ŷ_{S←0}=1 | row)|``.
+    max_gap:
+        Largest per-row gap.
+    unfair_fraction:
+        Fraction of rows whose gap exceeds ``threshold``.
+    threshold:
+        The tolerance used for ``unfair_fraction``.
+    n_rows:
+        Number of rows audited.
+    """
+
+    mean_gap: float
+    max_gap: float
+    unfair_fraction: float
+    threshold: float
+    n_rows: int
+
+
+def _iter_rows(columns: Mapping[str, np.ndarray], nodes: Sequence[str],
+               limit: int | None) -> list[dict[str, float]]:
+    n = np.asarray(columns[nodes[0]]).shape[0]
+    take = n if limit is None else min(limit, n)
+    return [
+        {node: float(np.asarray(columns[node])[i]) for node in nodes}
+        for i in range(take)
+    ]
+
+
+def counterfactual_fairness(scm: CounterfactualSCM,
+                            columns: Mapping[str, np.ndarray],
+                            sensitive: str, outcome: str,
+                            predict: Predictor,
+                            rng: np.random.Generator,
+                            n_particles: int = 200,
+                            max_rows: int | None = 100,
+                            threshold: float = 0.05,
+                            ) -> CounterfactualFairnessResult:
+    """Audit a classifier for counterfactual fairness.
+
+    For each audited row the full abduction–action–prediction recipe
+    runs twice (``do(S=1)`` and ``do(S=0)``) on shared posterior noise;
+    the row's gap is the absolute difference of the two positive
+    prediction rates.
+
+    Parameters
+    ----------
+    scm:
+        Explicit-noise SCM over the data attributes (including the
+        ground-truth outcome node, which is part of the evidence).
+    columns:
+        Observed data; must cover every SCM node.
+    sensitive, outcome:
+        The sensitive attribute and the ground-truth outcome node.
+    predict:
+        Classifier mapping a column dict to predictions; evaluated on
+        the counterfactual attribute values.
+    n_particles:
+        Posterior noise samples per row and world.
+    max_rows:
+        Audit at most this many rows (None = all).  Abduction is per
+        row, so cost is linear in this.
+    threshold:
+        A row counts as counterfactually unfair when its gap exceeds
+        this.
+    """
+    nodes = scm.graph.topological_order()
+    missing = [n for n in nodes if n not in columns]
+    if missing:
+        raise ValueError(f"columns missing for SCM nodes: {missing}")
+    gaps = []
+    for row in _iter_rows(columns, nodes, max_rows):
+        noise = scm.abduct(row, n_particles, rng)
+        rates = []
+        for value in (1.0, 0.0):
+            world = scm.evaluate(noise, {sensitive: value})
+            rates.append(float(np.mean(
+                np.asarray(predict(world), dtype=float) > 0.5)))
+        gaps.append(abs(rates[0] - rates[1]))
+    gaps_arr = np.asarray(gaps)
+    return CounterfactualFairnessResult(
+        mean_gap=float(gaps_arr.mean()),
+        max_gap=float(gaps_arr.max()),
+        unfair_fraction=float(np.mean(gaps_arr > threshold)),
+        threshold=threshold,
+        n_rows=len(gaps),
+    )
+
+
+def path_specific_counterfactual_fairness(
+        scm: CounterfactualSCM, sensitive: str, outcome: str,
+        discriminatory_edges: frozenset[tuple[str, str]] | set,
+        predict: Predictor, n: int, rng: np.random.Generator,
+        s1: float = 1.0, s0: float = 0.0) -> float:
+    """Wu et al.'s path-specific counterfactual (PC) fairness.
+
+    Measures the effect of flipping the sensitive attribute *only along
+    the user-designated discriminatory paths* on the classifier's
+    predictions; 0 means the classifier is PC-fair w.r.t. those paths.
+
+    This is the population-level PC effect — the per-individual variant
+    is :func:`counterfactual_fairness` restricted to the same edges.
+    """
+    result = path_specific_effect(
+        scm, sensitive, outcome, discriminatory_edges, n, rng,
+        s1=s1, s0=s0, predict=predict)
+    return result.effect
+
+
+# ----------------------------------------------------------------------
+# Situation testing (individual direct discrimination)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SituationTestingResult:
+    """Summary of a k-NN situation-testing audit.
+
+    Attributes
+    ----------
+    flagged_fraction:
+        Fraction of audited individuals whose neighbourhood decision
+        gap exceeds the test threshold.
+    mean_gap:
+        Mean neighbourhood decision gap over audited individuals
+        (privileged-neighbour rate minus unprivileged-neighbour rate).
+    threshold:
+        The gap above which an individual counts as discriminated.
+    n_audited:
+        Number of individuals audited.
+    """
+
+    flagged_fraction: float
+    mean_gap: float
+    threshold: float
+    n_audited: int
+
+
+def normalized_euclidean(X: np.ndarray) -> np.ndarray:
+    """Pairwise distances after per-feature min-max scaling.
+
+    The standard distance for situation testing: features are rescaled
+    to ``[0, 1]`` so no single attribute dominates.
+    """
+    X = np.asarray(X, dtype=float)
+    span = X.max(axis=0) - X.min(axis=0)
+    span[span == 0] = 1.0
+    Z = (X - X.min(axis=0)) / span
+    sq = np.sum(Z ** 2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2 * Z @ Z.T
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
+                      k: int = 8, threshold: float = 0.2,
+                      audit_group: int = 0,
+                      distances: np.ndarray | None = None,
+                      ) -> SituationTestingResult:
+    """Zhang et al.'s situation-testing discrimination discovery.
+
+    For each member of the audited group, takes its ``k`` nearest
+    neighbours within the privileged group and within the unprivileged
+    group and compares their positive-decision rates.  A large gap
+    means similar individuals are treated differently depending on the
+    sensitive attribute — individual *direct* discrimination.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix (without the sensitive attribute).
+    s:
+        Binary sensitive attribute (1 = privileged).
+    y_hat:
+        Binary decisions being audited.
+    k:
+        Neighbourhood size per group.
+    threshold:
+        Gap above which an individual is flagged.
+    audit_group:
+        Which group's members to audit (default: the unprivileged).
+    distances:
+        Optional precomputed pairwise distance matrix; defaults to
+        :func:`normalized_euclidean`.
+    """
+    X = np.asarray(X, dtype=float)
+    s = np.asarray(s, dtype=int)
+    y_hat = (np.asarray(y_hat, dtype=float) > 0.5).astype(float)
+    if X.shape[0] != s.shape[0] or s.shape != y_hat.shape:
+        raise ValueError("X, s, y_hat must be aligned")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    d = normalized_euclidean(X) if distances is None else distances
+    idx_priv = np.flatnonzero(s == 1)
+    idx_unpriv = np.flatnonzero(s == 0)
+    if idx_priv.size < k or idx_unpriv.size < k:
+        raise ValueError(f"each group needs at least k={k} members")
+
+    audited = np.flatnonzero(s == audit_group)
+    gaps = []
+    for i in audited:
+        gap_parts = []
+        for pool in (idx_priv, idx_unpriv):
+            others = pool[pool != i]
+            nearest = others[np.argsort(d[i, others], kind="stable")[:k]]
+            gap_parts.append(float(np.mean(y_hat[nearest])))
+        gaps.append(gap_parts[0] - gap_parts[1])
+    gaps_arr = np.asarray(gaps)
+    return SituationTestingResult(
+        flagged_fraction=float(np.mean(np.abs(gaps_arr) > threshold)),
+        mean_gap=float(gaps_arr.mean()),
+        threshold=threshold,
+        n_audited=int(audited.size),
+    )
+
+
+# ----------------------------------------------------------------------
+# Awareness-style metrics
+# ----------------------------------------------------------------------
+def _sample_pairs(n: int, n_pairs: int, rng: np.random.Generator
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    a = rng.integers(0, n, n_pairs)
+    b = rng.integers(0, n, n_pairs)
+    keep = a != b
+    return a[keep], b[keep]
+
+
+def fairness_through_awareness(X: np.ndarray, scores: np.ndarray,
+                               rng: np.random.Generator,
+                               lipschitz: float = 1.0,
+                               n_pairs: int = 5000,
+                               distances: np.ndarray | None = None,
+                               ) -> float:
+    """Dwork et al.'s Lipschitz fairness violation rate.
+
+    Samples random pairs and returns the fraction violating
+    ``|f(x) − f(y)| ≤ L · d(x, y)`` where ``f`` is the score and ``d``
+    the normalised-Euclidean individual similarity.  0 means the
+    awareness condition holds on the sampled pairs.
+    """
+    X = np.asarray(X, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    if X.shape[0] != scores.shape[0]:
+        raise ValueError("X and scores must be aligned")
+    if lipschitz <= 0:
+        raise ValueError("lipschitz must be positive")
+    d = normalized_euclidean(X) if distances is None else distances
+    a, b = _sample_pairs(X.shape[0], n_pairs, rng)
+    if a.size == 0:
+        raise ValueError("no valid pairs sampled; increase n_pairs")
+    violations = np.abs(scores[a] - scores[b]) > lipschitz * d[a, b] + 1e-12
+    return float(np.mean(violations))
+
+
+def metric_multifairness(X: np.ndarray, scores: np.ndarray,
+                         rng: np.random.Generator,
+                         n_sets: int = 50, set_size: int = 40,
+                         radius: float = 0.25,
+                         distances: np.ndarray | None = None) -> float:
+    """Kim et al.'s metric multifairness violation.
+
+    For a collection of random comparison sets of *similar* pairs
+    (pairs closer than ``radius`` under the normalised metric), the
+    average score difference within each set must be small.  Returns
+    the largest absolute within-set average difference; 0 means
+    multifair on the sampled collection.
+    """
+    X = np.asarray(X, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    d = normalized_euclidean(X) if distances is None else distances
+    n = X.shape[0]
+    worst = 0.0
+    found_any = False
+    for _ in range(n_sets):
+        a, b = _sample_pairs(n, set_size * 4, rng)
+        close = d[a, b] <= radius
+        a, b = a[close][:set_size], b[close][:set_size]
+        if a.size == 0:
+            continue
+        found_any = True
+        worst = max(worst, abs(float(np.mean(scores[a] - scores[b]))))
+    if not found_any:
+        raise ValueError(
+            f"no similar pairs found within radius {radius}; increase it"
+        )
+    return worst

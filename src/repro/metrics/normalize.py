@@ -1,0 +1,66 @@
+"""Normalisation of fairness metrics onto a shared "1 = fair" scale.
+
+The paper reports ``DI* = min(DI, 1/DI)`` and ``1 − |metric|`` for the
+signed metrics, so that every fairness score lies in [0, 1] with 1
+meaning perfectly fair (Section 4.1).  The sign of the remaining
+discrimination is kept alongside, because the figures mark "reverse"
+discrimination (favouring the unprivileged group) in red.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def di_star(di: float) -> float:
+    """``min(DI, 1/DI)`` — maps both directions of disparate impact
+    onto [0, 1] with 1 = parity.  ``nan`` stays ``nan``."""
+    if math.isnan(di):
+        return float("nan")
+    if di == 0 or math.isinf(di):
+        return 0.0
+    return min(di, 1.0 / di)
+
+
+def one_minus_abs(value: float) -> float:
+    """``1 − |value|`` for the signed difference metrics."""
+    if math.isnan(value):
+        return float("nan")
+    return 1.0 - abs(value)
+
+
+@dataclass(frozen=True)
+class NormalizedScore:
+    """A [0, 1] fairness score plus the direction of residual bias.
+
+    ``reverse`` is True when the residual discrimination favours the
+    *unprivileged* group (the red-striped bars of the paper's figures).
+    """
+
+    score: float
+    reverse: bool
+
+    def __float__(self) -> float:
+        return self.score
+
+
+def normalize_di(di: float) -> NormalizedScore:
+    """Normalise raw disparate impact; DI > 1 favours the unprivileged."""
+    return NormalizedScore(score=di_star(di),
+                           reverse=(not math.isnan(di)) and di > 1.0)
+
+
+def normalize_signed(value: float) -> NormalizedScore:
+    """Normalise a signed balance/effect metric (TPRB, TNRB, TE, ...).
+
+    Positive raw values mean the privileged group is favoured; negative
+    values are "reverse" discrimination.
+    """
+    return NormalizedScore(score=one_minus_abs(value),
+                           reverse=(not math.isnan(value)) and value < 0)
+
+
+def normalize_id(value: float) -> NormalizedScore:
+    """Normalise individual discrimination (unsigned, lower = fairer)."""
+    return NormalizedScore(score=one_minus_abs(value), reverse=False)

@@ -1,0 +1,99 @@
+"""Common interface for the from-scratch classifiers.
+
+Every model implements the scikit-learn-like trio ``fit`` /
+``predict`` / ``predict_proba`` on dense numpy arrays, plus
+``decision_function`` where a margin is meaningful.  ``predict_proba``
+returns the probability of the *positive* class as a 1-D array (the
+fairness post-processors rely on it for confidence-based adjustment).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray | None = None
+             ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and coerce a feature matrix (and optional label vector)."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} does not match X rows {X.shape[0]}")
+    uniques = np.unique(y)
+    if not np.all(np.isin(uniques, (0, 1))):
+        raise ValueError(f"y must be binary 0/1, got values {uniques}")
+    return X, y.astype(int)
+
+
+def check_weights(sample_weight: np.ndarray | None, n: int) -> np.ndarray:
+    """Return normalised per-row weights (uniform when none given)."""
+    if sample_weight is None:
+        return np.full(n, 1.0 / n)
+    w = np.asarray(sample_weight, dtype=float)
+    if w.shape != (n,):
+        raise ValueError(f"sample_weight shape {w.shape}, expected ({n},)")
+    if np.any(w < 0):
+        raise ValueError("sample_weight must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("sample_weight must not be all zero")
+    return w / total
+
+
+class Classifier(abc.ABC):
+    """Abstract binary classifier over dense float feature matrices."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "Classifier":
+        """Train on features ``X`` and binary labels ``y``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class per row."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions (threshold 0.5 on ``predict_proba``)."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Plain accuracy on a labelled set."""
+        X, y = check_Xy(X, y)
+        return float(np.mean(self.predict(X) == y))
+
+    def clone(self) -> "Classifier":
+        """A fresh, unfitted copy with the same hyper-parameters."""
+        import copy
+
+        new = copy.deepcopy(self)
+        new.reset()
+        return new
+
+    def reset(self) -> None:
+        """Drop fitted state.  Subclasses with caches should override."""
+        for name in list(vars(self)):
+            if name.endswith("_") and not name.endswith("__"):
+                setattr(self, name, None)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def add_intercept(X: np.ndarray) -> np.ndarray:
+    """Append a column of ones for the bias term."""
+    return np.column_stack([X, np.ones(X.shape[0])])

@@ -1,0 +1,197 @@
+"""Gradient-boosted trees with logistic loss.
+
+Extends the model substrate beyond the paper's five downstream families
+with the classifier most practitioners would reach for next.  The
+implementation is classic gradient boosting [Friedman 2001]: shallow
+regression trees fit to the negative gradient of the log-loss, with a
+learning-rate shrinkage, optional row subsampling (stochastic gradient
+boosting), and Newton-style leaf values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, check_weights, check_Xy, sigmoid
+
+__all__ = ["GradientBoosting"]
+
+
+@dataclass
+class _RegNode:
+    """A regression-tree node: leaf value or axis-aligned split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._RegNode | None" = None
+    right: "._RegNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_mse_split(X: np.ndarray, residual: np.ndarray, w: np.ndarray,
+                    min_leaf_weight: float) -> tuple[int, float] | None:
+    """Best weighted-MSE split over all features, or None.
+
+    Vectorised prefix-sum search identical in spirit to the Gini search
+    of :mod:`repro.models.tree`, but minimising weighted squared error
+    of the residuals.
+    """
+    total_w = w.sum()
+    total_rw = (residual * w).sum()
+    best_gain, best = 0.0, None
+    for feature in range(X.shape[1]):
+        values = X[:, feature]
+        order = np.argsort(values, kind="stable")
+        v = values[order]
+        rw = (residual * w)[order]
+        ws = w[order]
+        cuts = np.flatnonzero(v[1:] > v[:-1])
+        if cuts.size == 0:
+            continue
+        w_left = np.cumsum(ws)[cuts]
+        rw_left = np.cumsum(rw)[cuts]
+        w_right = total_w - w_left
+        rw_right = total_rw - rw_left
+        ok = (w_left >= min_leaf_weight) & (w_right >= min_leaf_weight)
+        if not np.any(ok):
+            continue
+        # Gain = sum of squared block means (constant parent term dropped).
+        gain = rw_left ** 2 / np.maximum(w_left, 1e-12) \
+            + rw_right ** 2 / np.maximum(w_right, 1e-12)
+        gain[~ok] = -np.inf
+        i = int(np.argmax(gain))
+        if gain[i] > best_gain:
+            best_gain = float(gain[i])
+            cut = cuts[i]
+            best = (feature, float((v[cut] + v[cut + 1]) / 2))
+    return best
+
+
+def _grow(X: np.ndarray, gradient: np.ndarray, hessian: np.ndarray,
+          w: np.ndarray, depth: int, max_depth: int,
+          min_leaf_weight: float, reg_lambda: float) -> _RegNode:
+    """Recursively grow a regression tree on the gradient/hessian."""
+    # Newton leaf value: −Σ g / (Σ h + λ), weighted.
+    leaf = float(-(gradient * w).sum()
+                 / ((hessian * w).sum() + reg_lambda))
+    if depth >= max_depth or X.shape[0] < 2:
+        return _RegNode(value=leaf)
+    split = _best_mse_split(X, -gradient, w, min_leaf_weight)
+    if split is None:
+        return _RegNode(value=leaf)
+    feature, threshold = split
+    mask = X[:, feature] <= threshold
+    if not np.any(mask) or np.all(mask):
+        return _RegNode(value=leaf)
+    left = _grow(X[mask], gradient[mask], hessian[mask], w[mask],
+                 depth + 1, max_depth, min_leaf_weight, reg_lambda)
+    right = _grow(X[~mask], gradient[~mask], hessian[~mask], w[~mask],
+                  depth + 1, max_depth, min_leaf_weight, reg_lambda)
+    return _RegNode(value=leaf, feature=feature, threshold=threshold,
+                    left=left, right=right)
+
+
+def _tree_predict(node: _RegNode, X: np.ndarray) -> np.ndarray:
+    out = np.empty(X.shape[0])
+    stack = [(node, np.arange(X.shape[0]))]
+    while stack:
+        cur, idx = stack.pop()
+        if cur.is_leaf:
+            out[idx] = cur.value
+            continue
+        mask = X[idx, cur.feature] <= cur.threshold
+        stack.append((cur.left, idx[mask]))
+        stack.append((cur.right, idx[~mask]))
+    return out
+
+
+class GradientBoosting(Classifier):
+    """Gradient-boosted shallow trees for binary classification.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth:
+        Depth of the base regression trees (2–4 is typical).
+    subsample:
+        Row fraction per round (1.0 = plain gradient boosting,
+        < 1 = stochastic gradient boosting).
+    min_leaf_weight:
+        Minimum total normalised sample weight per leaf.
+    reg_lambda:
+        L2 regularisation on leaf values (Newton denominator).
+    seed:
+        Randomness for subsampling.
+    """
+
+    def __init__(self, n_estimators: int = 100, learning_rate: float = 0.1,
+                 max_depth: int = 3, subsample: float = 1.0,
+                 min_leaf_weight: float = 1e-3, reg_lambda: float = 1.0,
+                 seed: int = 0):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_leaf_weight = min_leaf_weight
+        self.reg_lambda = reg_lambda
+        self.seed = seed
+        self.trees_: list[_RegNode] | None = None
+        self.base_score_: float | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "GradientBoosting":
+        X, y = check_Xy(X, y)
+        w = check_weights(sample_weight, X.shape[0])
+        rng = np.random.default_rng(self.seed)
+        pos_rate = float(np.clip((w * y).sum() / w.sum(), 1e-6, 1 - 1e-6))
+        self.base_score_ = float(np.log(pos_rate / (1 - pos_rate)))
+        margin = np.full(X.shape[0], self.base_score_)
+        self.trees_ = []
+        n_sub = max(int(round(X.shape[0] * self.subsample)), 2)
+        for _ in range(self.n_estimators):
+            p = sigmoid(margin)
+            gradient = p - y            # d logloss / d margin
+            hessian = p * (1 - p)
+            if self.subsample < 1.0:
+                idx = rng.choice(X.shape[0], size=n_sub, replace=False)
+            else:
+                idx = np.arange(X.shape[0])
+            tree = _grow(X[idx], gradient[idx], hessian[idx], w[idx],
+                         depth=0, max_depth=self.max_depth,
+                         min_leaf_weight=self.min_leaf_weight,
+                         reg_lambda=self.reg_lambda)
+            margin = margin + self.learning_rate * _tree_predict(tree, X)
+            self.trees_.append(tree)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Additive margin (log-odds) of the ensemble."""
+        if self.trees_ is None:
+            raise RuntimeError("GradientBoosting is not fitted")
+        X, _ = check_Xy(X)
+        margin = np.full(X.shape[0], self.base_score_)
+        for tree in self.trees_:
+            margin = margin + self.learning_rate * _tree_predict(tree, X)
+        return margin
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return sigmoid(self.decision_function(X))
+
+    def reset(self) -> None:
+        self.trees_ = None
+        self.base_score_ = None

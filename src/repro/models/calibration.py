@@ -1,0 +1,273 @@
+"""Probability calibration: Platt scaling, isotonic regression, and
+calibration diagnostics.
+
+The Pleiss post-processor assumes the underlying classifier is
+*calibrated*: its predicted probability for a class matches the
+empirical frequency of that class.  The repository's from-scratch
+models (especially the SVM and random forest) are not calibrated out of
+the box, so this module supplies the two standard re-calibration maps —
+
+* **Platt scaling** — fit a one-dimensional logistic regression on the
+  model's scores (parametric, monotone, works well for margin-based
+  models);
+* **isotonic regression** — the pool-adjacent-violators (PAV)
+  algorithm, a non-parametric monotone fit (needs more data, but makes
+  no shape assumption);
+
+— plus the diagnostics used to judge them: the Brier score, expected
+calibration error (ECE), and reliability curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, check_Xy, sigmoid
+
+__all__ = [
+    "PlattScaler",
+    "IsotonicRegression",
+    "CalibratedClassifier",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_curve",
+    "ReliabilityCurve",
+]
+
+
+def _check_scores_labels(scores: np.ndarray, y: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=float)
+    y = np.asarray(y)
+    if scores.ndim != 1 or scores.shape != y.shape:
+        raise ValueError("scores and y must be aligned 1-D arrays")
+    if not np.all(np.isin(np.unique(y), (0, 1))):
+        raise ValueError("y must be binary 0/1")
+    return scores, y.astype(float)
+
+
+class PlattScaler:
+    """Platt's sigmoid calibration map ``p = σ(a·score + b)``.
+
+    Fitted by Newton's method on the log-loss with the label smoothing
+    Platt recommends (targets ``(n₊+1)/(n₊+2)`` and ``1/(n₋+2)``), which
+    regularises the map when one class is rare.
+    """
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-10):
+        self.max_iter = max_iter
+        self.tol = tol
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "PlattScaler":
+        scores, y = _check_scores_labels(scores, y)
+        n_pos = float(y.sum())
+        n_neg = float(y.size - n_pos)
+        target = np.where(y == 1, (n_pos + 1) / (n_pos + 2),
+                          1.0 / (n_neg + 2))
+        a, b = 0.0, float(np.log((n_neg + 1) / (n_pos + 1)))
+        for _ in range(self.max_iter):
+            p = sigmoid(a * scores + b)
+            grad_a = float(np.sum((p - target) * scores))
+            grad_b = float(np.sum(p - target))
+            w = np.maximum(p * (1 - p), 1e-12)
+            h_aa = float(np.sum(w * scores * scores)) + 1e-12
+            h_ab = float(np.sum(w * scores))
+            h_bb = float(np.sum(w)) + 1e-12
+            det = h_aa * h_bb - h_ab * h_ab
+            if abs(det) < 1e-18:
+                break
+            da = (h_bb * grad_a - h_ab * grad_b) / det
+            db = (h_aa * grad_b - h_ab * grad_a) / det
+            a, b = a - da, b - db
+            if max(abs(da), abs(db)) < self.tol:
+                break
+        self.a_, self.b_ = a, b
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if self.a_ is None:
+            raise RuntimeError("PlattScaler is not fitted")
+        return sigmoid(self.a_ * np.asarray(scores, dtype=float) + self.b_)
+
+
+class IsotonicRegression:
+    """Monotone non-parametric calibration via pool-adjacent-violators.
+
+    Fits the monotonically non-decreasing step function minimising the
+    squared error to the labels; prediction interpolates linearly
+    between the fitted knots and clips outside the training range.
+    """
+
+    def __init__(self):
+        self.x_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "IsotonicRegression":
+        scores, y = _check_scores_labels(scores, y)
+        order = np.argsort(scores, kind="stable")
+        x = scores[order]
+        target = y[order]
+
+        # PAV with block merging: each block keeps (weighted mean, weight).
+        means: list[float] = []
+        weights: list[float] = []
+        starts: list[int] = []
+        for i, value in enumerate(target):
+            means.append(float(value))
+            weights.append(1.0)
+            starts.append(i)
+            while len(means) > 1 and means[-2] > means[-1]:
+                w = weights[-2] + weights[-1]
+                m = (means[-2] * weights[-2] + means[-1] * weights[-1]) / w
+                means.pop()
+                weights.pop()
+                starts.pop()
+                means[-1] = m
+                weights[-1] = w
+        fitted = np.empty_like(target)
+        bounds = starts + [len(target)]
+        for m, lo, hi in zip(means, bounds[:-1], bounds[1:]):
+            fitted[lo:hi] = m
+        # Collapse duplicate x for interpolation stability.
+        self.x_, idx = np.unique(x, return_index=True)
+        self.y_ = fitted[idx]
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if self.x_ is None:
+            raise RuntimeError("IsotonicRegression is not fitted")
+        return np.clip(
+            np.interp(np.asarray(scores, dtype=float), self.x_, self.y_),
+            0.0, 1.0)
+
+
+class CalibratedClassifier(Classifier):
+    """Wrap a base classifier with a held-out calibration map.
+
+    Parameters
+    ----------
+    base:
+        Any :class:`~repro.models.base.Classifier`; its
+        ``predict_proba`` output is the score being recalibrated.
+    method:
+        ``"platt"`` or ``"isotonic"``.
+    holdout_fraction:
+        Fraction of the training data reserved for fitting the
+        calibration map (the base model trains on the rest).
+    seed:
+        Randomness for the holdout split.
+    """
+
+    def __init__(self, base: Classifier, method: str = "platt",
+                 holdout_fraction: float = 0.25, seed: int = 0):
+        if method not in ("platt", "isotonic"):
+            raise ValueError(f"unknown method {method!r}")
+        if not 0.0 < holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        self.base = base
+        self.method = method
+        self.holdout_fraction = holdout_fraction
+        self.seed = seed
+        self.calibrator_ = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None
+            ) -> "CalibratedClassifier":
+        X, y = check_Xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        perm = rng.permutation(X.shape[0])
+        n_cal = max(int(round(X.shape[0] * self.holdout_fraction)), 2)
+        cal_idx, fit_idx = perm[:n_cal], perm[n_cal:]
+        if fit_idx.size < 2 or len(np.unique(y[fit_idx])) < 2:
+            raise ValueError("not enough data to split off a calibration set")
+        weight = None if sample_weight is None else \
+            np.asarray(sample_weight)[fit_idx]
+        self.base.fit(X[fit_idx], y[fit_idx], sample_weight=weight)
+        scores = self.base.predict_proba(X[cal_idx])
+        maker = PlattScaler if self.method == "platt" else IsotonicRegression
+        self.calibrator_ = maker().fit(scores, y[cal_idx])
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.calibrator_ is None:
+            raise RuntimeError("CalibratedClassifier is not fitted")
+        return self.calibrator_.transform(self.base.predict_proba(X))
+
+    def reset(self) -> None:
+        self.calibrator_ = None
+        self.base.reset()
+
+
+# ----------------------------------------------------------------------
+# Diagnostics
+# ----------------------------------------------------------------------
+def brier_score(y: np.ndarray, probs: np.ndarray) -> float:
+    """Mean squared error of probabilities against binary outcomes.
+
+    Lower is better; 0.25 is the score of a constant 0.5 prediction.
+    """
+    probs, y = _check_scores_labels(probs, y)
+    return float(np.mean((probs - y) ** 2))
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned calibration profile.
+
+    Attributes
+    ----------
+    bin_centers:
+        Midpoint of each probability bin with at least one sample.
+    mean_predicted:
+        Average predicted probability per bin.
+    fraction_positive:
+        Empirical positive rate per bin (equal to ``mean_predicted``
+        everywhere for a perfectly calibrated model).
+    counts:
+        Samples per bin.
+    """
+
+    bin_centers: np.ndarray
+    mean_predicted: np.ndarray
+    fraction_positive: np.ndarray
+    counts: np.ndarray
+
+
+def reliability_curve(y: np.ndarray, probs: np.ndarray,
+                      n_bins: int = 10) -> ReliabilityCurve:
+    """Bin predictions into equal-width probability bins."""
+    probs, y = _check_scores_labels(probs, y)
+    if n_bins < 1:
+        raise ValueError("n_bins must be at least 1")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    idx = np.clip(np.digitize(probs, edges[1:-1]), 0, n_bins - 1)
+    centers, mean_pred, frac_pos, counts = [], [], [], []
+    for b in range(n_bins):
+        mask = idx == b
+        if not np.any(mask):
+            continue
+        centers.append((edges[b] + edges[b + 1]) / 2)
+        mean_pred.append(float(np.mean(probs[mask])))
+        frac_pos.append(float(np.mean(y[mask])))
+        counts.append(int(mask.sum()))
+    return ReliabilityCurve(
+        bin_centers=np.asarray(centers),
+        mean_predicted=np.asarray(mean_pred),
+        fraction_positive=np.asarray(frac_pos),
+        counts=np.asarray(counts),
+    )
+
+
+def expected_calibration_error(y: np.ndarray, probs: np.ndarray,
+                               n_bins: int = 10) -> float:
+    """Count-weighted mean |confidence − accuracy| over probability bins."""
+    curve = reliability_curve(y, probs, n_bins=n_bins)
+    weights = curve.counts / curve.counts.sum()
+    return float(np.sum(
+        weights * np.abs(curve.mean_predicted - curve.fraction_positive)))

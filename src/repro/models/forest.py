@@ -1,0 +1,66 @@
+"""Random forests: bagged CART trees with per-split feature sampling.
+
+The paper's setting (Appendix F): a forest of 40 trees, each of maximum
+depth 100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_weights, check_Xy
+from .tree import DecisionTree
+
+
+class RandomForest(Classifier):
+    """Bootstrap-aggregated decision trees.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size (paper default 40).
+    max_depth:
+        Depth cap per tree (paper default 100).
+    min_samples_leaf:
+        Minimum rows per leaf in each tree.
+    seed:
+        Seed for bootstraps and feature sampling.
+    """
+
+    def __init__(self, n_trees: int = 40, max_depth: int = 100,
+                 min_samples_leaf: int = 2, seed: int = 0):
+        if n_trees < 1:
+            raise ValueError("n_trees must be at least 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees_: list[DecisionTree] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "RandomForest":
+        X, y = check_Xy(X, y)
+        w = check_weights(sample_weight, len(y))
+        rng = np.random.default_rng(self.seed)
+        n = len(y)
+        self.trees_ = []
+        for t in range(self.n_trees):
+            idx = rng.choice(n, size=n, replace=True, p=w)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features="sqrt",
+                seed=self.seed * 1000 + t,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model not fitted")
+        X, _ = check_Xy(X)
+        votes = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            votes += tree.predict_proba(X)
+        return votes / len(self.trees_)

@@ -1,0 +1,60 @@
+"""Brute-force k-nearest-neighbours classification.
+
+The paper pairs pre-/post-processing approaches with a 33-NN classifier
+(Appendix F).  Distances are computed in chunks so memory stays bounded
+on the larger scalability sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_weights, check_Xy
+
+
+class KNearestNeighbors(Classifier):
+    """k-NN with Euclidean distance and (optionally weighted) voting.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours (paper default: 33).
+    chunk_size:
+        Rows of the query matrix processed per distance block.
+    """
+
+    def __init__(self, k: int = 33, chunk_size: int = 512):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.chunk_size = chunk_size
+        self.X_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+        self.w_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "KNearestNeighbors":
+        X, y = check_Xy(X, y)
+        self.X_ = X
+        self.y_ = y
+        self.w_ = check_weights(sample_weight, len(y))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.X_ is None:
+            raise RuntimeError("model not fitted")
+        X, _ = check_Xy(X)
+        k = min(self.k, self.X_.shape[0])
+        train_sq = np.einsum("ij,ij->i", self.X_, self.X_)
+        out = np.empty(X.shape[0])
+        for start in range(0, X.shape[0], self.chunk_size):
+            block = X[start:start + self.chunk_size]
+            # Squared Euclidean distance via the expansion trick.
+            d2 = (np.einsum("ij,ij->i", block, block)[:, None]
+                  - 2 * block @ self.X_.T + train_sq[None, :])
+            neighbours = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            votes = self.w_[neighbours]
+            positive = votes * (self.y_[neighbours] == 1)
+            total = votes.sum(axis=1)
+            out[start:start + block.shape[0]] = positive.sum(axis=1) / total
+        return out

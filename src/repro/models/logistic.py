@@ -1,0 +1,76 @@
+"""L2-regularised logistic regression trained by Newton's method (IRLS).
+
+This is the fairness-unaware baseline classifier of the paper
+(Section 4.1) and the default downstream model for the pre- and
+post-processing approaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, add_intercept, check_weights, check_Xy, sigmoid
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression with an L2 penalty.
+
+    Parameters
+    ----------
+    l2:
+        Strength of the L2 penalty on the weights (the intercept is not
+        penalised).
+    max_iter:
+        Maximum Newton iterations.
+    tol:
+        Convergence threshold on the max absolute parameter update.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 100,
+                 tol: float = 1e-6):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.n_iter_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "LogisticRegression":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        w = check_weights(sample_weight, n) * n  # keep the loss O(1)-scaled
+        Xb = add_intercept(X)
+        theta = np.zeros(d + 1)
+        penalty = np.full(d + 1, self.l2)
+        penalty[-1] = 0.0  # do not shrink the intercept
+
+        self.n_iter_ = 0
+        for _ in range(self.max_iter):
+            self.n_iter_ += 1
+            p = sigmoid(Xb @ theta)
+            grad = Xb.T @ (w * (p - y)) / n + penalty * theta / n
+            r = np.clip(w * p * (1 - p), 1e-10, None)
+            hess = (Xb * r[:, None]).T @ Xb / n + np.diag(penalty) / n
+            try:
+                step = np.linalg.solve(hess, grad)
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hess, grad, rcond=None)[0]
+            theta -= step
+            if np.max(np.abs(step)) < self.tol:
+                break
+        self.coef_ = theta[:-1]
+        self.intercept_ = float(theta[-1])
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance proxy: the pre-sigmoid logit per row."""
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        X, _ = check_Xy(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return sigmoid(self.decision_function(X))

@@ -1,0 +1,65 @@
+"""Gaussian naive Bayes.
+
+A cheap, well-calibrated-ish probabilistic baseline used by some tests
+and available to the model-sensitivity experiment as a sixth model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_weights, check_Xy
+
+
+class GaussianNB(Classifier):
+    """Gaussian naive Bayes with per-class feature means/variances."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.theta_: np.ndarray | None = None   # (2, d) means
+        self.var_: np.ndarray | None = None     # (2, d) variances
+        self.class_prior_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "GaussianNB":
+        X, y = check_Xy(X, y)
+        w = check_weights(sample_weight, len(y))
+        d = X.shape[1]
+        self.theta_ = np.zeros((2, d))
+        self.var_ = np.zeros((2, d))
+        self.class_prior_ = np.zeros(2)
+        eps = self.var_smoothing * max(X.var(), 1e-12)
+        for c in (0, 1):
+            mask = y == c
+            wc = w[mask]
+            if wc.sum() == 0:
+                # Degenerate single-class data: flat prior, unit spread.
+                self.theta_[c] = X.mean(axis=0)
+                self.var_[c] = X.var(axis=0) + eps + 1e-9
+                continue
+            wc = wc / wc.sum()
+            self.theta_[c] = wc @ X[mask]
+            self.var_[c] = wc @ (X[mask] - self.theta_[c]) ** 2 + eps + 1e-9
+            self.class_prior_[c] = w[mask].sum()
+        total = self.class_prior_.sum()
+        self.class_prior_ = (self.class_prior_ / total if total > 0
+                             else np.array([0.5, 0.5]))
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((X.shape[0], 2))
+        for c in (0, 1):
+            prior = np.log(max(self.class_prior_[c], 1e-12))
+            log_pdf = -0.5 * (np.log(2 * np.pi * self.var_[c])
+                              + (X - self.theta_[c]) ** 2 / self.var_[c])
+            jll[:, c] = prior + log_pdf.sum(axis=1)
+        return jll
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("model not fitted")
+        X, _ = check_Xy(X)
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        likes = np.exp(jll)
+        return likes[:, 1] / likes.sum(axis=1)

@@ -1,0 +1,185 @@
+"""Model selection: cross-validation scoring and grid search.
+
+The paper tunes each downstream model's hyper-parameters "to maximise
+correctness in the fairness-unaware setting" (Appendix F).  This module
+supplies the machinery for doing that from scratch: k-fold
+cross-validated scoring with arbitrary metrics, an exhaustive parameter
+grid, and a :class:`GridSearch` that refits the best configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = [
+    "kfold_indices",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearch",
+    "GridSearchResult",
+]
+
+Metric = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.mean(y_true == y_pred))
+
+
+def kfold_indices(n: int, k: int, seed: int = 0,
+                  stratify: np.ndarray | None = None
+                  ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` ``(train_idx, test_idx)`` pairs over ``n`` rows.
+
+    With ``stratify`` given (a binary label vector), each fold keeps
+    the class ratio of the full data — which matters for the paper's
+    imbalanced Adult dataset.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} rows")
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        perm = rng.permutation(n)
+        folds = np.array_split(perm, k)
+    else:
+        stratify = np.asarray(stratify)
+        if stratify.shape != (n,):
+            raise ValueError("stratify must have one entry per row")
+        folds = [[] for _ in range(k)]
+        for value in np.unique(stratify):
+            members = rng.permutation(np.flatnonzero(stratify == value))
+            for i, chunk in enumerate(np.array_split(members, k)):
+                folds[i].extend(chunk.tolist())
+        folds = [np.asarray(sorted(f)) for f in folds]
+    out = []
+    for i in range(k):
+        test = np.asarray(folds[i])
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((np.asarray(train), test))
+    return out
+
+
+def cross_val_score(model: Classifier, X: np.ndarray, y: np.ndarray,
+                    k: int = 5, seed: int = 0,
+                    metric: Metric | None = None,
+                    stratified: bool = True) -> np.ndarray:
+    """Per-fold test scores of a model under k-fold cross validation.
+
+    The model is cloned for every fold, so the passed instance is left
+    untouched.  ``metric`` takes ``(y_true, y_pred)`` hard labels and
+    defaults to accuracy.
+    """
+    X, y = check_Xy(X, y)
+    metric = metric or _accuracy
+    scores = []
+    strat = y if stratified else None
+    for train_idx, test_idx in kfold_indices(X.shape[0], k, seed, strat):
+        fold_model = model.clone()
+        fold_model.fit(X[train_idx], y[train_idx])
+        scores.append(metric(y[test_idx], fold_model.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Exhaustive cartesian product over a parameter mapping.
+
+    >>> list(ParameterGrid({"a": [1, 2], "b": ["x"]}))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence]):
+        if not grid:
+            raise ValueError("parameter grid must not be empty")
+        for key, values in grid.items():
+            if not isinstance(values, Sequence) or isinstance(values, str):
+                raise ValueError(
+                    f"grid entry {key!r} must be a sequence of values")
+            if len(values) == 0:
+                raise ValueError(f"grid entry {key!r} is empty")
+        self._keys = list(grid)
+        self._values = [list(grid[k]) for k in self._keys]
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self._values:
+            n *= len(values)
+        return n
+
+    def __iter__(self) -> Iterator[dict]:
+        for combo in product(*self._values):
+            yield dict(zip(self._keys, combo))
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of a grid search.
+
+    Attributes
+    ----------
+    best_params:
+        The winning parameter assignment.
+    best_score:
+        Its mean cross-validated score.
+    best_model:
+        A model with ``best_params`` refitted on the full data.
+    all_scores:
+        ``[(params, mean_score), ...]`` for every grid point, in
+        iteration order.
+    """
+
+    best_params: dict
+    best_score: float
+    best_model: Classifier
+    all_scores: list[tuple[dict, float]]
+
+
+class GridSearch:
+    """Exhaustive hyper-parameter search by cross-validated score.
+
+    Parameters
+    ----------
+    factory:
+        Callable building a fresh model from keyword parameters (e.g.
+        the class itself: ``GridSearch(LogisticRegression, grid)``).
+    grid:
+        Mapping parameter → candidate values.
+    k, seed, metric:
+        Cross-validation controls (see :func:`cross_val_score`).
+    """
+
+    def __init__(self, factory: Callable[..., Classifier],
+                 grid: Mapping[str, Sequence], k: int = 5, seed: int = 0,
+                 metric: Metric | None = None):
+        self.factory = factory
+        self.grid = ParameterGrid(grid)
+        self.k = k
+        self.seed = seed
+        self.metric = metric
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> GridSearchResult:
+        """Evaluate every grid point; refit the winner on all data."""
+        X, y = check_Xy(X, y)
+        all_scores: list[tuple[dict, float]] = []
+        best_params, best_score = None, -np.inf
+        for params in self.grid:
+            model = self.factory(**params)
+            score = float(np.mean(cross_val_score(
+                model, X, y, k=self.k, seed=self.seed, metric=self.metric)))
+            all_scores.append((params, score))
+            if score > best_score:
+                best_params, best_score = params, score
+        best_model = self.factory(**best_params).fit(X, y)
+        return GridSearchResult(
+            best_params=best_params,
+            best_score=best_score,
+            best_model=best_model,
+            all_scores=all_scores,
+        )

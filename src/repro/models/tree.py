@@ -1,0 +1,169 @@
+"""CART decision trees (Gini impurity, axis-aligned splits).
+
+Used directly and as the base learner of
+:class:`~repro.models.forest.RandomForest`.  Split search is vectorised
+over candidate thresholds per feature via weighted prefix sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, check_weights, check_Xy
+
+
+@dataclass
+class _Node:
+    """A tree node: either a leaf (probability) or an internal split."""
+
+    probability: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(X: np.ndarray, y: np.ndarray, w: np.ndarray,
+                features: np.ndarray, min_leaf_weight: float
+                ) -> tuple[int, float, float] | None:
+    """Return ``(feature, threshold, impurity_decrease)`` or None.
+
+    For each candidate feature, rows are sorted by value and the
+    weighted Gini of every prefix/suffix partition is evaluated in one
+    vectorised pass.
+    """
+    total_w = w.sum()
+    total_pos = (w * y).sum()
+    p_parent = total_pos / total_w
+    parent_gini = 2 * p_parent * (1 - p_parent)
+
+    best: tuple[int, float, float] | None = None
+    for feature in features:
+        values = X[:, feature]
+        order = np.argsort(values, kind="stable")
+        v = values[order]
+        wy = (w * y)[order]
+        ws = w[order]
+        # Candidate cut points: between distinct consecutive values.
+        cuts = np.flatnonzero(v[1:] > v[:-1])
+        if cuts.size == 0:
+            continue
+        w_left = np.cumsum(ws)[cuts]
+        pos_left = np.cumsum(wy)[cuts]
+        w_right = total_w - w_left
+        pos_right = total_pos - pos_left
+        ok = (w_left >= min_leaf_weight) & (w_right >= min_leaf_weight)
+        if not np.any(ok):
+            continue
+        p_l = pos_left[ok] / w_left[ok]
+        p_r = pos_right[ok] / w_right[ok]
+        gini = (w_left[ok] * 2 * p_l * (1 - p_l)
+                + w_right[ok] * 2 * p_r * (1 - p_r)) / total_w
+        gain = parent_gini - gini
+        arg = int(np.argmax(gain))
+        if gain[arg] <= 1e-12:
+            continue
+        cut = cuts[ok][arg]
+        threshold = 0.5 * (v[cut] + v[cut + 1])
+        if best is None or gain[arg] > best[2]:
+            best = (int(feature), float(threshold), float(gain[arg]))
+    return best
+
+
+class DecisionTree(Classifier):
+    """A binary CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (paper forest setting: 100).
+    min_samples_leaf:
+        Minimum (weighted-equivalent) rows per leaf.
+    max_features:
+        Features considered per split: ``None`` (all), ``"sqrt"``, or an
+        int — the forest uses ``"sqrt"``.
+    seed:
+        Feature subsampling seed.
+    """
+
+    def __init__(self, max_depth: int = 10, min_samples_leaf: int = 1,
+                 max_features: int | str | None = None, seed: int = 0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: _Node | None = None
+
+    def _n_features_per_split(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        return min(d, int(self.max_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "DecisionTree":
+        X, y = check_Xy(X, y)
+        w = check_weights(sample_weight, len(y))
+        rng = np.random.default_rng(self.seed)
+        min_leaf_weight = self.min_samples_leaf * w.mean()
+        k = self._n_features_per_split(X.shape[1])
+
+        def build(idx: np.ndarray, depth: int) -> _Node:
+            wy = w[idx]
+            prob = float((wy * y[idx]).sum() / wy.sum())
+            node = _Node(probability=prob)
+            if depth >= self.max_depth or prob in (0.0, 1.0):
+                return node
+            if idx.size < 2 * self.min_samples_leaf:
+                return node
+            features = (np.arange(X.shape[1]) if k == X.shape[1]
+                        else rng.choice(X.shape[1], size=k, replace=False))
+            split = _best_split(X[idx], y[idx], wy, features, min_leaf_weight)
+            if split is None:
+                return node
+            node.feature, node.threshold, _ = split
+            goes_left = X[idx, node.feature] <= node.threshold
+            node.left = build(idx[goes_left], depth + 1)
+            node.right = build(idx[~goes_left], depth + 1)
+            return node
+
+        self.root_ = build(np.arange(len(y)), depth=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("model not fitted")
+        X, _ = check_Xy(X)
+        out = np.empty(X.shape[0])
+
+        def walk(node: _Node, idx: np.ndarray) -> None:
+            if node.is_leaf or idx.size == 0:
+                out[idx] = node.probability
+                return
+            goes_left = X[idx, node.feature] <= node.threshold
+            walk(node.left, idx[goes_left])
+            walk(node.right, idx[~goes_left])
+
+        walk(self.root_, np.arange(X.shape[0]))
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self.root_ is None:
+            raise RuntimeError("model not fitted")
+
+        def measure(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self.root_)

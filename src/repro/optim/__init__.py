@@ -1,0 +1,14 @@
+"""Optimisation substrate: penalty-method convex solver, weighted
+MaxSAT local search, and non-negative matrix factorisation."""
+
+from .convex import (PenaltyResult, minimize_penalty, project_simplex,
+                     projected_gradient)
+from .matfac import NMFResult, nmf
+from .maxsat import Clause, MaxSatInstance, MaxSatSolution, solve_maxsat
+
+__all__ = [
+    "minimize_penalty", "PenaltyResult", "projected_gradient",
+    "project_simplex",
+    "Clause", "MaxSatInstance", "MaxSatSolution", "solve_maxsat",
+    "nmf", "NMFResult",
+]

@@ -1,0 +1,76 @@
+"""Non-negative matrix factorisation (Lee–Seung multiplicative updates).
+
+Salimi's MatFac repair variant factorises the (weighted) contingency
+tensor of the training data to obtain a low-rank, fairness-constrained
+completion.  This module provides the generic weighted-NMF primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NMFResult:
+    """Factorisation ``A ≈ W @ H`` with the final Frobenius error."""
+
+    W: np.ndarray
+    H: np.ndarray
+    error: float
+
+    def reconstruct(self) -> np.ndarray:
+        return self.W @ self.H
+
+
+def nmf(A: np.ndarray, rank: int, n_iter: int = 300,
+        mask: np.ndarray | None = None, seed: int = 0,
+        tol: float = 1e-8) -> NMFResult:
+    """Factorise a non-negative matrix as ``W @ H``.
+
+    Parameters
+    ----------
+    A:
+        Non-negative matrix to factorise.
+    rank:
+        Inner dimension of the factorisation.
+    n_iter:
+        Maximum multiplicative-update rounds.
+    mask:
+        Optional 0/1 matrix; zero entries of the mask are ignored by
+        the objective (weighted NMF — used for matrix *completion* of
+        cells the repair may rewrite).
+    seed:
+        Initialisation seed.
+    tol:
+        Early stop when the masked error improves less than this.
+    """
+    A = np.asarray(A, dtype=float)
+    if A.ndim != 2:
+        raise ValueError("A must be a matrix")
+    if np.any(A < 0):
+        raise ValueError("A must be non-negative")
+    if rank < 1 or rank > min(A.shape):
+        raise ValueError(f"rank must be in [1, {min(A.shape)}]")
+    M = np.ones_like(A) if mask is None else np.asarray(mask, dtype=float)
+    if M.shape != A.shape:
+        raise ValueError("mask must match A's shape")
+
+    rng = np.random.default_rng(seed)
+    scale = np.sqrt(max(A.mean(), 1e-12) / rank)
+    W = rng.random((A.shape[0], rank)) * scale + 1e-6
+    H = rng.random((rank, A.shape[1])) * scale + 1e-6
+    eps = 1e-12
+    previous = np.inf
+    for _ in range(n_iter):
+        WH = W @ H
+        H *= (W.T @ (M * A)) / (W.T @ (M * WH) + eps)
+        WH = W @ H
+        W *= ((M * A) @ H.T) / ((M * WH) @ H.T + eps)
+        error = float(np.sum(M * (A - W @ H) ** 2))
+        if previous - error < tol:
+            break
+        previous = error
+    error = float(np.sum(M * (A - W @ H) ** 2))
+    return NMFResult(W=W, H=H, error=error)

@@ -1,0 +1,191 @@
+"""Weighted MaxSAT: clause representation and a WalkSAT-style solver.
+
+Salimi's justifiable-fairness repair reduces the minimal
+insertion/deletion repair of a database to weighted maximum
+satisfiability (its MaxSAT variant).  The instances produced by that
+reduction are small-to-medium (one variable per candidate tuple
+operation), so a stochastic local-search solver with greedy
+initialisation recovers high-quality assignments; tiny instances are
+solved exactly by enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A weighted disjunction of literals.
+
+    ``literals`` holds non-zero ints: ``+i`` means variable ``i`` true,
+    ``−i`` means variable ``i`` false (variables are 1-indexed, DIMACS
+    style).  ``weight`` is the cost of leaving the clause unsatisfied;
+    ``hard`` clauses must be satisfied (infinite weight).
+    """
+
+    literals: tuple[int, ...]
+    weight: float = 1.0
+    hard: bool = False
+
+    def __post_init__(self):
+        if not self.literals:
+            raise ValueError("clause needs at least one literal")
+        if any(lit == 0 for lit in self.literals):
+            raise ValueError("literal 0 is not allowed (1-indexed variables)")
+        if self.weight < 0:
+            raise ValueError("clause weight must be non-negative")
+
+    def satisfied(self, assignment: np.ndarray) -> bool:
+        """True if the clause holds under a boolean assignment array
+        (index 0 unused)."""
+        return any(
+            assignment[abs(lit)] == (lit > 0) for lit in self.literals
+        )
+
+
+@dataclass
+class MaxSatInstance:
+    """A weighted partial MaxSAT instance."""
+
+    n_vars: int
+    clauses: list[Clause] = field(default_factory=list)
+
+    def add_clause(self, literals, weight: float = 1.0,
+                   hard: bool = False) -> None:
+        clause = Clause(tuple(int(l) for l in literals), weight, hard)
+        if any(abs(lit) > self.n_vars for lit in clause.literals):
+            raise ValueError("literal references a variable beyond n_vars")
+        self.clauses.append(clause)
+
+    def cost(self, assignment: np.ndarray) -> float:
+        """Total weight of unsatisfied soft clauses; ``inf`` if any hard
+        clause is violated."""
+        total = 0.0
+        for clause in self.clauses:
+            if clause.satisfied(assignment):
+                continue
+            if clause.hard:
+                return float("inf")
+            total += clause.weight
+        return total
+
+
+@dataclass(frozen=True)
+class MaxSatSolution:
+    """Best assignment found and its soft-clause cost."""
+
+    assignment: np.ndarray  # bool array, index 0 unused
+    cost: float
+
+    def value(self, var: int) -> bool:
+        return bool(self.assignment[var])
+
+
+def _greedy_initial(instance: MaxSatInstance,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Start from a majority-literal greedy assignment."""
+    score = np.zeros(instance.n_vars + 1)
+    for clause in instance.clauses:
+        w = 1e6 if clause.hard else clause.weight
+        for lit in clause.literals:
+            score[abs(lit)] += w if lit > 0 else -w
+    assignment = np.zeros(instance.n_vars + 1, dtype=bool)
+    assignment[1:] = score[1:] > 0
+    ties = score[1:] == 0
+    assignment[1:][ties] = rng.random(int(ties.sum())) < 0.5
+    return assignment
+
+
+def _solve_all_unit(instance: MaxSatInstance) -> MaxSatSolution:
+    """Exact solution when every clause is a unit clause.
+
+    With only unit clauses the variables decouple: each variable
+    independently takes the polarity with the larger total weight
+    (hard unit clauses force their polarity).
+    """
+    pos = np.zeros(instance.n_vars + 1)
+    neg = np.zeros(instance.n_vars + 1)
+    forced = np.zeros(instance.n_vars + 1, dtype=int)  # 0 free, ±1 forced
+    for clause in instance.clauses:
+        lit = clause.literals[0]
+        var = abs(lit)
+        if clause.hard:
+            forced[var] = 1 if lit > 0 else -1
+        elif lit > 0:
+            pos[var] += clause.weight
+        else:
+            neg[var] += clause.weight
+    assignment = np.zeros(instance.n_vars + 1, dtype=bool)
+    assignment[1:] = pos[1:] >= neg[1:]
+    assignment[forced == 1] = True
+    assignment[forced == -1] = False
+    return MaxSatSolution(assignment=assignment,
+                          cost=instance.cost(assignment))
+
+
+def solve_maxsat(instance: MaxSatInstance, max_flips: int = 20000,
+                 noise: float = 0.2, seed: int = 0,
+                 exhaustive_limit: int = 14) -> MaxSatSolution:
+    """Solve a weighted MaxSAT instance.
+
+    Pure-unit-clause instances (the shape Salimi's cell-rounding
+    reduction produces) decouple per variable and are solved exactly in
+    linear time.  Other instances with at most ``exhaustive_limit``
+    variables are solved exactly by enumeration; larger ones by
+    WalkSAT-style local search (greedy start, then repeatedly pick an
+    unsatisfied clause and flip either a random literal, with
+    probability ``noise``, or the literal whose flip most decreases
+    cost).
+    """
+    rng = np.random.default_rng(seed)
+    if instance.clauses and all(len(c.literals) == 1
+                                for c in instance.clauses):
+        return _solve_all_unit(instance)
+    if instance.n_vars <= exhaustive_limit:
+        best: np.ndarray | None = None
+        best_cost = float("inf")
+        for bits in range(1 << instance.n_vars):
+            assignment = np.zeros(instance.n_vars + 1, dtype=bool)
+            for v in range(instance.n_vars):
+                assignment[v + 1] = bool(bits >> v & 1)
+            cost = instance.cost(assignment)
+            if cost < best_cost:
+                best, best_cost = assignment, cost
+        return MaxSatSolution(assignment=best, cost=best_cost)
+
+    assignment = _greedy_initial(instance, rng)
+    cost = instance.cost(assignment)
+    best = assignment.copy()
+    best_cost = cost
+    for _ in range(max_flips):
+        # Zero-weight clauses cost nothing, so only positively weighted
+        # unsatisfied clauses drive the search.
+        unsatisfied = [c for c in instance.clauses
+                       if (c.hard or c.weight > 0)
+                       and not c.satisfied(assignment)]
+        if not unsatisfied:
+            break
+        weights = np.array([1e6 if c.hard else c.weight
+                            for c in unsatisfied])
+        pick = rng.choice(len(unsatisfied), p=weights / weights.sum())
+        clause = unsatisfied[pick]
+        if rng.random() < noise:
+            flip = abs(clause.literals[rng.integers(len(clause.literals))])
+        else:
+            flip = None
+            flip_cost = float("inf")
+            for lit in clause.literals:
+                var = abs(lit)
+                assignment[var] = ~assignment[var]
+                candidate = instance.cost(assignment)
+                assignment[var] = ~assignment[var]
+                if candidate < flip_cost:
+                    flip, flip_cost = var, candidate
+        assignment[flip] = ~assignment[flip]
+        cost = instance.cost(assignment)
+        if cost < best_cost:
+            best, best_cost = assignment.copy(), cost
+    return MaxSatSolution(assignment=best, cost=best_cost)

@@ -1,0 +1,264 @@
+"""The Section 5 advisor: map application constraints to approaches.
+
+The paper closes with "general guidelines towards selecting suitable
+fair classification approaches in different settings".  This module
+operationalises those guidelines: an :class:`ApplicationProfile`
+captures the practical constraints the paper discusses (is the model
+replaceable?  may training data be modified?  how dirty is the data?
+is a causal model available?  what is dimensionality like?), and
+:func:`recommend` scores the three stages against the paper's findings
+and returns a ranked recommendation with the reason for every
+adjustment, each tied to the section of the paper it comes from.
+
+The advisor is deliberately transparent — a scored rule list, not a
+learned model — because its purpose is to make the paper's lessons
+executable, not to replace reading them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fairness.base import Stage
+from ..fairness.registry import ALL_APPROACHES
+
+__all__ = [
+    "ApplicationProfile",
+    "Recommendation",
+    "StageScore",
+    "recommend",
+]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Practical constraints of a deployment, per the paper's Section 5.
+
+    Attributes
+    ----------
+    model_replaceable:
+        The learning algorithm may be swapped or re-implemented
+        (in-processing requires this).
+    model_retrainable:
+        The model can be retrained at all (pre-processing requires
+        this; post-processing does not).
+    data_modifiable:
+        Training data may legally/practically be altered
+        (pre-processing requires this; anti-discrimination law
+        sometimes forbids it).
+    target_notion:
+        The fairness notion family the application must enforce:
+        ``"demographic-parity"``, ``"error-rate"`` (equalized odds and
+        kin), ``"causal"``, or ``"individual"``.
+    causal_model_available:
+        A causal graph (or domain knowledge to build one) exists.
+    high_dimensional:
+        Many attributes (paper: pre-processing runtime grows steeply
+        with attribute count).
+    large_data:
+        Many rows (paper: in-processing runtime rises sharpest with
+        data size).
+    dirty_data:
+        Data-quality issues are expected in training data.
+    runtime_critical:
+        Training-time budget is tight.
+    fairness_priority:
+        Fairness outweighs raw accuracy when they conflict (otherwise
+        the accuracy side of the tradeoff is weighted).
+    """
+
+    model_replaceable: bool = True
+    model_retrainable: bool = True
+    data_modifiable: bool = True
+    target_notion: str = "demographic-parity"
+    causal_model_available: bool = False
+    high_dimensional: bool = False
+    large_data: bool = False
+    dirty_data: bool = False
+    runtime_critical: bool = False
+    fairness_priority: bool = True
+
+    _NOTIONS = ("demographic-parity", "error-rate", "causal", "individual")
+
+    def __post_init__(self):
+        if self.target_notion not in self._NOTIONS:
+            raise ValueError(
+                f"target_notion must be one of {self._NOTIONS}, "
+                f"got {self.target_notion!r}"
+            )
+
+
+@dataclass
+class StageScore:
+    """A stage's running score plus the reasons that moved it."""
+
+    stage: Stage
+    score: float = 0.0
+    reasons: list[str] = field(default_factory=list)
+    excluded: bool = False
+
+    def adjust(self, delta: float, reason: str) -> None:
+        self.score += delta
+        sign = "+" if delta >= 0 else ""
+        self.reasons.append(f"[{sign}{delta:g}] {reason}")
+
+    def exclude(self, reason: str) -> None:
+        self.excluded = True
+        self.reasons.append(f"[excluded] {reason}")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked stages and concrete candidate approaches.
+
+    Attributes
+    ----------
+    ranking:
+        Stage scores, best first; excluded stages last.
+    approaches:
+        Registry names of candidate variants in the winning stage that
+        support the target notion family.
+    """
+
+    ranking: list[StageScore]
+    approaches: list[str]
+
+    @property
+    def best_stage(self) -> Stage | None:
+        viable = [s for s in self.ranking if not s.excluded]
+        return viable[0].stage if viable else None
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = []
+        for entry in self.ranking:
+            status = ("excluded" if entry.excluded
+                      else f"score {entry.score:+.1f}")
+            lines.append(f"{entry.stage.value} ({status})")
+            lines.extend(f"  {r}" for r in entry.reasons)
+        if self.approaches:
+            lines.append("candidate approaches: "
+                         + ", ".join(self.approaches))
+        else:
+            lines.append("candidate approaches: none match the target "
+                         "notion in the winning stage")
+        return "\n".join(lines)
+
+
+# Notion families per registry notion value (see fairness.base.Notion).
+_NOTION_FAMILY = {
+    "demographic parity": "demographic-parity",
+    "equalized odds": "error-rate",
+    "equal opportunity": "error-rate",
+    "predictive equality": "error-rate",
+    "predictive parity": "error-rate",
+    "path-specific fairness": "causal",
+    "direct causal effect": "causal",
+    "justifiable fairness": "causal",
+}
+
+
+def _candidates(stage: Stage, family: str) -> list[str]:
+    names = []
+    for name, factory in ALL_APPROACHES.items():
+        approach = factory()
+        if approach.stage is not stage:
+            continue
+        if _NOTION_FAMILY.get(approach.notion.value) == family:
+            names.append(name)
+    return names
+
+
+def recommend(profile: ApplicationProfile) -> Recommendation:
+    """Rank the three stages for a deployment profile.
+
+    Every rule cites the paper finding it encodes; read
+    :meth:`Recommendation.summary` for the full trace.
+    """
+    pre = StageScore(Stage.PRE)
+    inp = StageScore(Stage.IN)
+    post = StageScore(Stage.POST)
+
+    # --- hard feasibility ------------------------------------------------
+    if not profile.data_modifiable:
+        pre.exclude("training data may not be modified (legal/practical "
+                    "constraint, §5)")
+    if not profile.model_retrainable:
+        pre.exclude("pre-processing needs the model retrained on repaired "
+                    "data (§3.1)")
+        inp.exclude("in-processing replaces the training procedure (§3.2)")
+    elif not profile.model_replaceable:
+        inp.exclude("in-processing is model-specific and needs a "
+                    "replaceable model (§3.2)")
+
+    # --- notion support ---------------------------------------------------
+    if profile.target_notion == "error-rate":
+        pre.adjust(-2, "pre-processing cannot enforce error-rate notions "
+                       "(equalized odds etc.) before predictions exist (§5)")
+        inp.adjust(+1, "in-processing enforces error-rate notions with "
+                       "direct constraints (§3.2)")
+        post.adjust(+1, "post-processing (Hardt/Pleiss) targets error-rate "
+                        "notions directly (§3.3)")
+    if profile.target_notion == "causal":
+        if profile.causal_model_available:
+            pre.adjust(+2, "causal repairs (Zha-Wu, Salimi) live in "
+                           "pre-processing and use the causal model (§3.1)")
+        else:
+            pre.adjust(-1, "causal notions need domain knowledge that is "
+                           "not available (§5)")
+        inp.adjust(-1, "no evaluated in-processing approach targets causal "
+                       "notions (Figure 5)")
+        post.adjust(-2, "no evaluated post-processing approach targets "
+                        "causal notions (Figure 5)")
+    if profile.target_notion == "individual":
+        post.adjust(-2, "post-processing significantly violates individual "
+                        "fairness (§4.2)")
+        pre.adjust(+1, "several pre-processing approaches trivially "
+                       "satisfy ID by discarding S (§4.2)")
+
+    # --- scalability ------------------------------------------------------
+    if profile.high_dimensional:
+        pre.adjust(-2, "pre-processing runtime grows steeply with the "
+                       "number of attributes (§4.3, Fig. 8d)")
+        inp.adjust(-0.5, "in-processing also slows with attributes, but "
+                         "more gracefully (§4.3)")
+        post.adjust(+1, "post-processing is unaffected by attribute "
+                        "count (§4.3, Fig. 8f)")
+    if profile.large_data:
+        inp.adjust(-1.5, "in-processing runtime rises sharpest with data "
+                         "size (§4.3, Fig. 8b)")
+        post.adjust(+1, "post-processing scales best with data size "
+                        "(§4.3, Fig. 8c)")
+    if profile.runtime_critical:
+        post.adjust(+1.5, "post-processing is the most efficient stage "
+                          "overall (§4.3)")
+        pre.adjust(-0.5, "causal/optimisation-based pre-processing incurs "
+                         "the largest runtimes (§4.3)")
+
+    # --- robustness ---------------------------------------------------
+    if profile.dirty_data:
+        post.adjust(+2, "post-processing is most robust to training-data "
+                        "errors (§4.4)")
+        pre.adjust(-1, "pre-processing generalises poorly under data "
+                       "errors (§4.4)")
+        inp.adjust(-1, "in-processing fairness guarantees break under "
+                       "data errors (§4.4)")
+
+    # --- correctness-fairness balance ----------------------------------
+    if profile.fairness_priority:
+        pre.adjust(+1, "pre-/in-processing balance correctness and "
+                       "fairness better than post (§4.2)")
+        inp.adjust(+1, "in-processing adjusts the objective directly and "
+                       "can offer guarantees (§3.2)")
+        post.adjust(-1, "post-processing trades 2–5% extra accuracy for "
+                        "its simplicity (§4.2)")
+    if not profile.model_replaceable and profile.model_retrainable:
+        pre.adjust(+1, "pre-processing is model-agnostic: works with the "
+                       "fixed downstream model (§3.1)")
+
+    ranking = sorted([pre, inp, post],
+                     key=lambda e: (e.excluded, -e.score))
+    best = next((e for e in ranking if not e.excluded), None)
+    approaches = (_candidates(best.stage, profile.target_notion)
+                  if best is not None else [])
+    return Recommendation(ranking=ranking, approaches=approaches)

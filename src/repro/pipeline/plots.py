@@ -1,0 +1,158 @@
+"""Terminal plotting: ASCII renderings of the paper's figures.
+
+No plotting backend is assumed offline, so the benchmark harness
+renders its Figure 7-style grouped bars and Figure 8-style runtime
+curves as plain text.  The functions here are deterministic and
+unit-tested: given the same data they emit the same characters, which
+also makes them usable as golden-file fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_chart",
+]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """Render ``value``/``vmax`` as a sub-character-precision bar."""
+    if vmax <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / vmax)) * width
+    whole = int(cells)
+    frac = cells - whole
+    partial = _PART[round(frac * 8)] if whole < width else ""
+    return _FULL * whole + partial.rstrip()
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, title: str = "",
+              vmax: float | None = None,
+              value_format: str = "{:.3f}") -> str:
+    """A horizontal bar chart, one row per label.
+
+    Parameters
+    ----------
+    labels, values:
+        Aligned bar names and non-negative magnitudes.
+    width:
+        Maximum bar length in characters.
+    title:
+        Optional heading line.
+    vmax:
+        Scale maximum (defaults to the largest value; pass 1.0 for the
+        paper's normalised fairness metrics).
+    value_format:
+        Format spec for the numeric annotation.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be aligned")
+    if not labels:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    scale = max(values) if vmax is None else vmax
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        bar = _bar(val, scale, width)
+        lines.append(f"{str(lab):<{label_width}} |{bar:<{width}}| "
+                     + value_format.format(val))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(data: Mapping[str, Mapping[str, float]],
+                      width: int = 40, vmax: float = 1.0,
+                      title: str = "") -> str:
+    """Figure 7-style output: per approach, one bar per metric.
+
+    ``data`` maps group name (approach) → {metric: value}.  Groups are
+    separated by blank lines; every group shows its metrics in the
+    order of first appearance.
+    """
+    if not data:
+        raise ValueError("need at least one group")
+    blocks = [title] if title else []
+    for group, metrics in data.items():
+        if not metrics:
+            raise ValueError(f"group {group!r} has no metrics")
+        blocks.append(group)
+        blocks.append(bar_chart(list(metrics), list(metrics.values()),
+                                width=width, vmax=vmax))
+        blocks.append("")
+    return "\n".join(blocks).rstrip("\n")
+
+
+def line_chart(x: Sequence[float], series: Mapping[str, Sequence[float]],
+               height: int = 12, width: int = 60, log_y: bool = False,
+               title: str = "", x_label: str = "",
+               y_format: str = "{:g}") -> str:
+    """An ASCII scatter/line panel for runtime-style curves (Figure 8).
+
+    Parameters
+    ----------
+    x:
+        Shared x positions.
+    series:
+        Name → y values (aligned with ``x``); each series is drawn
+        with its own marker character (a, b, c, ...).
+    height, width:
+        Canvas size in characters.
+    log_y:
+        Plot ``log10(y)`` (the paper's runtime axes are log scale);
+        non-positive values are clamped to the smallest positive one.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    x = [float(v) for v in x]
+    if len(x) < 2:
+        raise ValueError("need at least two x positions")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} is not aligned with x")
+
+    def prep(ys: Sequence[float]) -> list[float]:
+        values = [float(v) for v in ys]
+        if log_y:
+            positive = [v for v in values if v > 0]
+            floor = min(positive) if positive else 1e-9
+            values = [math.log10(max(v, floor)) for v in values]
+        return values
+
+    prepared = {name: prep(ys) for name, ys in series.items()}
+    all_y = [v for ys in prepared.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    for (name, ys), marker in zip(prepared.items(), markers):
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = y_hi if not log_y else 10 ** y_hi
+    bottom = y_lo if not log_y else 10 ** y_lo
+    lines = [title] if title else []
+    lines.append(y_format.format(top))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(y_format.format(bottom)
+                 + (f"  ({x_label}: {x_lo:g} .. {x_hi:g})" if x_label
+                    else f"  (x: {x_lo:g} .. {x_hi:g})"))
+    legend = ", ".join(f"{marker}={name}" for (name, _), marker
+                       in zip(prepared.items(), markers))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

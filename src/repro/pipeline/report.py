@@ -1,0 +1,96 @@
+"""Plain-text reporting of experiment results as the paper's tables.
+
+The benchmark harness prints rows shaped like the paper's figures:
+correctness + normalised fairness per approach (Figures 7/15/16–18),
+runtime overhead sweeps (Figure 8), and robustness deltas (Figure 9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .experiment import EvaluationResult
+
+CORRECTNESS_COLUMNS = ("accuracy", "precision", "recall", "f1")
+FAIRNESS_COLUMNS = ("di_star", "tprb", "tnrb", "id", "te", "nde", "nie")
+HEADER_LABELS = {
+    "accuracy": "Acc", "precision": "Prec", "recall": "Rec", "f1": "F1",
+    "di_star": "DI*", "tprb": "1-|TPRB|", "tnrb": "1-|TNRB|",
+    "id": "1-ID", "te": "1-|TE|", "nde": "1-|NDE|", "nie": "1-|NIE|",
+}
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "   --"
+    return f"{value:5.2f}"
+
+
+def format_results_table(results: Sequence[EvaluationResult],
+                         title: str = "",
+                         columns: Iterable[str] | None = None) -> str:
+    """Render results as a fixed-width table (one row per approach)."""
+    columns = list(columns) if columns is not None else \
+        [*CORRECTNESS_COLUMNS, *FAIRNESS_COLUMNS]
+    name_width = max([len(r.approach) for r in results] + [10])
+    lines = []
+    if title:
+        lines.append(title)
+    header = " ".join(f"{HEADER_LABELS.get(c, c):>8s}" for c in columns)
+    lines.append(f"{'approach':<{name_width}s} {'stage':<6s} {header}")
+    lines.append("-" * (name_width + 7 + 9 * len(columns)))
+    for r in results:
+        values = {**r.correctness_scores(), **r.fairness_scores()}
+        row = " ".join(f"{_fmt(values[c]):>8s}" for c in columns)
+        stage = {"pre-processing": "pre", "in-processing": "in",
+                 "post-processing": "post"}.get(r.stage, "base")
+        lines.append(f"{r.approach:<{name_width}s} {stage:<6s} {row}")
+    return "\n".join(lines)
+
+
+def format_runtime_table(rows: Sequence[tuple[str, dict[int, float]]],
+                         sweep_label: str, title: str = "") -> str:
+    """Render a runtime sweep: one approach per row, one sweep value
+    per column (seconds of overhead over the baseline)."""
+    if not rows:
+        return title
+    sweep_values = sorted({v for _, series in rows for v in series})
+    name_width = max(len(name) for name, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " ".join(f"{v:>9d}" for v in sweep_values)
+    lines.append(f"{'approach':<{name_width}s}  {sweep_label}: {header}")
+    lines.append("-" * (name_width + 12 + 10 * len(sweep_values)))
+    for name, series in rows:
+        cells = " ".join(
+            f"{series[v]:9.3f}" if v in series else f"{'--':>9s}"
+            for v in sweep_values)
+        lines.append(f"{name:<{name_width}s}  {' ' * len(sweep_label)}  "
+                     f"{cells}")
+    return "\n".join(lines)
+
+
+def format_delta_table(clean: Sequence[EvaluationResult],
+                       corrupted: Sequence[EvaluationResult],
+                       columns: Iterable[str], title: str = "") -> str:
+    """Render corrupted-vs-clean metric deltas (robustness, Figure 9)."""
+    columns = list(columns)
+    by_name = {r.approach: r for r in clean}
+    name_width = max([len(r.approach) for r in corrupted] + [10])
+    lines = []
+    if title:
+        lines.append(title)
+    header = " ".join(f"Δ{HEADER_LABELS.get(c, c):>8s}" for c in columns)
+    lines.append(f"{'approach':<{name_width}s} {header}")
+    lines.append("-" * (name_width + 10 * len(columns)))
+    for r in corrupted:
+        base = by_name.get(r.approach)
+        if base is None:
+            continue
+        merged_r = {**r.correctness_scores(), **r.fairness_scores()}
+        merged_b = {**base.correctness_scores(), **base.fairness_scores()}
+        row = " ".join(f"{merged_r[c] - merged_b[c]:+9.3f}"
+                       for c in columns)
+        lines.append(f"{r.approach:<{name_width}s} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Persisting experiment results to disk as JSON.
+
+Benchmark runs are expensive (the Figure 7 sweep alone fits 19
+pipelines per dataset), so the harness persists every
+:class:`~repro.pipeline.experiment.EvaluationResult` with the
+parameters that produced it.  The store is a plain directory of JSON
+files — greppable, diffable, and safe to commit — with one file per
+experiment run keyed by a caller-chosen run name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from .experiment import EvaluationResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "ResultStore",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: EvaluationResult) -> dict:
+    """Serialise an evaluation result to plain JSON-compatible types."""
+    out = dataclasses.asdict(result)
+    out["raw"] = {k: float(v) for k, v in result.raw.items()}
+    return out
+
+
+def result_from_dict(data: Mapping) -> EvaluationResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Raises
+    ------
+    ValueError
+        If required fields are missing (e.g. hand-edited files).
+    """
+    fields = {f.name for f in dataclasses.fields(EvaluationResult)}
+    missing = fields - set(data)
+    # `raw` and `fit_seconds` have defaults; everything else is required.
+    required_missing = missing - {"raw", "fit_seconds"}
+    if required_missing:
+        raise ValueError(f"result record is missing {sorted(required_missing)}")
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    return EvaluationResult(**kwargs)
+
+
+class ResultStore:
+    """A directory of named experiment runs.
+
+    Each run file holds the run's parameters and its list of results::
+
+        {"version": 1, "run": "fig7-compas", "params": {...},
+         "results": [...]}
+
+    Parameters
+    ----------
+    root:
+        Directory to store runs in (created on first save).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, run: str) -> Path:
+        if not run or any(sep in run for sep in "/\\"):
+            raise ValueError(f"invalid run name {run!r}")
+        return self.root / f"{run}.json"
+
+    def save(self, run: str, results: Sequence[EvaluationResult],
+             params: Mapping | None = None) -> Path:
+        """Write a run file; returns its path.  Overwrites silently so
+        re-running an experiment refreshes its record."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "run": run,
+            "params": dict(params or {}),
+            "results": [result_to_dict(r) for r in results],
+        }
+        path = self._path(run)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def load(self, run: str) -> tuple[list[EvaluationResult], dict]:
+        """Read a run file back as ``(results, params)``.
+
+        Raises
+        ------
+        FileNotFoundError
+            If the run does not exist (see :meth:`runs`).
+        ValueError
+            On version mismatch or malformed records.
+        """
+        path = self._path(run)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no run {run!r} in {self.root}; available: {self.runs()}")
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"run {run!r} has format version {version}, "
+                f"expected {_FORMAT_VERSION}")
+        results = [result_from_dict(r) for r in payload["results"]]
+        return results, dict(payload.get("params", {}))
+
+    def runs(self) -> list[str]:
+        """Names of all stored runs, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def delete(self, run: str) -> None:
+        """Remove a stored run (no-op if absent)."""
+        self._path(run).unlink(missing_ok=True)

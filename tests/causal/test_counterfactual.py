@@ -1,0 +1,258 @@
+"""Tests for the discrete counterfactual SCM (abduction–action–prediction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal import CausalGraph, CounterfactualSCM, DiscreteCPT
+
+RNG = np.random.default_rng
+
+
+def chain_scm() -> CounterfactualSCM:
+    """S → Z → Y with a direct S → Y edge, all binary."""
+    graph = CausalGraph([("S", "Z"), ("Z", "Y"), ("S", "Y")])
+    dom = np.array([0.0, 1.0])
+    cpts = {
+        "S": DiscreteCPT((), dom, {(): np.array([0.5, 0.5])}),
+        "Z": DiscreteCPT(("S",), dom, {
+            (0.0,): np.array([0.8, 0.2]),
+            (1.0,): np.array([0.3, 0.7]),
+        }),
+        "Y": DiscreteCPT(("S", "Z"), dom, {
+            (0.0, 0.0): np.array([0.9, 0.1]),
+            (0.0, 1.0): np.array([0.6, 0.4]),
+            (1.0, 0.0): np.array([0.5, 0.5]),
+            (1.0, 1.0): np.array([0.2, 0.8]),
+        }),
+    }
+    return CounterfactualSCM(graph, cpts)
+
+
+# ----------------------------------------------------------------------
+# DiscreteCPT
+# ----------------------------------------------------------------------
+class TestDiscreteCPT:
+    def test_domain_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            DiscreteCPT((), np.array([1.0, 0.0]), {(): np.array([0.5, 0.5])})
+
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="invalid distribution"):
+            DiscreteCPT((), np.array([0.0, 1.0]), {(): np.array([0.5, 0.6])})
+
+    def test_wrong_vector_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            DiscreteCPT((), np.array([0.0, 1.0]), {(): np.array([1.0])})
+
+    def test_apply_is_monotone_in_noise(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0, 2.0]),
+                          {(): np.array([0.2, 0.5, 0.3])})
+        u = np.linspace(0, 0.999, 200)
+        values = cpt.apply({}, u)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_apply_matches_cdf_boundaries(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0, 2.0]),
+                          {(): np.array([0.2, 0.5, 0.3])})
+        values = cpt.apply({}, np.array([0.0, 0.19, 0.2, 0.69, 0.7, 0.99]))
+        assert list(values) == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_fallback_for_unseen_parent_combo(self):
+        dom = np.array([0.0, 1.0])
+        cpt = DiscreteCPT(("P",), dom, {(0.0,): np.array([1.0, 0.0])})
+        vals = cpt.apply({"P": np.array([9.0, 9.0])}, np.array([0.1, 0.9]))
+        # Uniform fallback: u < .5 → 0, u >= .5 → 1.
+        assert list(vals) == [0.0, 1.0]
+
+    def test_abduct_noise_reproduces_observation(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0, 2.0]),
+                          {(): np.array([0.2, 0.5, 0.3])})
+        observed = np.array([0.0, 1.0, 2.0, 1.0])
+        u = cpt.abduct({}, observed, RNG(0))
+        assert np.array_equal(cpt.apply({}, u), observed)
+
+    def test_abduct_rejects_out_of_domain(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0]),
+                          {(): np.array([0.5, 0.5])})
+        with pytest.raises(ValueError, match="outside domain"):
+            cpt.abduct({}, np.array([5.0]), RNG(0))
+
+    def test_abduct_rejects_zero_probability_evidence(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0]),
+                          {(): np.array([1.0, 0.0])})
+        with pytest.raises(ValueError, match="zero probability"):
+            cpt.abduct({}, np.array([1.0]), RNG(0))
+
+    def test_sample_roundtrip(self):
+        cpt = DiscreteCPT((), np.array([0.0, 1.0]),
+                          {(): np.array([0.3, 0.7])})
+        values, noise = cpt.sample({}, 500, RNG(1))
+        assert np.array_equal(cpt.apply({}, noise), values)
+        assert 0.55 < values.mean() < 0.85
+
+    @given(st.lists(st.floats(0.05, 1.0), min_size=2, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_abduct_then_apply_identity_property(self, weights):
+        """For any distribution, apply(abduct(x)) == x (monotone repr)."""
+        probs = np.asarray(weights) / np.sum(weights)
+        domain = np.arange(len(weights), dtype=float)
+        cpt = DiscreteCPT((), domain, {(): probs})
+        rng = RNG(7)
+        observed = rng.choice(domain, size=50)
+        u = cpt.abduct({}, observed, rng)
+        assert np.array_equal(cpt.apply({}, u), observed)
+
+
+# ----------------------------------------------------------------------
+# CounterfactualSCM
+# ----------------------------------------------------------------------
+class TestCounterfactualSCM:
+    def test_missing_cpt_rejected(self):
+        graph = CausalGraph([("A", "B")])
+        dom = np.array([0.0, 1.0])
+        cpts = {"A": DiscreteCPT((), dom, {(): np.array([0.5, 0.5])})}
+        with pytest.raises(ValueError, match="no CPT"):
+            CounterfactualSCM(graph, cpts)
+
+    def test_parent_mismatch_rejected(self):
+        graph = CausalGraph([("A", "B")])
+        dom = np.array([0.0, 1.0])
+        cpts = {
+            "A": DiscreteCPT((), dom, {(): np.array([0.5, 0.5])}),
+            "B": DiscreteCPT((), dom, {(): np.array([0.5, 0.5])}),
+        }
+        with pytest.raises(ValueError, match="do not match"):
+            CounterfactualSCM(graph, cpts)
+
+    def test_sample_respects_intervention(self):
+        scm = chain_scm()
+        values = scm.sample(200, RNG(0), interventions={"S": 1})
+        assert np.all(values["S"] == 1.0)
+
+    def test_intervention_shifts_mediator(self):
+        scm = chain_scm()
+        z1 = scm.sample(4000, RNG(0), interventions={"S": 1})["Z"].mean()
+        z0 = scm.sample(4000, RNG(1), interventions={"S": 0})["Z"].mean()
+        assert z1 > z0 + 0.3  # 0.7 vs 0.2 in the CPT
+
+    def test_evaluate_rejects_unknown_intervention(self):
+        scm = chain_scm()
+        noise = scm.sample_noise(10, RNG(0))
+        with pytest.raises(ValueError, match="unknown nodes"):
+            scm.evaluate(noise, {"Q": 1})
+
+    def test_evaluate_rejects_misaligned_noise(self):
+        scm = chain_scm()
+        noise = scm.sample_noise(10, RNG(0))
+        noise["Z"] = noise["Z"][:5]
+        with pytest.raises(ValueError, match="differing lengths"):
+            scm.evaluate(noise)
+
+    def test_abduction_is_consistent_with_evidence(self):
+        """Re-running the factual world on abducted noise recovers the row."""
+        scm = chain_scm()
+        evidence = {"S": 0.0, "Z": 1.0, "Y": 0.0}
+        noise = scm.abduct(evidence, 300, RNG(3))
+        replay = scm.evaluate(noise)
+        for node, val in evidence.items():
+            assert np.all(replay[node] == val), node
+
+    def test_abduct_requires_full_evidence(self):
+        scm = chain_scm()
+        with pytest.raises(ValueError, match="full evidence"):
+            scm.abduct({"S": 0.0}, 10, RNG(0))
+
+    def test_counterfactual_respects_intervention(self):
+        scm = chain_scm()
+        cf = scm.counterfactual({"S": 0.0, "Z": 0.0, "Y": 0.0},
+                                {"S": 1}, 500, RNG(5))
+        assert np.all(cf["S"] == 1.0)
+
+    def test_null_counterfactual_is_factual(self):
+        """Intervening with the observed value must return the evidence."""
+        scm = chain_scm()
+        evidence = {"S": 1.0, "Z": 1.0, "Y": 1.0}
+        cf = scm.counterfactual(evidence, {"S": 1}, 400, RNG(9))
+        for node, val in evidence.items():
+            assert np.all(cf[node] == val), node
+
+    def test_counterfactual_mean_in_unit_interval(self):
+        scm = chain_scm()
+        m = scm.counterfactual_mean({"S": 0.0, "Z": 0.0, "Y": 0.0},
+                                    {"S": 1}, "Y", 400, RNG(2))
+        assert 0.0 <= m <= 1.0
+
+    def test_counterfactual_monotone_model_raises_outcome(self):
+        """In the chain SCM, flipping S to 1 weakly raises P(Y=1)."""
+        scm = chain_scm()
+        rng = RNG(11)
+        for z in (0.0, 1.0):
+            ev = {"S": 0.0, "Z": z, "Y": 0.0}
+            m1 = scm.counterfactual_mean(ev, {"S": 1}, "Y", 2000, rng)
+            m0 = scm.counterfactual_mean(ev, {"S": 0}, "Y", 2000, rng)
+            assert m1 >= m0 - 0.05
+
+    def test_abduct_partial_matches_evidence(self):
+        scm = chain_scm()
+        noise = scm.abduct_partial({"S": 1.0, "Y": 1.0}, 100, RNG(4))
+        replay = scm.evaluate(noise)
+        assert np.all(replay["S"] == 1.0)
+        assert np.all(replay["Y"] == 1.0)
+        # The unobserved mediator must retain posterior variability.
+        assert len(np.unique(replay["Z"])) == 2
+
+    def test_abduct_partial_full_evidence_delegates(self):
+        scm = chain_scm()
+        noise = scm.abduct_partial({"S": 0.0, "Z": 1.0, "Y": 1.0}, 50, RNG(6))
+        replay = scm.evaluate(noise)
+        assert np.all(replay["Z"] == 1.0)
+
+
+class TestFitFromData:
+    def test_fit_recovers_marginals(self):
+        rng = RNG(0)
+        graph = CausalGraph([("S", "Y")])
+        s = rng.integers(0, 2, 5000).astype(float)
+        y = ((rng.random(5000) < np.where(s == 1, 0.8, 0.3))
+             .astype(float))
+        scm = CounterfactualSCM.fit({"S": s, "Y": y}, graph)
+        sample = scm.sample(20000, RNG(1))
+        p1 = sample["Y"][sample["S"] == 1].mean()
+        p0 = sample["Y"][sample["S"] == 0].mean()
+        assert p1 == pytest.approx(0.8, abs=0.05)
+        assert p0 == pytest.approx(0.3, abs=0.05)
+
+    def test_fit_requires_all_columns(self):
+        graph = CausalGraph([("A", "B")])
+        with pytest.raises(ValueError, match="missing"):
+            CounterfactualSCM.fit({"A": np.zeros(5)}, graph)
+
+    def test_fit_rejects_nonpositive_laplace(self):
+        graph = CausalGraph([], nodes=["A"])
+        with pytest.raises(ValueError, match="laplace"):
+            CounterfactualSCM.fit({"A": np.zeros(5)}, graph, laplace=0.0)
+
+    def test_fit_smoothing_prevents_zero_probability_abduction(self):
+        """Even values never seen under a parent combo stay abducible."""
+        graph = CausalGraph([("S", "Y")])
+        s = np.array([0.0, 0.0, 1.0, 1.0])
+        y = np.array([0.0, 0.0, 1.0, 1.0])  # Y==S always in the data
+        scm = CounterfactualSCM.fit({"S": s, "Y": y}, graph, laplace=1.0)
+        # Evidence contradicting the observed pattern is still abducible.
+        noise = scm.abduct({"S": 0.0, "Y": 1.0}, 20, RNG(0))
+        replay = scm.evaluate(noise)
+        assert np.all(replay["Y"] == 1.0)
+
+    def test_fit_on_dataset_generator_columns(self, compas_small):
+        """The fitted SCM reproduces COMPAS's group-conditional label gap."""
+        cols = {name: compas_small.table[name].astype(float)
+                for name in compas_small.causal_graph.nodes}
+        scm = CounterfactualSCM.fit(cols, compas_small.causal_graph)
+        sample = scm.sample(8000, RNG(3))
+        s, y = sample["race"], sample["risk"]
+        gap = y[s == 1].mean() - y[s == 0].mean()
+        data_gap = (cols["risk"][cols["race"] == 1].mean()
+                    - cols["risk"][cols["race"] == 0].mean())
+        assert gap == pytest.approx(data_gap, abs=0.08)

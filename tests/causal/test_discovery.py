@@ -1,0 +1,75 @@
+"""Tests for causal structure learning (ordered parent search)."""
+
+import numpy as np
+import pytest
+
+from repro.causal import g_test, learn_dataset_graph, learn_graph
+
+
+class TestGTest:
+    def test_independent_high_p(self, rng):
+        x = rng.integers(0, 2, 3000)
+        y = rng.integers(0, 2, 3000)
+        assert g_test(x, y) > 0.01
+
+    def test_dependent_low_p(self, rng):
+        x = rng.integers(0, 2, 3000)
+        y = (x + (rng.random(3000) < 0.1)).astype(int) % 2
+        assert g_test(x, y) < 1e-6
+
+    def test_conditional_independence_detected(self, rng):
+        # x -> z -> y: x ⟂ y | z.
+        x = rng.integers(0, 2, 6000)
+        z = (x + (rng.random(6000) < 0.2)).astype(int) % 2
+        y = (z + (rng.random(6000) < 0.2)).astype(int) % 2
+        assert g_test(x, y) < 1e-6
+        assert g_test(x, y, given=z) > 0.01
+
+    def test_degenerate_returns_one(self):
+        assert g_test(np.zeros(10), np.ones(10)) == 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            g_test(np.zeros(3), np.zeros(4))
+
+
+class TestLearnGraph:
+    def test_recovers_chain(self, rng):
+        n = 8000
+        a = rng.integers(0, 2, n).astype(float)
+        b = ((a + (rng.random(n) < 0.15)) % 2).astype(float)
+        c = ((b + (rng.random(n) < 0.15)) % 2).astype(float)
+        g = learn_graph({"a": a, "b": b, "c": c}, order=["a", "b", "c"])
+        assert ("a", "b") in g.edges
+        assert ("b", "c") in g.edges
+        assert ("a", "c") not in g.edges  # screened off by b
+
+    def test_no_edges_on_independent_data(self, rng):
+        cols = {k: rng.integers(0, 3, 4000).astype(float)
+                for k in "abc"}
+        g = learn_graph(cols, order=["a", "b", "c"], alpha=0.001)
+        assert len(g.edges) <= 1  # allow one false positive
+
+    def test_max_parents_respected(self, rng):
+        n = 5000
+        cols = {f"p{i}": rng.integers(0, 2, n).astype(float)
+                for i in range(5)}
+        y = (sum(cols.values()) >= 3).astype(float)
+        cols["y"] = y
+        g = learn_graph(cols, order=[*cols][:-1] + ["y"], max_parents=2)
+        assert len(g.parents("y")) <= 2
+
+    def test_unknown_order_name(self):
+        with pytest.raises(ValueError, match="absent"):
+            learn_graph({"a": np.zeros(5)}, order=["a", "ghost"])
+
+    def test_learned_dataset_graph_finds_real_edges(self):
+        from repro.datasets import load_compas
+
+        dataset = load_compas(8000, seed=3)
+        g = learn_dataset_graph(dataset, alpha=0.05)
+        # The generator's strongest dependencies are recovered.
+        assert ("race", "prior_convictions") in g.edges
+        assert g.has_directed_path("prior_convictions", dataset.label)
+        # Edges only point forward: label has no children.
+        assert g.children(dataset.label) == []

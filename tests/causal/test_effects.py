@@ -1,0 +1,127 @@
+"""Tests for TE/NDE/NIE estimation, including the paper's hand-worked
+Examples 4-6 on the admissions data."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (CausalGraph, StructuralCausalModel,
+                          interventional_effects, observational_effects)
+
+
+def _columns(dataset):
+    names = (*dataset.feature_names, dataset.sensitive, dataset.label)
+    return {n: dataset.table[n] for n in names}
+
+
+class TestPaperExamples:
+    """The appendix's Examples 4-6 hand-compute TE/NDE/NIE on Fig. 12."""
+
+    def test_total_effect_example_4(self, admissions):
+        eff = observational_effects(_columns(admissions),
+                                    admissions.causal_graph,
+                                    "gender", "admitted")
+        assert eff.te == pytest.approx(4 / 6 - 3 / 6)
+
+    def test_nde_example_5(self, admissions):
+        eff = observational_effects(_columns(admissions),
+                                    admissions.causal_graph,
+                                    "gender", "admitted")
+        # Exact Theorem-4 value on the 12-row table.
+        assert eff.nde == pytest.approx(0.0278, abs=1e-3)
+
+    def test_nie_example_6(self, admissions):
+        eff = observational_effects(_columns(admissions),
+                                    admissions.causal_graph,
+                                    "gender", "admitted")
+        assert eff.nie == pytest.approx(0.1458, abs=1e-3)
+
+    def test_predictions_override(self, admissions):
+        flipped = 1 - admissions.y
+        eff = observational_effects(_columns(admissions),
+                                    admissions.causal_graph,
+                                    "gender", "admitted",
+                                    outcome_values=flipped)
+        assert eff.te == pytest.approx(-(4 / 6 - 3 / 6))
+
+
+class TestObservational:
+    def test_non_root_source_rejected(self):
+        g = CausalGraph(edges=[("u", "s"), ("s", "y"), ("u", "y")])
+        cols = {"u": np.zeros(4), "s": np.array([0, 0, 1, 1]),
+                "y": np.array([0, 1, 0, 1])}
+        with pytest.raises(ValueError, match="root"):
+            observational_effects(cols, g, "s", "y")
+
+    def test_no_mediators_te_equals_nde(self):
+        g = CausalGraph(edges=[("s", "y"), ("c", "y")])
+        rng = np.random.default_rng(0)
+        s = (rng.random(500) < 0.5).astype(int)
+        c = (rng.random(500) < 0.5).astype(int)
+        y = ((s + c) >= 1).astype(int)
+        eff = observational_effects({"s": s, "c": c, "y": y}, g, "s", "y")
+        assert eff.nde == pytest.approx(eff.te)
+        assert eff.nie == 0.0
+
+    def test_misaligned_rejected(self):
+        g = CausalGraph(edges=[("s", "y")])
+        with pytest.raises(ValueError, match="aligned"):
+            observational_effects({"s": np.zeros(3), "y": np.zeros(4)},
+                                  g, "s", "y")
+
+    def test_null_effect_when_independent(self, rng):
+        g = CausalGraph(edges=[("s", "m"), ("m", "y")], nodes=["s"])
+        s = (rng.random(4000) < 0.5).astype(int)
+        m = (rng.random(4000) < 0.5).astype(int)  # ignores s
+        y = m.copy()
+        eff = observational_effects({"s": s, "m": m, "y": y}, g, "s", "y")
+        assert abs(eff.te) < 0.05
+        assert abs(eff.nde) < 0.05
+        assert abs(eff.nie) < 0.05
+
+
+class TestInterventional:
+    @pytest.fixture
+    def scm(self):
+        graph = CausalGraph(edges=[("s", "m"), ("s", "y"), ("m", "y")])
+        return StructuralCausalModel(graph, {
+            "s": lambda p, rng: (rng.random(rng.n) < 0.5).astype(float),
+            "m": lambda p, rng: (rng.random(len(p["s"]))
+                                 < 0.2 + 0.6 * p["s"]).astype(float),
+            "y": lambda p, rng: (rng.random(len(p["s"]))
+                                 < 0.1 + 0.3 * p["s"] + 0.4 * p["m"]
+                                 ).astype(float),
+        })
+
+    def test_te_decomposes(self, scm, rng):
+        eff = interventional_effects(scm, "s", "y", n=60000, rng=rng)
+        # Ground truth: TE = 0.3 + 0.4*0.6 = 0.54; NDE = 0.3; NIE = 0.24.
+        assert eff.te == pytest.approx(0.54, abs=0.02)
+        assert eff.nde == pytest.approx(0.30, abs=0.02)
+        assert eff.nie == pytest.approx(0.24, abs=0.02)
+
+    def test_predictor_audit(self, scm, rng):
+        # A predictor that copies m: TE via mediation only.
+        eff = interventional_effects(
+            scm, "s", "y", n=40000, rng=rng,
+            predict=lambda cols: cols["m"])
+        assert eff.nde == pytest.approx(0.0, abs=0.02)
+        assert eff.nie == pytest.approx(0.6, abs=0.02)
+
+    def test_constant_predictor_zero_effects(self, scm, rng):
+        eff = interventional_effects(
+            scm, "s", "y", n=5000, rng=rng,
+            predict=lambda cols: np.ones(len(cols["s"])))
+        assert eff.te == 0.0
+        assert eff.nde == 0.0
+        assert eff.nie == 0.0
+
+    def test_no_mediators(self, rng):
+        graph = CausalGraph(edges=[("s", "y")])
+        scm = StructuralCausalModel(graph, {
+            "s": lambda p, rng: (rng.random(rng.n) < 0.5).astype(float),
+            "y": lambda p, rng: p["s"],
+        })
+        eff = interventional_effects(scm, "s", "y", n=2000, rng=rng)
+        assert eff.te == pytest.approx(1.0)
+        assert eff.nde == pytest.approx(1.0)
+        assert eff.nie == 0.0

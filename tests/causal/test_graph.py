@@ -1,0 +1,101 @@
+"""Tests for CausalGraph queries."""
+
+import pytest
+
+from repro.causal import CausalGraph
+
+
+@pytest.fixture
+def chain():
+    # s -> m -> y, s -> y, c -> y  (classic mediation + covariate)
+    return CausalGraph(edges=[("s", "m"), ("m", "y"), ("s", "y"),
+                              ("c", "y")])
+
+
+class TestConstruction:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="acyclic"):
+            CausalGraph(edges=[("a", "b"), ("b", "a")])
+
+    def test_isolated_nodes(self):
+        g = CausalGraph(edges=[("a", "b")], nodes=["z"])
+        assert "z" in g
+
+    def test_nodes_and_edges(self, chain):
+        assert set(chain.nodes) == {"s", "m", "y", "c"}
+        assert ("s", "m") in chain.edges
+
+
+class TestRelations:
+    def test_parents_sorted(self, chain):
+        assert chain.parents("y") == ["c", "m", "s"]
+
+    def test_children(self, chain):
+        assert chain.children("s") == ["m", "y"]
+
+    def test_ancestors(self, chain):
+        assert chain.ancestors("y") == {"s", "m", "c"}
+
+    def test_descendants(self, chain):
+        assert chain.descendants("s") == {"m", "y"}
+
+    def test_topological_order(self, chain):
+        order = chain.topological_order()
+        assert order.index("s") < order.index("m") < order.index("y")
+
+
+class TestPaths:
+    def test_directed_paths(self, chain):
+        paths = chain.directed_paths("s", "y")
+        assert sorted(paths) == [["s", "m", "y"], ["s", "y"]]
+
+    def test_has_directed_path(self, chain):
+        assert chain.has_directed_path("s", "y")
+        assert not chain.has_directed_path("y", "s")
+
+    def test_mediators(self, chain):
+        assert chain.mediators("s", "y") == {"m"}
+
+    def test_mediators_empty_without_indirect_path(self):
+        g = CausalGraph(edges=[("s", "y")])
+        assert g.mediators("s", "y") == set()
+
+    def test_confounders(self):
+        g = CausalGraph(edges=[("u", "s"), ("u", "y"), ("s", "y")])
+        assert g.confounders("s", "y") == {"u"}
+
+    def test_blocking_parents(self, chain):
+        # m is the last hop of the only indirect path s->m->y.
+        assert chain.blocking_parents("s", "y") == ["m"]
+
+    def test_blocking_parents_direct_only(self):
+        g = CausalGraph(edges=[("s", "y"), ("c", "y")])
+        assert g.blocking_parents("s", "y") == []
+
+
+class TestDSeparation:
+    def test_chain_blocked_by_mediator(self):
+        g = CausalGraph(edges=[("a", "b"), ("b", "c")])
+        assert not g.d_separated("a", "c")
+        assert g.d_separated("a", "c", given=["b"])
+
+    def test_collider_open_when_conditioned(self):
+        g = CausalGraph(edges=[("a", "c"), ("b", "c")])
+        assert g.d_separated("a", "b")
+        assert not g.d_separated("a", "b", given=["c"])
+
+    def test_fork(self):
+        g = CausalGraph(edges=[("u", "a"), ("u", "b")])
+        assert not g.d_separated("a", "b")
+        assert g.d_separated("a", "b", given=["u"])
+
+
+class TestModification:
+    def test_without_edges(self, chain):
+        g = chain.without_edges([("s", "y")])
+        assert g.directed_paths("s", "y") == [["s", "m", "y"]]
+
+    def test_to_networkx_is_copy(self, chain):
+        nx_graph = chain.to_networkx()
+        nx_graph.remove_node("s")
+        assert "s" in chain

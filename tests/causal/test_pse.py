@@ -1,0 +1,176 @@
+"""Tests for path-specific effects on counterfactual SCMs."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (CausalGraph, CounterfactualSCM, DiscreteCPT,
+                          active_edges_for_direct,
+                          active_edges_for_indirect, edges_of_paths,
+                          interventional_effects, path_specific_effect,
+                          pse_decomposition)
+
+RNG = np.random.default_rng
+DOM = np.array([0.0, 1.0])
+
+
+def mediation_scm(direct: float = 0.3, via_z: float = 0.4
+                  ) -> CounterfactualSCM:
+    """S → Y direct (+`direct` to P(Y=1)) and S → Z → Y (+`via_z`)."""
+    cpts = {
+        "S": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+        "Z": DiscreteCPT(("S",), DOM, {
+            (0.0,): np.array([1.0, 0.0]),
+            (1.0,): np.array([0.0, 1.0]),  # Z copies S exactly
+        }),
+        "Y": DiscreteCPT(("S", "Z"), DOM, {
+            (0.0, 0.0): np.array([1.0 - 0.1, 0.1]),
+            (1.0, 0.0): np.array([1.0 - 0.1 - direct, 0.1 + direct]),
+            (0.0, 1.0): np.array([1.0 - 0.1 - via_z, 0.1 + via_z]),
+            (1.0, 1.0): np.array([1.0 - 0.1 - direct - via_z,
+                                  0.1 + direct + via_z]),
+        }),
+    }
+    graph = CausalGraph([("S", "Z"), ("S", "Y"), ("Z", "Y")])
+    return CounterfactualSCM(graph, cpts)
+
+
+class TestEdgeHelpers:
+    def test_edges_of_paths(self):
+        edges = edges_of_paths([["S", "Z", "Y"], ["S", "Y"]])
+        assert edges == {("S", "Z"), ("Z", "Y"), ("S", "Y")}
+
+    def test_edges_of_paths_rejects_singleton(self):
+        with pytest.raises(ValueError, match="at least two"):
+            edges_of_paths([["S"]])
+
+    def test_direct_helper(self):
+        scm = mediation_scm()
+        assert active_edges_for_direct(scm, "S", "Y") == {("S", "Y")}
+
+    def test_direct_helper_requires_edge(self):
+        graph = CausalGraph([("S", "Z"), ("Z", "Y")])
+        cpts = {
+            "S": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+            "Z": DiscreteCPT(("S",), DOM, {
+                (0.0,): np.array([0.9, 0.1]),
+                (1.0,): np.array([0.1, 0.9])}),
+            "Y": DiscreteCPT(("Z",), DOM, {
+                (0.0,): np.array([0.9, 0.1]),
+                (1.0,): np.array([0.1, 0.9])}),
+        }
+        scm = CounterfactualSCM(graph, cpts)
+        with pytest.raises(ValueError, match="no direct edge"):
+            active_edges_for_direct(scm, "S", "Y")
+
+    def test_indirect_helper(self):
+        scm = mediation_scm()
+        assert active_edges_for_indirect(scm, "S", "Y") == {
+            ("S", "Z"), ("Z", "Y")}
+
+
+class TestPathSpecificEffect:
+    def test_direct_pse_isolates_direct_strength(self):
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        pse = path_specific_effect(
+            scm, "S", "Y", active_edges_for_direct(scm, "S", "Y"),
+            n=30000, rng=RNG(0))
+        assert pse.effect == pytest.approx(0.3, abs=0.03)
+
+    def test_indirect_pse_isolates_mediated_strength(self):
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        pse = path_specific_effect(
+            scm, "S", "Y", active_edges_for_indirect(scm, "S", "Y"),
+            n=30000, rng=RNG(1))
+        assert pse.effect == pytest.approx(0.4, abs=0.03)
+
+    def test_all_paths_pse_equals_total_effect(self):
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        paths = scm.graph.directed_paths("S", "Y")
+        pse = path_specific_effect(scm, "S", "Y", edges_of_paths(paths),
+                                   n=30000, rng=RNG(2))
+        assert pse.effect == pytest.approx(0.7, abs=0.03)
+
+    def test_empty_active_set_gives_zero_effect(self):
+        scm = mediation_scm()
+        pse = path_specific_effect(scm, "S", "Y", frozenset(),
+                                   n=5000, rng=RNG(3))
+        assert pse.effect == pytest.approx(0.0, abs=1e-12)
+
+    def test_unknown_edge_rejected(self):
+        scm = mediation_scm()
+        with pytest.raises(ValueError, match="not in graph"):
+            path_specific_effect(scm, "S", "Y", {("S", "Q")},
+                                 n=100, rng=RNG(0))
+
+    def test_predict_hook_audits_classifier(self):
+        """A classifier ignoring S entirely has zero direct PSE."""
+        scm = mediation_scm()
+
+        def predict(values):
+            return values["Z"]  # depends on S only through Z
+
+        direct = path_specific_effect(
+            scm, "S", "Y", active_edges_for_direct(scm, "S", "Y"),
+            n=10000, rng=RNG(4), predict=predict)
+        indirect = path_specific_effect(
+            scm, "S", "Y", active_edges_for_indirect(scm, "S", "Y"),
+            n=10000, rng=RNG(5), predict=predict)
+        assert direct.effect == pytest.approx(0.0, abs=1e-12)
+        assert indirect.effect == pytest.approx(1.0, abs=0.02)
+
+    def test_reversed_treatment_values_flip_sign(self):
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        edges = edges_of_paths(scm.graph.directed_paths("S", "Y"))
+        forward = path_specific_effect(scm, "S", "Y", edges, 20000, RNG(6))
+        backward = path_specific_effect(scm, "S", "Y", edges, 20000, RNG(6),
+                                        s1=0.0, s0=1.0)
+        assert forward.effect == pytest.approx(-backward.effect, abs=0.03)
+
+
+class TestDecomposition:
+    def test_keys_present(self):
+        scm = mediation_scm()
+        dec = pse_decomposition(scm, "S", "Y", n=5000, rng=RNG(0))
+        assert set(dec) == {"total", "direct", "indirect"}
+
+    def test_additivity_in_additive_model(self):
+        """With additive effects, direct + indirect ≈ total."""
+        scm = mediation_scm(direct=0.2, via_z=0.3)
+        dec = pse_decomposition(scm, "S", "Y", n=40000, rng=RNG(1))
+        assert (dec["direct"].effect + dec["indirect"].effect
+                == pytest.approx(dec["total"].effect, abs=0.03))
+
+    def test_total_matches_interventional_te(self):
+        """The all-paths PSE agrees with the rung-2 TE estimator."""
+        scm = mediation_scm(direct=0.25, via_z=0.35)
+        dec = pse_decomposition(scm, "S", "Y", n=40000, rng=RNG(2))
+
+        # Rebuild an equivalent sampling-only SCM for the TE estimator.
+        from repro.causal import StructuralCausalModel
+
+        def mech_from_cpt(node):
+            cpt = scm.cpt(node)
+
+            def mech(parents, rng):
+                n = parents[next(iter(parents))].shape[0] if parents \
+                    else rng.n
+                return cpt.apply(parents, rng.random(n))
+            return mech
+
+        sampling = StructuralCausalModel(
+            scm.graph, {n: mech_from_cpt(n) for n in scm.graph.nodes})
+        effects = interventional_effects(sampling, "S", "Y", 40000, RNG(3))
+        assert dec["total"].effect == pytest.approx(effects.te, abs=0.03)
+
+    def test_no_path_raises(self):
+        graph = CausalGraph([("A", "B")], nodes=["C"])
+        cpts = {
+            "A": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+            "B": DiscreteCPT(("A",), DOM, {
+                (0.0,): np.array([0.9, 0.1]),
+                (1.0,): np.array([0.1, 0.9])}),
+            "C": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+        }
+        scm = CounterfactualSCM(graph, cpts)
+        with pytest.raises(ValueError, match="no directed path"):
+            pse_decomposition(scm, "C", "B", n=100, rng=RNG(0))

@@ -1,0 +1,91 @@
+"""Tests for the StructuralCausalModel sampler and do-operator."""
+
+import numpy as np
+import pytest
+
+from repro.causal import CausalGraph, StructuralCausalModel
+
+
+@pytest.fixture
+def scm():
+    graph = CausalGraph(edges=[("s", "m"), ("s", "y"), ("m", "y")])
+    mechanisms = {
+        "s": lambda p, rng: (rng.random(rng.n) < 0.5).astype(float),
+        "m": lambda p, rng: p["s"] + rng.normal(0, 0.1, len(p["s"])),
+        "y": lambda p, rng: ((0.7 * p["s"] + 0.3 * p["m"]
+                              + rng.normal(0, 0.05, len(p["s"]))) > 0.5
+                             ).astype(float),
+    }
+    return StructuralCausalModel(graph, mechanisms)
+
+
+class TestConstruction:
+    def test_missing_mechanism_rejected(self, scm):
+        with pytest.raises(ValueError, match="no mechanism"):
+            StructuralCausalModel(scm.graph, {"s": scm.mechanism("s")})
+
+    def test_extra_mechanism_rejected(self, scm):
+        mechanisms = {n: scm.mechanism(n) for n in scm.graph.nodes}
+        mechanisms["ghost"] = mechanisms["s"]
+        with pytest.raises(ValueError, match="unknown nodes"):
+            StructuralCausalModel(scm.graph, mechanisms)
+
+
+class TestSampling:
+    def test_shapes(self, scm, rng):
+        sample = scm.sample(100, rng)
+        assert set(sample) == {"s", "m", "y"}
+        assert all(v.shape == (100,) for v in sample.values())
+
+    def test_mediator_tracks_source(self, scm, rng):
+        sample = scm.sample(5000, rng)
+        m1 = sample["m"][sample["s"] == 1].mean()
+        m0 = sample["m"][sample["s"] == 0].mean()
+        assert m1 - m0 == pytest.approx(1.0, abs=0.05)
+
+    def test_overrides(self, scm, rng):
+        forced = np.zeros(50)
+        sample = scm.sample(50, rng, overrides={"m": forced})
+        np.testing.assert_array_equal(sample["m"], forced)
+
+    def test_override_wrong_shape(self, scm, rng):
+        with pytest.raises(ValueError, match="override"):
+            scm.sample(50, rng, overrides={"m": np.zeros(3)})
+
+
+class TestDo:
+    def test_do_forces_constant(self, scm, rng):
+        sample = scm.do(s=1).sample(200, rng)
+        assert (sample["s"] == 1).all()
+
+    def test_do_propagates_downstream(self, scm, rng):
+        s1 = scm.do(s=1).sample(5000, rng)
+        s0 = scm.do(s=0).sample(5000, rng)
+        assert s1["y"].mean() > s0["y"].mean() + 0.5
+
+    def test_do_unknown_node(self, scm):
+        with pytest.raises(ValueError):
+            scm.do(ghost=1)
+
+    def test_do_returns_new_model(self, scm, rng):
+        intervened = scm.do(s=1)
+        original_sample = scm.sample(500, np.random.default_rng(0))
+        assert 0.3 < original_sample["s"].mean() < 0.7  # not forced
+
+    def test_do_composes(self, scm, rng):
+        sample = scm.do(s=1).do(m=0.0).sample(100, rng)
+        assert (sample["m"] == 0).all()
+        assert (sample["s"] == 1).all()
+
+
+class TestMechanismReplacement:
+    def test_with_mechanism_splices_classifier(self, scm, rng):
+        constant = scm.with_mechanism(
+            "y", lambda p, rng: np.ones(len(p["s"])))
+        sample = constant.sample(50, rng)
+        assert (sample["y"] == 1).all()
+
+    def test_original_unchanged(self, scm, rng):
+        scm.with_mechanism("y", lambda p, rng: np.ones(len(p["s"])))
+        sample = scm.sample(500, rng)
+        assert sample["y"].mean() < 1.0

@@ -1,0 +1,51 @@
+"""Shared fixtures: small cached datasets and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (Table, load_admissions, load_adult, load_compas,
+                            load_german, train_test_split)
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    return load_adult(1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def compas_small():
+    return load_compas(1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def german_small():
+    return load_german(800, seed=7)
+
+
+@pytest.fixture(scope="session")
+def admissions():
+    return load_admissions()
+
+
+@pytest.fixture(scope="session")
+def compas_split(compas_small):
+    return train_test_split(compas_small, seed=3)
+
+
+@pytest.fixture(scope="session")
+def adult_split(adult_small):
+    return train_test_split(adult_small, seed=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_table():
+    return Table({
+        "a": np.array([1.0, 2.0, 3.0, 4.0]),
+        "b": np.array([0, 1, 0, 1]),
+        "c": np.array([10.0, 20.0, 30.0, 40.0]),
+    })

@@ -1,0 +1,136 @@
+"""Tests for scalers, one-hot encoding, discretisation, and the
+pipeline FeatureEncoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (EqualFrequencyDiscretizer, FeatureEncoder,
+                            OneHotEncoder, StandardScaler,
+                            discretize_dataset, encode_features)
+from repro.datasets.encoding import FeatureEncoder as FE  # re-export check
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_test_data_uses_train_statistics(self, rng):
+        train = rng.normal(0, 1, size=(100, 1))
+        scaler = StandardScaler().fit(train)
+        shifted = scaler.transform(train + 10)
+        assert shifted.mean() == pytest.approx(10 / train.std(), rel=1e-6)
+
+
+class TestOneHotEncoder:
+    def test_round_trip_categories(self):
+        X = np.array([[0], [1], [2], [1]])
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (4, 3)
+        np.testing.assert_array_equal(Z.sum(axis=1), np.ones(4))
+
+    def test_unseen_category_maps_to_zeros(self):
+        enc = OneHotEncoder().fit(np.array([[0], [1]]))
+        Z = enc.transform(np.array([[5]]))
+        np.testing.assert_array_equal(Z, [[0.0, 0.0]])
+
+    def test_multiple_columns_blocks(self):
+        X = np.array([[0, 0], [1, 1], [0, 2]])
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (3, 5)  # 2 + 3 categories
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(np.ones((2, 2)))
+
+
+class TestDiscretizer:
+    def test_bins_cover_range(self, rng):
+        X = rng.normal(size=(500, 1))
+        bins = EqualFrequencyDiscretizer(4).fit_transform(X)
+        assert set(np.unique(bins)) <= {0, 1, 2, 3}
+
+    def test_roughly_equal_frequency(self, rng):
+        X = rng.normal(size=(1000, 1))
+        bins = EqualFrequencyDiscretizer(4).fit_transform(X)
+        _, counts = np.unique(bins, return_counts=True)
+        assert counts.min() > 150
+
+    def test_monotone(self, rng):
+        X = np.sort(rng.normal(size=(100, 1)), axis=0)
+        bins = EqualFrequencyDiscretizer(3).fit_transform(X)
+        assert (np.diff(bins.ravel()) >= 0).all()
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretizer(1)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            EqualFrequencyDiscretizer().transform(np.ones((2, 1)))
+
+
+class TestDiscretizeDataset:
+    def test_numeric_features_binned(self, compas_small):
+        out = discretize_dataset(compas_small, n_bins=3)
+        assert len(np.unique(out.table["age"])) <= 3
+        # Categorical features untouched.
+        np.testing.assert_array_equal(out.table["sex"],
+                                      compas_small.table["sex"])
+
+    def test_schema_preserved(self, compas_small):
+        out = discretize_dataset(compas_small)
+        assert out.feature_names == compas_small.feature_names
+        np.testing.assert_array_equal(out.y, compas_small.y)
+
+
+class TestFeatureEncoder:
+    def test_shapes(self, compas_split):
+        enc = FeatureEncoder().fit(compas_split.train)
+        Xtr = enc.transform(compas_split.train)
+        Xte = enc.transform(compas_split.test)
+        assert Xtr.shape[1] == Xte.shape[1]
+        assert Xtr.shape[0] == compas_split.train.n_rows
+
+    def test_numeric_standardised(self, compas_split):
+        enc = FeatureEncoder().fit(compas_split.train)
+        Xtr = enc.transform(compas_split.train)
+        # First columns are the scaled numeric features.
+        assert abs(Xtr[:, 0].mean()) < 1e-8
+
+    def test_unfitted(self, compas_small):
+        with pytest.raises(RuntimeError):
+            FeatureEncoder().transform(compas_small)
+
+    def test_encode_features_function(self, compas_split):
+        Xtr, Xte = encode_features(compas_split.train, compas_split.test)
+        assert Xtr.shape[1] == Xte.shape[1]
+
+    def test_encode_features_train_only(self, compas_small):
+        Xtr, Xte = encode_features(compas_small)
+        assert Xte is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=60))
+def test_onehot_inverse_property(codes):
+    """argmax of the one-hot block recovers the original code index."""
+    X = np.array(codes, dtype=float)[:, None]
+    enc = OneHotEncoder().fit(X)
+    Z = enc.transform(X)
+    cats = enc.categories_[0]
+    recovered = cats[Z.argmax(axis=1)]
+    np.testing.assert_array_equal(recovered, X.ravel())

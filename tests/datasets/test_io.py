@@ -1,0 +1,104 @@
+"""Tests for CSV parsing, formatting, and round-tripping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Table, format_csv, parse_csv, read_csv, write_csv
+
+
+class TestParseCsv:
+    def test_header_and_types(self):
+        t = parse_csv("a,b,c\n1,2.5,x\n3,4.0,y\n")
+        assert t.columns == ["a", "b", "c"]
+        assert t["a"].dtype == np.dtype(int)
+        assert t["b"].dtype == np.dtype(float)
+        assert list(t["c"]) == ["x", "y"]
+
+    def test_headerless_with_names(self):
+        t = parse_csv("1,2\n3,4\n", header=["x", "y"])
+        assert t.columns == ["x", "y"]
+        assert list(t["x"]) == [1, 3]
+
+    def test_missing_values_become_nan(self):
+        t = parse_csv("a\n1\n?\n3\n")
+        assert t["a"].dtype == np.dtype(float)
+        assert np.isnan(t["a"][1])
+
+    def test_missing_strings_become_empty(self):
+        t = parse_csv("a\nx\n?\nz\n")
+        assert list(t["a"]) == ["x", "", "z"]
+
+    def test_custom_na_values(self):
+        t = parse_csv("a\n1\n-999\n", na_values=("-999",))
+        assert np.isnan(t["a"][1])
+
+    def test_whitespace_stripped(self):
+        t = parse_csv("a, b\n 1 , x \n")
+        assert t.columns == ["a", "b"]
+        assert t["a"][0] == 1
+        assert t["b"][0] == "x"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_csv("")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="fields"):
+            parse_csv("a,b\n1\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_csv("a,a\n1,2\n")
+
+    def test_semicolon_delimiter(self):
+        t = parse_csv("a;b\n1;2\n", delimiter=";")
+        assert t.columns == ["a", "b"]
+
+
+class TestFormatCsv:
+    def test_header_row_written(self):
+        t = Table({"a": np.array([1, 2]), "b": np.array([0.5, 1.5])})
+        text = format_csv(t)
+        assert text.splitlines()[0] == "a,b"
+
+    def test_nan_written_as_empty(self):
+        t = Table({"a": np.array([1.0, float("nan")])})
+        lines = format_csv(t).splitlines()
+        # The csv writer may quote a lone empty field; both read back
+        # as missing.
+        assert lines[2] in ("", '""')
+        assert np.isnan(parse_csv(format_csv(t))["a"][1])
+
+    def test_roundtrip_preserves_values(self):
+        t = Table({
+            "i": np.array([1, 2, 3]),
+            "f": np.array([0.25, -1.5, 3.0]),
+            "s": np.array(["a", "b", "c"], dtype=object),
+        })
+        back = parse_csv(format_csv(t))
+        assert list(back["i"]) == [1, 2, 3]
+        assert np.allclose(back["f"], t["f"])
+        assert list(back["s"]) == ["a", "b", "c"]
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_integer_roundtrip_property(self, values):
+        t = Table({"v": np.array(values)})
+        back = parse_csv(format_csv(t))
+        assert list(back["v"]) == values
+
+
+class TestFileIO:
+    def test_write_and_read_file(self, tmp_path):
+        t = Table({"x": np.array([1.0, 2.0]), "y": np.array([0, 1])})
+        path = tmp_path / "out.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert np.allclose(back["x"], t["x"])
+        assert list(back["y"]) == [0, 1]
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "absent.csv")

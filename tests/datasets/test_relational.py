@@ -1,0 +1,163 @@
+"""Tests for Table.distinct/join and the MVD check."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Table, check_mvd
+
+
+@pytest.fixture
+def left():
+    return Table({
+        "k": np.array([1, 2, 2, 3]),
+        "a": np.array([10.0, 20.0, 21.0, 30.0]),
+    })
+
+
+@pytest.fixture
+def right():
+    return Table({
+        "k": np.array([1, 2, 4]),
+        "b": np.array(["x", "y", "z"], dtype=object),
+    })
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        t = Table({"a": np.array([1, 1, 2]), "b": np.array([5, 5, 6])})
+        assert t.distinct().n_rows == 2
+
+    def test_projection_then_dedup(self):
+        t = Table({"a": np.array([1, 1, 2]), "b": np.array([5, 6, 7])})
+        assert t.distinct(["a"]).n_rows == 2
+
+    def test_keeps_first_occurrence_order(self):
+        t = Table({"a": np.array([3, 1, 3, 1])})
+        assert list(t.distinct()["a"]) == [3, 1]
+
+    def test_empty_table(self):
+        t = Table({"a": np.array([], dtype=int)})
+        assert t.distinct().n_rows == 0
+
+
+class TestJoin:
+    def test_inner_join_matches(self, left, right):
+        out = left.join(right, on="k")
+        assert out.n_rows == 3  # k=1 once, k=2 twice
+        assert set(out.columns) == {"k", "a", "b"}
+        assert list(out["b"]) == ["x", "y", "y"]
+
+    def test_inner_join_drops_unmatched(self, left, right):
+        out = left.join(right, on="k")
+        assert 3 not in out["k"]
+
+    def test_left_join_keeps_unmatched_with_fill(self, left, right):
+        out = left.join(right, on="k", how="left")
+        assert out.n_rows == 4
+        row3 = list(out["k"]).index(3)
+        assert out["b"][row3] == ""
+
+    def test_left_join_numeric_fill_is_nan(self):
+        a = Table({"k": np.array([1, 2])})
+        b = Table({"k": np.array([1]), "v": np.array([9.0])})
+        out = a.join(b, on="k", how="left")
+        assert np.isnan(out["v"][1])
+
+    def test_multi_key_join(self):
+        a = Table({"k1": np.array([1, 1]), "k2": np.array([0, 1]),
+                   "x": np.array([5, 6])})
+        b = Table({"k1": np.array([1]), "k2": np.array([1]),
+                   "y": np.array([7])})
+        out = a.join(b, on=["k1", "k2"])
+        assert out.n_rows == 1
+        assert out["x"][0] == 6
+
+    def test_many_to_many_multiplies(self):
+        a = Table({"k": np.array([1, 1]), "x": np.array([1, 2])})
+        b = Table({"k": np.array([1, 1]), "y": np.array([3, 4])})
+        assert a.join(b, on="k").n_rows == 4
+
+    def test_column_collision_rejected(self):
+        a = Table({"k": np.array([1]), "v": np.array([1])})
+        b = Table({"k": np.array([1]), "v": np.array([2])})
+        with pytest.raises(ValueError, match="collision"):
+            a.join(b, on="k")
+
+    def test_missing_key_rejected(self, left):
+        with pytest.raises(KeyError, match="join key"):
+            left.join(Table({"q": np.array([1])}), on="k")
+
+    def test_bad_how_rejected(self, left, right):
+        with pytest.raises(ValueError, match="unsupported join"):
+            left.join(right, on="k", how="outer")
+
+    def test_empty_keys_rejected(self, left, right):
+        with pytest.raises(ValueError, match="at least one join key"):
+            left.join(right, on=[])
+
+
+class TestCheckMvd:
+    def cross_product_table(self):
+        """A=0/1 strata, within each Y × I fully crossed → MVD holds."""
+        rows = []
+        for a in (0, 1):
+            for y in (0, 1):
+                for i in (0, 1):
+                    rows.append((a, y, i))
+        arr = np.array(rows)
+        return Table({"A": arr[:, 0], "Y": arr[:, 1], "I": arr[:, 2]})
+
+    def test_full_cross_product_holds(self):
+        report = check_mvd(self.cross_product_table(),
+                           key=["A"], left=["Y"], right=["I"])
+        assert report.holds
+        assert report.missing == 0
+
+    def test_dependence_detected(self):
+        # Y == I within every A stratum: maximally dependent.
+        t = Table({
+            "A": np.array([0, 0, 1, 1]),
+            "Y": np.array([0, 1, 0, 1]),
+            "I": np.array([0, 1, 0, 1]),
+        })
+        report = check_mvd(t, key=["A"], left=["Y"], right=["I"])
+        assert not report.holds
+        assert report.missing == 4  # each stratum misses 2 combos
+
+    def test_duplicates_do_not_affect_result(self):
+        t = self.cross_product_table()
+        doubled = Table.concat([t, t])
+        report = check_mvd(doubled, key=["A"], left=["Y"], right=["I"])
+        assert report.holds
+
+    def test_salimi_repair_satisfies_mvd(self, compas_small):
+        """Salimi's MaxSAT repair makes Y ⫫ I | A hold (its guarantee)."""
+        from repro.datasets import discretize_dataset
+        from repro.fairness.preprocessing import SalimiMaxSAT
+
+        dataset = discretize_dataset(compas_small.head(600), n_bins=3)
+        repaired = SalimiMaxSAT(seed=0).repair(dataset)
+        report = check_mvd(
+            repaired.table,
+            key=[*repaired.admissible],
+            left=[repaired.label],
+            right=[*repaired.inadmissible],
+        )
+        before = check_mvd(
+            dataset.table,
+            key=[*dataset.admissible],
+            left=[dataset.label],
+            right=[*dataset.inadmissible],
+        )
+        assert report.missing <= before.missing
+
+    def test_validation(self):
+        t = self.cross_product_table()
+        with pytest.raises(ValueError, match="key column"):
+            check_mvd(t, key=[], left=["Y"], right=["I"])
+        with pytest.raises(ValueError, match="non-empty"):
+            check_mvd(t, key=["A"], left=[], right=["I"])
+        with pytest.raises(ValueError, match="disjoint"):
+            check_mvd(t, key=["A"], left=["Y"], right=["Y"])
+        with pytest.raises(KeyError):
+            check_mvd(t, key=["A"], left=["Y"], right=["Q"])

@@ -1,0 +1,92 @@
+"""Tests for train/test splitting and cross-validation folds."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (k_fold, stratified_k_fold, train_test_split,
+                            train_validation_test_split)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, compas_small):
+        split = train_test_split(compas_small, test_fraction=0.3, seed=0)
+        assert split.test.n_rows == round(compas_small.n_rows * 0.3)
+        assert (split.train.n_rows + split.test.n_rows
+                == compas_small.n_rows)
+
+    def test_disjoint_and_exhaustive(self, compas_small):
+        split = train_test_split(compas_small, seed=0)
+        merged = np.sort(np.concatenate([
+            split.train.table["age"], split.test.table["age"]]))
+        np.testing.assert_array_equal(
+            merged, np.sort(compas_small.table["age"]))
+
+    def test_deterministic(self, compas_small):
+        a = train_test_split(compas_small, seed=1)
+        b = train_test_split(compas_small, seed=1)
+        assert a.train.table == b.train.table
+
+    def test_seed_changes_split(self, compas_small):
+        a = train_test_split(compas_small, seed=1)
+        b = train_test_split(compas_small, seed=2)
+        assert a.train.table != b.train.table
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_fraction(self, compas_small, fraction):
+        with pytest.raises(ValueError):
+            train_test_split(compas_small, test_fraction=fraction)
+
+
+class TestThreeWaySplit:
+    def test_sizes(self, compas_small):
+        split = train_validation_test_split(compas_small, seed=0)
+        assert split.validation is not None
+        total = (split.train.n_rows + split.validation.n_rows
+                 + split.test.n_rows)
+        assert total == compas_small.n_rows
+
+    def test_invalid_fractions(self, compas_small):
+        with pytest.raises(ValueError):
+            train_validation_test_split(compas_small,
+                                        validation_fraction=0.6,
+                                        test_fraction=0.5)
+
+
+class TestKFold:
+    def test_each_row_tested_once(self, compas_small):
+        splits = k_fold(compas_small, k=5, seed=0)
+        assert len(splits) == 5
+        total_test = sum(s.test.n_rows for s in splits)
+        assert total_test == compas_small.n_rows
+
+    def test_train_test_disjoint_per_fold(self, german_small):
+        for split in k_fold(german_small, k=4, seed=0):
+            assert (split.train.n_rows + split.test.n_rows
+                    == german_small.n_rows)
+
+    def test_k_too_small(self, compas_small):
+        with pytest.raises(ValueError):
+            k_fold(compas_small, k=1)
+
+    def test_k_exceeds_rows(self, compas_small):
+        with pytest.raises(ValueError):
+            k_fold(compas_small.head(3), k=5)
+
+
+class TestStratifiedKFold:
+    def test_every_cell_in_every_fold(self, compas_small):
+        for split in stratified_k_fold(compas_small, k=5, seed=0):
+            s, y = split.test.s, split.test.y
+            for sv in (0, 1):
+                for yv in (0, 1):
+                    assert ((s == sv) & (y == yv)).any(), \
+                        f"cell S={sv},Y={yv} empty in a fold"
+
+    def test_partition(self, compas_small):
+        splits = stratified_k_fold(compas_small, k=5, seed=0)
+        total = sum(s.test.n_rows for s in splits)
+        assert total == compas_small.n_rows
+
+    def test_k_too_small(self, compas_small):
+        with pytest.raises(ValueError):
+            stratified_k_fold(compas_small, k=1)

@@ -1,0 +1,196 @@
+"""Unit and property tests for the Table container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Table, crosstab, value_counts
+
+
+class TestConstruction:
+    def test_columns_preserved_in_order(self, tiny_table):
+        assert tiny_table.columns == ["a", "b", "c"]
+
+    def test_n_rows(self, tiny_table):
+        assert tiny_table.n_rows == 4
+        assert len(tiny_table) == 4
+
+    def test_empty_table(self):
+        t = Table({})
+        assert t.n_rows == 0
+        assert t.columns == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_contains(self, tiny_table):
+        assert "a" in tiny_table
+        assert "z" not in tiny_table
+
+    def test_missing_column_error_names_available(self, tiny_table):
+        with pytest.raises(KeyError, match="available"):
+            tiny_table["nope"]
+
+    def test_column_alias(self, tiny_table):
+        np.testing.assert_array_equal(tiny_table.column("a"),
+                                      tiny_table["a"])
+
+    def test_equality(self, tiny_table):
+        same = Table(tiny_table.to_dict())
+        assert tiny_table == same
+
+    def test_inequality_different_values(self, tiny_table):
+        other = tiny_table.assign(a=np.array([9.0, 9.0, 9.0, 9.0]))
+        assert tiny_table != other
+
+    def test_repr_mentions_shape(self, tiny_table):
+        assert "4 rows" in repr(tiny_table)
+
+
+class TestRowOperations:
+    def test_take_selects_rows(self, tiny_table):
+        sub = tiny_table.take([0, 2])
+        np.testing.assert_array_equal(sub["a"], [1.0, 3.0])
+
+    def test_take_allows_repetition(self, tiny_table):
+        sub = tiny_table.take([1, 1, 1])
+        assert sub.n_rows == 3
+        assert set(sub["a"]) == {2.0}
+
+    def test_filter(self, tiny_table):
+        sub = tiny_table.filter(tiny_table["b"] == 1)
+        np.testing.assert_array_equal(sub["a"], [2.0, 4.0])
+
+    def test_filter_rejects_wrong_shape(self, tiny_table):
+        with pytest.raises(ValueError):
+            tiny_table.filter(np.array([True, False]))
+
+    def test_head(self, tiny_table):
+        assert tiny_table.head(2).n_rows == 2
+
+    def test_head_beyond_length(self, tiny_table):
+        assert tiny_table.head(99).n_rows == 4
+
+    def test_sample_without_replacement(self, tiny_table, rng):
+        sub = tiny_table.sample(3, rng)
+        assert sub.n_rows == 3
+        assert len(set(sub["a"])) == 3
+
+    def test_sample_with_replacement_can_exceed(self, tiny_table, rng):
+        sub = tiny_table.sample(10, rng, replace=True)
+        assert sub.n_rows == 10
+
+    def test_shuffle_is_permutation(self, tiny_table, rng):
+        shuffled = tiny_table.shuffle(rng)
+        assert sorted(shuffled["a"]) == sorted(tiny_table["a"])
+
+
+class TestColumnOperations:
+    def test_select(self, tiny_table):
+        sub = tiny_table.select(["c", "a"])
+        assert sub.columns == ["c", "a"]
+
+    def test_drop(self, tiny_table):
+        assert tiny_table.drop(["b"]).columns == ["a", "c"]
+
+    def test_assign_replaces_in_place(self, tiny_table):
+        new = tiny_table.assign(b=np.array([5, 6, 7, 8]))
+        assert new.columns == ["a", "b", "c"]
+        np.testing.assert_array_equal(new["b"], [5, 6, 7, 8])
+
+    def test_assign_appends_new(self, tiny_table):
+        new = tiny_table.assign(d=np.ones(4))
+        assert new.columns[-1] == "d"
+
+    def test_assign_rejects_wrong_length(self, tiny_table):
+        with pytest.raises(ValueError):
+            tiny_table.assign(d=np.ones(3))
+
+    def test_assign_does_not_mutate_original(self, tiny_table):
+        tiny_table.assign(a=np.zeros(4))
+        np.testing.assert_array_equal(tiny_table["a"], [1.0, 2.0, 3.0, 4.0])
+
+    def test_rename(self, tiny_table):
+        new = tiny_table.rename({"a": "alpha"})
+        assert new.columns == ["alpha", "b", "c"]
+
+
+class TestCombination:
+    def test_concat(self, tiny_table):
+        both = Table.concat([tiny_table, tiny_table])
+        assert both.n_rows == 8
+
+    def test_concat_column_mismatch(self, tiny_table):
+        with pytest.raises(ValueError, match="mismatch"):
+            Table.concat([tiny_table, tiny_table.drop(["c"])])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            Table.concat([])
+
+
+class TestConversion:
+    def test_to_matrix_shape(self, tiny_table):
+        m = tiny_table.to_matrix()
+        assert m.shape == (4, 3)
+
+    def test_to_matrix_subset_order(self, tiny_table):
+        m = tiny_table.to_matrix(["c", "a"])
+        np.testing.assert_array_equal(m[:, 0], tiny_table["c"])
+
+    def test_to_matrix_no_columns(self, tiny_table):
+        assert tiny_table.to_matrix([]).shape == (4, 0)
+
+    def test_rows_iteration(self, tiny_table):
+        rows = list(tiny_table.rows())
+        assert rows[0] == (1.0, 0, 10.0)
+        assert len(rows) == 4
+
+    def test_copy_is_deep(self, tiny_table):
+        dup = tiny_table.copy()
+        dup["a"][0] = 99.0
+        assert tiny_table["a"][0] == 1.0
+
+
+class TestHelpers:
+    def test_value_counts_descending(self):
+        counts = value_counts(np.array([1, 1, 1, 2, 2, 3]))
+        assert list(counts.items()) == [(1, 3), (2, 2), (3, 1)]
+
+    def test_crosstab(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        joint = crosstab(a, b)
+        assert joint[(0, 0)] == 1
+        assert joint[(1, 1)] == 2
+
+    def test_crosstab_misaligned(self):
+        with pytest.raises(ValueError):
+            crosstab(np.array([1]), np.array([1, 2]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32), min_size=1, max_size=50))
+def test_take_identity_property(values):
+    """Taking all indices in order reproduces the table."""
+    t = Table({"x": np.array(values)})
+    assert t.take(np.arange(len(values))) == t
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.integers(-5, 5), min_size=1, max_size=50),
+       data=st.data())
+def test_filter_then_concat_partition_property(values, data):
+    """A mask-based partition concatenates back to a row-permutation."""
+    t = Table({"x": np.array(values, dtype=float)})
+    threshold = data.draw(st.integers(-5, 5))
+    mask = t["x"] >= threshold
+    merged = Table.concat([t.filter(mask), t.filter(~mask)])
+    assert sorted(merged["x"]) == sorted(t["x"])

@@ -1,0 +1,108 @@
+"""Tests for Table sorting, grouping, and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Table
+
+
+@pytest.fixture
+def table():
+    return Table({
+        "s": np.array([0, 1, 0, 1, 0, 1]),
+        "y": np.array([1, 1, 0, 0, 1, 1]),
+        "age": np.array([30.0, 40.0, 25.0, 35.0, 50.0, 45.0]),
+    })
+
+
+class TestSortBy:
+    def test_single_key(self, table):
+        out = table.sort_by("age")
+        assert list(out["age"]) == [25.0, 30.0, 35.0, 40.0, 45.0, 50.0]
+
+    def test_descending(self, table):
+        out = table.sort_by("age", ascending=False)
+        assert out["age"][0] == 50.0
+
+    def test_multi_key_ties_broken_by_second(self, table):
+        out = table.sort_by(["s", "age"])
+        assert list(out["s"]) == [0, 0, 0, 1, 1, 1]
+        assert list(out["age"][:3]) == [25.0, 30.0, 50.0]
+
+    def test_stable_on_equal_keys(self):
+        t = Table({"k": np.array([1, 1, 1]), "v": np.array([7, 8, 9])})
+        assert list(t.sort_by("k")["v"]) == [7, 8, 9]
+
+    def test_empty_keys_rejected(self, table):
+        with pytest.raises(ValueError, match="at least one"):
+            table.sort_by([])
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.sort_by("nope")
+
+
+class TestGroupBy:
+    def test_n_groups(self, table):
+        assert table.group_by("s").n_groups == 2
+        assert table.group_by(["s", "y"]).n_groups == 4
+
+    def test_size(self, table):
+        sizes = table.group_by("s").size()
+        assert list(sizes["count"]) == [3, 3]
+
+    def test_groups_iteration_partitions_rows(self, table):
+        total = sum(sub.n_rows for _, sub in table.group_by("s").groups())
+        assert total == table.n_rows
+
+    def test_agg_mean(self, table):
+        out = table.group_by("s").agg(y="mean")
+        assert out.columns == ["s", "y_mean"]
+        assert out["y_mean"][0] == pytest.approx(2 / 3)  # s=0 group
+        assert out["y_mean"][1] == pytest.approx(2 / 3)
+
+    def test_agg_multiple_specs(self, table):
+        out = table.group_by("s").agg(age="max", y="sum")
+        assert set(out.columns) == {"s", "age_max", "y_sum"}
+        assert out["age_max"][0] == 50.0
+
+    def test_agg_median_and_std(self, table):
+        out = table.group_by("s").agg(age="median")
+        assert out["age_median"][1] == 40.0
+
+    def test_unknown_aggregation_rejected(self, table):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            table.group_by("s").agg(age="mode")
+
+    def test_empty_spec_rejected(self, table):
+        with pytest.raises(ValueError, match="at least one aggregation"):
+            table.group_by("s").agg()
+
+    def test_unknown_group_column(self, table):
+        with pytest.raises(KeyError):
+            table.group_by("nope")
+
+    def test_groupby_matches_paper_bias_stats(self, table):
+        """group_by reproduces the base-rate computation of Figure 6."""
+        agg = table.group_by("s").agg(y="mean")
+        manual0 = table["y"][table["s"] == 0].mean()
+        assert agg["y_mean"][0] == pytest.approx(manual0)
+
+
+class TestDescribe:
+    def test_basic_stats(self, table):
+        d = table.describe(["age"])
+        assert list(d["column"]) == ["age"]
+        assert d["mean"][0] == pytest.approx(np.mean(table["age"]))
+        assert d["min"][0] == 25.0
+        assert d["max"][0] == 50.0
+
+    def test_all_numeric_columns_by_default(self, table):
+        d = table.describe()
+        assert set(d["column"]) == {"s", "y", "age"}
+
+    def test_string_columns_skipped(self):
+        t = Table({"name": np.array(["a", "b"], dtype=object),
+                   "v": np.array([1.0, 2.0])})
+        d = t.describe()
+        assert list(d["column"]) == ["v"]

@@ -1,0 +1,258 @@
+"""Mechanism-level tests for the pre-processing approaches."""
+
+import numpy as np
+import pytest
+
+from repro.causal import observational_effects
+from repro.datasets import load_compas
+from repro.fairness.preprocessing import (Calmon, Feld, KamCal, Madras,
+                                          SalimiMatFac, SalimiMaxSAT,
+                                          ZhaWuDCE, ZhaWuPSF)
+
+
+@pytest.fixture(scope="module")
+def compas():
+    return load_compas(2500, seed=11)
+
+
+def sy_dependence(dataset) -> float:
+    """|P(Y=1|S=1) − P(Y=1|S=0)| of a dataset's labels."""
+    return abs(dataset.base_rate(1) - dataset.base_rate(0))
+
+
+class TestKamCal:
+    def test_weights_formula(self):
+        s = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 0, 1])
+        w = KamCal.tuple_weights(s, y)
+        # Uniform joint == product of marginals -> all weights 1.
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_weights_compensate_imbalance(self):
+        # 3 of 4 unprivileged have Y=0: that cell is over-represented.
+        s = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        y = np.array([0, 0, 0, 1, 1, 1, 1, 0])
+        w = KamCal.tuple_weights(s, y)
+        assert w[0] < 1.0  # (S=0, Y=0) down-weighted
+        assert w[3] > 1.0  # (S=0, Y=1) up-weighted
+
+    def test_repair_removes_dependence(self, compas):
+        repaired = KamCal(seed=0).repair(compas)
+        assert sy_dependence(repaired) < sy_dependence(compas) / 2
+
+    def test_repair_preserves_size(self, compas):
+        assert KamCal(seed=0).repair(compas).n_rows == compas.n_rows
+
+    def test_no_resample_mode(self, compas):
+        out = KamCal(resample=False).repair(compas)
+        assert out.table == compas.table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KamCal.tuple_weights(np.array([]), np.array([]))
+
+
+class TestFeld:
+    def test_marginals_equalized(self, compas):
+        feld = Feld(lam=1.0)
+        repaired = feld.repair(compas)
+        ages = repaired.table["age"]
+        s = repaired.s
+        # Full repair: group means of repaired attribute nearly equal.
+        assert abs(ages[s == 0].mean() - ages[s == 1].mean()) < \
+            abs(compas.table["age"][compas.s == 0].mean()
+                - compas.table["age"][compas.s == 1].mean()) / 3 + 0.5
+
+    def test_lambda_zero_is_identity(self, compas):
+        repaired = Feld(lam=0.0).repair(compas)
+        np.testing.assert_allclose(repaired.table["age"],
+                                   compas.table["age"].astype(float))
+
+    def test_categorical_untouched_by_default(self, compas):
+        repaired = Feld(lam=1.0).repair(compas)
+        np.testing.assert_array_equal(repaired.table["sex"],
+                                      compas.table["sex"])
+
+    def test_labels_untouched(self, compas):
+        repaired = Feld(lam=1.0).repair(compas)
+        np.testing.assert_array_equal(repaired.y, compas.y)
+
+    def test_transform_requires_fit(self, compas):
+        with pytest.raises(RuntimeError):
+            Feld().transform(compas)
+
+    def test_transform_uses_train_maps(self, compas):
+        feld = Feld(lam=1.0)
+        feld.repair(compas)
+        out = feld.transform(compas.head(100))
+        assert out.n_rows == 100
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            Feld(lam=1.5)
+
+    def test_discards_sensitive_feature(self):
+        assert Feld().uses_sensitive_feature is False
+
+
+class TestCalmon:
+    def test_label_parity_improved(self, compas):
+        repaired = Calmon(seed=0).repair(compas)
+        assert sy_dependence(repaired) < sy_dependence(compas)
+
+    def test_features_perturbed_within_bins(self, compas):
+        calmon = Calmon(seed=0, feature_smoothing=0.5)
+        repaired = calmon.repair(compas)
+        # Some numeric values move (snapped to bin medians)...
+        assert (repaired.table["age"] != compas.table["age"]).any()
+        # ...but stay within the observed range (bounded distortion).
+        assert repaired.table["age"].min() >= compas.table["age"].min()
+        assert repaired.table["age"].max() <= compas.table["age"].max()
+
+    def test_transform_requires_fit(self, compas):
+        with pytest.raises(RuntimeError):
+            Calmon().transform(compas)
+
+    def test_transform_modifies_test_data(self, compas):
+        calmon = Calmon(seed=0, feature_smoothing=0.5)
+        calmon.repair(compas)
+        test = compas.head(300)
+        out = calmon.transform(test)
+        assert (out.table["age"] != test.table["age"]).any()
+
+    def test_flip_cap_respected(self, compas):
+        calmon = Calmon(seed=0, max_flip=0.0001)
+        repaired = calmon.repair(compas)
+        flipped = np.mean(repaired.y != compas.y)
+        assert flipped <= 0.01
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Calmon(max_flip=0.0)
+        with pytest.raises(ValueError):
+            Calmon(feature_smoothing=2.0)
+
+
+class TestZhaWu:
+    def _effects(self, dataset):
+        cols = {n: dataset.table[n] for n in
+                (*dataset.feature_names, dataset.sensitive, dataset.label)}
+        return observational_effects(cols, dataset.causal_graph,
+                                     dataset.sensitive, dataset.label)
+
+    def test_psf_reduces_total_effect(self, compas):
+        before = self._effects(compas)
+        repaired = ZhaWuPSF(epsilon=0.02, seed=0).repair(compas)
+        after = self._effects(repaired)
+        assert abs(after.te) < abs(before.te)
+
+    def test_dce_reduces_direct_effect(self, compas):
+        before = self._effects(compas)
+        repaired = ZhaWuDCE(tau=0.02, seed=0).repair(compas)
+        after = self._effects(repaired)
+        assert abs(after.nde) < abs(before.nde) + 0.02
+
+    def test_only_labels_modified(self, compas):
+        repaired = ZhaWuPSF(seed=0).repair(compas)
+        for feature in compas.feature_names:
+            np.testing.assert_array_equal(repaired.table[feature],
+                                          compas.table[feature])
+
+    def test_graphless_dataset_learns_graph(self, compas):
+        """Without a ground-truth graph the repair learns one from the
+        data (the original Zha-Wu protocol) and still reduces TE."""
+        from dataclasses import replace
+
+        no_graph = replace(compas, causal_graph=None)
+        repaired = ZhaWuPSF(epsilon=0.02, seed=0).repair(no_graph)
+        gap = abs(repaired.base_rate(1) - repaired.base_rate(0))
+        original = abs(compas.base_rate(1) - compas.base_rate(0))
+        assert gap < original
+
+    def test_learn_graph_flag_overrides_known_graph(self, compas):
+        repaired = ZhaWuDCE(tau=0.02, seed=0,
+                            learn_graph=True).repair(compas)
+        assert repaired.n_rows == compas.n_rows
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ZhaWuPSF(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            ZhaWuDCE(tau=-0.1)
+
+
+class TestSalimi:
+    @staticmethod
+    def _mvd_violation(dataset) -> float:
+        """Mean |P(y|a,i) − P(y|a)| over admissible strata (coarse)."""
+        from repro.datasets.encoding import discretize_dataset
+        from repro.fairness.preprocessing.salimi import _encode_rows
+
+        coarse = discretize_dataset(dataset, n_bins=3)
+        admissible = [f for f in dataset.feature_names
+                      if f in dataset.admissible]
+        inadmissible = [f for f in dataset.feature_names
+                        if f not in dataset.admissible]
+        inadmissible.append(dataset.sensitive)
+        a = _encode_rows(coarse, admissible)
+        i = _encode_rows(coarse, inadmissible)
+        y = dataset.y
+        gaps = []
+        for av in np.unique(a):
+            in_a = a == av
+            base = y[in_a].mean()
+            for iv in np.unique(i[in_a]):
+                cell = in_a & (i == iv)
+                if cell.sum() >= 10:
+                    gaps.append(abs(y[cell].mean() - base))
+        return float(np.mean(gaps)) if gaps else 0.0
+
+    @pytest.mark.parametrize("cls", [SalimiMaxSAT, SalimiMatFac])
+    def test_repair_reduces_mvd_violation(self, compas, cls):
+        repaired = cls(seed=0).repair(compas)
+        assert self._mvd_violation(repaired) < \
+            self._mvd_violation(compas) * 0.8
+
+    @pytest.mark.parametrize("cls", [SalimiMaxSAT, SalimiMatFac])
+    def test_repair_only_inserts_or_deletes(self, compas, cls):
+        """Every repaired tuple's attribute combination already exists."""
+        repaired = cls(seed=0).repair(compas)
+        original_rows = set(map(tuple, compas.table.to_matrix()))
+        repaired_rows = set(map(tuple, repaired.table.to_matrix()))
+        assert repaired_rows <= original_rows
+
+    def test_rounding_preserves_totals(self):
+        from repro.fairness.preprocessing.salimi import _round_counts_maxsat
+
+        target = np.array([[1.4, 2.6], [3.3, 0.7]])
+        rounded = _round_counts_maxsat(target, 8, seed=0)
+        assert rounded.sum() == 8
+        assert (rounded >= 0).all()
+
+
+class TestMadras:
+    def test_representation_schema(self, compas):
+        madras = Madras(n_components=4, epochs=10, seed=0)
+        repaired = madras.repair(compas)
+        assert repaired.feature_names == ("z0", "z1", "z2", "z3")
+        np.testing.assert_array_equal(repaired.y, compas.y)
+
+    def test_transform_requires_fit(self, compas):
+        with pytest.raises(RuntimeError):
+            Madras().transform(compas)
+
+    def test_representation_hides_sensitive(self, compas):
+        """A logistic probe predicts S from z worse than from X."""
+        from repro.models import LogisticRegression
+
+        madras = Madras(n_components=4, epochs=30, adversary_weight=2.0,
+                        seed=0)
+        repaired = madras.repair(compas)
+        probe_x = LogisticRegression().fit(compas.X, compas.s)
+        probe_z = LogisticRegression().fit(repaired.X, repaired.s)
+        assert probe_z.score(repaired.X, repaired.s) <= \
+            probe_x.score(compas.X, compas.s) + 0.02
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            Madras(n_components=0)

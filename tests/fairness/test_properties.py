@@ -1,0 +1,133 @@
+"""Property-based tests: stage invariants on randomly generated
+annotated datasets.
+
+Hypothesis draws small random datasets (random features, random biased
+labels) and asserts the contracts every stage must uphold: repairs
+return valid datasets with the same schema, in-processors emit binary
+predictions of the right shape, and post-processors only move
+predictions in permitted directions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Dataset, Table
+from repro.datasets.encoding import FeatureEncoder
+from repro.fairness.inprocessing import ZafarDPFair
+from repro.fairness.postprocessing import Hardt, KamKar, Pleiss
+from repro.fairness.preprocessing import Feld, KamCal
+
+
+@st.composite
+def datasets(draw, min_rows=24, max_rows=120):
+    n = draw(st.integers(min_rows, max_rows))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, 2, n)
+    # Guarantee both groups and both labels in both groups.
+    s[:4] = [0, 0, 1, 1]
+    x1 = rng.normal(s, 1.0)
+    x2 = rng.integers(0, 3, n).astype(float)
+    logits = 0.8 * s + 0.5 * x1 - 0.3 * x2
+    y = (rng.random(n) < 1 / (1 + np.exp(-logits))).astype(int)
+    y[:4] = [0, 1, 0, 1]
+    return Dataset(
+        table=Table({"x1": x1, "x2": x2, "s": s, "y": y}),
+        feature_names=("x1", "x2"),
+        sensitive="s",
+        label="y",
+        name="hyp",
+        categorical=("x2",),
+        admissible=("x1",),
+    )
+
+
+COMMON_SETTINGS = dict(max_examples=25, deadline=None,
+                       suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets())
+def test_kamcal_repair_invariants(ds):
+    repaired = KamCal(seed=0).repair(ds)
+    # Same schema, same row count, rows drawn from the original table.
+    assert repaired.feature_names == ds.feature_names
+    assert repaired.n_rows == ds.n_rows
+    original = set(map(tuple, ds.table.to_matrix()))
+    assert set(map(tuple, repaired.table.to_matrix())) <= original
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets())
+def test_kamcal_weights_average_to_one(ds):
+    w = KamCal.tuple_weights(ds.s, ds.y)
+    assert w.mean() == pytest.approx(1.0, abs=1e-9)
+    assert (w > 0).all()
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets())
+def test_feld_repair_invariants(ds):
+    feld = Feld(lam=1.0)
+    repaired = feld.repair(ds)
+    # Labels and sensitive column never touched; numeric values bounded
+    # by the observed pooled range.
+    np.testing.assert_array_equal(repaired.y, ds.y)
+    np.testing.assert_array_equal(repaired.s, ds.s)
+    lo, hi = ds.table["x1"].min(), ds.table["x1"].max()
+    assert repaired.table["x1"].min() >= lo - 1e-9
+    assert repaired.table["x1"].max() <= hi + 1e-9
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets(min_rows=40))
+def test_zafar_predictions_valid(ds):
+    enc = FeatureEncoder().fit(ds)
+    X = enc.transform(ds)
+    approach = ZafarDPFair(max_outer=2)
+    approach.fit(ds, X)
+    y_hat = approach.predict(X, ds.s)
+    assert y_hat.shape == (ds.n_rows,)
+    assert set(np.unique(y_hat)) <= {0, 1}
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets(min_rows=40), data=st.data())
+def test_postprocessors_output_binary(ds, data):
+    cls = data.draw(st.sampled_from([KamKar, Hardt, Pleiss]))
+    rng = np.random.default_rng(0)
+    scores = np.clip(0.3 + 0.4 * ds.y + rng.normal(0, 0.2, ds.n_rows),
+                     0.0, 1.0)
+    post = cls().fit(ds.y, scores, ds.s)
+    adjusted = post.adjust(scores, ds.s, np.random.default_rng(1))
+    assert adjusted.shape == (ds.n_rows,)
+    assert set(np.unique(adjusted)) <= {0, 1}
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets(min_rows=60))
+def test_kamkar_reduces_or_preserves_parity_gap(ds):
+    rng = np.random.default_rng(0)
+    scores = np.clip(0.35 + 0.3 * ds.y + 0.1 * ds.s
+                     + rng.normal(0, 0.15, ds.n_rows), 0.0, 1.0)
+    base = (scores >= 0.5).astype(int)
+    kk = KamKar().fit(ds.y, scores, ds.s)
+    adjusted = kk.adjust(scores, ds.s, np.random.default_rng(1))
+
+    def gap(pred):
+        return abs(pred[ds.s == 0].mean() - pred[ds.s == 1].mean())
+
+    assert gap(adjusted) <= gap(base) + 1e-9
+
+
+@settings(**COMMON_SETTINGS)
+@given(ds=datasets())
+def test_pipeline_end_to_end_on_random_data(ds):
+    """The full pipeline runs on any valid annotated dataset."""
+    from repro.pipeline import FairPipeline
+
+    pipe = FairPipeline(KamCal(seed=0), seed=0).fit(ds)
+    y_hat = pipe.predict(ds)
+    assert y_hat.shape == (ds.n_rows,)

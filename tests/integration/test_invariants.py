@@ -1,0 +1,212 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These tests pin down algebraic identities that must hold for *any*
+input, complementing the example-based suites: metric symmetries,
+normalisation ranges, relational-algebra laws on Table, SCM
+determinism, and imputer idempotence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.causal import CausalGraph, CounterfactualSCM, DiscreteCPT
+from repro.datasets import Table
+from repro.errors import impute_iterative, impute_knn, impute_mean
+from repro.metrics import (accuracy, disparate_impact, di_star, f1_score,
+                           one_minus_abs, precision, recall,
+                           true_negative_rate_balance,
+                           true_positive_rate_balance)
+
+RNG = np.random.default_rng
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def predictions(draw, min_size=8, max_size=60):
+    """(y, y_hat, s) with both groups and both labels present."""
+    n = draw(st.integers(min_size, max_size))
+    y = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    y_hat = np.array(draw(st.lists(st.integers(0, 1),
+                                   min_size=n, max_size=n)))
+    s = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    assume(len(np.unique(s)) == 2)
+    assume(len(np.unique(y)) == 2)
+    return y, y_hat, s
+
+
+class TestMetricInvariants:
+    @given(predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, data):
+        y, y_hat, s = data
+        perm = RNG(0).permutation(len(y))
+        assert disparate_impact(y_hat, s) == pytest.approx(
+            disparate_impact(y_hat[perm], s[perm]), nan_ok=True)
+        assert accuracy(y, y_hat) == pytest.approx(
+            accuracy(y[perm], y_hat[perm]))
+
+    @given(predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_group_swap_inverts_di(self, data):
+        y, y_hat, s = data
+        di = disparate_impact(y_hat, s)
+        di_swapped = disparate_impact(y_hat, 1 - s)
+        if di > 0 and np.isfinite(di) and np.isfinite(di_swapped):
+            assert di_swapped == pytest.approx(1.0 / di)
+
+    @given(predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_group_swap_negates_rate_balances(self, data):
+        y, y_hat, s = data
+        tprb = true_positive_rate_balance(y, y_hat, s)
+        tnrb = true_negative_rate_balance(y, y_hat, s)
+        if not (np.isnan(tprb) or np.isnan(tnrb)):
+            assert true_positive_rate_balance(y, y_hat, 1 - s) == \
+                pytest.approx(-tprb)
+            assert true_negative_rate_balance(y, y_hat, 1 - s) == \
+                pytest.approx(-tnrb)
+
+    @given(predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_f1_between_min_and_max_of_p_r(self, data):
+        y, y_hat, s = data
+        p, r = precision(y, y_hat), recall(y, y_hat)
+        f1 = f1_score(y, y_hat)
+        if not (np.isnan(p) or np.isnan(r) or np.isnan(f1)):
+            assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+    @given(st.floats(0.0, 100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_di_star_range_and_symmetry(self, di):
+        star = di_star(di)
+        assert 0.0 <= star <= 1.0
+        if di > 0:
+            assert di_star(1.0 / di) == pytest.approx(star)
+
+    @given(st.floats(-1.0, 1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_one_minus_abs_symmetry(self, value):
+        assert one_minus_abs(value) == pytest.approx(one_minus_abs(-value))
+        assert 0.0 <= one_minus_abs(value) <= 1.0
+
+    @given(predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_constant_prediction_perfect_rate_balance(self, data):
+        y, _, s = data
+        ones = np.ones_like(y)
+        assume(np.any(y[s == 0] == 1) and np.any(y[s == 1] == 1))
+        assert true_positive_rate_balance(y, ones, s) == pytest.approx(0.0)
+
+
+class TestTableLaws:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_filter_partition_concat_is_permutation(self, values):
+        t = Table({"v": np.array(values)})
+        mask = t["v"] >= 3
+        rejoined = Table.concat([t.filter(mask), t.filter(~mask)])
+        assert sorted(rejoined["v"]) == sorted(values)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_idempotent(self, values):
+        t = Table({"v": np.array(values)})
+        once = t.sort_by("v")
+        twice = once.sort_by("v")
+        assert list(once["v"]) == list(twice["v"])
+        assert list(once["v"]) == sorted(values)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_groupby_sizes_sum_to_rows(self, values):
+        t = Table({"v": np.array(values)})
+        sizes = t.group_by("v").size()
+        assert int(np.sum(sizes["count"])) == len(values)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=30,
+                    unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_self_join_on_unique_key_is_identity(self, keys):
+        t = Table({"k": np.array(keys), "v": np.arange(len(keys))})
+        other = t.rename({"v": "w"})
+        joined = t.join(other, on="k")
+        assert joined.n_rows == len(keys)
+        assert np.array_equal(joined["v"], joined["w"])
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent(self, values):
+        t = Table({"v": np.array(values)})
+        d1 = t.distinct()
+        d2 = d1.distinct()
+        assert d1 == d2
+        assert d1.n_rows == len(set(values))
+
+
+class TestScmDeterminism:
+    def make_scm(self):
+        dom = np.array([0.0, 1.0])
+        graph = CausalGraph([("S", "Y")])
+        return CounterfactualSCM(graph, {
+            "S": DiscreteCPT((), dom, {(): np.array([0.5, 0.5])}),
+            "Y": DiscreteCPT(("S",), dom, {
+                (0.0,): np.array([0.7, 0.3]),
+                (1.0,): np.array([0.2, 0.8])}),
+        })
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_same_noise_same_world(self, seed):
+        scm = self.make_scm()
+        noise = scm.sample_noise(30, RNG(seed))
+        a = scm.evaluate(noise)
+        b = scm.evaluate(noise)
+        for node in a:
+            assert np.array_equal(a[node], b[node])
+
+    @given(st.integers(0, 10_000), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_intervention_forces_value(self, seed, value):
+        scm = self.make_scm()
+        sample = scm.sample(25, RNG(seed), interventions={"S": value})
+        assert np.all(sample["S"] == value)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_abduction_consistency(self, seed):
+        """Replaying abducted noise reproduces any observable row."""
+        scm = self.make_scm()
+        rng = RNG(seed)
+        row = scm.sample(1, rng)
+        evidence = {k: float(v[0]) for k, v in row.items()}
+        noise = scm.abduct(evidence, 40, rng)
+        replay = scm.evaluate(noise)
+        for node, value in evidence.items():
+            assert np.all(replay[node] == value)
+
+
+class TestImputerLaws:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_imputers_identity_on_complete_data(self, seed):
+        X = RNG(seed).normal(size=(12, 3))
+        assert np.array_equal(impute_knn(X), X)
+        assert np.array_equal(impute_iterative(X), X)
+        assert np.array_equal(impute_mean(X[:, 0]), X[:, 0])
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_imputation_preserves_column_mean(self, seed):
+        rng = RNG(seed)
+        values = rng.normal(size=20)
+        holes = np.zeros(20, dtype=bool)
+        holes[rng.integers(0, 20, 5)] = True
+        assume(not holes.all())
+        with_holes = values.copy()
+        with_holes[holes] = np.nan
+        filled = impute_mean(with_holes)
+        assert filled.mean() == pytest.approx(values[~holes].mean())

@@ -1,0 +1,238 @@
+"""Tests for the interventional/counterfactual group fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.causal import CausalGraph, CounterfactualSCM, DiscreteCPT
+from repro.metrics import (causal_risk_difference,
+                           counterfactual_error_rates, ctf_effects,
+                           equality_of_effort_gap,
+                           fair_on_average_causal_effect,
+                           justifiable_fairness_gap,
+                           non_discrimination_score, proxy_fairness_gap)
+
+RNG = np.random.default_rng
+DOM = np.array([0.0, 1.0])
+
+
+def mediation_scm(direct=0.3, via_z=0.4, p_s=0.5):
+    cpts = {
+        "S": DiscreteCPT((), DOM, {(): np.array([1 - p_s, p_s])}),
+        "Z": DiscreteCPT(("S",), DOM, {
+            (0.0,): np.array([1.0, 0.0]),
+            (1.0,): np.array([0.0, 1.0]),
+        }),
+        "Y": DiscreteCPT(("S", "Z"), DOM, {
+            (0.0, 0.0): np.array([0.9, 0.1]),
+            (1.0, 0.0): np.array([0.9 - direct, 0.1 + direct]),
+            (0.0, 1.0): np.array([0.9 - via_z, 0.1 + via_z]),
+            (1.0, 1.0): np.array([0.9 - direct - via_z,
+                                  0.1 + direct + via_z]),
+        }),
+    }
+    graph = CausalGraph([("S", "Z"), ("S", "Y"), ("Z", "Y")])
+    return CounterfactualSCM(graph, cpts)
+
+
+def fair_scm():
+    """Y depends only on an S-independent covariate X."""
+    cpts = {
+        "S": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+        "X": DiscreteCPT((), DOM, {(): np.array([0.4, 0.6])}),
+        "Y": DiscreteCPT(("X",), DOM, {
+            (0.0,): np.array([0.8, 0.2]),
+            (1.0,): np.array([0.3, 0.7]),
+        }),
+    }
+    graph = CausalGraph([("X", "Y")], nodes=["S"])
+    return CounterfactualSCM(graph, cpts)
+
+
+class TestCtfEffects:
+    def test_direct_component_matches_mechanism(self):
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        eff = ctf_effects(scm, "S", "Y", n=60000, rng=RNG(0))
+        assert eff.de == pytest.approx(0.3, abs=0.03)
+
+    def test_indirect_component_sign_convention(self):
+        """ie is the reverse-transition effect: negative when the
+        mediated path raises outcomes under s1."""
+        scm = mediation_scm(direct=0.3, via_z=0.4)
+        eff = ctf_effects(scm, "S", "Y", n=60000, rng=RNG(1))
+        assert eff.ie == pytest.approx(-0.4, abs=0.03)
+
+    def test_explanation_formula_is_exact(self):
+        scm = mediation_scm(direct=0.2, via_z=0.3)
+        eff = ctf_effects(scm, "S", "Y", n=30000, rng=RNG(2))
+        assert abs(eff.residual) < 1e-9
+
+    def test_fair_model_has_zero_effects(self):
+        eff = ctf_effects(fair_scm(), "S", "Y", n=40000, rng=RNG(3))
+        assert eff.de == pytest.approx(0.0, abs=0.02)
+        assert eff.ie == pytest.approx(0.0, abs=0.02)
+        assert eff.tv == pytest.approx(0.0, abs=0.02)
+
+    def test_predict_hook(self):
+        """A predictor reading only Z has zero counterfactual DE."""
+        scm = mediation_scm()
+        eff = ctf_effects(scm, "S", "Y", n=40000, rng=RNG(4),
+                          predict=lambda v: v["Z"])
+        assert eff.de == pytest.approx(0.0, abs=0.02)
+        assert eff.ie == pytest.approx(-1.0, abs=0.02)
+
+
+class TestCounterfactualErrorRates:
+    def test_group_blind_classifier_has_zero_gaps(self):
+        scm = mediation_scm()
+        rates = counterfactual_error_rates(
+            scm, "S", "Y", predict=lambda v: v["Z"], n=40000, rng=RNG(0))
+        # Z is overridden? No — Z changes under do(S=1); the classifier
+        # follows Z, so gaps reflect the mediated shift only.
+        assert abs(rates.fpr_gap) <= 1.0
+
+    def test_s_reading_classifier_has_positive_fpr_gap(self):
+        scm = mediation_scm()
+        rates = counterfactual_error_rates(
+            scm, "S", "Y", predict=lambda v: v["S"], n=40000, rng=RNG(1))
+        # Under do(S=1) the classifier says 1 for everyone: FPR jumps to 1.
+        assert rates.fpr_gap == pytest.approx(1.0, abs=0.02)
+        assert rates.fnr_gap == pytest.approx(-1.0, abs=0.02)
+
+    def test_constant_classifier_is_invariant(self):
+        scm = mediation_scm()
+        rates = counterfactual_error_rates(
+            scm, "S", "Y", predict=lambda v: np.ones_like(v["S"]),
+            n=20000, rng=RNG(2))
+        assert rates.fpr_gap == pytest.approx(0.0, abs=1e-12)
+        assert rates.fnr_gap == pytest.approx(0.0, abs=1e-12)
+
+
+class TestProxyFairness:
+    def test_proxy_driving_outcome_detected(self):
+        scm = mediation_scm(direct=0.0, via_z=0.5)
+        gap = proxy_fairness_gap(scm, "Z", "Y", n=40000, rng=RNG(0))
+        assert gap == pytest.approx(0.5, abs=0.03)
+
+    def test_irrelevant_proxy_is_fair(self):
+        gap = proxy_fairness_gap(fair_scm(), "S", "Y", n=30000, rng=RNG(1))
+        assert gap == pytest.approx(0.0, abs=0.02)
+
+
+class TestFace:
+    def test_root_sensitive_equals_conditional_gap(self):
+        rng = RNG(0)
+        n = 30000
+        s = (rng.random(n) < 0.5).astype(float)
+        y = (rng.random(n) < 0.2 + 0.4 * s).astype(float)
+        g = CausalGraph([("S", "Y")])
+        face = fair_on_average_causal_effect({"S": s, "Y": y}, g, "S", "Y")
+        assert face == pytest.approx(0.4, abs=0.02)
+
+    def test_confounded_sensitive_uses_adjustment(self):
+        rng = RNG(1)
+        n = 60000
+        c = (rng.random(n) < 0.5).astype(float)
+        s = (rng.random(n) < np.where(c == 1, 0.8, 0.2)).astype(float)
+        y = (rng.random(n) < 0.1 + 0.2 * s + 0.5 * c).astype(float)
+        g = CausalGraph([("C", "S"), ("C", "Y"), ("S", "Y")])
+        face = fair_on_average_causal_effect(
+            {"C": c, "S": s, "Y": y}, g, "S", "Y")
+        assert face == pytest.approx(0.2, abs=0.02)
+
+    def test_yhat_override(self):
+        rng = RNG(2)
+        n = 5000
+        s = (rng.random(n) < 0.5).astype(float)
+        y = np.zeros(n)
+        g = CausalGraph([("S", "Y")])
+        face = fair_on_average_causal_effect(
+            {"S": s, "Y": y}, g, "S", "Y", y_hat=s)
+        assert face == pytest.approx(1.0, abs=1e-12)
+
+
+class TestStratifiedFamily:
+    def setup_method(self):
+        rng = RNG(0)
+        n = 20000
+        self.r = (rng.random(n) < 0.5).astype(float)  # resolving attr
+        self.s = (rng.random(n) < np.where(self.r == 1, 0.7, 0.3)
+                  ).astype(float)
+        self.cols = {"S": self.s, "R": self.r}
+
+    def test_fully_explained_disparity_is_zero(self):
+        """Predictions driven by R alone: zero causal risk difference."""
+        y_hat = self.r
+        crd = causal_risk_difference(self.cols, "S", y_hat, ["R"])
+        assert crd == pytest.approx(0.0, abs=1e-12)
+        assert justifiable_fairness_gap(
+            self.cols, "S", y_hat, ["R"]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_direct_use_of_s_detected(self):
+        y_hat = self.s
+        crd = causal_risk_difference(self.cols, "S", y_hat, ["R"])
+        assert crd == pytest.approx(1.0, abs=1e-12)
+        assert justifiable_fairness_gap(
+            self.cols, "S", y_hat, ["R"]) == pytest.approx(1.0, abs=1e-12)
+
+    def test_no_common_stratum_raises(self):
+        cols = {"S": np.array([0.0, 1.0]), "R": np.array([0.0, 1.0])}
+        with pytest.raises(ValueError, match="no stratum"):
+            causal_risk_difference(cols, "S", np.array([0.0, 1.0]), ["R"])
+
+    def test_non_discrimination_score_uses_blocking_parents(self):
+        rng = RNG(1)
+        n = 20000
+        graph = CausalGraph([("S", "Z"), ("Z", "Y"), ("S", "Y")])
+        s = (rng.random(n) < 0.5).astype(float)
+        z = (rng.random(n) < 0.3 + 0.4 * s).astype(float)
+        y = (rng.random(n) < 0.2 + 0.6 * z).astype(float)  # no direct S
+        score = non_discrimination_score(
+            {"S": s, "Z": z, "Y": y}, graph, "S", "Y")
+        assert score < 0.05
+        y_direct = (rng.random(n) < 0.2 + 0.6 * s).astype(float)
+        score_direct = non_discrimination_score(
+            {"S": s, "Z": z, "Y": y_direct}, graph, "S", "Y")
+        assert score_direct > 0.4
+
+
+class TestEqualityOfEffort:
+    def test_equal_groups_have_zero_gap(self):
+        rng = RNG(0)
+        n = 20000
+        e = rng.integers(0, 5, n).astype(float)
+        s = (rng.random(n) < 0.5).astype(float)
+        y = (rng.random(n) < e / 4.0).astype(float)
+        gap = equality_of_effort_gap(
+            {"S": s, "E": e, "Y": y}, "S", "E", "Y", target=0.4)
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_disadvantaged_group_needs_more_effort(self):
+        rng = RNG(1)
+        n = 40000
+        e = rng.integers(0, 5, n).astype(float)
+        s = (rng.random(n) < 0.5).astype(float)
+        # Privileged: success from effort 2; unprivileged: from effort 4.
+        threshold = np.where(s == 1, 2.0, 4.0)
+        y = (e >= threshold).astype(float)
+        gap = equality_of_effort_gap(
+            {"S": s, "E": e, "Y": y}, "S", "E", "Y", target=0.9)
+        assert gap > 0.2
+
+    def test_unreachable_target_raises(self):
+        cols = {"S": np.array([0.0, 1.0, 0.0, 1.0]),
+                "E": np.array([0.0, 1.0, 2.0, 3.0]),
+                "Y": np.zeros(4)}
+        with pytest.raises(ValueError, match="never reaches"):
+            equality_of_effort_gap(cols, "S", "E", "Y")
+
+    def test_invalid_target_rejected(self):
+        cols = {"S": np.zeros(2), "E": np.array([0.0, 1.0]),
+                "Y": np.zeros(2)}
+        with pytest.raises(ValueError, match="target"):
+            equality_of_effort_gap(cols, "S", "E", "Y", target=0.0)
+
+    def test_constant_effort_rejected(self):
+        cols = {"S": np.array([0.0, 1.0]), "E": np.zeros(2),
+                "Y": np.ones(2)}
+        with pytest.raises(ValueError, match="constant"):
+            equality_of_effort_gap(cols, "S", "E", "Y")

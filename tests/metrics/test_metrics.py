@@ -1,0 +1,213 @@
+"""Tests for confusion counts, correctness metrics, fairness metrics,
+and normalisation — anchored on the paper's worked examples."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (ConfusionCounts, CorrectnessReport, accuracy,
+                           di_star, disparate_impact, f1_score,
+                           id_sample_size, individual_discrimination,
+                           normalize_di, normalize_id, normalize_signed,
+                           one_minus_abs, precision, recall,
+                           true_negative_rate_balance,
+                           true_positive_rate_balance)
+
+
+def example_2_data():
+    """The 100-applicant admissions statistics of the paper's Fig. 11."""
+    def block(tp, fp, tn, fn, s):
+        y = [1] * tp + [0] * fp + [0] * tn + [1] * fn
+        y_hat = [1] * tp + [1] * fp + [0] * tn + [0] * fn
+        return y, y_hat, [s] * (tp + fp + tn + fn)
+
+    y1, yh1, s1 = block(14, 6, 38, 2, 1)   # males
+    y0, yh0, s0 = block(7, 2, 28, 3, 0)    # females
+    return (np.array(y1 + y0), np.array(yh1 + yh0), np.array(s1 + s0))
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0, 1])
+        y_hat = np.array([1, 0, 0, 1, 1])
+        c = ConfusionCounts.from_predictions(y, y_hat)
+        assert (c.tp, c.fn, c.tn, c.fp) == (2, 1, 1, 1)
+        assert c.total == 5
+
+    def test_rates(self):
+        c = ConfusionCounts(tp=3, tn=2, fp=2, fn=1)
+        assert c.tpr == pytest.approx(0.75)
+        assert c.tnr == pytest.approx(0.5)
+        assert c.fpr == pytest.approx(0.5)
+        assert c.fnr == pytest.approx(0.25)
+        assert c.positive_rate == pytest.approx(5 / 8)
+
+    def test_degenerate_rates_nan(self):
+        c = ConfusionCounts(tp=0, tn=5, fp=0, fn=0)
+        assert math.isnan(c.tpr)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            ConfusionCounts.from_predictions(np.array([0, 2]),
+                                             np.array([0, 1]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionCounts.from_predictions(np.array([0, 1]),
+                                             np.array([0, 1, 1]))
+
+
+class TestCorrectness:
+    def test_example_2_accuracy(self):
+        y, y_hat, _ = example_2_data()
+        assert accuracy(y, y_hat) == pytest.approx(0.87)
+
+    def test_perfect(self):
+        y = np.array([0, 1, 1])
+        assert accuracy(y, y) == 1.0
+        assert precision(y, y) == 1.0
+        assert recall(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_precision_nan_without_positives(self):
+        y = np.array([1, 0])
+        y_hat = np.array([0, 0])
+        assert math.isnan(precision(y, y_hat))
+
+    def test_recall_nan_without_ground_positives(self):
+        y = np.array([0, 0])
+        y_hat = np.array([1, 0])
+        assert math.isnan(recall(y, y_hat))
+
+    def test_f1_harmonic_mean(self):
+        y = np.array([1, 1, 0, 0])
+        y_hat = np.array([1, 0, 1, 0])
+        p, r = precision(y, y_hat), recall(y, y_hat)
+        assert f1_score(y, y_hat) == pytest.approx(2 * p * r / (p + r))
+
+    def test_report_bundle(self):
+        y, y_hat, _ = example_2_data()
+        report = CorrectnessReport.from_predictions(y, y_hat)
+        assert set(report.as_dict()) == {"accuracy", "precision",
+                                         "recall", "f1"}
+
+
+class TestGroupFairness:
+    def test_example_2_di(self):
+        _, y_hat, s = example_2_data()
+        assert disparate_impact(y_hat, s) == pytest.approx(0.675, abs=1e-3)
+
+    def test_example_2_tprb(self):
+        y, y_hat, s = example_2_data()
+        assert true_positive_rate_balance(y, y_hat, s) == pytest.approx(
+            14 / 16 - 7 / 10)
+
+    def test_example_2_tnrb(self):
+        y, y_hat, s = example_2_data()
+        assert true_negative_rate_balance(y, y_hat, s) == pytest.approx(
+            38 / 44 - 28 / 30)
+
+    def test_di_perfect_parity(self):
+        y_hat = np.array([1, 0, 1, 0])
+        s = np.array([0, 0, 1, 1])
+        assert disparate_impact(y_hat, s) == 1.0
+
+    def test_di_infinite(self):
+        y_hat = np.array([1, 1, 0, 0])
+        s = np.array([0, 0, 1, 1])
+        assert math.isinf(disparate_impact(y_hat, s))
+
+    def test_di_nan_when_no_positives(self):
+        y_hat = np.zeros(4, dtype=int)
+        s = np.array([0, 0, 1, 1])
+        assert math.isnan(disparate_impact(y_hat, s))
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError, match="both sensitive groups"):
+            disparate_impact(np.array([1, 0]), np.array([1, 1]))
+
+
+class TestIndividualDiscrimination:
+    def test_s_blind_predictor_is_fair(self, rng):
+        X = rng.normal(size=(50, 2))
+        s = (rng.random(50) < 0.5).astype(int)
+        predict = lambda X, s: (X[:, 0] > 0).astype(int)
+        assert individual_discrimination(predict, X, s) == 0.0
+
+    def test_s_only_predictor_is_maximally_unfair(self, rng):
+        X = rng.normal(size=(50, 2))
+        s = (rng.random(50) < 0.5).astype(int)
+        predict = lambda X, s: s
+        assert individual_discrimination(predict, X, s) == 1.0
+
+    def test_sample_bound_matches_paper_setting(self):
+        # 99% confidence, 1% error -> ~26.5K samples (Hoeffding).
+        assert id_sample_size(0.99, 0.01) == 26492
+
+    def test_subsampling_kicks_in(self, rng):
+        X = rng.normal(size=(500, 1))
+        s = (rng.random(500) < 0.5).astype(int)
+        calls = []
+        def predict(X, s):
+            calls.append(len(s))
+            return s
+        individual_discrimination(predict, X, s, confidence=0.6,
+                                  error_bound=0.2, seed=0)
+        assert calls[0] < 500  # Hoeffding bound is ~6 here
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            id_sample_size(1.5, 0.01)
+
+
+class TestNormalization:
+    def test_di_star_symmetry(self):
+        assert di_star(0.5) == pytest.approx(0.5)
+        assert di_star(2.0) == pytest.approx(0.5)
+
+    def test_di_star_edge_cases(self):
+        assert di_star(0.0) == 0.0
+        assert di_star(float("inf")) == 0.0
+        assert math.isnan(di_star(float("nan")))
+
+    def test_one_minus_abs(self):
+        assert one_minus_abs(-0.3) == pytest.approx(0.7)
+        assert one_minus_abs(0.3) == pytest.approx(0.7)
+        assert math.isnan(one_minus_abs(float("nan")))
+
+    def test_reverse_flag_di(self):
+        assert normalize_di(1.2).reverse is True   # favours unprivileged
+        assert normalize_di(0.8).reverse is False
+
+    def test_reverse_flag_signed(self):
+        assert normalize_signed(-0.1).reverse is True
+        assert normalize_signed(0.1).reverse is False
+
+    def test_id_never_reverse(self):
+        assert normalize_id(0.4).reverse is False
+
+    def test_float_conversion(self):
+        assert float(normalize_signed(0.25)) == pytest.approx(0.75)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                min_size=4, max_size=80))
+def test_accuracy_complements_error_property(pairs):
+    y = np.array([p[0] for p in pairs])
+    y_hat = np.array([p[1] for p in pairs])
+    assert accuracy(y, y_hat) == pytest.approx(1 - np.mean(y != y_hat))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_di_star_bounded_property(data):
+    n = data.draw(st.integers(4, 60))
+    y_hat = np.array(data.draw(st.lists(st.integers(0, 1), min_size=n,
+                                        max_size=n)))
+    s = np.array([0, 1] * (n // 2) + [0] * (n % 2))
+    value = di_star(disparate_impact(y_hat, s))
+    assert math.isnan(value) or 0.0 <= value <= 1.0

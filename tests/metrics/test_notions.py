@@ -1,0 +1,405 @@
+"""Tests for the Figure 3 notion catalog and its observational metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import notions
+from repro.metrics.notions import (Association, CausalHierarchy,
+                                   GroupFairnessReport, Granularity,
+                                   accuracy_equality_difference,
+                                   balanced_classification_rate_difference,
+                                   calibration_error, calibration_gap,
+                                   catalog, conditional_accuracy_equality,
+                                   conditional_statistical_parity,
+                                   consistency_score, cv_score,
+                                   differential_fairness,
+                                   equal_opportunity_difference,
+                                   fairness_through_unawareness,
+                                   false_discovery_rate_parity,
+                                   false_omission_rate_parity,
+                                   group_benefit_ratio,
+                                   negative_class_balance, notion_by_name,
+                                   positive_class_balance,
+                                   predictive_equality_difference,
+                                   resilience_to_random_bias,
+                                   treatment_equality)
+
+
+# ----------------------------------------------------------------------
+# Catalog structure (the paper's Figure 3 shape)
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_has_34_notions(self):
+        assert len(catalog()) == 34
+
+    def test_causal_noncausal_partition(self):
+        nc = catalog(association=Association.NON_CAUSAL)
+        c = catalog(association=Association.CAUSAL)
+        assert len(nc) + len(c) == 34
+        assert len(nc) == 19  # rows above the causal divider in Figure 3
+
+    def test_five_evaluated_notions_match_figure4(self):
+        evaluated = [n for n in catalog() if n.evaluated_in_paper]
+        names = {n.name for n in evaluated}
+        assert names == {"demographic parity", "equalized odds",
+                         "equal opportunity", "individual discrimination",
+                         "total causal effect"}
+
+    def test_counterfactual_rows_are_causal(self):
+        for n in catalog(hierarchy=CausalHierarchy.COUNTERFACTUAL):
+            assert n.association is Association.CAUSAL
+
+    def test_observation_level_notions_are_noncausal(self):
+        for n in catalog(hierarchy=CausalHierarchy.OBSERVATION):
+            assert n.association is Association.NON_CAUSAL
+
+    def test_implemented_only_filter(self):
+        implemented = catalog(implemented_only=True)
+        assert implemented
+        assert all(n.implemented_as for n in implemented)
+        # every observational row is implemented
+        obs = catalog(hierarchy=CausalHierarchy.OBSERVATION)
+        assert all(n.implemented_as for n in obs)
+
+    def test_lookup_by_name(self):
+        n = notion_by_name("Demographic Parity")
+        assert n.granularity is Granularity.GROUP
+        with pytest.raises(KeyError):
+            notion_by_name("nonexistent")
+
+    def test_individual_notions(self):
+        indiv = catalog(granularity=Granularity.INDIVIDUAL)
+        assert {"individual discrimination", "counterfactual fairness"} <= \
+            {n.name for n in indiv}
+
+
+# ----------------------------------------------------------------------
+# Hand-computed values on the paper's Example 2 population (Figure 11)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def example2():
+    """100 applicants: 60 male (S=1), 40 female (S=0) with the paper's
+    confusion profile (TP/FP/TN/FN = 14/6/38/2 male, 7/2/28/3 female)."""
+    def block(tp, fp, tn, fn, s):
+        y = [1] * tp + [0] * fp + [0] * tn + [1] * fn
+        y_hat = [1] * tp + [1] * fp + [0] * tn + [0] * fn
+        return y, y_hat, [s] * (tp + fp + tn + fn)
+    ym, yhm, sm = block(14, 6, 38, 2, 1)
+    yf, yhf, sf = block(7, 2, 28, 3, 0)
+    return (np.array(ym + yf), np.array(yhm + yhf), np.array(sm + sf))
+
+class TestExample2Values:
+    def test_cv_gap(self, example2):
+        y, y_hat, s = example2
+        assert cv_score(y_hat, s) == pytest.approx(20 / 60 - 9 / 40)
+
+    def test_equal_opportunity(self, example2):
+        y, y_hat, s = example2
+        assert equal_opportunity_difference(y, y_hat, s) == \
+            pytest.approx(14 / 16 - 7 / 10)
+
+    def test_predictive_equality(self, example2):
+        y, y_hat, s = example2
+        assert predictive_equality_difference(y, y_hat, s) == \
+            pytest.approx(6 / 44 - 2 / 30)
+
+    def test_fdr_parity(self, example2):
+        y, y_hat, s = example2
+        assert false_discovery_rate_parity(y, y_hat, s) == \
+            pytest.approx(6 / 20 - 2 / 9)
+
+    def test_for_parity(self, example2):
+        y, y_hat, s = example2
+        assert false_omission_rate_parity(y, y_hat, s) == \
+            pytest.approx(2 / 40 - 3 / 31)
+
+    def test_treatment_equality(self, example2):
+        y, y_hat, s = example2
+        assert treatment_equality(y, y_hat, s) == \
+            pytest.approx(2 / 6 - 3 / 2)
+
+    def test_bcr_difference(self, example2):
+        y, y_hat, s = example2
+        bcr1 = (14 / 16 + 38 / 44) / 2
+        bcr0 = (7 / 10 + 28 / 30) / 2
+        assert balanced_classification_rate_difference(y, y_hat, s) == \
+            pytest.approx(bcr1 - bcr0)
+
+    def test_accuracy_difference(self, example2):
+        y, y_hat, s = example2
+        assert accuracy_equality_difference(y, y_hat, s) == \
+            pytest.approx(52 / 60 - 35 / 40)
+
+    def test_conditional_accuracy_is_worse_of_fdr_for(self, example2):
+        y, y_hat, s = example2
+        cae = conditional_accuracy_equality(y, y_hat, s)
+        fdr = false_discovery_rate_parity(y, y_hat, s)
+        fom = false_omission_rate_parity(y, y_hat, s)
+        assert cae in (fdr, fom)
+        assert abs(cae) == pytest.approx(max(abs(fdr), abs(fom)))
+
+
+# ----------------------------------------------------------------------
+# Perfectly fair predictor ⇒ all gaps zero
+# ----------------------------------------------------------------------
+class TestFairPredictor:
+    def test_identical_groups_have_zero_gaps(self):
+        rng = np.random.default_rng(7)
+        y_half = rng.integers(0, 2, 300)
+        yh_half = rng.integers(0, 2, 300)
+        y = np.concatenate([y_half, y_half])
+        y_hat = np.concatenate([yh_half, yh_half])
+        s = np.array([0] * 300 + [1] * 300)
+        report = GroupFairnessReport.from_predictions(y, y_hat, s)
+        for name in ("cv_gap", "equal_opportunity", "predictive_equality",
+                     "fdr_parity", "for_parity", "bcr_difference",
+                     "accuracy_difference", "group_benefit"):
+            assert report.values[name] == pytest.approx(0.0), name
+
+    def test_report_worst_picks_largest(self, ):
+        y = np.array([1, 1, 0, 0, 1, 1, 0, 0])
+        y_hat = np.array([1, 1, 0, 0, 0, 0, 1, 1])
+        s = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        report = GroupFairnessReport.from_predictions(y, y_hat, s)
+        name, value = report.worst()
+        assert name in report.values
+        finite = [abs(v) for v in report.values.values() if v == v]
+        assert abs(value) == pytest.approx(max(finite))
+
+
+# ----------------------------------------------------------------------
+# Conditional statistical parity
+# ----------------------------------------------------------------------
+class TestConditionalStatisticalParity:
+    def test_simpsons_paradox_is_resolved(self):
+        # Within each stratum the groups are treated identically, but
+        # the marginal CV gap is non-zero (a Simpson's-paradox setup).
+        y_hat = np.array([1] * 8 + [0] * 2 + [1] * 2 + [0] * 8
+                         + [1] * 4 + [0] * 1 + [1] * 2 + [0] * 8)
+        s = np.array([1] * 10 + [1] * 10 + [0] * 5 + [0] * 10)
+        strata = np.array(["a"] * 10 + ["b"] * 10 + ["a"] * 5 + ["b"] * 10)
+        assert abs(cv_score(y_hat, s)) > 0.05
+        assert conditional_statistical_parity(y_hat, s, strata) == \
+            pytest.approx(0.0)
+
+    def test_worst_stratum_returned(self):
+        y_hat = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        s = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+        strata = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        value = conditional_statistical_parity(y_hat, s, strata)
+        gaps = [cv_score(y_hat[strata == v], s[strata == v])
+                for v in (0, 1)]
+        assert abs(value) == pytest.approx(max(abs(g) for g in gaps))
+
+    def test_requires_mixed_stratum(self):
+        with pytest.raises(ValueError):
+            conditional_statistical_parity(
+                np.array([1, 0]), np.array([1, 0]), np.array([0, 1]))
+
+
+# ----------------------------------------------------------------------
+# Differential (intersectional) fairness
+# ----------------------------------------------------------------------
+class TestDifferentialFairness:
+    def test_equal_rates_give_zero(self):
+        y_hat = np.array([1, 0] * 20)
+        groups = np.array([0, 0, 1, 1] * 10)
+        assert differential_fairness(y_hat, groups) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_disparate_rates_positive(self):
+        y_hat = np.array([1] * 10 + [0] * 10)
+        groups = np.array([0] * 10 + [1] * 10)
+        assert differential_fairness(y_hat, groups) > 1.0
+
+    def test_single_group_is_trivially_fair(self):
+        assert differential_fairness(np.array([1, 0, 1]),
+                                     np.array([0, 0, 0])) == 0.0
+
+    def test_smoothing_keeps_finite(self):
+        y_hat = np.array([1] * 5 + [0] * 5)
+        groups = np.array([0] * 5 + [1] * 5)
+        value = differential_fairness(y_hat, groups, smoothing=0.5)
+        assert math.isfinite(value)
+        with pytest.raises(ValueError):
+            differential_fairness(y_hat, groups, smoothing=0.0)
+
+    def test_more_groups_cannot_decrease_epsilon(self):
+        y_hat = np.array([1] * 8 + [0] * 8 + [1] * 4 + [0] * 4)
+        two = np.array([0] * 16 + [1] * 8)
+        four = np.array([0] * 8 + [1] * 8 + [2] * 4 + [3] * 4)
+        assert differential_fairness(y_hat, four) >= \
+            differential_fairness(y_hat, two) - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Calibration-family metrics
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_perfectly_calibrated_scores(self):
+        rng = np.random.default_rng(3)
+        scores = np.repeat([0.25, 0.75], 4000)
+        y = (rng.random(8000) < scores).astype(int)
+        assert calibration_error(y, scores) < 0.02
+
+    def test_anticalibrated_scores(self):
+        y = np.array([0] * 50 + [1] * 50)
+        scores = np.array([0.9] * 50 + [0.1] * 50)
+        assert calibration_error(y, scores) == pytest.approx(0.9)
+
+    def test_calibration_gap_zero_for_identical_groups(self):
+        y = np.array([0, 1, 0, 1] * 10)
+        scores = np.array([0.2, 0.8, 0.3, 0.7] * 10)
+        s = np.array([0, 0, 1, 1] * 10)
+        y2 = np.concatenate([y, y])
+        scores2 = np.concatenate([scores, scores])
+        s2 = np.concatenate([np.zeros_like(s), np.ones_like(s)])
+        assert calibration_gap(y2, scores2, s2) == pytest.approx(0.0)
+
+    def test_score_range_validated(self):
+        with pytest.raises(ValueError):
+            calibration_error(np.array([0, 1]), np.array([0.5, 1.5]))
+
+    def test_class_balance_metrics(self):
+        y = np.array([1, 1, 0, 0, 1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1, 0.6, 0.5, 0.4, 0.3])
+        s = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        assert positive_class_balance(y, scores, s) == pytest.approx(
+            (0.85) - (0.55))
+        assert negative_class_balance(y, scores, s) == pytest.approx(
+            (0.15) - (0.35))
+
+    def test_class_balance_nan_when_class_absent(self):
+        y = np.array([1, 1, 1, 1])
+        scores = np.array([0.5] * 4)
+        s = np.array([0, 0, 1, 1])
+        assert math.isnan(negative_class_balance(y, scores, s))
+
+
+# ----------------------------------------------------------------------
+# Individual-level metrics
+# ----------------------------------------------------------------------
+class TestConsistency:
+    def test_constant_predictions_fully_consistent(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        assert consistency_score(X, np.ones(50, dtype=int)) == \
+            pytest.approx(1.0)
+
+    def test_cluster_consistent_predictions(self):
+        # two well-separated clusters, predictions constant per cluster
+        X = np.vstack([np.zeros((20, 2)), 100 + np.zeros((20, 2))])
+        X += np.random.default_rng(1).normal(scale=0.1, size=X.shape)
+        y_hat = np.array([0] * 20 + [1] * 20)
+        assert consistency_score(X, y_hat, n_neighbors=5) == \
+            pytest.approx(1.0)
+
+    def test_random_predictions_less_consistent(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 2))
+        y_hat = rng.integers(0, 2, 100)
+        assert consistency_score(X, y_hat) < 0.9
+
+    def test_single_row(self):
+        assert consistency_score(np.zeros((1, 2)), np.array([1])) == 1.0
+
+
+class TestUnawareness:
+    def test_detects_sensitive_feature(self):
+        assert not fairness_through_unawareness(["age", "sex"], "sex")
+        assert fairness_through_unawareness(["age", "hours"], "sex")
+
+    def test_proxies_also_banned(self):
+        assert not fairness_through_unawareness(
+            ["age", "zipcode"], "race", proxies=("zipcode",))
+
+
+# ----------------------------------------------------------------------
+# Resilience to random bias
+# ----------------------------------------------------------------------
+class TestResilience:
+    def test_zero_flip_fraction_is_perfectly_resilient(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        s = rng.integers(0, 2, 200)
+        assert resilience_to_random_bias(y, scores, s,
+                                         flip_fraction=0.0) == 0.0
+
+    def test_flipping_moves_gap(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 400)
+        scores = np.where(y == 1, 0.9, 0.1).astype(float)
+        s = np.array([0, 1] * 200)
+        value = resilience_to_random_bias(y, scores, s, flip_fraction=0.3)
+        assert value > 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            resilience_to_random_bias(np.array([0, 1]), np.array([0.1, 0.9]),
+                                      np.array([0, 1]), flip_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@st.composite
+def labelled_groups(draw, min_size=8, max_size=120):
+    n = draw(st.integers(min_size, max_size))
+    y = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    y_hat = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    half = n // 2
+    s = [0] * half + [1] * (n - half)
+    return np.array(y), np.array(y_hat), np.array(s)
+
+
+class TestProperties:
+    @given(labelled_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_cv_gap_bounded(self, data):
+        y, y_hat, s = data
+        assert -1.0 <= cv_score(y_hat, s) <= 1.0
+
+    @given(labelled_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_swapping_groups_negates_difference_metrics(self, data):
+        y, y_hat, s = data
+        for fn in (equal_opportunity_difference,
+                   predictive_equality_difference,
+                   balanced_classification_rate_difference,
+                   accuracy_equality_difference):
+            a = fn(y, y_hat, s)
+            b = fn(y, y_hat, 1 - s)
+            if math.isnan(a):
+                assert math.isnan(b)
+            else:
+                assert a == pytest.approx(-b)
+
+    @given(labelled_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_group_benefit_bounded(self, data):
+        y, y_hat, s = data
+        value = group_benefit_ratio(y, y_hat, s)
+        assert math.isnan(value) or -1.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=80),
+           st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_differential_fairness_nonnegative(self, bits, n_groups):
+        y_hat = np.array(bits)
+        groups = np.arange(len(bits)) % n_groups
+        assert differential_fairness(y_hat, groups) >= 0.0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_calibration_error_bounded(self, data):
+        n = data.draw(st.integers(4, 60))
+        y = np.array(data.draw(st.lists(st.integers(0, 1),
+                                        min_size=n, max_size=n)))
+        scores = np.array(data.draw(st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=n, max_size=n)))
+        assert 0.0 <= calibration_error(y, scores) <= 1.0

@@ -1,0 +1,97 @@
+"""Tests for the gradient-boosting classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models import GradientBoosting, LogisticRegression
+
+RNG = np.random.default_rng
+
+
+def linear_data(n=1200, seed=0):
+    rng = RNG(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] - 0.5 * X[:, 2] + rng.normal(0, 0.5, n) > 0).astype(int)
+    return X, y
+
+
+def xor_data(n=1500, seed=0):
+    """Nonlinear data where a linear model is near-chance."""
+    rng = RNG(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_fits_linear_signal(self):
+        X, y = linear_data()
+        model = GradientBoosting(n_estimators=60).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_beats_linear_model_on_xor(self):
+        X, y = xor_data()
+        gb = GradientBoosting(n_estimators=80, max_depth=3).fit(X, y)
+        lr = LogisticRegression().fit(X, y)
+        assert gb.score(X, y) > 0.9
+        assert lr.score(X, y) < 0.65
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = linear_data()
+        probs = GradientBoosting(n_estimators=30).fit(X, y).predict_proba(X)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_more_rounds_reduce_training_error(self):
+        X, y = xor_data(n=800)
+        few = GradientBoosting(n_estimators=5, seed=1).fit(X, y).score(X, y)
+        many = GradientBoosting(n_estimators=120, seed=1).fit(X, y).score(X, y)
+        assert many >= few
+
+    def test_subsampling_still_learns(self):
+        X, y = linear_data(seed=2)
+        model = GradientBoosting(n_estimators=80, subsample=0.5).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_sample_weight_shifts_decisions(self):
+        """Upweighting the positive class raises the positive rate."""
+        X, y = linear_data(seed=3)
+        w = np.where(y == 1, 10.0, 1.0)
+        plain = GradientBoosting(n_estimators=40).fit(X, y)
+        weighted = GradientBoosting(n_estimators=40).fit(X, y, sample_weight=w)
+        assert weighted.predict(X).mean() > plain.predict(X).mean()
+
+    def test_decision_function_matches_proba(self):
+        X, y = linear_data(seed=4)
+        model = GradientBoosting(n_estimators=20).fit(X, y)
+        margin = model.decision_function(X)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs, 1 / (1 + np.exp(-margin)))
+
+    def test_deterministic_given_seed(self):
+        X, y = linear_data(seed=5)
+        a = GradientBoosting(n_estimators=15, subsample=0.7, seed=9).fit(X, y)
+        b = GradientBoosting(n_estimators=15, subsample=0.7, seed=9).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_clone_resets_state(self):
+        X, y = linear_data(seed=6)
+        model = GradientBoosting(n_estimators=10).fit(X, y)
+        fresh = model.clone()
+        assert fresh.trees_ is None
+        with pytest.raises(RuntimeError, match="not fitted"):
+            fresh.predict_proba(X)
+
+    def test_constant_labels_predict_constant(self):
+        X = RNG(0).normal(size=(50, 3))
+        model = GradientBoosting(n_estimators=10).fit(X, np.ones(50, int))
+        assert np.all(model.predict(X) == 1)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"n_estimators": 0}, "n_estimators"),
+        ({"learning_rate": 0.0}, "learning_rate"),
+        ({"learning_rate": 1.5}, "learning_rate"),
+        ({"subsample": 0.0}, "subsample"),
+    ])
+    def test_invalid_hyperparameters(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            GradientBoosting(**kwargs)

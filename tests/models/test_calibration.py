@@ -1,0 +1,162 @@
+"""Tests for Platt scaling, isotonic regression, and calibration
+diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (CalibratedClassifier, GaussianNB,
+                          IsotonicRegression, LogisticRegression,
+                          PlattScaler, brier_score,
+                          expected_calibration_error, reliability_curve)
+
+RNG = np.random.default_rng
+
+
+def skewed_scores(n=4000, seed=0):
+    """Scores that are informative but badly scaled (over-confident)."""
+    rng = RNG(seed)
+    y = (rng.random(n) < 0.5).astype(int)
+    latent = rng.normal(loc=y * 1.5, scale=1.0)
+    probs = 1 / (1 + np.exp(-4.0 * latent))  # too-steep sigmoid
+    return probs, y
+
+
+class TestPlattScaler:
+    def test_reduces_calibration_error(self):
+        probs, y = skewed_scores()
+        before = expected_calibration_error(y, probs)
+        fixed = PlattScaler().fit(probs, y).transform(probs)
+        after = expected_calibration_error(y, fixed)
+        assert after < before
+
+    def test_monotone_map(self):
+        probs, y = skewed_scores()
+        scaler = PlattScaler().fit(probs, y)
+        grid = np.linspace(0, 1, 50)
+        out = scaler.transform(grid)
+        diffs = np.diff(out)
+        assert np.all(diffs >= 0) or np.all(diffs <= 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PlattScaler().transform(np.array([0.5]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            PlattScaler().fit(np.zeros(3), np.zeros(4))
+
+    def test_nonbinary_labels_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            PlattScaler().fit(np.zeros(3), np.array([0, 1, 2]))
+
+
+class TestIsotonicRegression:
+    def test_fitted_values_monotone(self):
+        probs, y = skewed_scores(seed=1)
+        iso = IsotonicRegression().fit(probs, y)
+        assert np.all(np.diff(iso.y_) >= -1e-12)
+
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0, 0, 1, 1])
+        iso = IsotonicRegression().fit(scores, y)
+        assert iso.transform(np.array([0.15]))[0] == pytest.approx(0.0)
+        assert iso.transform(np.array([0.85]))[0] == pytest.approx(1.0)
+
+    def test_pav_pools_violators(self):
+        # Decreasing targets must pool into one constant block.
+        scores = np.array([0.1, 0.2, 0.3])
+        y = np.array([1, 0, 0])
+        iso = IsotonicRegression().fit(scores, y)
+        out = iso.transform(scores)
+        assert np.allclose(out, 1 / 3)
+
+    def test_clips_outside_training_range(self):
+        iso = IsotonicRegression().fit(np.array([0.4, 0.6]),
+                                       np.array([0, 1]))
+        assert iso.transform(np.array([-5.0]))[0] >= 0.0
+        assert iso.transform(np.array([5.0]))[0] <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            IsotonicRegression().transform(np.array([0.5]))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_output_always_in_unit_interval(self, seed):
+        rng = RNG(seed)
+        scores = rng.normal(size=60)
+        y = (rng.random(60) < 0.5).astype(int)
+        iso = IsotonicRegression().fit(scores, y)
+        out = iso.transform(rng.normal(size=40))
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestCalibratedClassifier:
+    def make_data(self, n=3000, seed=0):
+        rng = RNG(seed)
+        X = rng.normal(size=(n, 4))
+        y = (X[:, 0] + 0.5 * X[:, 1] + rng.normal(0, 0.8, n) > 0).astype(int)
+        return X, y
+
+    @pytest.mark.parametrize("method", ["platt", "isotonic"])
+    def test_improves_nb_calibration(self, method):
+        """Naive Bayes is notoriously over-confident; wrapping helps."""
+        X, y = self.make_data()
+        raw = GaussianNB().fit(X, y)
+        wrapped = CalibratedClassifier(GaussianNB(), method=method).fit(X, y)
+        ece_raw = expected_calibration_error(y, raw.predict_proba(X))
+        ece_cal = expected_calibration_error(y, wrapped.predict_proba(X))
+        assert ece_cal < ece_raw
+
+    def test_accuracy_roughly_preserved(self):
+        X, y = self.make_data(seed=1)
+        base = LogisticRegression().fit(X, y)
+        wrapped = CalibratedClassifier(LogisticRegression()).fit(X, y)
+        assert wrapped.score(X, y) > base.score(X, y) - 0.05
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            CalibratedClassifier(GaussianNB(), method="temperature")
+
+    def test_invalid_holdout_rejected(self):
+        with pytest.raises(ValueError, match="holdout_fraction"):
+            CalibratedClassifier(GaussianNB(), holdout_fraction=1.5)
+
+    def test_unfitted_raises(self):
+        clf = CalibratedClassifier(GaussianNB())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clf.predict_proba(np.zeros((2, 2)))
+
+
+class TestDiagnostics:
+    def test_brier_score_bounds(self):
+        y = np.array([0, 1, 0, 1])
+        assert brier_score(y, y.astype(float)) == 0.0
+        assert brier_score(y, 1.0 - y) == 1.0
+        assert brier_score(y, np.full(4, 0.5)) == pytest.approx(0.25)
+
+    def test_perfectly_calibrated_has_zero_ece(self):
+        rng = RNG(0)
+        probs = np.round(rng.random(200000), 1)
+        y = (rng.random(200000) < probs).astype(int)
+        assert expected_calibration_error(y, probs, n_bins=10) < 0.01
+
+    def test_reliability_curve_counts_sum(self):
+        probs, y = skewed_scores(n=500)
+        curve = reliability_curve(y, probs, n_bins=8)
+        assert curve.counts.sum() == 500
+        assert np.all(curve.fraction_positive >= 0)
+        assert np.all(curve.fraction_positive <= 1)
+
+    def test_reliability_curve_skips_empty_bins(self):
+        y = np.array([0, 1])
+        curve = reliability_curve(y, np.array([0.05, 0.95]), n_bins=10)
+        assert len(curve.bin_centers) == 2
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            reliability_curve(np.array([0, 1]), np.array([0.2, 0.8]),
+                              n_bins=0)

@@ -1,0 +1,121 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.models import (GridSearch, KNearestNeighbors, LogisticRegression,
+                          ParameterGrid, cross_val_score, kfold_indices)
+
+RNG = np.random.default_rng
+
+
+def make_data(n=600, seed=0):
+    rng = RNG(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] + rng.normal(0, 0.6, n) > 0).astype(int)
+    return X, y
+
+
+class TestKFoldIndices:
+    def test_partition_covers_all_rows(self):
+        folds = kfold_indices(100, 5, seed=1)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(100))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(50, 5):
+            assert not set(train) & set(test)
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([1] * 20 + [0] * 80)
+        for _, test in kfold_indices(100, 5, stratify=y):
+            assert np.mean(y[test]) == pytest.approx(0.2, abs=0.01)
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError, match="cannot make"):
+            kfold_indices(3, 5)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            kfold_indices(10, 1)
+
+    def test_stratify_shape_checked(self):
+        with pytest.raises(ValueError, match="one entry per row"):
+            kfold_indices(10, 2, stratify=np.zeros(5))
+
+
+class TestCrossValScore:
+    def test_scores_reasonable_on_learnable_data(self):
+        X, y = make_data()
+        scores = cross_val_score(LogisticRegression(), X, y, k=5)
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.75
+
+    def test_model_left_unfitted(self):
+        X, y = make_data()
+        model = LogisticRegression()
+        cross_val_score(model, X, y, k=3)
+        assert getattr(model, "coef_", None) is None
+
+    def test_custom_metric(self):
+        X, y = make_data()
+
+        def recall(y_true, y_pred):
+            pos = y_true == 1
+            return float(np.mean(y_pred[pos] == 1))
+
+        scores = cross_val_score(LogisticRegression(), X, y, k=3,
+                                 metric=recall)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data()
+        a = cross_val_score(LogisticRegression(), X, y, k=4, seed=5)
+        b = cross_val_score(LogisticRegression(), X, y, k=4, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(grid) == 4
+        assert {tuple(sorted(p.items())) for p in grid} == {
+            (("a", 1), ("b", "x")), (("a", 1), ("b", "y")),
+            (("a", 2), ("b", "x")), (("a", 2), ("b", "y")),
+        }
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="not be empty"):
+            ParameterGrid({})
+
+    def test_string_value_rejected(self):
+        with pytest.raises(ValueError, match="sequence"):
+            ParameterGrid({"a": "abc"})
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ParameterGrid({"a": []})
+
+
+class TestGridSearch:
+    def test_finds_sensible_k_for_knn(self):
+        X, y = make_data(n=400)
+        search = GridSearch(KNearestNeighbors, {"k": [1, 15]}, k=3)
+        result = search.fit(X, y)
+        # k=1 overfits noisy data; CV should prefer the smoother model.
+        assert result.best_params == {"k": 15}
+        assert len(result.all_scores) == 2
+
+    def test_best_model_is_refitted(self):
+        X, y = make_data(n=300)
+        result = GridSearch(LogisticRegression,
+                            {"l2": [0.0, 1.0]}, k=3).fit(X, y)
+        preds = result.best_model.predict(X)
+        assert preds.shape == y.shape
+
+    def test_best_score_is_max(self):
+        X, y = make_data(n=300)
+        result = GridSearch(KNearestNeighbors, {"k": [1, 5, 25]},
+                            k=3).fit(X, y)
+        assert result.best_score == pytest.approx(
+            max(s for _, s in result.all_scores))

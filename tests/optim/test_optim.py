@@ -1,0 +1,174 @@
+"""Tests for the optimisation substrate: penalty solver, simplex
+projection, weighted MaxSAT, and NMF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import (Clause, MaxSatInstance, minimize_penalty, nmf,
+                         project_simplex, projected_gradient, solve_maxsat)
+
+
+class TestPenaltyMethod:
+    def test_unconstrained_quadratic(self):
+        loss = lambda t: (float((t - 2) @ (t - 2)), 2 * (t - 2))
+        result = minimize_penalty(loss, [], np.zeros(3))
+        np.testing.assert_allclose(result.theta, 2.0, atol=1e-4)
+
+    def test_active_linear_constraint(self):
+        # min x² + y² s.t. x + y >= 1 -> (0.5, 0.5)
+        loss = lambda t: (float(t @ t), 2 * t)
+        g = lambda t: (1 - t.sum(), -np.ones_like(t))
+        result = minimize_penalty(loss, [g], np.zeros(2))
+        np.testing.assert_allclose(result.theta, 0.5, atol=1e-2)
+        assert result.max_violation < 1e-3
+
+    def test_inactive_constraint_ignored(self):
+        loss = lambda t: (float(t @ t), 2 * t)
+        g = lambda t: (t.sum() - 10, np.ones_like(t))  # sum <= 10
+        result = minimize_penalty(loss, [g], np.ones(2))
+        np.testing.assert_allclose(result.theta, 0.0, atol=1e-4)
+
+    def test_reports_outer_rounds(self):
+        loss = lambda t: (float(t @ t), 2 * t)
+        result = minimize_penalty(loss, [], np.zeros(1))
+        assert result.n_outer >= 1
+
+
+class TestProjectedGradient:
+    def test_simplex_constrained_minimum(self):
+        # min ||x - v||² over the simplex == projection of v.
+        v = np.array([0.8, 0.3, -0.2])
+        out = projected_gradient(lambda x: 2 * (x - v), project_simplex,
+                                 np.full(3, 1 / 3), step=0.1)
+        np.testing.assert_allclose(out, project_simplex(v), atol=1e-4)
+
+    def test_project_simplex_properties(self):
+        p = project_simplex(np.array([2.0, -1.0, 0.5]))
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_project_simplex_idempotent(self):
+        p = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(p), p, atol=1e-12)
+
+    def test_project_simplex_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.ones((2, 2)))
+
+
+class TestMaxSat:
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            Clause(literals=())
+        with pytest.raises(ValueError):
+            Clause(literals=(0,))
+        with pytest.raises(ValueError):
+            Clause(literals=(1,), weight=-1)
+
+    def test_variable_out_of_range(self):
+        inst = MaxSatInstance(2)
+        with pytest.raises(ValueError):
+            inst.add_clause([3])
+
+    def test_satisfiable_instance_zero_cost(self):
+        inst = MaxSatInstance(2)
+        inst.add_clause([1], weight=1)
+        inst.add_clause([2], weight=1)
+        assert solve_maxsat(inst).cost == 0.0
+
+    def test_conflicting_units_pick_heavier(self):
+        inst = MaxSatInstance(1)
+        inst.add_clause([1], weight=1)
+        inst.add_clause([-1], weight=5)
+        sol = solve_maxsat(inst)
+        assert sol.cost == 1.0
+        assert sol.value(1) is False
+
+    def test_hard_clause_respected(self):
+        inst = MaxSatInstance(1)
+        inst.add_clause([1], hard=True)
+        inst.add_clause([-1], weight=100)
+        sol = solve_maxsat(inst)
+        assert sol.value(1) is True
+        assert sol.cost == 100.0
+
+    def test_exhaustive_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        inst = MaxSatInstance(6)
+        for _ in range(15):
+            size = rng.integers(1, 4)
+            lits = rng.choice(np.arange(1, 7), size=size, replace=False)
+            signs = rng.choice([-1, 1], size=size)
+            inst.add_clause(list(lits * signs),
+                            weight=float(rng.integers(1, 10)))
+        sol = solve_maxsat(inst)  # exhaustive path (<=16 vars)
+        # brute force
+        best = min(
+            inst.cost(np.array(
+                [False] + [(bits >> v) & 1 == 1 for v in range(6)]))
+            for bits in range(64))
+        assert sol.cost == pytest.approx(best)
+
+    def test_local_search_on_larger_instance(self):
+        rng = np.random.default_rng(0)
+        inst = MaxSatInstance(40)
+        # Implant a satisfying assignment: all variables true.
+        for _ in range(120):
+            size = int(rng.integers(1, 4))
+            vars_ = rng.choice(np.arange(1, 41), size=size, replace=False)
+            clause = list(vars_)
+            clause[0] = abs(clause[0])  # ensure one positive literal
+            inst.add_clause(clause, weight=1)
+        sol = solve_maxsat(inst, max_flips=3000, seed=1)
+        assert sol.cost == 0.0
+
+
+class TestNMF:
+    def test_reconstruction_of_low_rank(self):
+        rng = np.random.default_rng(0)
+        W = rng.random((10, 2))
+        H = rng.random((2, 8))
+        A = W @ H
+        result = nmf(A, rank=2, n_iter=500, seed=1)
+        assert result.error < 1e-3 * np.sum(A ** 2)
+
+    def test_rank1_is_outer_product(self):
+        counts = np.outer([4, 6], [3, 7]).astype(float)
+        result = nmf(counts, rank=1, n_iter=400)
+        np.testing.assert_allclose(result.reconstruct(), counts,
+                                   rtol=0.05)
+
+    def test_factors_nonnegative(self):
+        A = np.abs(np.random.default_rng(2).random((6, 5)))
+        result = nmf(A, rank=3)
+        assert (result.W >= 0).all() and (result.H >= 0).all()
+
+    def test_mask_ignores_cells(self):
+        A = np.outer([1.0, 2.0], [1.0, 3.0])
+        corrupted = A.copy()
+        corrupted[0, 0] = 100.0
+        mask = np.ones_like(A)
+        mask[0, 0] = 0.0
+        result = nmf(corrupted, rank=1, mask=mask, n_iter=500)
+        # Completion recovers the rank-1 value, not the corrupted one.
+        assert abs(result.reconstruct()[0, 0] - A[0, 0]) < 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            nmf(-np.ones((2, 2)), rank=1)
+        with pytest.raises(ValueError):
+            nmf(np.ones((2, 2)), rank=3)
+        with pytest.raises(ValueError):
+            nmf(np.ones(4), rank=1)
+        with pytest.raises(ValueError):
+            nmf(np.ones((2, 2)), rank=1, mask=np.ones((3, 3)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=12))
+def test_simplex_projection_property(values):
+    p = project_simplex(np.array(values))
+    assert p.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (p >= -1e-12).all()

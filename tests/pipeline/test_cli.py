@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_datasets_and_stages(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compas" in out
+        assert "pre-processing" in out
+        assert "KamCal-dp" in out
+
+
+class TestRun:
+    def test_default_run(self, capsys):
+        code = main(["run", "--dataset", "compas", "--rows", "600",
+                     "--causal-samples", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LR" in out
+        assert "KamCal" in out
+
+    def test_explicit_approach(self, capsys):
+        code = main(["run", "--dataset", "german", "--rows", "400",
+                     "--causal-samples", "500",
+                     "--approach", "Hardt-eo"])
+        assert code == 0
+        assert "Hardt" in capsys.readouterr().out
+
+    def test_unknown_approach_is_error(self, capsys):
+        code = main(["run", "--rows", "400", "--approach", "FairGAN"])
+        assert code == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+
+class TestAudit:
+    def test_audit_baseline_only(self, capsys):
+        code = main(["audit", "--dataset", "compas", "--rows", "600",
+                     "--causal-samples", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LR" in out
+        assert "DI*" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,60 @@
+"""Tests for the rung-3 pipeline audit."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, Table, train_test_split
+from repro.pipeline import evaluate_counterfactual
+
+
+@pytest.fixture(scope="module")
+def compas_cf_split():
+    from repro.datasets import load_compas
+
+    return train_test_split(load_compas(2500, seed=5), seed=1)
+
+
+class TestEvaluateCounterfactual:
+    def test_baseline_audit_structure(self, compas_cf_split):
+        audit = evaluate_counterfactual(
+            None, compas_cf_split.train, compas_cf_split.test,
+            n_samples=6000, n_particles=60, max_rows=25, seed=0)
+        assert audit.approach == "LR"
+        assert audit.dataset == "compas"
+        assert 0.0 <= audit.fairness.mean_gap <= 1.0
+        assert audit.fairness.n_rows == 25
+        assert abs(audit.effects.residual) < 1e-9
+        assert -1.0 <= audit.error_rates.fpr_gap <= 1.0
+
+    def test_s_blind_approach_reduces_direct_effect(self, compas_cf_split):
+        """Feld discards S from the model: counterfactual DE ≈ 0 and
+        individuals almost never flip."""
+        base = evaluate_counterfactual(
+            None, compas_cf_split.train, compas_cf_split.test,
+            n_samples=8000, n_particles=60, max_rows=25, seed=0)
+        fair = evaluate_counterfactual(
+            "Feld-dp", compas_cf_split.train, compas_cf_split.test,
+            n_samples=8000, n_particles=60, max_rows=25, seed=0)
+        assert abs(fair.effects.de) <= abs(base.effects.de) + 0.02
+        assert fair.fairness.mean_gap <= base.fairness.mean_gap + 0.02
+
+    def test_no_graph_rejected(self, compas_cf_split):
+        train = compas_cf_split.train
+        bare = Dataset(
+            table=train.table,
+            feature_names=train.feature_names,
+            sensitive=train.sensitive,
+            label=train.label,
+            name="bare",
+        )
+        with pytest.raises(ValueError, match="no causal graph"):
+            evaluate_counterfactual(None, bare, compas_cf_split.test)
+
+    def test_deterministic_given_seed(self, compas_cf_split):
+        kwargs = dict(n_samples=3000, n_particles=40, max_rows=10, seed=7)
+        a = evaluate_counterfactual(None, compas_cf_split.train,
+                                    compas_cf_split.test, **kwargs)
+        b = evaluate_counterfactual(None, compas_cf_split.train,
+                                    compas_cf_split.test, **kwargs)
+        assert a.fairness.mean_gap == b.fairness.mean_gap
+        assert a.effects.tv == b.effects.tv

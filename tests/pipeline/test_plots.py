@@ -1,0 +1,109 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.pipeline import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_one_line_per_bar(self):
+        out = bar_chart(["a", "bb"], [0.5, 1.0])
+        assert len(out.splitlines()) == 2
+
+    def test_title_line(self):
+        out = bar_chart(["a"], [1.0], title="Adult")
+        assert out.splitlines()[0] == "Adult"
+
+    def test_longest_bar_fills_width(self):
+        out = bar_chart(["a", "b"], [0.5, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_vmax_scaling(self):
+        out = bar_chart(["a"], [0.5], width=10, vmax=1.0)
+        assert out.count("█") == 5
+
+    def test_values_annotated(self):
+        out = bar_chart(["a"], [0.123], value_format="{:.2f}")
+        assert "0.12" in out
+
+    def test_zero_values_render(self):
+        out = bar_chart(["a"], [0.0])
+        assert "█" not in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart([], [])
+
+    def test_deterministic(self):
+        args = (["x", "y"], [0.3, 0.7])
+        assert bar_chart(*args) == bar_chart(*args)
+
+
+class TestGroupedBarChart:
+    DATA = {
+        "KamCal-dp": {"DI*": 0.9, "1-|TPRB|": 0.95},
+        "Hardt-eo": {"DI*": 0.8, "1-|TPRB|": 0.99},
+    }
+
+    def test_groups_and_metrics_present(self):
+        out = grouped_bar_chart(self.DATA)
+        for name in ("KamCal-dp", "Hardt-eo", "DI*", "1-|TPRB|"):
+            assert name in out
+
+    def test_groups_separated_by_blank_lines(self):
+        out = grouped_bar_chart(self.DATA)
+        assert "\n\n" in out
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            grouped_bar_chart({})
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="no metrics"):
+            grouped_bar_chart({"a": {}})
+
+
+class TestLineChart:
+    def test_legend_and_bounds(self):
+        out = line_chart([1, 10, 100], {"kamcal": [0.1, 1.0, 10.0]},
+                         log_y=True)
+        assert "legend: a=kamcal" in out
+        assert "(x: 1 .. 100)" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart([0, 1], {"s1": [0, 1], "s2": [1, 0]})
+        assert "a=s1" in out and "b=s2" in out
+        body = "\n".join(out.splitlines()[1:-2])
+        assert "a" in body and "b" in body
+
+    def test_height_controls_rows(self):
+        out = line_chart([0, 1], {"s": [0, 1]}, height=5)
+        rows = [line for line in out.splitlines()
+                if line.startswith("|")]
+        assert len(rows) == 5
+
+    def test_constant_series_handled(self):
+        out = line_chart([0, 1, 2], {"s": [3.0, 3.0, 3.0]})
+        assert "legend" in out
+
+    def test_log_y_clamps_nonpositive(self):
+        out = line_chart([0, 1], {"s": [0.0, 10.0]}, log_y=True)
+        assert "legend" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError, match="two x"):
+            line_chart([0], {"s": [1.0]})
+        with pytest.raises(ValueError, match="aligned"):
+            line_chart([0, 1], {"s": [1.0]})

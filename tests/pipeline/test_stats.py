@@ -1,0 +1,113 @@
+"""Tests for the stability/bootstrap/paired-test statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import (bootstrap_ci, paired_comparison,
+                            stability_summary)
+
+RNG = np.random.default_rng
+
+
+class TestStabilitySummary:
+    def test_basic_stats(self):
+        s = stability_summary(np.array([0.8, 0.82, 0.81, 0.79, 0.8]))
+        assert s.mean == pytest.approx(0.804)
+        assert s.is_stable
+        assert s.outliers == ()
+
+    def test_outlier_detected(self):
+        values = np.array([0.80, 0.81, 0.79, 0.80, 0.82, 0.81, 0.20])
+        s = stability_summary(values)
+        assert 0.20 in s.outliers
+
+    def test_iqr(self):
+        s = stability_summary(np.arange(9, dtype=float))
+        assert s.iqr == pytest.approx(4.0)
+
+    def test_unstable_flag(self):
+        s = stability_summary(np.array([0.1, 0.9, 0.2, 0.8]))
+        assert not s.is_stable
+
+    def test_too_few_values(self):
+        with pytest.raises(ValueError, match="at least two"):
+            stability_summary(np.array([0.5]))
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean_for_tight_data(self):
+        values = RNG(0).normal(0.8, 0.01, 50)
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo <= values.mean() <= hi
+        assert hi - lo < 0.02
+
+    def test_wider_data_wider_interval(self):
+        tight = bootstrap_ci(RNG(0).normal(0.5, 0.01, 40), seed=2)
+        wide = bootstrap_ci(RNG(0).normal(0.5, 0.2, 40), seed=2)
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_deterministic_given_seed(self):
+        values = RNG(3).normal(size=30)
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_custom_statistic(self):
+        values = np.array([1.0, 2.0, 3.0, 100.0])
+        lo, hi = bootstrap_ci(values, statistic=np.median, seed=0)
+        assert hi <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            bootstrap_ci(np.array([1.0]))
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci(np.array([1.0, 2.0]), confidence=1.5)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_ordering_property(self, seed):
+        values = RNG(seed).normal(size=25)
+        lo, hi = bootstrap_ci(values, seed=seed)
+        assert lo <= hi
+
+
+class TestPairedComparison:
+    def test_clear_difference_is_significant(self):
+        rng = RNG(0)
+        base = rng.normal(0.8, 0.01, 20)
+        shift = 0.05 + rng.normal(0, 0.002, 20)  # jitter avoids a
+        cmp = paired_comparison(base + shift, base)  # degenerate t-test
+        assert cmp.significant
+        assert cmp.mean_difference == pytest.approx(0.05, abs=0.005)
+        assert cmp.p_value < 0.01
+
+    def test_identical_arrays_not_significant(self):
+        values = RNG(1).normal(size=15)
+        cmp = paired_comparison(values, values)
+        assert not cmp.significant
+        assert cmp.p_value == 1.0
+        assert cmp.mean_difference == 0.0
+
+    def test_noise_only_not_significant(self):
+        rng = RNG(2)
+        a = rng.normal(0.8, 0.05, 12)
+        b = a + rng.normal(0, 0.05, 12)  # symmetric noise
+        cmp = paired_comparison(a, b, alpha=0.001)
+        assert cmp.p_value > 0.001 or abs(cmp.mean_difference) > 0.04
+
+    def test_wilcoxon_agrees_on_strong_effect(self):
+        rng = RNG(3)
+        base = rng.normal(0.7, 0.01, 25)
+        shift = 0.1 + rng.normal(0, 0.005, 25)  # jitter avoids a
+        cmp = paired_comparison(base + shift, base)  # degenerate t-test
+        assert cmp.wilcoxon_p_value < 0.01
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            paired_comparison(np.zeros(5), np.zeros(4))
+
+    def test_sign_convention(self):
+        a = np.array([0.9, 0.91, 0.92])
+        b = np.array([0.5, 0.52, 0.51])
+        assert paired_comparison(a, b).mean_difference > 0
+        assert paired_comparison(b, a).mean_difference < 0

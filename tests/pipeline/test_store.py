@@ -1,0 +1,137 @@
+"""Tests for JSON persistence of evaluation results."""
+
+import json
+
+import pytest
+
+from repro.pipeline import (EvaluationResult, ResultStore, result_from_dict,
+                            result_to_dict)
+
+
+def make_result(approach="LR", accuracy=0.8):
+    return EvaluationResult(
+        approach=approach, dataset="compas", stage="baseline",
+        accuracy=accuracy, precision=0.7, recall=0.6, f1=0.65,
+        di_star=0.5, tprb=0.9, tnrb=0.9, id=0.95, te=0.8, nde=0.9, nie=0.85,
+        raw={"di": 0.5, "te": -0.2}, fit_seconds=1.25,
+    )
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        r = make_result()
+        back = result_from_dict(result_to_dict(r))
+        assert back == r
+
+    def test_dict_is_json_compatible(self):
+        text = json.dumps(result_to_dict(make_result()))
+        assert "compas" in text
+
+    def test_missing_required_field_rejected(self):
+        data = result_to_dict(make_result())
+        del data["accuracy"]
+        with pytest.raises(ValueError, match="accuracy"):
+            result_from_dict(data)
+
+    def test_defaults_optional(self):
+        data = result_to_dict(make_result())
+        del data["raw"]
+        del data["fit_seconds"]
+        back = result_from_dict(data)
+        assert back.fit_seconds == 0.0
+
+
+class TestResultStore:
+    def test_save_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "runs")
+        results = [make_result("LR"), make_result("Hardt-eo", 0.75)]
+        store.save("fig7-compas", results, params={"rows": 4000})
+        loaded, params = store.load("fig7-compas")
+        assert loaded == results
+        assert params == {"rows": 4000}
+
+    def test_runs_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.runs() == []
+        store.save("b", [make_result()])
+        store.save("a", [make_result()])
+        assert store.runs() == ["a", "b"]
+
+    def test_overwrite_refreshes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", [make_result(accuracy=0.1)])
+        store.save("x", [make_result(accuracy=0.9)])
+        loaded, _ = store.load("x")
+        assert loaded[0].accuracy == 0.9
+
+    def test_missing_run_raises_with_available(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("present", [make_result()])
+        with pytest.raises(FileNotFoundError, match="present"):
+            store.load("absent")
+
+    def test_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("x", [make_result()])
+        store.delete("x")
+        assert store.runs() == []
+        store.delete("x")  # idempotent
+
+    def test_invalid_run_name(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="invalid run name"):
+            store.save("a/b", [make_result()])
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save("x", [make_result()])
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            store.load("x")
+
+
+class TestCli:
+    def test_notions_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["notions", "--hierarchy", "counterfactual"]) == 0
+        out = capsys.readouterr().out
+        assert "counterfactual fairness" in out
+
+    def test_recommend_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["recommend", "--notion", "error-rate",
+                     "--dirty-data"]) == 0
+        out = capsys.readouterr().out
+        assert "post-processing" in out
+        assert "candidate approaches" in out
+
+    def test_list_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "KamCal-dp" in capsys.readouterr().out
+
+    def test_audit_with_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["audit", "--dataset", "german", "--rows", "400",
+                     "--causal-samples", "500", "--store", str(tmp_path),
+                     "--run-name", "smoke"])
+        assert code == 0
+        store = ResultStore(tmp_path)
+        loaded, params = store.load("smoke")
+        assert loaded[0].approach == "LR"
+        assert params["dataset"] == "german"
+
+    def test_describe_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["describe", "--dataset", "compas",
+                     "--rows", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "base rates" in out
+        assert "justifiable-fairness MVD" in out
