@@ -4,28 +4,33 @@ Adult, COMPAS, and German (LR downstream, 70/30 split).
 Regenerates one bar-group table per dataset: the four correctness
 metrics and the five headline normalised fairness metrics (plus
 NDE/NIE) for every approach, with the LR baseline as the first row.
+
+Runs through the sweep engine: the (dataset × 19 variants) grid is
+declared once, executed with the shared result cache (re-runs refit
+nothing), and pivoted back into the paper's table.  ``REPRO_JOBS=N``
+fans the grid out over N worker processes.
 """
 
 import pytest
 
-from common import CAUSAL_SAMPLES, emit, load_sized, once
-from repro.datasets import train_test_split
+from common import CAUSAL_SAMPLES, SIZES, emit, once, run_grid
+from repro.engine import ScenarioGrid, grid_table
 from repro.fairness import MAIN_APPROACHES
-from repro.pipeline import format_results_table, run_experiment
 
 
 def run_dataset(dataset_name: str) -> str:
-    dataset = load_sized(dataset_name)
-    split = train_test_split(dataset, test_fraction=0.3, seed=0)
-    results = [run_experiment(None, split.train, split.test,
-                              causal_samples=CAUSAL_SAMPLES, seed=0)]
-    for name in MAIN_APPROACHES:
-        results.append(run_experiment(name, split.train, split.test,
-                                      causal_samples=CAUSAL_SAMPLES,
-                                      seed=0))
-    return format_results_table(
-        results, title=f"Figure 7 ({dataset_name}): correctness & "
-                       "fairness, 18 variants + LR baseline")
+    grid = ScenarioGrid(
+        datasets=[dataset_name],
+        approaches=[None, *MAIN_APPROACHES],
+        rows=[SIZES[dataset_name]],
+        causal_samples=CAUSAL_SAMPLES,
+        seeds=[0],
+    )
+    report = run_grid(grid)
+    return grid_table(
+        report.outcomes, dataset=dataset_name,
+        title=f"Figure 7 ({dataset_name}): correctness & "
+              "fairness, 18 variants + LR baseline")
 
 
 @pytest.mark.parametrize("dataset_name", ["adult", "compas", "german"])

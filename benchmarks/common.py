@@ -16,6 +16,14 @@ FULL = os.environ.get("REPRO_FULL", "") == "1"
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+#: Worker processes for engine-driven sweeps (1 = serial timing runs).
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
+#: Content-addressed cache shared by all engine-driven benches; a
+#: re-run of a bench refits nothing that already finished.  Set
+#: ``REPRO_NO_CACHE=1`` for cold-cache timing.
+CACHE_DIR = OUT_DIR / "cache"
+
 #: Per-dataset sample sizes (reduced / paper-scale).
 SIZES = {
     "adult": 31000 if FULL else 4000,
@@ -52,3 +60,20 @@ def load_sized(dataset_name: str, seed: int = 0):
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_grid(grid):
+    """Sweep a scenario grid through the engine with the shared bench
+    cache; raises if any cell failed so benches can't silently report
+    partial figures."""
+    from repro.engine import ResultCache, run_sweep
+
+    cache = (None if os.environ.get("REPRO_NO_CACHE", "") == "1"
+             else ResultCache(CACHE_DIR))
+    report = run_sweep(grid.expand(), cache=cache, max_workers=JOBS)
+    if report.failures:
+        details = "\n".join(f"{o.job.label()}:\n{o.error}"
+                            for o in report.failures)
+        raise RuntimeError(f"{len(report.failures)} grid cells failed:\n"
+                           f"{details}")
+    return report

@@ -12,9 +12,12 @@ Public API tour:
 * :mod:`repro.fairness` — the 21 evaluated fair-classification variants.
 * :mod:`repro.errors` — the T1/T2/T3 corruption recipes.
 * :mod:`repro.pipeline` — uniform experiment runner and reports.
+* :mod:`repro.engine` — declarative scenario grids, parallel sweeps,
+  and content-addressed result caching.
 """
 
 from .datasets import load, load_adult, load_compas, load_german
+from .engine import Job, ResultCache, ScenarioGrid, run_sweep
 from .fairness import ALL_APPROACHES, MAIN_APPROACHES, make_approach
 from .pipeline import (EvaluationResult, FairPipeline, evaluate_pipeline,
                        format_results_table, run_experiment)
@@ -26,5 +29,6 @@ __all__ = [
     "MAIN_APPROACHES", "ALL_APPROACHES", "make_approach",
     "FairPipeline", "EvaluationResult", "evaluate_pipeline",
     "run_experiment", "format_results_table",
+    "Job", "ScenarioGrid", "ResultCache", "run_sweep",
     "__version__",
 ]

@@ -16,6 +16,11 @@ Audit the fairness-unaware baseline only::
 
     python -m repro audit --dataset adult --rows 4000
 
+Sweep a full scenario grid in parallel with result caching::
+
+    python -m repro sweep --dataset compas --approach KamCal-dp \
+        --approach Hardt-eo --seeds 3 --jobs 4 --cache-dir .sweep-cache
+
 Browse the paper's Figure 3 notion catalog::
 
     python -m repro notions --association causal
@@ -32,9 +37,13 @@ import sys
 from collections.abc import Sequence
 
 from .datasets import LOADERS, load, train_test_split
+from .engine import (BASELINE_ALIASES, ResultCache, ScenarioGrid,
+                     grid_table, run_sweep)
+from .errors import RECIPES
 from .fairness import ALL_APPROACHES, Stage, make_approach
 from .metrics.notions import (Association, CausalHierarchy, Granularity,
                               catalog)
+from .models import MODEL_FAMILIES, make_model
 from .pipeline import (ApplicationProfile, ResultStore,
                        format_results_table, recommend, run_experiment)
 
@@ -60,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--causal-samples", type=int, default=5000,
                          help="Monte-Carlo samples for TE/NDE/NIE")
+        cmd.add_argument("--model", choices=sorted(MODEL_FAMILIES),
+                         default="lr",
+                         help="downstream model family (ignored by "
+                              "in-processing approaches)")
         cmd.add_argument("--store", metavar="DIR", default=None,
                          help="persist results as JSON under this directory")
         cmd.add_argument("--run-name", default=None,
@@ -72,6 +85,48 @@ def _build_parser() -> argparse.ArgumentParser:
             cmd.set_defaults(func=cmd_run)
         else:
             cmd.set_defaults(func=cmd_audit)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a scenario grid in parallel with caching")
+    sweep_cmd.add_argument("--dataset", action="append", default=[],
+                           choices=sorted(LOADERS), metavar="NAME",
+                           help="dataset to include (repeatable; "
+                                "default: compas)")
+    sweep_cmd.add_argument("--approach", action="append", default=[],
+                           metavar="NAME",
+                           help="approach to include (repeatable; "
+                                "default: one per stage)")
+    sweep_cmd.add_argument("--model", action="append", default=[],
+                           choices=sorted(MODEL_FAMILIES), metavar="NAME",
+                           help="downstream model family (repeatable; "
+                                "default: lr)")
+    sweep_cmd.add_argument("--error", action="append", default=[],
+                           choices=sorted(RECIPES), metavar="RECIPE",
+                           help="training-data corruption recipe "
+                                "(repeatable; default: clean data)")
+    sweep_cmd.add_argument("--seeds", type=int, default=1,
+                           help="number of seeds per cell (0..N-1)")
+    sweep_cmd.add_argument("--rows", type=int, action="append",
+                           default=[], metavar="N",
+                           help="sample size (repeatable for "
+                                "scalability sweeps; default: 4000)")
+    sweep_cmd.add_argument("--causal-samples", type=int, default=5000,
+                           help="Monte-Carlo samples for TE/NDE/NIE")
+    sweep_cmd.add_argument("--no-baseline", action="store_true",
+                           help="omit the fairness-unaware LR baseline "
+                                "cells")
+    sweep_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes (1 = run serially)")
+    sweep_cmd.add_argument("--cache-dir", metavar="DIR",
+                           default=".sweep-cache",
+                           help="content-addressed result cache "
+                                "(default: .sweep-cache; 'none' "
+                                "disables caching)")
+    sweep_cmd.add_argument("--resume", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="reuse cached cells (--no-resume "
+                                "recomputes and refreshes them)")
+    sweep_cmd.set_defaults(func=cmd_sweep)
 
     describe_cmd = sub.add_parser(
         "describe", help="summarise a dataset: stats, bias, MVD check")
@@ -143,8 +198,8 @@ def _evaluate(args: argparse.Namespace,
                   f"(see `repro list`)", file=sys.stderr)
             return 2
         results.append(run_experiment(
-            name, split.train, split.test, seed=args.seed,
-            causal_samples=args.causal_samples))
+            name, split.train, split.test, model=make_model(args.model),
+            seed=args.seed, causal_samples=args.causal_samples))
     print(format_results_table(
         results, title=f"{args.dataset} (n={args.rows}, seed={args.seed})"))
     if args.store is not None:
@@ -152,10 +207,56 @@ def _evaluate(args: argparse.Namespace,
         path = ResultStore(args.store).save(
             run_name, results,
             params={"dataset": args.dataset, "rows": args.rows,
-                    "seed": args.seed,
+                    "seed": args.seed, "model": args.model,
                     "causal_samples": args.causal_samples})
         print(f"saved: {path}")
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    for name in args.approach:
+        if name not in ALL_APPROACHES and name not in BASELINE_ALIASES:
+            print(f"error: unknown approach {name!r} (see `repro list`)",
+                  file=sys.stderr)
+            return 2
+    if args.seeds < 1:
+        print("error: --seeds must be at least 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    approaches = args.approach or ["KamCal-dp", "Zafar-dp-fair",
+                                   "Hardt-eo"]
+    if not args.no_baseline:
+        approaches = [None, *approaches]
+    grid = ScenarioGrid(
+        datasets=args.dataset or ["compas"],
+        approaches=approaches,
+        models=args.model or ["lr"],
+        errors=[None, *args.error] if args.error else [None],
+        seeds=range(args.seeds),
+        rows=args.rows or [4000],
+        causal_samples=args.causal_samples,
+    )
+    jobs = grid.expand()
+    cache = (None if args.cache_dir in (None, "none")
+             else ResultCache(args.cache_dir))
+    print(grid.describe() + (f", cache at {cache.root}" if cache
+                             else ", caching disabled"))
+    report = run_sweep(jobs, cache=cache, max_workers=args.jobs,
+                       resume=args.resume,
+                       progress=lambda p: print(p.line()))
+    for dataset in grid.datasets:
+        print()
+        print(grid_table(report.outcomes, dataset=dataset,
+                         title=f"{dataset} (seed-averaged over "
+                               f"{args.seeds} seeds)"))
+    print()
+    print(f"sweep finished: {report.summary()}")
+    for failure in report.failures:
+        print(f"\nFAILED {failure.job.label()}:\n{failure.error}",
+              file=sys.stderr)
+    return 1 if report.failures else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:

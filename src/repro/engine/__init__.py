@@ -1,0 +1,31 @@
+"""Parallel sweep engine: declarative scenario grids, process-pool
+execution, and content-addressed result caching.
+
+The paper's figures are grids — (dataset × approach × model × error ×
+seed) — and this subsystem is the one way to run them:
+
+* :mod:`~repro.engine.spec` — :class:`ScenarioGrid` declares the grid
+  and expands it to fingerprinted :class:`Job` cells.
+* :mod:`~repro.engine.cache` — :class:`ResultCache` skips any cell
+  whose fingerprint already has a stored result.
+* :mod:`~repro.engine.executor` — :func:`run_sweep` executes cells
+  over a process pool with failure isolation and progress/ETA.
+* :mod:`~repro.engine.report` — pivots a finished grid into the
+  per-figure tables.
+"""
+
+from .cache import ResultCache
+from .executor import (JobOutcome, SweepProgress, SweepReport, execute_job,
+                       run_sweep)
+from .report import (aggregate_over_seeds, cell_key, grid_table,
+                     group_outcomes, mean_result, overhead_series, pivot)
+from .spec import BASELINE_ALIASES, SPEC_VERSION, Job, ScenarioGrid
+
+__all__ = [
+    "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
+    "ResultCache",
+    "JobOutcome", "SweepProgress", "SweepReport", "execute_job",
+    "run_sweep",
+    "aggregate_over_seeds", "cell_key", "grid_table", "group_outcomes",
+    "mean_result", "overhead_series", "pivot",
+]

@@ -1,0 +1,81 @@
+"""Content-addressed result cache for sweep jobs.
+
+A thin layer over :class:`~repro.pipeline.store.ResultStore` that keys
+each stored :class:`~repro.pipeline.experiment.EvaluationResult` by the
+producing job's content fingerprint.  Any sweep — CLI, benchmark, or
+example — that describes the same cell hits the same entry, so a grid
+re-run (or a crashed sweep resumed) refits nothing that already
+finished.
+
+Layout::
+
+    <root>/<fp[:2]>/<fp>.json    # one run file per cell, sharded by
+                                 # the first fingerprint byte so no
+                                 # directory grows unboundedly
+
+Each entry is an ordinary one-result run file (the ``params`` block
+holds the job's full parameterization), so cached cells remain
+greppable and loadable with the plain ``ResultStore`` API.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..pipeline.experiment import EvaluationResult
+from ..pipeline.store import ResultStore
+from .spec import Job
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Fingerprint-addressed store of finished grid cells."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _store(self, fingerprint: str) -> ResultStore:
+        return ResultStore(self.root / fingerprint[:2])
+
+    # ------------------------------------------------------------------
+    def get(self, job: Job) -> EvaluationResult | None:
+        """The cached result for a job, or ``None`` on a miss.
+
+        A malformed entry (interrupted write predating atomic saves,
+        disk corruption, stale format version) counts as a miss rather
+        than poisoning the sweep.
+        """
+        fingerprint = job.fingerprint
+        try:
+            results, params = self._store(fingerprint).load(fingerprint)
+        except (FileNotFoundError, ValueError, KeyError):
+            return None
+        if params.get("fingerprint") != fingerprint or not results:
+            return None
+        return results[0]
+
+    def put(self, job: Job, result: EvaluationResult) -> Path:
+        """Store a finished cell; returns the entry's path."""
+        fingerprint = job.fingerprint
+        params = {"fingerprint": fingerprint, **job.params()}
+        return self._store(fingerprint).save(fingerprint, [result],
+                                             params=params)
+
+    def __contains__(self, job: Job) -> bool:
+        return self.get(job) is not None
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        """Fingerprints of every cached cell, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def evict(self, job: Job) -> None:
+        """Drop one cell (no-op if absent)."""
+        fingerprint = job.fingerprint
+        self._store(fingerprint).delete(fingerprint)

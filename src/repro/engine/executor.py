@@ -1,0 +1,248 @@
+"""Process-pool execution of scenario grids.
+
+:func:`run_sweep` drives a job list end to end: cache lookups first,
+then fresh cells through a ``ProcessPoolExecutor`` (or inline when
+``max_workers=1``).  Three properties the experiments rely on:
+
+* **Determinism** — :func:`execute_job` derives *all* randomness from
+  the job's own seed, so a 2-worker sweep produces byte-identical
+  results to a serial run of the same grid, and a cache hit is
+  indistinguishable from a recomputation.
+* **Failure isolation** — one diverging cell records a traceback in
+  its :class:`JobOutcome`; the remaining cells still run.
+* **Progress** — an optional callback receives a
+  :class:`SweepProgress` snapshot (done/cached/failed counts, elapsed,
+  ETA) after every finished cell.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..pipeline.experiment import EvaluationResult
+from .cache import ResultCache
+from .spec import Job
+
+__all__ = ["JobOutcome", "SweepProgress", "SweepReport", "execute_job",
+           "run_sweep"]
+
+
+# ----------------------------------------------------------------------
+# Single-cell execution (top level: must be picklable for the pool)
+# ----------------------------------------------------------------------
+def execute_job(job: Job) -> EvaluationResult:
+    """Run one grid cell: load → (truncate) → split → (corrupt) → fit →
+    evaluate.  Deterministic in ``job`` alone."""
+    from ..datasets import load, train_test_split
+    from ..errors import corrupt
+    from ..models import make_model
+    from ..pipeline.experiment import run_experiment
+
+    dataset = load(job.dataset, n=job.rows, seed=job.seed)
+    if job.n_features is not None:
+        dataset = dataset.select_features(
+            dataset.feature_names[:job.n_features])
+    split = train_test_split(dataset, test_fraction=job.test_fraction,
+                             seed=job.seed)
+    train = split.train
+    if job.error is not None:
+        train = corrupt(train, job.error, seed=job.seed)
+    return run_experiment(job.approach, train, split.test,
+                          model=make_model(job.model), seed=job.seed,
+                          causal_samples=job.causal_samples)
+
+
+def _guarded_execute(indexed_job: tuple[int, Job]
+                     ) -> tuple[int, EvaluationResult | None, str | None,
+                                float]:
+    """Pool worker: never raises, so one bad cell can't kill the sweep."""
+    index, job = indexed_job
+    start = time.perf_counter()
+    try:
+        result = execute_job(job)
+        return index, result, None, time.perf_counter() - start
+    except Exception:
+        return index, None, traceback.format_exc(), \
+            time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Outcomes and progress
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one cell of the grid."""
+
+    job: Job
+    result: EvaluationResult | None = None
+    error: str | None = None  # traceback text when the cell failed
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Snapshot handed to the progress callback after each cell."""
+
+    done: int
+    total: int
+    cached: int
+    failed: int
+    elapsed: float
+    outcome: JobOutcome
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def eta_seconds(self) -> float:
+        """Linear time-to-finish estimate from throughput so far.
+
+        Cache hits are excluded from the throughput denominator — the
+        remaining cells are all real computations, so counting
+        near-instant hits (which run first) would wildly underestimate
+        a partially-warm sweep.
+        """
+        executed = self.done - self.cached
+        if executed == 0 or self.remaining == 0:
+            return 0.0
+        return self.elapsed / executed * self.remaining
+
+    def line(self) -> str:
+        """Default one-line rendering for CLI/log progress."""
+        status = ("cached" if self.outcome.cached
+                  else "FAILED" if not self.outcome.ok
+                  else f"{self.outcome.seconds:.1f}s")
+        eta = (f" eta {self.eta_seconds:.0f}s" if self.remaining else "")
+        return (f"[{self.done}/{self.total}] "
+                f"{self.outcome.job.label()} — {status}{eta}")
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of a finished sweep, in grid (job-list) order."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def results(self) -> list[EvaluationResult]:
+        """Results of the successful cells, in grid order."""
+        return [o.result for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def computed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and not o.cached)
+
+    def summary(self) -> str:
+        parts = [f"{len(self.outcomes)} cells",
+                 f"{self.computed_count} computed",
+                 f"{self.cached_count} cached"]
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        return f"{', '.join(parts)} in {self.elapsed:.1f}s"
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
+              max_workers: int = 1, resume: bool = True,
+              progress: ProgressCallback | None = None) -> SweepReport:
+    """Execute a job list, reusing and filling the cache.
+
+    Parameters
+    ----------
+    jobs:
+        Cells to run (typically ``grid.expand()``).
+    cache:
+        Optional content-addressed cache.  With ``resume=True``
+        (default) cells whose fingerprint is already stored are
+        skipped; freshly computed cells are always written back.
+    max_workers:
+        ``1`` runs inline in this process; ``>1`` fans out over a
+        ``ProcessPoolExecutor`` with at most that many workers.
+    resume:
+        Set ``False`` to recompute every cell even on a warm cache
+        (entries are refreshed with the new results).
+    progress:
+        Called with a :class:`SweepProgress` after every finished cell
+        (cache hits included), in completion order.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    start = time.perf_counter()
+    slots: list[JobOutcome | None] = [None] * len(jobs)
+    counts = {"done": 0, "cached": 0, "failed": 0}
+
+    def record(index: int, outcome: JobOutcome) -> None:
+        slots[index] = outcome
+        counts["done"] += 1
+        counts["cached"] += outcome.cached
+        counts["failed"] += not outcome.ok
+        if progress is not None:
+            progress(SweepProgress(
+                done=counts["done"], total=len(jobs),
+                cached=counts["cached"], failed=counts["failed"],
+                elapsed=time.perf_counter() - start, outcome=outcome))
+
+    pending: list[tuple[int, Job]] = []
+    for index, job in enumerate(jobs):
+        hit = cache.get(job) if (cache is not None and resume) else None
+        if hit is not None:
+            record(index, JobOutcome(job=job, result=hit, cached=True))
+        else:
+            pending.append((index, job))
+
+    def finish(index: int, job: Job, result: EvaluationResult | None,
+               error: str | None, seconds: float) -> None:
+        if result is not None and cache is not None:
+            cache.put(job, result)
+        record(index, JobOutcome(job=job, result=result, error=error,
+                                 seconds=seconds))
+
+    if max_workers == 1 or len(pending) <= 1:
+        for index, job in pending:
+            _, result, error, seconds = _guarded_execute((index, job))
+            finish(index, job, result, error, seconds)
+    else:
+        workers = min(max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_guarded_execute, item): item
+                       for item in pending}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job = futures[future]
+                    exc = future.exception()
+                    if exc is not None:  # e.g. worker killed by signal
+                        finish(index, job, None,
+                               f"worker crashed: {exc!r}", 0.0)
+                    else:
+                        _, result, error, seconds = future.result()
+                        finish(index, job, result, error, seconds)
+
+    return SweepReport(outcomes=[o for o in slots if o is not None],
+                       elapsed=time.perf_counter() - start)

@@ -1,0 +1,137 @@
+"""Aggregation of finished grids into the paper's tables.
+
+The executor hands back flat :class:`JobOutcome` lists; the figures
+want pivots — approaches × metrics per dataset (Figure 7), approaches ×
+sweep-points of runtime overhead (Figure 8), seed-averaged cells
+everywhere.  These helpers do that reshaping on outcomes (job + result
+pairs), since the job carries the grid coordinates the result dataclass
+doesn't (rows, feature count, error recipe, seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+from statistics import fmean
+
+from ..pipeline.experiment import EvaluationResult
+from ..pipeline.report import format_results_table
+from .executor import JobOutcome
+
+__all__ = ["cell_key", "group_outcomes", "mean_result",
+           "aggregate_over_seeds", "pivot", "grid_table",
+           "overhead_series"]
+
+#: EvaluationResult fields a pivot can aggregate.
+_METRIC_FIELDS = ("accuracy", "precision", "recall", "f1", "di_star",
+                  "tprb", "tnrb", "id", "te", "nde", "nie",
+                  "fit_seconds")
+
+
+def cell_key(outcome: JobOutcome) -> tuple:
+    """Grid coordinates of a cell with the seed dimension removed."""
+    job = outcome.job
+    return (job.dataset, job.approach, job.model, job.error, job.rows,
+            job.n_features)
+
+
+def group_outcomes(outcomes: Iterable[JobOutcome], attr: str
+                   ) -> dict[object, list[JobOutcome]]:
+    """Partition successful outcomes by one job attribute, preserving
+    first-seen order of the attribute values."""
+    groups: dict[object, list[JobOutcome]] = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            groups.setdefault(getattr(outcome.job, attr), []).append(
+                outcome)
+    return groups
+
+
+def mean_result(results: Sequence[EvaluationResult]) -> EvaluationResult:
+    """Metric-wise mean of results from one cell across seeds.
+
+    Identity fields (approach, dataset, stage) come from the first
+    result; every numeric metric — including the raw signed values —
+    is averaged.
+    """
+    if not results:
+        raise ValueError("cannot average an empty result list")
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+    averaged = {name: fmean(getattr(r, name) for r in results)
+                for name in _METRIC_FIELDS}
+    raw = {key: fmean(r.raw[key] for r in results)
+           for key in first.raw if all(key in r.raw for r in results)}
+    return dataclasses.replace(first, raw=raw, **averaged)
+
+
+def aggregate_over_seeds(outcomes: Iterable[JobOutcome]
+                         ) -> list[EvaluationResult]:
+    """Collapse the seed dimension: one mean result per distinct cell,
+    in the grid's first-seen order.  Failed cells are dropped."""
+    groups: dict[tuple, list[EvaluationResult]] = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            groups.setdefault(cell_key(outcome), []).append(
+                outcome.result)
+    return [mean_result(results) for results in groups.values()]
+
+
+def pivot(outcomes: Iterable[JobOutcome], index: str, columns: str,
+          value: str) -> dict[object, dict[object, float]]:
+    """Generic two-way pivot of a metric over two job attributes.
+
+    Returns ``{index_value: {column_value: mean metric}}`` with both
+    axes in first-seen grid order; cells observed under several seeds
+    are averaged.  ``value`` is any numeric ``EvaluationResult`` field.
+    """
+    if value not in _METRIC_FIELDS:
+        raise KeyError(f"unknown metric {value!r}; choose from "
+                       f"{sorted(_METRIC_FIELDS)}")
+    acc: dict[object, dict[object, list[float]]] = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        row = getattr(outcome.job, index)
+        col = getattr(outcome.job, columns)
+        acc.setdefault(row, {}).setdefault(col, []).append(
+            getattr(outcome.result, value))
+    return {row: {col: fmean(vals) for col, vals in cols.items()}
+            for row, cols in acc.items()}
+
+
+def grid_table(outcomes: Iterable[JobOutcome], dataset: str | None = None,
+               title: str = "") -> str:
+    """Render a grid slice as the paper's results table (Figure 7
+    shape): one row per approach, seed-averaged, baseline first when
+    the grid listed it first."""
+    selected = [o for o in outcomes
+                if dataset is None or o.job.dataset == dataset]
+    return format_results_table(aggregate_over_seeds(selected),
+                                title=title)
+
+
+def overhead_series(outcomes: Iterable[JobOutcome], sweep: str = "rows"
+                    ) -> dict[str, dict[int, float]]:
+    """Figure 8 shape: per-approach fit-time overhead over the plain
+    baseline along one sweeping job attribute.
+
+    ``{approach: {sweep_value: max(fit - baseline_fit, 0)}}`` — the
+    grid must include the baseline (``approach=None``), which supplies
+    the subtracted plain-model fit time.  Sweep points whose baseline
+    cell is missing (e.g. it failed) are dropped rather than reported
+    as raw fit times masquerading as overhead.
+    """
+    fit_times = pivot(outcomes, index="approach", columns=sweep,
+                      value="fit_seconds")
+    if None not in fit_times:
+        raise ValueError("overhead_series needs the baseline "
+                         "(approach=None) in the grid")
+    baseline = fit_times.pop(None)
+    series: dict[str, dict[int, float]] = {}
+    for approach, points in fit_times.items():
+        series[approach] = {
+            point: max(seconds - baseline[point], 0.0)
+            for point, seconds in points.items() if point in baseline}
+    return series

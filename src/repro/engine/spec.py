@@ -1,0 +1,224 @@
+"""Declarative scenario grids for the sweep engine.
+
+Every figure in the paper is a grid — (dataset × approach × model ×
+error condition × seed) — so the engine's unit of work is one grid
+*cell*, a :class:`Job`, and its unit of specification is the
+:class:`ScenarioGrid` that expands into the deterministic job list.
+Each job carries a stable content fingerprint hashed from its full
+parameterization, which is what the result cache keys on: two sweeps
+that describe the same cell — whether from the CLI, a benchmark, or an
+example script — share one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, fields
+
+__all__ = ["BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION"]
+
+#: Bumped whenever the experimental protocol behind a job changes
+#: meaning (it is hashed into every fingerprint, so old cache entries
+#: are invalidated rather than silently reused).
+SPEC_VERSION = 1
+
+#: Spellings accepted for the fairness-unaware baseline pipeline.
+BASELINE_ALIASES = {None, "", "baseline", "none", "LR"}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully-parameterized grid cell.
+
+    All fields are plain picklable primitives so jobs can cross a
+    process boundary and serialise canonically into a fingerprint.
+    """
+
+    dataset: str
+    approach: str | None = None  # None = fairness-unaware baseline
+    model: str = "lr"
+    error: str | None = None  # corruption recipe for the training split
+    seed: int = 0
+    rows: int = 4000
+    n_features: int | None = None  # truncate feature set (scalability)
+    causal_samples: int = 5000
+    test_fraction: float = 0.3
+
+    def params(self) -> dict:
+        """The job's full parameterization as a JSON-ready mapping."""
+        return {
+            "spec_version": SPEC_VERSION,
+            "dataset": self.dataset,
+            "approach": self.approach,
+            "model": self.model,
+            "error": self.error,
+            "seed": int(self.seed),
+            "rows": int(self.rows),
+            "n_features": (None if self.n_features is None
+                           else int(self.n_features)),
+            "causal_samples": int(self.causal_samples),
+            "test_fraction": float(self.test_fraction),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the full parameterization.
+
+        sha256 over the canonical (sorted-key, no-whitespace) JSON of
+        :meth:`params` — independent of process, platform, and
+        ``PYTHONHASHSEED``, so parallel workers and later sessions
+        agree on cache keys.
+        """
+        canonical = json.dumps(self.params(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def approach_label(self) -> str:
+        return self.approach if self.approach is not None else "LR"
+
+    def label(self) -> str:
+        """Compact human-readable cell description for progress lines."""
+        parts = [self.dataset, self.approach_label, self.model,
+                 f"seed={self.seed}"]
+        if self.error is not None:
+            parts.insert(2, f"error={self.error}")
+        if self.n_features is not None:
+            parts.append(f"attrs={self.n_features}")
+        parts.append(f"n={self.rows}")
+        return " ".join(parts)
+
+
+def _normalise_approach(name: str | None) -> str | None:
+    return None if name in BASELINE_ALIASES else name
+
+
+def _as_tuple(values: Iterable | None, default: tuple) -> tuple:
+    if values is None:
+        return default
+    if isinstance(values, (str, bytes)):
+        raise TypeError(f"expected a sequence of values, got {values!r}")
+    return tuple(values)
+
+
+@dataclass
+class ScenarioGrid:
+    """Declarative cross-product of experimental dimensions.
+
+    Expands to ``datasets × approaches × models × errors × seeds ×
+    rows × feature_counts`` jobs, in that (deterministic) nesting
+    order, with duplicate cells removed.  Dimension values are
+    validated against the live registries at construction so a typo
+    fails before any work is scheduled.
+
+    ``approaches`` may contain ``None`` (or the aliases ``"baseline"``
+    / ``"LR"``) for the fairness-unaware baseline; most figures want it
+    as their first row.
+    """
+
+    datasets: Sequence[str]
+    approaches: Sequence[str | None] = (None,)
+    models: Sequence[str] = ("lr",)
+    errors: Sequence[str | None] = (None,)
+    seeds: Sequence[int] = (0,)
+    rows: Sequence[int] = (4000,)
+    feature_counts: Sequence[int | None] = (None,)
+    causal_samples: int = 5000
+    test_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        from ..datasets import LOADERS
+        from ..errors import RECIPES
+        from ..fairness import ALL_APPROACHES
+        from ..models import MODEL_FAMILIES
+
+        self.datasets = _as_tuple(self.datasets, ())
+        self.approaches = tuple(
+            _normalise_approach(a)
+            for a in _as_tuple(self.approaches, (None,)))
+        self.models = _as_tuple(self.models, ("lr",))
+        self.errors = _as_tuple(self.errors, (None,))
+        self.seeds = tuple(int(s) for s in _as_tuple(self.seeds, (0,)))
+        self.rows = tuple(int(r) for r in _as_tuple(self.rows, (4000,)))
+        self.feature_counts = _as_tuple(self.feature_counts, (None,))
+
+        if not self.datasets:
+            raise ValueError("a ScenarioGrid needs at least one dataset")
+        for pool, values, what in (
+                (LOADERS, self.datasets, "dataset"),
+                (ALL_APPROACHES, [a for a in self.approaches
+                                  if a is not None], "approach"),
+                (MODEL_FAMILIES, self.models, "model"),
+                (RECIPES, [e for e in self.errors if e is not None],
+                 "error recipe")):
+            for value in values:
+                if value not in pool:
+                    raise KeyError(f"unknown {what} {value!r}; choose "
+                                   f"from {sorted(pool)}")
+        for seed in self.seeds:
+            if seed < 0:
+                raise ValueError(f"seeds must be non-negative, got {seed}")
+        for n in self.rows:
+            if n <= 0:
+                raise ValueError(f"rows must be positive, got {n}")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of distinct jobs the grid expands to."""
+        return len(self.expand())
+
+    def expand(self) -> list[Job]:
+        """The grid's deterministic, duplicate-free job list.
+
+        Nesting order is the declaration order of the dimensions, so
+        the list is reproducible across processes and sessions; cells
+        that collapse to the same parameterization (e.g. a repeated
+        approach name) appear once, at their first position.  The
+        expansion is computed once per grid (dimensions are fixed
+        after construction).
+        """
+        cached = getattr(self, "_jobs", None)
+        if cached is not None:
+            return list(cached)
+        jobs: list[Job] = []
+        seen: set[tuple] = set()
+        for dataset in self.datasets:
+            for n_rows in self.rows:
+                for n_features in self.feature_counts:
+                    for error in self.errors:
+                        for model in self.models:
+                            for approach in self.approaches:
+                                for seed in self.seeds:
+                                    job = Job(
+                                        dataset=dataset,
+                                        approach=approach,
+                                        model=model,
+                                        error=error,
+                                        seed=seed,
+                                        rows=n_rows,
+                                        n_features=n_features,
+                                        causal_samples=self.causal_samples,
+                                        test_fraction=self.test_fraction,
+                                    )
+                                    key = (dataset, approach, model,
+                                           error, seed, n_rows,
+                                           n_features)
+                                    if key not in seen:
+                                        seen.add(key)
+                                        jobs.append(job)
+        self._jobs = jobs
+        return list(jobs)
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        dims = []
+        for name in ("datasets", "approaches", "models", "errors",
+                     "seeds", "rows", "feature_counts"):
+            values = getattr(self, name)
+            if len(values) > 1 or (len(values) == 1
+                                   and values[0] is not None):
+                dims.append(f"{len(values)} {name}")
+        return f"grid of {self.size} cells ({', '.join(dims)})"

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -76,7 +78,13 @@ class ResultStore:
     def save(self, run: str, results: Sequence[EvaluationResult],
              params: Mapping | None = None) -> Path:
         """Write a run file; returns its path.  Overwrites silently so
-        re-running an experiment refreshes its record."""
+        re-running an experiment refreshes its record.
+
+        The write is atomic (temp file in the same directory, then
+        ``os.replace``): a crash mid-save — e.g. a killed sweep worker
+        — leaves either the old complete file or the new one, never a
+        truncated JSON that :meth:`load` would choke on.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": _FORMAT_VERSION,
@@ -85,7 +93,15 @@ class ResultStore:
             "results": [result_to_dict(r) for r in results],
         }
         path = self._path(run)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        fd, tmp_name = tempfile.mkstemp(dir=self.root,
+                                        prefix=f".{run}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
         return path
 
     def load(self, run: str) -> tuple[list[EvaluationResult], dict]:

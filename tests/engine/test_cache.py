@@ -1,0 +1,83 @@
+"""Content-addressed result cache behaviour."""
+
+from repro.engine import Job, ResultCache
+from repro.pipeline import EvaluationResult, result_to_dict
+
+
+def make_result(approach="LR", accuracy=0.7) -> EvaluationResult:
+    return EvaluationResult(
+        approach=approach, dataset="german", stage="baseline",
+        accuracy=accuracy, precision=0.6, recall=0.8, f1=0.69,
+        di_star=0.9, tprb=0.95, tnrb=0.92, id=0.88, te=0.91, nde=0.93,
+        nie=0.97, raw={"di": 0.9}, fit_seconds=0.5)
+
+
+JOB = Job(dataset="german", approach=None, rows=400, causal_samples=300)
+
+
+class TestRoundtrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(JOB) is None
+        assert JOB not in cache
+        cache.put(JOB, make_result())
+        assert JOB in cache
+        assert result_to_dict(cache.get(JOB)) == result_to_dict(
+            make_result())
+
+    def test_sharded_layout(self, tmp_path):
+        path = ResultCache(tmp_path).put(JOB, make_result())
+        fp = JOB.fingerprint
+        assert path == tmp_path / fp[:2] / f"{fp}.json"
+        assert path.exists()
+
+    def test_distinct_jobs_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = Job(dataset="german", approach="Hardt-eo", rows=400,
+                    causal_samples=300)
+        cache.put(JOB, make_result("LR"))
+        cache.put(other, make_result("Hardt", accuracy=0.65))
+        assert cache.get(JOB).approach == "LR"
+        assert cache.get(other).approach == "Hardt"
+        assert len(cache) == 2
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JOB, make_result(accuracy=0.1))
+        cache.put(JOB, make_result(accuracy=0.2))
+        assert cache.get(JOB).accuracy == 0.2
+        assert len(cache) == 1
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(JOB, make_result())
+        path.write_text("{not json")
+        assert cache.get(JOB) is None
+
+    def test_foreign_entry_is_a_miss(self, tmp_path):
+        # An entry whose recorded fingerprint disagrees with its file
+        # name (hand-copied file) must not be served.
+        cache = ResultCache(tmp_path)
+        other = Job(dataset="german", approach="Hardt-eo", rows=400,
+                    causal_samples=300)
+        source = cache.put(other, make_result("Hardt"))
+        target = tmp_path / JOB.fingerprint[:2] / f"{JOB.fingerprint}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.read_text())
+        assert cache.get(JOB) is None
+
+    def test_evict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JOB, make_result())
+        cache.evict(JOB)
+        assert cache.get(JOB) is None
+        assert len(cache) == 0
+        cache.evict(JOB)  # idempotent
+
+    def test_fingerprints_listing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.fingerprints() == []
+        cache.put(JOB, make_result())
+        assert cache.fingerprints() == [JOB.fingerprint]

@@ -1,0 +1,131 @@
+"""Sweep execution: caching, parallelism, determinism, isolation."""
+
+import json
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.engine import ResultCache, ScenarioGrid, run_sweep
+from repro.pipeline import result_to_dict
+
+GRID = ScenarioGrid(datasets=["german"], approaches=[None, "Hardt-eo"],
+                    seeds=[0, 1], rows=[300], causal_samples=200)
+
+
+def metric_dicts(results):
+    """Serialised results with the wall-clock timing field dropped
+    (it differs between any two runs, parallel or not)."""
+    dicts = [result_to_dict(r) for r in results]
+    for d in dicts:
+        d.pop("fit_seconds")
+    return [json.dumps(d, sort_keys=True) for d in dicts]
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_sweep(GRID.expand(), max_workers=1)
+
+
+class TestSerial:
+    def test_all_cells_computed_in_grid_order(self, serial_report):
+        jobs = GRID.expand()
+        assert [o.job for o in serial_report.outcomes] == jobs
+        assert all(o.ok and not o.cached
+                   for o in serial_report.outcomes)
+        assert serial_report.computed_count == len(jobs)
+        assert not serial_report.failures
+
+    def test_summary_mentions_counts(self, serial_report):
+        assert "4 cells" in serial_report.summary()
+        assert "4 computed" in serial_report.summary()
+
+
+class TestCache:
+    def test_cold_run_fills_warm_run_hits(self, tmp_path, serial_report):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(GRID.expand(), cache=cache)
+        assert cold.cached_count == 0 and len(cache) == 4
+
+        warm = run_sweep(GRID.expand(), cache=cache)
+        assert warm.cached_count == 4 and warm.computed_count == 0
+        assert metric_dicts(warm.results) == metric_dicts(
+            serial_report.results)
+
+    def test_cache_hits_skip_recomputation(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_sweep(GRID.expand(), cache=cache)
+
+        def explode(job):
+            raise AssertionError(f"refit attempted for {job.label()}")
+
+        monkeypatch.setattr(executor_module, "execute_job", explode)
+        warm = run_sweep(GRID.expand(), cache=cache)
+        assert warm.cached_count == len(GRID.expand())
+        assert not warm.failures
+
+    def test_no_resume_recomputes(self, tmp_path, serial_report):
+        cache = ResultCache(tmp_path)
+        run_sweep(GRID.expand(), cache=cache)
+        fresh = run_sweep(GRID.expand(), cache=cache, resume=False)
+        assert fresh.cached_count == 0
+        assert fresh.computed_count == len(GRID.expand())
+
+
+class TestParallel:
+    def test_two_workers_match_serial_byte_for_byte(self, serial_report):
+        parallel = run_sweep(GRID.expand(), max_workers=2)
+        assert metric_dicts(parallel.results) == metric_dicts(
+            serial_report.results)
+
+    def test_parallel_outcomes_keep_grid_order(self):
+        parallel = run_sweep(GRID.expand(), max_workers=2)
+        assert [o.job for o in parallel.outcomes] == GRID.expand()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            run_sweep(GRID.expand(), max_workers=0)
+
+
+class TestFailureIsolation:
+    def test_one_bad_cell_does_not_kill_the_sweep(self, monkeypatch):
+        real = executor_module.execute_job
+
+        def flaky(job):
+            if job.approach == "Hardt-eo" and job.seed == 0:
+                raise RuntimeError("cell diverged")
+            return real(job)
+
+        monkeypatch.setattr(executor_module, "execute_job", flaky)
+        report = run_sweep(GRID.expand())
+        assert len(report.failures) == 1
+        failed = report.failures[0]
+        assert failed.job.approach == "Hardt-eo" and failed.job.seed == 0
+        assert "cell diverged" in failed.error
+        assert len(report.results) == 3  # the others still ran
+
+    def test_failed_cells_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "execute_job",
+            lambda job: (_ for _ in ()).throw(RuntimeError("boom")))
+        cache = ResultCache(tmp_path)
+        report = run_sweep(GRID.expand(), cache=cache)
+        assert len(report.failures) == len(GRID.expand())
+        assert len(cache) == 0
+
+
+class TestProgress:
+    def test_callback_sees_every_cell_and_eta(self, tmp_path):
+        snapshots = []
+        cache = ResultCache(tmp_path)
+        run_sweep(GRID.expand(), cache=cache,
+                  progress=snapshots.append)
+        assert [p.done for p in snapshots] == [1, 2, 3, 4]
+        assert all(p.total == 4 for p in snapshots)
+        assert snapshots[-1].remaining == 0
+        assert snapshots[-1].eta_seconds == 0.0
+        assert all(p.eta_seconds >= 0 for p in snapshots)
+
+        hits = []
+        run_sweep(GRID.expand(), cache=cache, progress=hits.append)
+        assert all(p.outcome.cached for p in hits)
+        assert "cached" in hits[0].line()

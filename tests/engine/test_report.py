@@ -1,0 +1,125 @@
+"""Pivot helpers: seed aggregation, tables, overhead series."""
+
+import pytest
+
+from repro.engine import (Job, JobOutcome, aggregate_over_seeds,
+                          grid_table, mean_result, overhead_series, pivot)
+from repro.pipeline import EvaluationResult
+
+
+def make_result(approach="LR", stage="baseline", accuracy=0.7,
+                fit_seconds=1.0) -> EvaluationResult:
+    return EvaluationResult(
+        approach=approach, dataset="german", stage=stage,
+        accuracy=accuracy, precision=0.6, recall=0.8, f1=0.69,
+        di_star=0.9, tprb=0.95, tnrb=0.92, id=0.88, te=0.91, nde=0.93,
+        nie=0.97, raw={"di": accuracy}, fit_seconds=fit_seconds)
+
+
+def make_outcome(approach=None, seed=0, rows=400, accuracy=0.7,
+                 fit_seconds=1.0, failed=False) -> JobOutcome:
+    job = Job(dataset="german", approach=approach, seed=seed, rows=rows,
+              causal_samples=300)
+    if failed:
+        return JobOutcome(job=job, error="boom")
+    name = approach if approach is not None else "LR"
+    return JobOutcome(job=job, result=make_result(
+        name, accuracy=accuracy, fit_seconds=fit_seconds))
+
+
+class TestMeanResult:
+    def test_single_result_passthrough(self):
+        r = make_result()
+        assert mean_result([r]) is r
+
+    def test_metrics_and_raw_are_averaged(self):
+        merged = mean_result([make_result(accuracy=0.6),
+                              make_result(accuracy=0.8)])
+        assert merged.accuracy == pytest.approx(0.7)
+        assert merged.raw["di"] == pytest.approx(0.7)
+        assert merged.approach == "LR"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_result([])
+
+
+class TestAggregateOverSeeds:
+    def test_collapses_seeds_keeps_order(self):
+        outcomes = [
+            make_outcome(None, seed=0, accuracy=0.6),
+            make_outcome(None, seed=1, accuracy=0.8),
+            make_outcome("Hardt-eo", seed=0, accuracy=0.5),
+            make_outcome("Hardt-eo", seed=1, accuracy=0.7),
+        ]
+        merged = aggregate_over_seeds(outcomes)
+        assert [r.approach for r in merged] == ["LR", "Hardt-eo"]
+        assert merged[0].accuracy == pytest.approx(0.7)
+        assert merged[1].accuracy == pytest.approx(0.6)
+
+    def test_failed_cells_dropped(self):
+        outcomes = [make_outcome(None, seed=0),
+                    make_outcome("Hardt-eo", seed=0, failed=True)]
+        assert [r.approach for r in aggregate_over_seeds(outcomes)] == \
+            ["LR"]
+
+
+class TestPivot:
+    def test_two_way_pivot_with_seed_averaging(self):
+        outcomes = [
+            make_outcome(None, seed=0, rows=100, fit_seconds=1.0),
+            make_outcome(None, seed=1, rows=100, fit_seconds=3.0),
+            make_outcome(None, seed=0, rows=200, fit_seconds=4.0),
+        ]
+        table = pivot(outcomes, index="approach", columns="rows",
+                      value="fit_seconds")
+        assert table[None][100] == pytest.approx(2.0)
+        assert table[None][200] == pytest.approx(4.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            pivot([], index="approach", columns="rows", value="stage")
+
+
+class TestGridTable:
+    def test_renders_aggregated_rows(self):
+        outcomes = [make_outcome(None, seed=0),
+                    make_outcome(None, seed=1),
+                    make_outcome("Hardt-eo", seed=0)]
+        table = grid_table(outcomes, dataset="german", title="demo")
+        assert table.startswith("demo")
+        assert "LR" in table and "Hardt-eo" in table
+
+    def test_dataset_filter(self):
+        outcomes = [make_outcome(None, seed=0)]
+        assert "LR" not in grid_table(outcomes, dataset="adult")
+
+
+class TestOverheadSeries:
+    def test_subtracts_baseline_per_sweep_point(self):
+        outcomes = [
+            make_outcome(None, rows=100, fit_seconds=1.0),
+            make_outcome(None, rows=200, fit_seconds=2.0),
+            make_outcome("Hardt-eo", rows=100, fit_seconds=1.5),
+            make_outcome("Hardt-eo", rows=200, fit_seconds=1.0),
+        ]
+        series = overhead_series(outcomes, sweep="rows")
+        assert series["Hardt-eo"][100] == pytest.approx(0.5)
+        assert series["Hardt-eo"][200] == 0.0  # clamped, not negative
+        assert None not in series
+
+    def test_requires_baseline(self):
+        with pytest.raises(ValueError):
+            overhead_series([make_outcome("Hardt-eo", rows=100)])
+
+    def test_points_without_baseline_are_dropped(self):
+        # A failed baseline cell at one sweep point must not turn the
+        # approach's raw fit time into fake "overhead".
+        outcomes = [
+            make_outcome(None, rows=100, fit_seconds=1.0),
+            make_outcome(None, rows=200, failed=True),
+            make_outcome("Hardt-eo", rows=100, fit_seconds=1.5),
+            make_outcome("Hardt-eo", rows=200, fit_seconds=9.0),
+        ]
+        series = overhead_series(outcomes, sweep="rows")
+        assert series["Hardt-eo"] == {100: pytest.approx(0.5)}

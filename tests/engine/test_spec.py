@@ -1,0 +1,106 @@
+"""Grid expansion and job fingerprinting."""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import Job, ScenarioGrid
+
+
+def small_grid(**overrides):
+    params = dict(datasets=["german"], approaches=[None, "Hardt-eo"],
+                  seeds=[0, 1], rows=[400], causal_samples=300)
+    params.update(overrides)
+    return ScenarioGrid(**params)
+
+
+class TestExpansion:
+    def test_full_cross_product(self):
+        grid = small_grid(models=["lr", "nb"], errors=[None, "t1"])
+        jobs = grid.expand()
+        assert len(jobs) == 2 * 2 * 2 * 2  # approach×model×error×seed
+        assert grid.size == len(jobs)
+
+    def test_deterministic(self):
+        assert small_grid().expand() == small_grid().expand()
+
+    def test_order_is_declaration_order(self):
+        jobs = small_grid().expand()
+        assert [(j.approach, j.seed) for j in jobs] == [
+            (None, 0), (None, 1), ("Hardt-eo", 0), ("Hardt-eo", 1)]
+
+    def test_duplicates_collapse_to_first_position(self):
+        grid = small_grid(
+            approaches=["baseline", None, "LR", "Hardt-eo", "Hardt-eo"])
+        jobs = grid.expand()
+        assert [j.approach for j in jobs] == [None, None, "Hardt-eo",
+                                              "Hardt-eo"]
+        assert len({j.fingerprint for j in jobs}) == len(jobs)
+
+    def test_baseline_aliases_normalised(self):
+        grid = small_grid(approaches=["baseline", "none", "LR", ""])
+        assert grid.approaches == (None, None, None, None)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"datasets": ["klingon"]},
+        {"approaches": ["FairGAN"]},
+        {"models": ["transformer"]},
+        {"errors": ["t9"]},
+    ])
+    def test_unknown_names_rejected(self, kwargs):
+        with pytest.raises(KeyError):
+            small_grid(**kwargs)
+
+    def test_empty_datasets_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioGrid(datasets=[])
+
+    @pytest.mark.parametrize("kwargs", [{"seeds": [-1]}, {"rows": [0]}])
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            small_grid(**kwargs)
+
+
+class TestFingerprint:
+    JOB = Job(dataset="compas", approach="KamCal-dp", model="lr",
+              error="t1", seed=3, rows=1234, n_features=5,
+              causal_samples=777, test_fraction=0.3)
+
+    def test_stable_within_process(self):
+        assert self.JOB.fingerprint == dataclasses.replace(
+            self.JOB).fingerprint
+
+    def test_stable_across_processes(self):
+        # sha256 over canonical JSON must not depend on the process
+        # (PYTHONHASHSEED, import order, platform dict ordering).
+        code = (
+            "from repro.engine import Job;"
+            "print(Job(dataset='compas', approach='KamCal-dp',"
+            " model='lr', error='t1', seed=3, rows=1234, n_features=5,"
+            " causal_samples=777, test_fraction=0.3).fingerprint)"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == self.JOB.fingerprint
+
+    @pytest.mark.parametrize("field,value", [
+        ("dataset", "adult"), ("approach", None), ("model", "nb"),
+        ("error", None), ("seed", 4), ("rows", 1235), ("n_features", 6),
+        ("causal_samples", 778), ("test_fraction", 0.2)])
+    def test_every_field_feeds_the_hash(self, field, value):
+        changed = dataclasses.replace(self.JOB, **{field: value})
+        assert changed.fingerprint != self.JOB.fingerprint
+
+    def test_shape(self):
+        assert len(self.JOB.fingerprint) == 64
+        assert set(self.JOB.fingerprint) <= set("0123456789abcdef")
+
+    def test_label_mentions_the_cell(self):
+        label = self.JOB.label()
+        assert "compas" in label and "KamCal-dp" in label
+        assert "seed=3" in label

@@ -36,6 +36,78 @@ class TestRun:
         assert "unknown approach" in capsys.readouterr().err
 
 
+class TestModelOption:
+    def test_run_with_alternative_model(self, capsys):
+        code = main(["run", "--dataset", "german", "--rows", "400",
+                     "--causal-samples", "500", "--model", "nb",
+                     "--approach", "Hardt-eo"])
+        assert code == 0
+        assert "Hardt" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--rows", "400", "--model", "transformer"])
+
+
+class TestSweep:
+    def test_sweep_cold_then_warm_cache(self, tmp_path, capsys):
+        argv = ["sweep", "--dataset", "german", "--approach", "Hardt-eo",
+                "--rows", "400", "--seeds", "2", "--causal-samples",
+                "300", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cells, 4 computed, 0 cached" in out
+        assert "german (seed-averaged over 2 seeds)" in out
+        assert "Hardt" in out
+
+        assert main(argv) == 0  # warm: every cell is a cache hit
+        out = capsys.readouterr().out
+        assert "4 cells, 0 computed, 4 cached" in out
+
+    def test_sweep_parallel_matches_serial(self, tmp_path, capsys):
+        argv = ["sweep", "--dataset", "german", "--approach",
+                "KamCal-dp", "--rows", "400", "--causal-samples", "300",
+                "--cache-dir", "none"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical tables (timings appear only in progress lines)
+        assert serial.split("\n\n")[1] == parallel.split("\n\n")[1]
+
+    def test_sweep_no_baseline_and_error_grid(self, tmp_path, capsys):
+        code = main(["sweep", "--dataset", "german", "--no-baseline",
+                     "--approach", "Hardt-eo", "--error", "t1",
+                     "--rows", "300", "--causal-samples", "200",
+                     "--cache-dir", "none"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out  # clean + t1, no baseline rows
+        assert "error=t1" in out
+
+    def test_sweep_baseline_alias_accepted(self, capsys):
+        # --no-baseline plus an explicit alias lets the user position
+        # the baseline row themselves.
+        code = main(["sweep", "--dataset", "german", "--no-baseline",
+                     "--approach", "baseline", "--rows", "300",
+                     "--causal-samples", "200", "--cache-dir", "none"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cells" in out and "LR" in out
+
+    def test_sweep_unknown_approach_rejected(self, capsys):
+        assert main(["sweep", "--approach", "FairGAN"]) == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+    def test_sweep_bad_seeds_rejected(self, capsys):
+        assert main(["sweep", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_sweep_bad_jobs_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestAudit:
     def test_audit_baseline_only(self, capsys):
         code = main(["audit", "--dataset", "compas", "--rows", "600",

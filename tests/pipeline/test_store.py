@@ -92,6 +92,30 @@ class TestResultStore:
             store.load("x")
 
 
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("run", [make_result()])
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        assert store.runs() == ["run"]
+
+    def test_failed_write_keeps_previous_file(self, tmp_path):
+        # A crash mid-save (simulated by an unserialisable result) must
+        # leave the existing complete run file untouched — never a
+        # truncated JSON that load() chokes on.
+        store = ResultStore(tmp_path)
+        store.save("run", [make_result(accuracy=0.8)])
+
+        with pytest.raises(TypeError):
+            # json serialisation fails after the temp file is opened
+            store.save("run", [make_result()],
+                       params={"callback": object()})
+
+        loaded, _ = store.load("run")
+        assert loaded[0].accuracy == 0.8
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+
+
 class TestCli:
     def test_notions_subcommand(self, capsys):
         from repro.cli import main
