@@ -1,0 +1,157 @@
+"""Perf benchmark: the vectorized rung-3 audit vs the loop reference.
+
+Times the counterfactual-fairness audit (batched abduction, two
+predict calls per chunk) and the situation-testing audit (chunked
+distances + argpartition top-k) against the retained loop references
+in ``repro.causal.reference`` / ``repro.metrics.reference``, at
+n ∈ {1k, 5k, 20k} rows of the synthetic COMPAS dataset, and writes the
+result as ``BENCH_counterfactual.json`` — the repo's perf-trajectory
+record for this hot path.
+
+The loop reference is skipped above ``--loop-max`` rows (it is the
+point of this benchmark that the loop does not scale; the dense
+situation-testing matrix alone is 3.2 GB at n=20k).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_counterfactual.py
+      (--sizes 1000 --out BENCH_counterfactual.ci.json for the CI
+      smoke variant)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_counterfactual.json"
+
+
+def build_audit(size: int, seed: int = 0):
+    """Dataset, SCM, and a fixed linear predictor mirroring the
+    ``evaluate_counterfactual`` pipeline setup."""
+    from repro.causal import CounterfactualSCM
+    from repro.datasets import discretize_dataset, load_compas
+
+    ds = discretize_dataset(load_compas(n=size, seed=seed), n_bins=4)
+    nodes = ds.causal_graph.nodes
+    cols = {n: ds.table[n].astype(float) for n in nodes}
+    fit_start = time.perf_counter()
+    scm = CounterfactualSCM.fit(cols, ds.causal_graph)
+    fit_s = time.perf_counter() - fit_start
+
+    features = [n for n in nodes if n != ds.label]
+    weights = np.random.default_rng(7).normal(size=len(features))
+
+    def predict(values: dict) -> np.ndarray:
+        score = np.zeros_like(np.asarray(values[features[0]], dtype=float))
+        for w, name in zip(weights, features):
+            score = score + w * np.asarray(values[name], dtype=float)
+        return (score > 0).astype(float)
+
+    return ds, scm, cols, predict, fit_s
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def bench_size(size: int, n_particles: int, k: int,
+               run_loop: bool) -> dict:
+    from repro.metrics import counterfactual_fairness, situation_testing
+    from repro.metrics.reference import (counterfactual_fairness_loop,
+                                         situation_testing_loop)
+
+    ds, scm, cols, predict, fit_s = build_audit(size)
+    rng = np.random.default_rng
+    entry: dict = {"rows": size, "fit_s": round(fit_s, 4)}
+
+    cf_vec_s, cf_vec = timed(lambda: counterfactual_fairness(
+        scm, cols, ds.sensitive, ds.label, predict, rng(1),
+        n_particles=n_particles, max_rows=None))
+    entry["cf_vectorized_s"] = round(cf_vec_s, 4)
+    entry["cf_mean_gap"] = round(cf_vec.mean_gap, 6)
+
+    y_hat = predict(cols)
+    st_vec_s, st_vec = timed(lambda: situation_testing(
+        ds.X, ds.s, y_hat, k=k))
+    entry["st_vectorized_s"] = round(st_vec_s, 4)
+    entry["st_mean_gap"] = round(st_vec.mean_gap, 6)
+
+    if run_loop:
+        cf_loop_s, cf_loop = timed(lambda: counterfactual_fairness_loop(
+            scm, cols, ds.sensitive, ds.label, predict, rng(2),
+            n_particles=n_particles, max_rows=None))
+        entry["cf_loop_s"] = round(cf_loop_s, 4)
+        entry["cf_loop_mean_gap"] = round(cf_loop.mean_gap, 6)
+        entry["cf_speedup"] = round(cf_loop_s / cf_vec_s, 2)
+
+        st_loop_s, st_loop = timed(lambda: situation_testing_loop(
+            ds.X, ds.s, y_hat, k=k))
+        entry["st_loop_s"] = round(st_loop_s, 4)
+        entry["st_speedup"] = round(st_loop_s / st_vec_s, 2)
+        # Discretized features produce tied distances, which top-k
+        # selection and stable argsort break differently; the audits
+        # agree up to that tie noise (exact parity is asserted on
+        # tie-free data in the test-suite).
+        assert abs(st_loop.mean_gap - st_vec.mean_gap) < 0.05, \
+            "situation-testing parity violated beyond tie noise"
+    return entry
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[1000, 5000, 20000])
+    parser.add_argument("--particles", type=int, default=100)
+    parser.add_argument("--k", type=int, default=10,
+                        help="situation-testing neighbourhood size")
+    parser.add_argument("--loop-max", type=int, default=5000,
+                        help="largest size at which the loop reference "
+                             "is also timed")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    results = {}
+    for size in args.sizes:
+        run_loop = size <= args.loop_max
+        print(f"n={size}: benchmarking "
+              f"({'with' if run_loop else 'without'} loop reference) ...",
+              flush=True)
+        results[str(size)] = bench_size(size, args.particles, args.k,
+                                        run_loop)
+        entry = results[str(size)]
+        line = (f"  cf audit {entry['cf_vectorized_s']:.3f}s"
+                f"  situation testing {entry['st_vectorized_s']:.3f}s")
+        if run_loop:
+            line += (f"  (loop: {entry['cf_loop_s']:.3f}s / "
+                     f"{entry['st_loop_s']:.3f}s — "
+                     f"{entry['cf_speedup']:.1f}x / "
+                     f"{entry['st_speedup']:.1f}x)")
+        print(line, flush=True)
+
+    payload = {
+        "bench": "counterfactual_audit",
+        "schema": 1,
+        "dataset": "compas (synthetic generator, 4-bin discretized)",
+        "n_particles": args.particles,
+        "k": args.k,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

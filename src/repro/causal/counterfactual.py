@@ -84,6 +84,12 @@ class DiscreteCPT:
     ``u < cdf[k]``.  Monotonicity makes the representation canonical and
     the abduction posterior an interval, which is what allows exact
     counterfactuals for discrete models.
+
+    Construction compiles the table into a row-stacked ``(n_combos + 1,
+    |domain|)`` probability/CDF matrix (the extra row is the fallback),
+    so the batched operations resolve each row's parent combination to
+    a matrix row index once and then run as pure gathers — no per-row
+    dict lookups on the hot path.
     """
 
     parents: tuple[str, ...]
@@ -116,21 +122,54 @@ class DiscreteCPT:
         if fallback.shape != domain.shape:
             raise ValueError("fallback distribution has wrong shape")
         object.__setattr__(self, "fallback", fallback / fallback.sum())
+        # Compiled form: stack the table into matrices so the batched
+        # paths are gathers.  Row ``len(table)`` holds the fallback.
+        probs = np.empty((len(normalised) + 1, domain.size))
+        index: dict[tuple, int] = {}
+        for row, (key, vec) in enumerate(normalised.items()):
+            index[key] = row
+            probs[row] = vec
+        probs[len(normalised)] = self.fallback
+        cdf = np.cumsum(probs, axis=1)
+        # Guard against floating error leaving the last cdf below 1.
+        cdf[:, -1] = 1.0
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_probs", probs)
+        object.__setattr__(self, "_cdf", cdf)
 
     # ------------------------------------------------------------------
+    def _rows(self, parent_values: Mapping[str, np.ndarray],
+              n: int) -> np.ndarray:
+        """Map each row's parent combination to its compiled-matrix row.
+
+        Each distinct combination is resolved exactly once: the parent
+        columns are integer-coded per column, combined into a single
+        mixed-radix code, and deduplicated with :func:`np.unique` — so
+        the dict is consulted per *unique* combination, not per row.
+        """
+        fallback_row = len(self._index)
+        if not self.parents:
+            return np.full(n, self._index.get((), fallback_row),
+                           dtype=np.intp)
+        columns = [np.asarray(parent_values[p], dtype=float)
+                   for p in self.parents]
+        codes = np.zeros(n, dtype=np.int64)
+        for col in columns:
+            uniq, inv = np.unique(col, return_inverse=True)
+            codes = codes * (uniq.size + 1) + inv
+        first, inverse = np.unique(codes, return_index=True,
+                                   return_inverse=True)[1:]
+        rows = np.fromiter(
+            (self._index.get(_as_key(col[i] for col in columns),
+                             fallback_row)
+             for i in first),
+            dtype=np.intp, count=first.size)
+        return rows[inverse]
+
     def probabilities(self, parent_values: Mapping[str, np.ndarray],
                       n: int) -> np.ndarray:
         """Return the ``(n, |domain|)`` matrix of row-wise distributions."""
-        if not self.parents:
-            row = self.table.get((), self.fallback)
-            return np.tile(row, (n, 1))
-        columns = [np.asarray(parent_values[p], dtype=float)
-                   for p in self.parents]
-        out = np.empty((n, self.domain.size))
-        for i in range(n):
-            key = _as_key(col[i] for col in columns)
-            out[i] = self.table.get(key, self.fallback)
-        return out
+        return self._probs[self._rows(parent_values, n)]
 
     def apply(self, parent_values: Mapping[str, np.ndarray],
               noise: np.ndarray) -> np.ndarray:
@@ -140,11 +179,13 @@ class DiscreteCPT:
         domain element whose cumulative probability exceeds the noise.
         """
         noise = np.asarray(noise, dtype=float)
-        probs = self.probabilities(parent_values, noise.shape[0])
-        cdf = np.cumsum(probs, axis=1)
-        # Guard against floating error leaving the last cdf below 1.
-        cdf[:, -1] = 1.0
-        idx = (noise[:, None] >= cdf).sum(axis=1)
+        rows = self._rows(parent_values, noise.shape[0])
+        idx = np.empty(noise.shape[0], dtype=np.intp)
+        for row in np.unique(rows):
+            mask = rows == row
+            idx[mask] = np.searchsorted(self._cdf[row], noise[mask],
+                                        side="right")
+        np.minimum(idx, self.domain.size - 1, out=idx)
         return self.domain[idx]
 
     def abduct(self, parent_values: Mapping[str, np.ndarray],
@@ -164,9 +205,7 @@ class DiscreteCPT:
         """
         observed = np.asarray(observed, dtype=float)
         n = observed.shape[0]
-        probs = self.probabilities(parent_values, n)
-        cdf = np.cumsum(probs, axis=1)
-        cdf[:, -1] = 1.0
+        rows = self._rows(parent_values, n)
         idx = np.searchsorted(self.domain, observed)
         bad = (idx >= self.domain.size) | (self.domain[np.minimum(
             idx, self.domain.size - 1)] != observed)
@@ -174,9 +213,8 @@ class DiscreteCPT:
             raise ValueError(
                 f"observed values outside domain: {np.unique(observed[bad])}"
             )
-        hi = cdf[np.arange(n), idx]
-        lo = np.where(idx > 0, cdf[np.arange(n), np.maximum(idx - 1, 0)], 0.0)
-        lo[idx == 0] = 0.0
+        hi = self._cdf[rows, idx]
+        lo = np.where(idx > 0, self._cdf[rows, np.maximum(idx - 1, 0)], 0.0)
         if np.any(hi <= lo):
             raise ValueError(
                 "evidence has zero probability under the model; "
@@ -246,7 +284,7 @@ class CounterfactualSCM:
         cpts = {}
         for node in graph.nodes:
             values = np.asarray(columns[node], dtype=float)
-            domain = np.unique(values)
+            domain, val_codes = np.unique(values, return_inverse=True)
             parents = tuple(graph.parents(node))
             parent_cols = [np.asarray(columns[p], dtype=float)
                            for p in parents]
@@ -255,15 +293,18 @@ class CounterfactualSCM:
                 stacked = np.column_stack(parent_cols)
                 combos, inverse = np.unique(stacked, axis=0,
                                             return_inverse=True)
+                # One bincount over joint (combo, value) codes replaces
+                # the per-combo, per-value counting loops.
+                counts = np.bincount(
+                    inverse * domain.size + val_codes,
+                    minlength=combos.shape[0] * domain.size,
+                ).reshape(combos.shape[0], domain.size).astype(float)
+                counts += laplace
                 for j, combo in enumerate(combos):
-                    sub = values[inverse == j]
-                    counts = np.array(
-                        [np.sum(sub == v) for v in domain], dtype=float)
-                    counts += laplace
-                    table[_as_key(combo)] = counts / counts.sum()
+                    table[_as_key(combo)] = counts[j] / counts[j].sum()
             else:
-                counts = np.array(
-                    [np.sum(values == v) for v in domain], dtype=float)
+                counts = (np.bincount(val_codes, minlength=domain.size)
+                          .astype(float))
                 counts += laplace
                 table[()] = counts / counts.sum()
             cpts[node] = DiscreteCPT(parents=parents, domain=domain,
@@ -285,6 +326,7 @@ class CounterfactualSCM:
     def evaluate(self, noise: NoiseAssignment,
                  interventions: Mapping[str, float] | None = None,
                  overrides: Mapping[str, np.ndarray] | None = None,
+                 *, base: Mapping[str, np.ndarray] | None = None,
                  ) -> dict[str, np.ndarray]:
         """Push noise through the (possibly mutilated) model.
 
@@ -301,6 +343,15 @@ class CounterfactualSCM:
             nested counterfactuals of the Ctf-DE/IE estimands fix
             mediators to the values they took in a *different* world;
             overrides are how those cross-world values are injected.
+        base:
+            Optional node values from a previous :meth:`evaluate` over
+            the *same* noise (e.g. the factual world).  Nodes that are
+            neither intervened/overridden nor downstream of an
+            intervened/overridden node are copied from ``base`` instead
+            of recomputed — exact, because the model is deterministic
+            given the noise, and it turns the action–prediction step of
+            a counterfactual query into work proportional to the
+            affected subgraph only.
         """
         interventions = dict(interventions or {})
         overrides = dict(overrides or {})
@@ -312,6 +363,13 @@ class CounterfactualSCM:
         if len(lengths) != 1:
             raise ValueError(f"noise arrays have differing lengths: {lengths}")
         n = lengths.pop()
+        reuse: set[str] = set()
+        if base is not None:
+            changed = set(interventions) | set(overrides)
+            affected = set(changed)
+            for node in changed:
+                affected |= self.graph.descendants(node)
+            reuse = set(self._order) - affected
         values: dict[str, np.ndarray] = {}
         for node in self._order:
             if node in overrides:
@@ -324,6 +382,20 @@ class CounterfactualSCM:
                 values[node] = arr
             elif node in interventions:
                 values[node] = np.full(n, float(interventions[node]))
+            elif node in reuse:
+                if node not in base:
+                    raise ValueError(
+                        f"base is missing a value for unaffected node "
+                        f"{node!r}; pass the full world dict of a "
+                        "previous evaluate over the same noise"
+                    )
+                arr = np.asarray(base[node], dtype=float)
+                if arr.shape != (n,):
+                    raise ValueError(
+                        f"base value for {node!r} has shape {arr.shape}, "
+                        f"want ({n},)"
+                    )
+                values[node] = arr
             else:
                 parent_vals = {p: values[p]
                                for p in self.graph.parents(node)}
@@ -356,20 +428,47 @@ class CounterfactualSCM:
         rng:
             Randomness source.
         """
-        missing = [n for n in self.graph.nodes if n not in evidence]
+        rows = {node: np.full(n_particles, float(value))
+                for node, value in evidence.items() if node in self.graph}
+        return self.abduct_rows(rows, rng)
+
+    def abduct_rows(self, columns: Mapping[str, np.ndarray],
+                    rng: np.random.Generator) -> NoiseAssignment:
+        """Batched abduction over many fully observed rows at once.
+
+        The batched counterpart of :meth:`abduct`: each row of
+        ``columns`` is a complete evidence assignment, and the returned
+        noise arrays hold one posterior draw per row.  To get several
+        posterior particles per individual, repeat the rows (e.g. with
+        :func:`np.repeat`) before calling — that is how the vectorized
+        counterfactual-fairness audit turns ``rows × n_particles``
+        per-row abductions into one call per node.
+
+        Parameters
+        ----------
+        columns:
+            ``{node: 1-D array}`` covering *every* node of the graph,
+            all of one common length.
+        rng:
+            Randomness source.
+        """
+        missing = [n for n in self.graph.nodes if n not in columns]
         if missing:
             raise ValueError(
                 f"abduction needs full evidence; missing: {missing} "
                 "(use abduct_partial for incomplete rows)"
             )
+        cols = {node: np.asarray(columns[node], dtype=float)
+                for node in self.graph.nodes}
+        lengths = {arr.shape[0] for arr in cols.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"evidence columns have differing lengths: {lengths}")
         noise: NoiseAssignment = {}
         for node in self._order:
-            parent_vals = {
-                p: np.full(n_particles, float(evidence[p]))
-                for p in self.graph.parents(node)
-            }
-            observed = np.full(n_particles, float(evidence[node]))
-            noise[node] = self._cpts[node].abduct(parent_vals, observed, rng)
+            parent_vals = {p: cols[p] for p in self.graph.parents(node)}
+            noise[node] = self._cpts[node].abduct(parent_vals, cols[node],
+                                                  rng)
         return noise
 
     def abduct_partial(self, evidence: Mapping[str, float],

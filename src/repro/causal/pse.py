@@ -149,17 +149,26 @@ def path_specific_effect(scm: CounterfactualSCM, source: str, outcome: str,
     natural = scm.evaluate(noise, {source: s0})
 
     # Dual evaluation: each node's "active" value reads active parents
-    # through active edges and natural parents otherwise.  Nodes with no
-    # active influence automatically coincide with the natural world
-    # because the noise is shared.
+    # through active edges and natural parents otherwise.  A node whose
+    # active-edge parents all coincide with the natural world sees the
+    # same inputs and noise, so its active value is shared rather than
+    # recomputed — only the subgraph actually reached by the treatment
+    # change through the active edges is re-evaluated.
     active: dict[str, np.ndarray] = {}
+    divergent = {source}
     for node in scm.graph.topological_order():
         if node == source:
             active[node] = np.full(n, float(s1))
             continue
+        parents = scm.graph.parents(node)
+        if not any(p in divergent and (p, node) in active_edges
+                   for p in parents):
+            active[node] = natural[node]
+            continue
+        divergent.add(node)
         parent_vals = {
             p: (active[p] if (p, node) in active_edges else natural[p])
-            for p in scm.graph.parents(node)
+            for p in parents
         }
         active[node] = scm.cpt(node).apply(parent_vals, noise[node])
 

@@ -1,0 +1,150 @@
+"""Loop reference implementations of the counterfactual hot path.
+
+These are the pre-vectorization algorithms of
+:mod:`repro.causal.counterfactual` — per-row dict lookups in the CPT
+operations and per-individual abduction — kept verbatim for two jobs:
+
+* the parity test-suite asserts the compiled fast paths compute the
+  same quantities (exactly where the computation is deterministic, to
+  statistical tolerance where vectorization reorders RNG draws);
+* ``benchmarks/bench_perf_counterfactual.py`` times the vectorized
+  pipeline against them, so the recorded speedup always refers to a
+  live baseline rather than a number from an old commit.
+
+No production code path imports this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from .counterfactual import CounterfactualSCM, DiscreteCPT, NoiseAssignment
+
+__all__ = [
+    "cpt_probabilities_loop",
+    "cpt_apply_loop",
+    "cpt_abduct_loop",
+    "scm_abduct_loop",
+    "scm_evaluate_loop",
+    "fit_tables_loop",
+]
+
+
+def cpt_probabilities_loop(cpt: DiscreteCPT,
+                           parent_values: Mapping[str, np.ndarray],
+                           n: int) -> np.ndarray:
+    """Row-wise distributions via one dict lookup per row."""
+    if not cpt.parents:
+        row = cpt.table.get((), cpt.fallback)
+        return np.tile(row, (n, 1))
+    columns = [np.asarray(parent_values[p], dtype=float)
+               for p in cpt.parents]
+    out = np.empty((n, cpt.domain.size))
+    for i in range(n):
+        key = tuple(float(col[i]) for col in columns)
+        out[i] = cpt.table.get(key, cpt.fallback)
+    return out
+
+
+def cpt_apply_loop(cpt: DiscreteCPT,
+                   parent_values: Mapping[str, np.ndarray],
+                   noise: np.ndarray) -> np.ndarray:
+    """Monotone inverse-CDF evaluation on looped-up distributions."""
+    noise = np.asarray(noise, dtype=float)
+    probs = cpt_probabilities_loop(cpt, parent_values, noise.shape[0])
+    cdf = np.cumsum(probs, axis=1)
+    cdf[:, -1] = 1.0
+    idx = (noise[:, None] >= cdf).sum(axis=1)
+    return cpt.domain[idx]
+
+
+def cpt_abduct_loop(cpt: DiscreteCPT,
+                    parent_values: Mapping[str, np.ndarray],
+                    observed: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Interval-posterior noise sampling on looped-up distributions."""
+    observed = np.asarray(observed, dtype=float)
+    n = observed.shape[0]
+    probs = cpt_probabilities_loop(cpt, parent_values, n)
+    cdf = np.cumsum(probs, axis=1)
+    cdf[:, -1] = 1.0
+    idx = np.searchsorted(cpt.domain, observed)
+    bad = (idx >= cpt.domain.size) | (cpt.domain[np.minimum(
+        idx, cpt.domain.size - 1)] != observed)
+    if np.any(bad):
+        raise ValueError(
+            f"observed values outside domain: {np.unique(observed[bad])}"
+        )
+    hi = cdf[np.arange(n), idx]
+    lo = np.where(idx > 0, cdf[np.arange(n), np.maximum(idx - 1, 0)], 0.0)
+    if np.any(hi <= lo):
+        raise ValueError("evidence has zero probability under the model")
+    return lo + rng.random(n) * (hi - lo)
+
+
+def scm_abduct_loop(scm: CounterfactualSCM, evidence: Mapping[str, float],
+                    n_particles: int,
+                    rng: np.random.Generator) -> NoiseAssignment:
+    """Single-row abduction with looped CPT operations."""
+    noise: NoiseAssignment = {}
+    for node in scm.graph.topological_order():
+        parent_vals = {
+            p: np.full(n_particles, float(evidence[p]))
+            for p in scm.graph.parents(node)
+        }
+        observed = np.full(n_particles, float(evidence[node]))
+        noise[node] = cpt_abduct_loop(scm.cpt(node), parent_vals, observed,
+                                      rng)
+    return noise
+
+
+def scm_evaluate_loop(scm: CounterfactualSCM, noise: NoiseAssignment,
+                      interventions: Mapping[str, float] | None = None,
+                      ) -> dict[str, np.ndarray]:
+    """Forward evaluation with looped CPT operations, no world sharing."""
+    interventions = dict(interventions or {})
+    n = next(iter(noise.values())).shape[0]
+    values: dict[str, np.ndarray] = {}
+    for node in scm.graph.topological_order():
+        if node in interventions:
+            values[node] = np.full(n, float(interventions[node]))
+        else:
+            parent_vals = {p: values[p] for p in scm.graph.parents(node)}
+            values[node] = cpt_apply_loop(scm.cpt(node), parent_vals,
+                                          noise[node])
+    return values
+
+
+def fit_tables_loop(columns: Mapping[str, np.ndarray], graph,
+                    laplace: float = 0.5
+                    ) -> dict[str, tuple[np.ndarray, dict]]:
+    """Per-domain-value counting loops of the original ``fit``.
+
+    Returns ``{node: (domain, {combo: probability_vector})}`` for
+    direct comparison against the bincount-based estimator.
+    """
+    out: dict[str, tuple[np.ndarray, dict]] = {}
+    for node in graph.nodes:
+        values = np.asarray(columns[node], dtype=float)
+        domain = np.unique(values)
+        parents = tuple(graph.parents(node))
+        table: dict[tuple, np.ndarray] = {}
+        if parents:
+            stacked = np.column_stack(
+                [np.asarray(columns[p], dtype=float) for p in parents])
+            combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            for j, combo in enumerate(combos):
+                sub = values[inverse == j]
+                counts = np.array(
+                    [np.sum(sub == v) for v in domain], dtype=float)
+                counts += laplace
+                table[tuple(float(v) for v in combo)] = counts / counts.sum()
+        else:
+            counts = np.array(
+                [np.sum(values == v) for v in domain], dtype=float)
+            counts += laplace
+            table[()] = counts / counts.sum()
+        out[node] = (domain, table)
+    return out

@@ -92,10 +92,11 @@ def impute_knn(X: np.ndarray, k: int = 5) -> np.ndarray:
             dist = np.sqrt((diff ** 2).sum(axis=1) / np.maximum(counts, 1))
         dist[counts == 0] = np.inf
         order = np.argsort(dist, kind="stable")
+        finite = np.isfinite(dist[order])
         for j in np.flatnonzero(missing[i]):
-            donors = [r for r in order
-                      if np.isfinite(dist[r]) and not missing[r, j]][:k]
-            out[i, j] = (float(np.mean(X[donors, j])) if donors
+            eligible = finite & ~missing[order, j]
+            donors = order[eligible][:k]
+            out[i, j] = (float(np.mean(X[donors, j])) if donors.size
                          else col_mean[j])
     return out
 

@@ -125,8 +125,10 @@ def ctf_effects(scm: CounterfactualSCM, source: str, outcome: str,
     mediators = sorted(scm.graph.mediators(source, outcome))
     noise = scm.sample_noise(n, rng)
     factual = scm.evaluate(noise)
-    world0 = scm.evaluate(noise, {source: s0})
-    world1 = scm.evaluate(noise, {source: s1})
+    # All worlds share the factual noise, so passing the factual world
+    # as ``base`` recomputes only the source's descendants per world.
+    world0 = scm.evaluate(noise, {source: s0}, base=factual)
+    world1 = scm.evaluate(noise, {source: s1}, base=factual)
 
     y_fact = _outcome(factual, outcome, predict)
     y0 = _outcome(world0, outcome, predict)
@@ -137,7 +139,8 @@ def ctf_effects(scm: CounterfactualSCM, source: str, outcome: str,
 
     z0 = {m: world0[m] for m in mediators}
     y_s1_z0 = _outcome(
-        scm.evaluate(noise, {source: s1}, overrides=z0), outcome, predict)
+        scm.evaluate(noise, {source: s1}, overrides=z0, base=factual),
+        outcome, predict)
 
     de = _masked_mean(y_s1_z0 - y0, in_s0)
     ie = _masked_mean(y_s1_z0 - y1, in_s0)
@@ -176,7 +179,7 @@ def counterfactual_error_rates(scm: CounterfactualSCM, source: str,
     """
     noise = scm.sample_noise(n, rng)
     factual = scm.evaluate(noise)
-    counter = scm.evaluate(noise, {source: s1})
+    counter = scm.evaluate(noise, {source: s1}, base=factual)
     y = _positive(factual[outcome])
     yhat_fact = _positive(predict(factual))
     yhat_cf = _positive(predict(counter))
@@ -203,10 +206,17 @@ def proxy_fairness_gap(scm: CounterfactualSCM, proxy: str, outcome: str,
     attribute when ``P(Ŷ = 1 | do(P = p))`` is the same for every proxy
     value.  Returns the max-minus-min spread of those interventional
     rates; 0 means proxy-fair.
+
+    All proxy values are evaluated on one shared noise draw (common
+    random numbers): only the proxy's descendants are recomputed per
+    value, and the spread estimate loses sampling variance it would
+    otherwise pay for independent draws.
     """
+    noise = scm.sample_noise(n, rng)
+    natural = scm.evaluate(noise)
     rates = []
     for value in values:
-        sample = scm.evaluate(scm.sample_noise(n, rng), {proxy: value})
+        sample = scm.evaluate(noise, {proxy: value}, base=natural)
         rates.append(float(np.mean(_outcome(sample, outcome, predict))))
     return float(max(rates) - min(rates))
 

@@ -21,7 +21,7 @@ model:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,14 +73,9 @@ class CounterfactualFairnessResult:
     n_rows: int
 
 
-def _iter_rows(columns: Mapping[str, np.ndarray], nodes: Sequence[str],
-               limit: int | None) -> list[dict[str, float]]:
-    n = np.asarray(columns[nodes[0]]).shape[0]
-    take = n if limit is None else min(limit, n)
-    return [
-        {node: float(np.asarray(columns[node])[i]) for node in nodes}
-        for i in range(take)
-    ]
+#: Soft cap on rows × particles per batched-abduction chunk; bounds the
+#: audit's peak memory at roughly this many floats per SCM node.
+_MAX_BATCH = 1 << 18
 
 
 def counterfactual_fairness(scm: CounterfactualSCM,
@@ -91,6 +86,7 @@ def counterfactual_fairness(scm: CounterfactualSCM,
                             n_particles: int = 200,
                             max_rows: int | None = 100,
                             threshold: float = 0.05,
+                            chunk_rows: int | None = None,
                             ) -> CounterfactualFairnessResult:
     """Audit a classifier for counterfactual fairness.
 
@@ -98,6 +94,13 @@ def counterfactual_fairness(scm: CounterfactualSCM,
     runs twice (``do(S=1)`` and ``do(S=0)``) on shared posterior noise;
     the row's gap is the absolute difference of the two positive
     prediction rates.
+
+    The audit is fully batched: all ``rows × n_particles`` evidence
+    copies are abducted in one :meth:`CounterfactualSCM.abduct_rows`
+    call per chunk, and the classifier sees exactly two ``predict``
+    calls per chunk (one per counterfactual world).  Since abduction is
+    exact, the factual replay equals the evidence, so each world only
+    recomputes the sensitive attribute's descendants.
 
     Parameters
     ----------
@@ -114,32 +117,62 @@ def counterfactual_fairness(scm: CounterfactualSCM,
     n_particles:
         Posterior noise samples per row and world.
     max_rows:
-        Audit at most this many rows (None = all).  Abduction is per
-        row, so cost is linear in this.
+        Audit at most this many rows (None = all).
     threshold:
         A row counts as counterfactually unfair when its gap exceeds
         this.
+    chunk_rows:
+        Rows audited per batch; defaults to keeping rows × particles
+        near ``_MAX_BATCH`` so memory stays bounded on large audits.
+        Note the chunk boundary fixes where the per-node RNG batches
+        split, so different ``chunk_rows`` give different (equally
+        valid) seeded draws — hold it fixed when comparing runs at the
+        same seed.
+
+    Raises
+    ------
+    ValueError
+        If columns are missing, ``n_particles < 1``, or the audit would
+        cover zero rows (empty columns or ``max_rows=0``).
     """
     nodes = scm.graph.topological_order()
     missing = [n for n in nodes if n not in columns]
     if missing:
         raise ValueError(f"columns missing for SCM nodes: {missing}")
-    gaps = []
-    for row in _iter_rows(columns, nodes, max_rows):
-        noise = scm.abduct(row, n_particles, rng)
+    if n_particles < 1:
+        raise ValueError(f"n_particles must be at least 1, got {n_particles}")
+    cols = {node: np.asarray(columns[node], dtype=float) for node in nodes}
+    n = cols[nodes[0]].shape[0]
+    take = n if max_rows is None else min(max_rows, n)
+    if take <= 0:
+        raise ValueError(
+            "counterfactual_fairness has no rows to audit "
+            f"(columns hold {n} rows, max_rows={max_rows}); "
+            "pass non-empty columns and a positive max_rows"
+        )
+    if chunk_rows is None:
+        chunk_rows = max(1, _MAX_BATCH // n_particles)
+    elif chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be at least 1, got {chunk_rows}")
+    gaps = np.empty(take)
+    for start in range(0, take, chunk_rows):
+        stop = min(start + chunk_rows, take)
+        evidence = {node: np.repeat(cols[node][start:stop], n_particles)
+                    for node in nodes}
+        noise = scm.abduct_rows(evidence, rng)
         rates = []
         for value in (1.0, 0.0):
-            world = scm.evaluate(noise, {sensitive: value})
-            rates.append(float(np.mean(
-                np.asarray(predict(world), dtype=float) > 0.5)))
-        gaps.append(abs(rates[0] - rates[1]))
-    gaps_arr = np.asarray(gaps)
+            world = scm.evaluate(noise, {sensitive: value}, base=evidence)
+            positive = np.asarray(predict(world), dtype=float) > 0.5
+            rates.append(positive.reshape(stop - start, n_particles)
+                         .mean(axis=1))
+        gaps[start:stop] = np.abs(rates[0] - rates[1])
     return CounterfactualFairnessResult(
-        mean_gap=float(gaps_arr.mean()),
-        max_gap=float(gaps_arr.max()),
-        unfair_fraction=float(np.mean(gaps_arr > threshold)),
+        mean_gap=float(gaps.mean()),
+        max_gap=float(gaps.max()),
+        unfair_fraction=float(np.mean(gaps > threshold)),
         threshold=threshold,
-        n_rows=len(gaps),
+        n_rows=int(take),
     )
 
 
@@ -190,26 +223,62 @@ class SituationTestingResult:
     n_audited: int
 
 
-def normalized_euclidean(X: np.ndarray) -> np.ndarray:
+def _minmax_scale(X: np.ndarray) -> np.ndarray:
+    """Rescale every feature to ``[0, 1]`` (constant features to 0)."""
+    X = np.asarray(X, dtype=float)
+    lo = X.min(axis=0)
+    span = X.max(axis=0) - lo
+    span[span == 0] = 1.0
+    return (X - lo) / span
+
+
+def _scaled_block(Z: np.ndarray, sq: np.ndarray,
+                  rows: np.ndarray) -> np.ndarray:
+    """Distances from the given rows to every point, via the expansion
+    trick; ``sq`` is the precomputed per-row squared norm."""
+    d2 = sq[rows][:, None] + sq[None, :] - 2.0 * Z[rows] @ Z.T
+    d2[np.arange(rows.size), rows] = 0.0
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+def _pair_distances(Z: np.ndarray, a: np.ndarray,
+                    b: np.ndarray) -> np.ndarray:
+    """Scaled Euclidean distance for the given index pairs only."""
+    diff = Z[a] - Z[b]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def normalized_euclidean(X: np.ndarray,
+                         chunk_size: int = 2048) -> np.ndarray:
     """Pairwise distances after per-feature min-max scaling.
 
     The standard distance for situation testing: features are rescaled
-    to ``[0, 1]`` so no single attribute dominates.
+    to ``[0, 1]`` so no single attribute dominates.  The matrix is
+    filled in row blocks, so peak *temporary* memory stays
+    ``O(chunk_size · n)`` on top of the returned ``n × n`` result.
+    The pair-sampling metrics below never materialise this matrix at
+    all unless one is passed in.
     """
-    X = np.asarray(X, dtype=float)
-    span = X.max(axis=0) - X.min(axis=0)
-    span[span == 0] = 1.0
-    Z = (X - X.min(axis=0)) / span
-    sq = np.sum(Z ** 2, axis=1)
-    d2 = sq[:, None] + sq[None, :] - 2 * Z @ Z.T
-    np.fill_diagonal(d2, 0.0)
-    return np.sqrt(np.maximum(d2, 0.0))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    Z = _minmax_scale(X)
+    n = Z.shape[0]
+    sq = np.einsum("ij,ij->i", Z, Z)
+    out = np.empty((n, n))
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        out[start:stop] = (sq[start:stop, None] + sq[None, :]
+                           - 2.0 * Z[start:stop] @ Z.T)
+    np.fill_diagonal(out, 0.0)
+    np.maximum(out, 0.0, out=out)
+    return np.sqrt(out, out=out)
 
 
 def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
                       k: int = 8, threshold: float = 0.2,
                       audit_group: int = 0,
                       distances: np.ndarray | None = None,
+                      chunk_size: int = 512,
                       ) -> SituationTestingResult:
     """Zhang et al.'s situation-testing discrimination discovery.
 
@@ -218,6 +287,11 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
     group and compares their positive-decision rates.  A large gap
     means similar individuals are treated differently depending on the
     sensitive attribute — individual *direct* discrimination.
+
+    Distances are computed in blocks of ``chunk_size`` audited rows and
+    neighbours are selected with :func:`np.argpartition` top-k, so the
+    audit never materialises a dense ``n × n`` matrix and memory stays
+    ``O(chunk_size · n)``.
 
     Parameters
     ----------
@@ -235,7 +309,10 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         Which group's members to audit (default: the unprivileged).
     distances:
         Optional precomputed pairwise distance matrix; defaults to
-        :func:`normalized_euclidean`.
+        chunked :func:`normalized_euclidean` distances computed on the
+        fly.
+    chunk_size:
+        Audited rows per distance block.
     """
     X = np.asarray(X, dtype=float)
     s = np.asarray(s, dtype=int)
@@ -244,25 +321,52 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         raise ValueError("X, s, y_hat must be aligned")
     if k < 1:
         raise ValueError("k must be at least 1")
-    d = normalized_euclidean(X) if distances is None else distances
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
     idx_priv = np.flatnonzero(s == 1)
     idx_unpriv = np.flatnonzero(s == 0)
     if idx_priv.size < k or idx_unpriv.size < k:
         raise ValueError(f"each group needs at least k={k} members")
+    if distances is None:
+        Z = _minmax_scale(X)
+        sq = np.einsum("ij,ij->i", Z, Z)
+    else:
+        distances = np.asarray(distances, dtype=float)
+    pools = (idx_priv, idx_unpriv)
+    # Position of each point inside each pool (-1 = not a member), for
+    # masking a point out of its own neighbourhood.
+    positions = []
+    for pool in pools:
+        pos = np.full(s.shape[0], -1)
+        pos[pool] = np.arange(pool.size)
+        positions.append(pos)
 
     audited = np.flatnonzero(s == audit_group)
-    gaps = []
-    for i in audited:
-        gap_parts = []
-        for pool in (idx_priv, idx_unpriv):
-            others = pool[pool != i]
-            nearest = others[np.argsort(d[i, others], kind="stable")[:k]]
-            gap_parts.append(float(np.mean(y_hat[nearest])))
-        gaps.append(gap_parts[0] - gap_parts[1])
-    gaps_arr = np.asarray(gaps)
+    gaps = np.empty(audited.size)
+    for start in range(0, audited.size, chunk_size):
+        rows = audited[start:start + chunk_size]
+        if distances is None:
+            block = _scaled_block(Z, sq, rows)
+        else:
+            block = distances[rows]
+        rates = []
+        for pool, pos in zip(pools, positions):
+            sub = block[:, pool]          # fancy indexing copies
+            own = pos[rows]
+            member = own >= 0
+            sub[member, own[member]] = np.inf
+            kk = min(k, sub.shape[1])
+            nearest = np.argpartition(sub, kk - 1, axis=1)[:, :kk]
+            picked = np.take_along_axis(sub, nearest, axis=1)
+            usable = np.isfinite(picked)  # drops the masked self-entry
+            counts = usable.sum(axis=1)
+            votes = (y_hat[pool[nearest]] * usable).sum(axis=1)
+            rates.append(np.where(counts > 0,
+                                  votes / np.maximum(counts, 1), np.nan))
+        gaps[start:start + rows.size] = rates[0] - rates[1]
     return SituationTestingResult(
-        flagged_fraction=float(np.mean(np.abs(gaps_arr) > threshold)),
-        mean_gap=float(gaps_arr.mean()),
+        flagged_fraction=float(np.mean(np.abs(gaps) > threshold)),
+        mean_gap=float(gaps.mean()),
         threshold=threshold,
         n_audited=int(audited.size),
     )
@@ -298,11 +402,16 @@ def fairness_through_awareness(X: np.ndarray, scores: np.ndarray,
         raise ValueError("X and scores must be aligned")
     if lipschitz <= 0:
         raise ValueError("lipschitz must be positive")
-    d = normalized_euclidean(X) if distances is None else distances
     a, b = _sample_pairs(X.shape[0], n_pairs, rng)
     if a.size == 0:
         raise ValueError("no valid pairs sampled; increase n_pairs")
-    violations = np.abs(scores[a] - scores[b]) > lipschitz * d[a, b] + 1e-12
+    # Only the sampled pairs' distances are needed — O(n_pairs) memory,
+    # never the dense n × n matrix.
+    if distances is None:
+        d_ab = _pair_distances(_minmax_scale(X), a, b)
+    else:
+        d_ab = np.asarray(distances)[a, b]
+    violations = np.abs(scores[a] - scores[b]) > lipschitz * d_ab + 1e-12
     return float(np.mean(violations))
 
 
@@ -321,13 +430,15 @@ def metric_multifairness(X: np.ndarray, scores: np.ndarray,
     """
     X = np.asarray(X, dtype=float)
     scores = np.asarray(scores, dtype=float)
-    d = normalized_euclidean(X) if distances is None else distances
+    Z = _minmax_scale(X) if distances is None else None
     n = X.shape[0]
     worst = 0.0
     found_any = False
     for _ in range(n_sets):
         a, b = _sample_pairs(n, set_size * 4, rng)
-        close = d[a, b] <= radius
+        d_ab = (_pair_distances(Z, a, b) if distances is None
+                else np.asarray(distances)[a, b])
+        close = d_ab <= radius
         a, b = a[close][:set_size], b[close][:set_size]
         if a.size == 0:
             continue

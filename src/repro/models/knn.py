@@ -31,6 +31,7 @@ class KNearestNeighbors(Classifier):
         self.X_: np.ndarray | None = None
         self.y_: np.ndarray | None = None
         self.w_: np.ndarray | None = None
+        self._train_sq: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray,
             sample_weight: np.ndarray | None = None) -> "KNearestNeighbors":
@@ -38,6 +39,8 @@ class KNearestNeighbors(Classifier):
         self.X_ = X
         self.y_ = y
         self.w_ = check_weights(sample_weight, len(y))
+        # Train-side squared norms never change between predict calls.
+        self._train_sq = np.einsum("ij,ij->i", X, X)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -45,13 +48,14 @@ class KNearestNeighbors(Classifier):
             raise RuntimeError("model not fitted")
         X, _ = check_Xy(X)
         k = min(self.k, self.X_.shape[0])
-        train_sq = np.einsum("ij,ij->i", self.X_, self.X_)
         out = np.empty(X.shape[0])
         for start in range(0, X.shape[0], self.chunk_size):
             block = X[start:start + self.chunk_size]
-            # Squared Euclidean distance via the expansion trick.
+            # Squared Euclidean distance via the expansion trick;
+            # argpartition keeps neighbour selection O(n) per row
+            # instead of a full sort.
             d2 = (np.einsum("ij,ij->i", block, block)[:, None]
-                  - 2 * block @ self.X_.T + train_sq[None, :])
+                  - 2 * block @ self.X_.T + self._train_sq[None, :])
             neighbours = np.argpartition(d2, k - 1, axis=1)[:, :k]
             votes = self.w_[neighbours]
             positive = votes * (self.y_[neighbours] == 1)

@@ -61,9 +61,17 @@ class CounterfactualAudit:
 def evaluate_counterfactual(approach_name: str | None, train: Dataset,
                             test: Dataset, model=None, n_bins: int = 4,
                             n_samples: int = 20000,
-                            n_particles: int = 150, max_rows: int = 60,
-                            seed: int = 0) -> CounterfactualAudit:
+                            n_particles: int = 150,
+                            max_rows: int | None = 60,
+                            seed: int = 0,
+                            chunk_rows: int | None = None,
+                            ) -> CounterfactualAudit:
     """Fit an approach and audit it at the counterfactual rung.
+
+    The individual audit runs on the batched abduction path: all audit
+    rows are abducted together (``rows × n_particles`` evidence copies
+    per chunk) and the pipeline's classifier is called twice per chunk,
+    so ``max_rows=None`` — auditing the whole test split — is practical.
 
     Parameters
     ----------
@@ -79,9 +87,15 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
     n_samples:
         Monte-Carlo size for the population-level estimands.
     n_particles, max_rows:
-        Per-row abduction controls of the individual audit.
+        Abduction controls of the individual audit (``max_rows=None``
+        audits every test row).
     seed:
         Randomness for fitting, sampling, and abduction.
+    chunk_rows:
+        Audit rows per abduction batch; ``None`` picks a chunk that
+        bounds rows × particles memory.  Chunking sets the RNG batch
+        boundaries, so audits are reproducible for a fixed
+        (seed, chunk_rows) pair, not across different chunk sizes.
 
     Raises
     ------
@@ -115,7 +129,8 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
     fairness = counterfactual_fairness(
         scm, {n: test_disc.table[n].astype(float) for n in nodes},
         train.sensitive, train.label, predict, rng,
-        n_particles=n_particles, max_rows=max_rows)
+        n_particles=n_particles, max_rows=max_rows,
+        chunk_rows=chunk_rows)
     effects = ctf_effects(scm, train.sensitive, train.label,
                           n=n_samples, rng=rng, predict=predict)
     error_rates = counterfactual_error_rates(

@@ -256,3 +256,173 @@ class TestFitFromData:
         data_gap = (cols["risk"][cols["race"] == 1].mean()
                     - cols["risk"][cols["race"] == 0].mean())
         assert gap == pytest.approx(data_gap, abs=0.08)
+
+
+# ----------------------------------------------------------------------
+# Parity of the compiled fast paths against the loop reference
+# ----------------------------------------------------------------------
+class TestCompiledCptParity:
+    """The compiled CPT form must reproduce the loop reference exactly:
+    probabilities/apply are deterministic, and abduct consumes the RNG
+    in the same order (one draw batch per call)."""
+
+    def make_cpt(self, seed=0, n_parents=2, domain_size=3):
+        rng = RNG(seed)
+        domain = np.arange(domain_size, dtype=float)
+        parents = tuple(f"P{i}" for i in range(n_parents))
+        table = {}
+        for combo in np.ndindex(*(2 for _ in parents)):
+            probs = rng.random(domain_size) + 0.05
+            table[tuple(float(c) for c in combo)] = probs / probs.sum()
+        return DiscreteCPT(parents, domain, table)
+
+    def make_queries(self, seed=1, n=257):
+        # Parent values 0/1 from the table plus 9.0, an unseen combo
+        # that must resolve to the fallback distribution.
+        rng = RNG(seed)
+        return {
+            "P0": rng.choice([0.0, 1.0, 9.0], size=n, p=[0.45, 0.45, 0.1]),
+            "P1": rng.choice([0.0, 1.0], size=n),
+        }
+
+    def test_probabilities_match_loop_exactly(self):
+        from repro.causal.reference import cpt_probabilities_loop
+
+        cpt = self.make_cpt()
+        queries = self.make_queries()
+        n = queries["P0"].shape[0]
+        assert np.array_equal(cpt.probabilities(queries, n),
+                              cpt_probabilities_loop(cpt, queries, n))
+
+    def test_root_probabilities_match_loop_exactly(self):
+        from repro.causal.reference import cpt_probabilities_loop
+
+        cpt = DiscreteCPT((), np.array([0.0, 1.0, 2.0]),
+                          {(): np.array([0.2, 0.5, 0.3])})
+        assert np.array_equal(cpt.probabilities({}, 31),
+                              cpt_probabilities_loop(cpt, {}, 31))
+
+    def test_apply_matches_loop_exactly(self):
+        from repro.causal.reference import cpt_apply_loop
+
+        cpt = self.make_cpt(seed=2)
+        queries = self.make_queries(seed=3)
+        noise = RNG(4).random(queries["P0"].shape[0])
+        assert np.array_equal(cpt.apply(queries, noise),
+                              cpt_apply_loop(cpt, queries, noise))
+
+    def test_abduct_bit_identical_to_loop(self):
+        from repro.causal.reference import cpt_abduct_loop
+
+        cpt = self.make_cpt(seed=5)
+        queries = self.make_queries(seed=6)
+        n = queries["P0"].shape[0]
+        observed = RNG(7).choice(cpt.domain, size=n)
+        fast = cpt.abduct(queries, observed, RNG(8))
+        loop = cpt_abduct_loop(cpt, queries, observed, RNG(8))
+        assert np.array_equal(fast, loop)
+
+    def test_scm_abduct_bit_identical_to_loop(self):
+        from repro.causal.reference import scm_abduct_loop
+
+        scm = chain_scm()
+        evidence = {"S": 1.0, "Z": 0.0, "Y": 1.0}
+        fast = scm.abduct(evidence, 100, RNG(9))
+        loop = scm_abduct_loop(scm, evidence, 100, RNG(9))
+        for node in scm.graph.nodes:
+            assert np.array_equal(fast[node], loop[node]), node
+
+    def test_fit_matches_loop_counts_exactly(self):
+        from repro.causal.reference import fit_tables_loop
+
+        rng = RNG(10)
+        graph = CausalGraph([("S", "Z"), ("Z", "Y"), ("S", "Y")])
+        cols = {
+            "S": rng.integers(0, 2, 700).astype(float),
+            "Z": rng.integers(0, 3, 700).astype(float),
+            "Y": rng.integers(0, 2, 700).astype(float),
+        }
+        scm = CounterfactualSCM.fit(cols, graph, laplace=0.5)
+        for node, (domain, table) in fit_tables_loop(cols, graph).items():
+            cpt = scm.cpt(node)
+            assert np.array_equal(cpt.domain, domain)
+            assert set(cpt.table) == set(table)
+            for key, vec in table.items():
+                assert np.allclose(cpt.table[key], vec, atol=1e-15), (
+                    node, key)
+
+
+class TestAbductRows:
+    def test_replay_recovers_every_row(self):
+        scm = chain_scm()
+        sample = scm.sample(300, RNG(0))
+        noise = scm.abduct_rows(sample, RNG(1))
+        replay = scm.evaluate(noise)
+        for node in scm.graph.nodes:
+            assert np.array_equal(replay[node], sample[node]), node
+
+    def test_missing_column_rejected(self):
+        scm = chain_scm()
+        with pytest.raises(ValueError, match="full evidence"):
+            scm.abduct_rows({"S": np.zeros(3)}, RNG(0))
+
+    def test_misaligned_columns_rejected(self):
+        scm = chain_scm()
+        cols = {"S": np.zeros(3), "Z": np.zeros(3), "Y": np.zeros(2)}
+        with pytest.raises(ValueError, match="differing lengths"):
+            scm.abduct_rows(cols, RNG(0))
+
+    def test_repeated_rows_match_per_row_abduction_statistically(self):
+        """Batching rows × particles must give the same posterior as
+        per-row abduction (draw order differs, distribution must not)."""
+        scm = chain_scm()
+        evidence = {"S": 0.0, "Z": 1.0, "Y": 0.0}
+        n = 4000
+        batched = scm.abduct_rows(
+            {k: np.full(n, v) for k, v in evidence.items()}, RNG(2))
+        per_row = scm.abduct(evidence, n, RNG(3))
+        for node in scm.graph.nodes:
+            assert abs(batched[node].mean() - per_row[node].mean()) < 0.02
+            assert abs(batched[node].std() - per_row[node].std()) < 0.02
+
+
+class TestEvaluateBase:
+    def test_base_reuse_is_exact(self):
+        """Sharing unaffected nodes from a base world must equal a full
+        re-evaluation: the model is deterministic given noise."""
+        scm = chain_scm()
+        noise = scm.sample_noise(500, RNG(0))
+        factual = scm.evaluate(noise)
+        for interventions in ({"S": 1.0}, {"Z": 0.0}, {"Y": 1.0}):
+            full = scm.evaluate(noise, interventions)
+            shared = scm.evaluate(noise, interventions, base=factual)
+            for node in scm.graph.nodes:
+                assert np.array_equal(full[node], shared[node]), (
+                    interventions, node)
+
+    def test_base_with_overrides_is_exact(self):
+        scm = chain_scm()
+        noise = scm.sample_noise(400, RNG(1))
+        factual = scm.evaluate(noise)
+        z0 = scm.evaluate(noise, {"S": 0.0}, base=factual)["Z"]
+        full = scm.evaluate(noise, {"S": 1.0}, overrides={"Z": z0})
+        shared = scm.evaluate(noise, {"S": 1.0}, overrides={"Z": z0},
+                              base=factual)
+        for node in scm.graph.nodes:
+            assert np.array_equal(full[node], shared[node]), node
+
+    def test_bad_base_shape_rejected(self):
+        scm = chain_scm()
+        noise = scm.sample_noise(10, RNG(2))
+        factual = scm.evaluate(noise)
+        bad = dict(factual, S=factual["S"][:5])
+        with pytest.raises(ValueError, match="base value"):
+            scm.evaluate(noise, {"Y": 1.0}, base=bad)
+
+    def test_partial_base_rejected(self):
+        scm = chain_scm()
+        noise = scm.sample_noise(10, RNG(3))
+        factual = scm.evaluate(noise)
+        partial = {"Z": factual["Z"]}  # S is unaffected but missing
+        with pytest.raises(ValueError, match="base is missing"):
+            scm.evaluate(noise, {"Y": 1.0}, base=partial)

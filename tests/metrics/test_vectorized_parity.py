@@ -1,0 +1,196 @@
+"""Parity of the vectorized individual-fairness metrics vs the loop
+reference.
+
+The vectorized paths reorder RNG draws (one batch per node instead of
+one batch per row), so the audits are compared exactly where the
+result is RNG-independent (deterministic predictors, shared distance
+matrices, tie-free neighbourhoods) and to statistical tolerance where
+it is not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.causal import CausalGraph, CounterfactualSCM, DiscreteCPT
+from repro.metrics import (counterfactual_fairness,
+                           fairness_through_awareness, metric_multifairness,
+                           normalized_euclidean, situation_testing)
+from repro.metrics.reference import (counterfactual_fairness_loop,
+                                     fairness_through_awareness_dense,
+                                     metric_multifairness_dense,
+                                     normalized_euclidean_dense,
+                                     situation_testing_loop)
+
+RNG = np.random.default_rng
+DOM = np.array([0.0, 1.0])
+
+
+def small_scm():
+    """S → X → Y with direct S → Y."""
+    cpts = {
+        "S": DiscreteCPT((), DOM, {(): np.array([0.5, 0.5])}),
+        "X": DiscreteCPT(("S",), DOM, {
+            (0.0,): np.array([0.7, 0.3]),
+            (1.0,): np.array([0.3, 0.7]),
+        }),
+        "Y": DiscreteCPT(("S", "X"), DOM, {
+            (0.0, 0.0): np.array([0.9, 0.1]),
+            (1.0, 0.0): np.array([0.5, 0.5]),
+            (0.0, 1.0): np.array([0.6, 0.4]),
+            (1.0, 1.0): np.array([0.2, 0.8]),
+        }),
+    }
+    graph = CausalGraph([("S", "X"), ("S", "Y"), ("X", "Y")])
+    return CounterfactualSCM(graph, cpts)
+
+
+class TestCounterfactualFairnessParity:
+    def test_deterministic_predictors_match_loop_exactly(self):
+        """Constant and S-reading predictors give RNG-independent gaps
+        (0 and 1), so batched and loop audits must agree exactly."""
+        scm = small_scm()
+        cols = scm.sample(60, RNG(0))
+        for predict in (lambda v: np.ones_like(v["S"]), lambda v: v["S"]):
+            vec = counterfactual_fairness(
+                scm, cols, "S", "Y", predict, RNG(1),
+                n_particles=40, max_rows=50)
+            loop = counterfactual_fairness_loop(
+                scm, cols, "S", "Y", predict, RNG(2),
+                n_particles=40, max_rows=50)
+            assert vec.mean_gap == loop.mean_gap
+            assert vec.max_gap == loop.max_gap
+            assert vec.unfair_fraction == loop.unfair_fraction
+            assert vec.n_rows == loop.n_rows
+
+    def test_mediated_predictor_matches_loop_statistically(self):
+        scm = small_scm()
+        cols = scm.sample(80, RNG(3))
+        vec = counterfactual_fairness(
+            scm, cols, "S", "Y", lambda v: v["X"], RNG(4),
+            n_particles=600, max_rows=60)
+        loop = counterfactual_fairness_loop(
+            scm, cols, "S", "Y", lambda v: v["X"], RNG(5),
+            n_particles=600, max_rows=60)
+        assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=0.05)
+        assert vec.unfair_fraction == pytest.approx(
+            loop.unfair_fraction, abs=0.1)
+
+    def test_chunked_audit_matches_unchunked_statistically(self):
+        scm = small_scm()
+        cols = scm.sample(48, RNG(6))
+        one = counterfactual_fairness(
+            scm, cols, "S", "Y", lambda v: v["X"], RNG(7),
+            n_particles=500, max_rows=None, chunk_rows=7)
+        big = counterfactual_fairness(
+            scm, cols, "S", "Y", lambda v: v["X"], RNG(8),
+            n_particles=500, max_rows=None)
+        assert one.n_rows == big.n_rows == 48
+        assert one.mean_gap == pytest.approx(big.mean_gap, abs=0.05)
+
+    def test_empty_audit_raises_clear_error(self):
+        scm = small_scm()
+        cols = scm.sample(10, RNG(9))
+        with pytest.raises(ValueError, match="no rows to audit"):
+            counterfactual_fairness(scm, cols, "S", "Y",
+                                    lambda v: v["S"], RNG(0), max_rows=0)
+
+    def test_zero_length_columns_raise_clear_error(self):
+        scm = small_scm()
+        empty = {n: np.empty(0) for n in scm.graph.nodes}
+        with pytest.raises(ValueError, match="no rows to audit"):
+            counterfactual_fairness(scm, empty, "S", "Y",
+                                    lambda v: v["S"], RNG(0))
+
+    def test_invalid_particles_rejected(self):
+        scm = small_scm()
+        cols = scm.sample(5, RNG(0))
+        with pytest.raises(ValueError, match="n_particles"):
+            counterfactual_fairness(scm, cols, "S", "Y",
+                                    lambda v: v["S"], RNG(0), n_particles=0)
+
+    def test_invalid_chunk_rows_rejected(self):
+        """A non-positive chunk would skip the batch loop and return
+        uninitialized gaps — must raise instead."""
+        scm = small_scm()
+        cols = scm.sample(5, RNG(0))
+        for chunk_rows in (0, -1):
+            with pytest.raises(ValueError, match="chunk_rows"):
+                counterfactual_fairness(scm, cols, "S", "Y",
+                                        lambda v: v["S"], RNG(0),
+                                        chunk_rows=chunk_rows)
+
+
+class TestSituationTestingParity:
+    def make_data(self, n=300, seed=0):
+        rng = RNG(seed)
+        X = rng.normal(size=(n, 4))  # continuous → tie-free distances
+        s = (rng.random(n) < 0.5).astype(int)
+        y_hat = (X[:, 0] + 0.8 * s > 0).astype(float)
+        return X, s, y_hat
+
+    def test_matches_loop_on_tie_free_data(self):
+        X, s, y_hat = self.make_data()
+        vec = situation_testing(X, s, y_hat, k=9)
+        loop = situation_testing_loop(X, s, y_hat, k=9)
+        assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=1e-9)
+        assert vec.flagged_fraction == loop.flagged_fraction
+        assert vec.n_audited == loop.n_audited
+
+    def test_matches_loop_with_precomputed_distances(self):
+        X, s, y_hat = self.make_data(seed=1)
+        d = normalized_euclidean_dense(X)
+        vec = situation_testing(X, s, y_hat, k=5, distances=d,
+                                audit_group=1)
+        loop = situation_testing_loop(X, s, y_hat, k=5, distances=d,
+                                      audit_group=1)
+        assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=1e-12)
+        assert vec.flagged_fraction == loop.flagged_fraction
+
+    def test_chunk_size_does_not_change_result(self):
+        X, s, y_hat = self.make_data(seed=2, n=150)
+        whole = situation_testing(X, s, y_hat, k=6, chunk_size=10_000)
+        tiny = situation_testing(X, s, y_hat, k=6, chunk_size=13)
+        assert whole.mean_gap == pytest.approx(tiny.mean_gap, abs=1e-12)
+        assert whole.flagged_fraction == tiny.flagged_fraction
+
+    def test_invalid_chunk_size_rejected(self):
+        X, s, y_hat = self.make_data(seed=3, n=60)
+        with pytest.raises(ValueError, match="chunk_size"):
+            situation_testing(X, s, y_hat, k=4, chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            normalized_euclidean(X, chunk_size=-1)
+
+    def test_float32_distances_accepted(self):
+        X, s, y_hat = self.make_data(seed=4, n=120)
+        d = normalized_euclidean_dense(X).astype(np.float32)
+        res = situation_testing(X, s, y_hat, k=5, distances=d,
+                                chunk_size=17)
+        ref = situation_testing_loop(X, s, y_hat, k=5,
+                                     distances=d.astype(float))
+        assert res.mean_gap == pytest.approx(ref.mean_gap, abs=1e-6)
+
+
+class TestDistanceParity:
+    def test_chunked_normalized_euclidean_matches_dense(self):
+        X = RNG(0).normal(size=(97, 5))
+        chunked = normalized_euclidean(X, chunk_size=11)
+        default = normalized_euclidean(X)
+        dense = normalized_euclidean_dense(X)
+        assert np.allclose(chunked, dense, atol=1e-12)
+        assert np.allclose(default, dense, atol=1e-12)
+
+    def test_awareness_matches_dense_path(self):
+        rng = RNG(1)
+        X = rng.random((250, 3))
+        scores = (X[:, 0] > 0.5).astype(float)
+        sparse = fairness_through_awareness(X, scores, RNG(2))
+        dense = fairness_through_awareness_dense(X, scores, RNG(2))
+        assert sparse == pytest.approx(dense, abs=1e-3)
+
+    def test_multifairness_matches_dense_path(self):
+        rng = RNG(3)
+        X = rng.random((250, 2))
+        scores = 0.4 * X[:, 0] + 0.1 * X[:, 1]
+        sparse = metric_multifairness(X, scores, RNG(4))
+        dense = metric_multifairness_dense(X, scores, RNG(4))
+        assert sparse == pytest.approx(dense, abs=1e-3)
