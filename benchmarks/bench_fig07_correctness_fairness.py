@@ -5,28 +5,29 @@ Regenerates one bar-group table per dataset: the four correctness
 metrics and the five headline normalised fairness metrics (plus
 NDE/NIE) for every approach, with the LR baseline as the first row.
 
-Runs through the sweep engine: the (dataset × 19 variants) grid is
-declared once, executed with the shared result cache (re-runs refit
-nothing), and pivoted back into the paper's table.  ``REPRO_JOBS=N``
-fans the grid out over N worker processes.
+Runs through the declarative facade: the (dataset × 19 variants) grid
+is one :class:`repro.api.SweepSpec`, executed with the shared result
+cache (re-runs refit nothing), and pivoted back into the paper's
+table.  ``REPRO_JOBS=N`` fans the grid out over N worker processes.
 """
 
 import pytest
 
 from common import CAUSAL_SAMPLES, SIZES, emit, once, run_grid
-from repro.engine import ScenarioGrid, grid_table
-from repro.fairness import MAIN_APPROACHES
+from repro.api import SweepSpec
+from repro.engine import grid_table
+from repro.registry import APPROACHES
 
 
 def run_dataset(dataset_name: str) -> str:
-    grid = ScenarioGrid(
+    spec = SweepSpec(
         datasets=[dataset_name],
-        approaches=[None, *MAIN_APPROACHES],
+        approaches=[None, *APPROACHES.keys(group="main")],
         rows=[SIZES[dataset_name]],
         causal_samples=CAUSAL_SAMPLES,
         seeds=[0],
     )
-    report = run_grid(grid)
+    report = run_grid(spec.to_grid())
     return grid_table(
         report.outcomes, dataset=dataset_name,
         title=f"Figure 7 ({dataset_name}): correctness & "

@@ -14,10 +14,11 @@ only fit time feeds the figure.
 """
 
 from common import FULL, emit, once, run_grid
-from repro.engine import ScenarioGrid, overhead_series
-from repro.fairness import Stage, make_approach
-from repro.fairness.registry import ALL_APPROACHES
+from repro.api import SweepSpec
+from repro.engine import overhead_series
+from repro.fairness import Stage
 from repro.pipeline import format_runtime_table
+from repro.registry import APPROACHES, parse_spec
 
 ROW_SWEEP = ([1000, 5000, 10000, 20000, 31000] if FULL
              else [500, 1000, 2000, 4000])
@@ -28,7 +29,7 @@ ATTR_SWEEP = [2, 4, 6, 8, 9]
 EVAL_SAMPLES = 200
 
 #: Representative per-stage selections (all variants when FULL).
-SWEEP_APPROACHES = list(ALL_APPROACHES) if FULL else [
+SWEEP_APPROACHES = APPROACHES.keys() if FULL else [
     "KamCal-dp", "Feld-dp", "Calmon-dp", "ZhaWu-psf", "Salimi-jf-maxsat",
     "Salimi-jf-matfac",
     "Zafar-dp-fair", "ZhaLe-eo", "Kearns-pe", "Celis-pp", "Thomas-dp",
@@ -47,7 +48,7 @@ def _loaded_size(train_size: int) -> int:
 
 def sweep_rows() -> dict[str, dict[int, float]]:
     loaded = {_loaded_size(n): n for n in ROW_SWEEP}
-    grid = ScenarioGrid(
+    spec = SweepSpec(
         datasets=["adult"],
         approaches=[None, *SWEEP_APPROACHES],
         rows=list(loaded),
@@ -55,14 +56,15 @@ def sweep_rows() -> dict[str, dict[int, float]]:
         test_fraction=TEST_FRACTION,
         seeds=[0],
     )
-    series = overhead_series(run_grid(grid).outcomes, sweep="rows")
+    series = overhead_series(run_grid(spec.to_grid()).outcomes,
+                             sweep="rows")
     return {approach: {loaded[rows]: seconds
                        for rows, seconds in points.items()}
             for approach, points in series.items()}
 
 
 def sweep_attributes() -> dict[str, dict[int, float]]:
-    grid = ScenarioGrid(
+    spec = SweepSpec(
         datasets=["adult"],
         approaches=[None, *SWEEP_APPROACHES],
         rows=[_loaded_size(ROW_SWEEP[-1])],
@@ -71,7 +73,7 @@ def sweep_attributes() -> dict[str, dict[int, float]]:
         test_fraction=TEST_FRACTION,
         seeds=[0],
     )
-    return overhead_series(run_grid(grid).outcomes,
+    return overhead_series(run_grid(spec.to_grid()).outcomes,
                            sweep="n_features")
 
 
@@ -80,7 +82,8 @@ def _stage_tables(series: dict[str, dict[int, float]], sweep_label: str,
     blocks = []
     for stage in (Stage.PRE, Stage.IN, Stage.POST):
         rows = [(name, values) for name, values in series.items()
-                if make_approach(name).stage is stage]
+                if APPROACHES.get(parse_spec(name)[0])
+                .metadata["stage"] is stage]
         if rows:
             blocks.append(format_runtime_table(
                 rows, sweep_label=sweep_label,

@@ -15,6 +15,12 @@ situation-testing matrix alone is 3.2 GB at n=20k).
 Run:  PYTHONPATH=src python benchmarks/bench_perf_counterfactual.py
       (--sizes 1000 --out BENCH_counterfactual.ci.json for the CI
       smoke variant)
+
+``--assert-no-regression BASELINE.json`` compares the run against a
+committed baseline record: at every common size, the vectorized-path
+speedup over the loop reference must stay within ``--regression-slack``
+of the baseline's (ratios absorb machine differences better than raw
+seconds do); a violation exits non-zero so CI fails.
 """
 
 from __future__ import annotations
@@ -105,6 +111,27 @@ def bench_size(size: int, n_particles: int, k: int,
     return entry
 
 
+def check_regression(results: dict, baseline_path: pathlib.Path,
+                     slack: float) -> list[str]:
+    """Speedup-ratio regressions of ``results`` vs a baseline record."""
+    baseline = json.loads(baseline_path.read_text())["results"]
+    problems = []
+    for size, entry in results.items():
+        reference = baseline.get(size)
+        if reference is None:
+            continue
+        for metric in ("cf_speedup", "st_speedup"):
+            if metric not in entry or metric not in reference:
+                continue
+            floor = reference[metric] * slack
+            if entry[metric] < floor:
+                problems.append(
+                    f"n={size}: {metric} {entry[metric]:.2f}x is below "
+                    f"{slack:.0%} of the baseline's "
+                    f"{reference[metric]:.2f}x")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -116,6 +143,13 @@ def main(argv: list[str] | None = None) -> None:
                         help="largest size at which the loop reference "
                              "is also timed")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--assert-no-regression", type=pathlib.Path,
+                        default=None, metavar="BASELINE",
+                        help="fail if any speedup falls below "
+                             "--regression-slack of this record's")
+    parser.add_argument("--regression-slack", type=float, default=0.5,
+                        help="fraction of the baseline speedup that "
+                             "must be retained (default 0.5)")
     args = parser.parse_args(argv)
 
     results = {}
@@ -151,6 +185,16 @@ def main(argv: list[str] | None = None) -> None:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if args.assert_no_regression is not None:
+        problems = check_regression(results, args.assert_no_regression,
+                                    args.regression_slack)
+        if problems:
+            raise SystemExit("PERF REGRESSION vs "
+                             f"{args.assert_no_regression}:\n  "
+                             + "\n  ".join(problems))
+        print(f"no regression vs {args.assert_no_regression} "
+              f"(slack {args.regression_slack:.0%})")
 
 
 if __name__ == "__main__":

@@ -1,32 +1,35 @@
 """Quickstart: measure a fairness-unaware classifier, then fix it.
 
-Loads the synthetic COMPAS benchmark, trains the paper's baseline
-logistic regression, scores it on all correctness and fairness metrics,
-and then runs one approach from each fairness-enforcing stage for
-comparison.
+Uses the declarative API: each run is an ``ExperimentSpec`` — a
+dataset, an approach (by registry key, with optional parameters), a
+model, and a seed — and ``spec.run()`` executes the paper's uniform
+pipeline and scores it on all correctness and fairness metrics.  The
+same specs could live in a JSON/YAML config file
+(``ExperimentSpec.from_config``) or expand into a parallel sweep
+(see ``examples/sweep.yaml``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.datasets import load_compas, train_test_split
-from repro.pipeline import format_results_table, run_experiment
+from repro.api import ExperimentSpec
+from repro.pipeline import format_results_table
+from repro.registry import DATASETS
 
 
 def main() -> None:
-    dataset = load_compas(n=4000, seed=0)
+    dataset = DATASETS.build("compas", n=4000, seed=0)
     print(f"Loaded {dataset}: P(Y=1|unprivileged) = "
           f"{dataset.base_rate(0):.2f}, P(Y=1|privileged) = "
           f"{dataset.base_rate(1):.2f}")
 
-    split = train_test_split(dataset, test_fraction=0.3, seed=0)
-
     results = []
-    for name in (None,                # fairness-unaware LR baseline
-                 "KamCal-dp",         # pre-processing (reweighing)
-                 "Zafar-dp-fair",     # in-processing (constraint)
-                 "Hardt-eo"):         # post-processing (derived predictor)
-        result = run_experiment(name, split.train, split.test,
-                                causal_samples=5000, seed=0)
+    for approach in (None,                # fairness-unaware LR baseline
+                     "KamCal-dp",         # pre-processing (reweighing)
+                     "Zafar-dp-fair",     # in-processing (constraint)
+                     "Hardt-eo"):         # post-processing (derived)
+        spec = ExperimentSpec(dataset="compas", approach=approach,
+                              rows=4000, causal_samples=5000, seed=0)
+        result = spec.run()
         results.append(result)
         print(f"  ran {result.approach:12s} "
               f"({result.fit_seconds:.2f}s fit)")

@@ -4,6 +4,12 @@ Lens: Experimental Analysis and Evaluation of Fair Classification"
 
 Public API tour:
 
+* :mod:`repro.registry` — the unified component registry: datasets,
+  models, fair approaches, error injectors, imputers, and metrics,
+  all addressable by string key + parameters.
+* :mod:`repro.api` — declarative experiment specs and JSON/YAML
+  scenario configs (:class:`~repro.api.ExperimentSpec`,
+  :class:`~repro.api.SweepSpec`).
 * :mod:`repro.datasets` — synthetic Adult/COMPAS/German generators
   (SCM-based), the tabular substrate, splits, and encoders.
 * :mod:`repro.models` — from-scratch LR / SVM / kNN / RF / MLP / NB.
@@ -16,15 +22,24 @@ Public API tour:
   and content-addressed result caching.
 """
 
+from . import registry
+from .api import ExperimentSpec, SweepSpec, load_config, run_spec, sweep
 from .datasets import load, load_adult, load_compas, load_german
 from .engine import Job, ResultCache, ScenarioGrid, run_sweep
-from .fairness import ALL_APPROACHES, MAIN_APPROACHES, make_approach
+from .fairness import make_approach
 from .pipeline import (EvaluationResult, FairPipeline, evaluate_pipeline,
                        format_results_table, run_experiment)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Names served lazily so the deprecation warning fires on use, not on
+#: ``import repro``.
+_DEPRECATED_FAIRNESS = ("MAIN_APPROACHES", "ALL_APPROACHES",
+                        "ADDITIONAL_APPROACHES", "EXTENSION_APPROACHES")
 
 __all__ = [
+    "registry",
+    "ExperimentSpec", "SweepSpec", "load_config", "run_spec", "sweep",
     "load", "load_adult", "load_compas", "load_german",
     "MAIN_APPROACHES", "ALL_APPROACHES", "make_approach",
     "FairPipeline", "EvaluationResult", "evaluate_pipeline",
@@ -32,3 +47,11 @@ __all__ = [
     "Job", "ScenarioGrid", "ResultCache", "run_sweep",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_FAIRNESS:
+        from . import fairness
+        return getattr(fairness, name)  # warns in the fairness shim
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

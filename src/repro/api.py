@@ -1,0 +1,340 @@
+"""Declarative experiment API: specs, config files, one-call runs.
+
+This is the public facade over the registry + engine stack.  A single
+experiment is an :class:`ExperimentSpec`, a whole grid is a
+:class:`SweepSpec`; both load from / dump to plain mappings, so JSON
+and YAML scenario files fully describe a run::
+
+    from repro import api
+
+    result = api.ExperimentSpec(dataset="compas",
+                                approach="Celis-pp(tau=0.9)").run()
+
+    report = api.sweep("examples/sweep.yaml",
+                       progress=lambda p: print(p.line()))
+
+Config schema (YAML shown; JSON is isomorphic)::
+
+    sweep:
+      datasets: [german]                    # registry specs
+      approaches: [baseline, Hardt-eo, "Celis-pp(tau=0.9)"]
+      models: [lr]
+      errors: [null, t1]                    # null = clean data
+      seeds: [0, 1]                         # or an int: seeds 0..N-1
+      rows: [400]
+      causal_samples: 300
+      audit: counterfactual                 # optional rung-3 audit
+      chunk_rows: 256                       # abduction batch bound
+      audit_params: {n_particles: 20, max_rows: 40}
+    engine:
+      jobs: 2
+      cache_dir: .sweep-cache
+      resume: true
+
+Every component entry is a :mod:`repro.registry` spec — a bare key,
+a parameterized ``"key(param=value)"`` string, or the nested
+``{key: ..., params: {...}}`` mapping — and the parameters feed the
+cells' cache fingerprints, so a changed ``tau`` recomputes instead of
+silently reusing a cached cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import (Job, ResultCache, ScenarioGrid, SweepReport,
+                     execute_job, run_sweep)
+from .engine.spec import (_normalise_approach, check_audit_params,
+                          check_fingerprintable_params,
+                          check_reserved_params)
+from .pipeline.experiment import EvaluationResult
+from .registry import APPROACHES, DATASETS, ERRORS, MODELS, parse_spec
+
+__all__ = ["ExperimentSpec", "SweepSpec", "load_config", "run_spec",
+           "sweep"]
+
+
+# ----------------------------------------------------------------------
+# Config files
+# ----------------------------------------------------------------------
+def load_config(path: str | Path) -> dict:
+    """Load a JSON or YAML config file into a mapping.
+
+    ``.json`` parses with the stdlib; ``.yaml``/``.yml`` needs PyYAML
+    and fails with a clear message when it is missing.  Other suffixes
+    try JSON first, then YAML.
+    """
+    path = Path(path)
+    text = path.read_text()
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return json.loads(text)
+    if suffix in (".yaml", ".yml"):
+        return _parse_yaml(text, path)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return _parse_yaml(text, path)
+
+
+def _parse_yaml(text: str, path: Path) -> dict:
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - environment-dependent
+        raise RuntimeError(
+            f"cannot load {path}: PyYAML is not installed; use a JSON "
+            "config or install pyyaml") from None
+    try:
+        config = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ValueError(f"invalid YAML in {path}: {exc}") from None
+    if not isinstance(config, Mapping):
+        raise ValueError(f"config {path} must be a mapping, "
+                         f"got {type(config).__name__}")
+    return dict(config)
+
+
+def _as_mapping(config, section: str) -> dict:
+    """Accept a mapping, a config path, or a ``{section: {...}}``
+    wrapper; return the flat field mapping (plus siblings)."""
+    if isinstance(config, (str, Path)):
+        config = load_config(config)
+    if not isinstance(config, Mapping):
+        raise TypeError(f"expected a mapping or config path, "
+                        f"got {config!r}")
+    config = dict(config)
+    if section in config:
+        inner = dict(config.pop(section) or {})
+        overlap = set(inner) & set(config)
+        if overlap:
+            raise ValueError(
+                f"fields {sorted(overlap)} appear both inside and "
+                f"outside the {section!r} section")
+        config.update(inner)
+    return config
+
+
+def _check_fields(config: Mapping, allowed: set[str], what: str) -> None:
+    unknown = sorted(set(config) - allowed)
+    if unknown:
+        raise ValueError(f"unknown {what} config field(s) {unknown}; "
+                         f"expected a subset of {sorted(allowed)}")
+
+
+# ----------------------------------------------------------------------
+# Single experiments
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentSpec:
+    """One fully-described experiment cell, config-file round-trippable.
+
+    Component fields (``dataset``/``approach``/``model``/``error``) are
+    registry specs and are canonicalised (and validated) at
+    construction; ``approach`` accepts the baseline aliases
+    (``None``/``"baseline"``/``"LR"``).
+    """
+
+    dataset: str = "compas"
+    approach: str | None = None
+    model: str = "lr"
+    error: str | None = None
+    seed: int = 0
+    rows: int = 4000
+    n_features: int | None = None
+    causal_samples: int = 5000
+    test_fraction: float = 0.3
+    audit: str | None = None
+    chunk_rows: int | None = None
+    audit_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.dataset = DATASETS.canonical(self.dataset)
+        approach = _normalise_approach(self.approach)
+        self.approach = (None if approach is None
+                         else APPROACHES.canonical(approach))
+        self.model = MODELS.canonical(self.model)
+        self.error = (None if self.error is None
+                      else ERRORS.canonical(self.error))
+        check_reserved_params(self.dataset, {
+            "n": "the rows field", "seed": "the seed field"})
+        check_reserved_params(self.approach,
+                              {"seed": "the seed field"})
+        for what, spec in (("dataset", self.dataset),
+                           ("approach", self.approach),
+                           ("model", self.model),
+                           ("error", self.error)):
+            if spec is not None:
+                check_fingerprintable_params(spec, what)
+        self.seed = int(self.seed)
+        self.rows = int(self.rows)
+        self.audit_params = check_audit_params(self.audit,
+                                               self.audit_params)
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(
+                f"chunk_rows must be positive, got {self.chunk_rows}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config) -> "ExperimentSpec":
+        """Build from a mapping, a ``{"experiment": {...}}`` wrapper,
+        or a JSON/YAML config path."""
+        fields = _as_mapping(config, "experiment")
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        _check_fields(fields, allowed, "experiment")
+        return cls(**fields)
+
+    def to_config(self) -> dict:
+        """The spec as a JSON/YAML-ready mapping (full round trip:
+        ``ExperimentSpec.from_config(spec.to_config()) == spec``)."""
+        return dataclasses.asdict(self)
+
+    # ------------------------------------------------------------------
+    def to_job(self) -> Job:
+        """The engine job this spec describes (same fingerprinting as
+        a sweep cell, so single runs share the sweep cache)."""
+        dataset, dataset_params = parse_spec(self.dataset)
+        model, model_params = parse_spec(self.model)
+        approach, approach_params = (
+            (None, {}) if self.approach is None
+            else parse_spec(self.approach))
+        error, error_params = ((None, {}) if self.error is None
+                               else parse_spec(self.error))
+        return Job(dataset=dataset, approach=approach, model=model,
+                   error=error, seed=self.seed, rows=self.rows,
+                   n_features=self.n_features,
+                   causal_samples=self.causal_samples,
+                   test_fraction=self.test_fraction,
+                   dataset_params=dataset_params,
+                   approach_params=approach_params,
+                   model_params=model_params, error_params=error_params,
+                   audit=self.audit, chunk_rows=self.chunk_rows,
+                   audit_params=dict(self.audit_params))
+
+    def run(self) -> EvaluationResult:
+        """Execute the experiment (load → split → corrupt → fit →
+        evaluate → optional audit), deterministically in the spec."""
+        return execute_job(self.to_job())
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+_ENGINE_FIELDS = ("jobs", "cache_dir", "resume")
+
+
+@dataclass
+class SweepSpec:
+    """A declarative scenario grid plus engine options.
+
+    The grid fields mirror :class:`~repro.engine.ScenarioGrid` (every
+    dimension entry is a registry spec); ``jobs``/``cache_dir``/
+    ``resume`` configure execution.  Construction validates everything
+    against the live registries, so a typo in a key or parameter fails
+    before any cell is scheduled.
+    """
+
+    datasets: tuple
+    approaches: tuple = (None,)
+    models: tuple = ("lr",)
+    errors: tuple = (None,)
+    seeds: tuple = (0,)
+    rows: tuple = (4000,)
+    feature_counts: tuple = (None,)
+    causal_samples: int = 5000
+    test_fraction: float = 0.3
+    audit: str | None = None
+    chunk_rows: int | None = None
+    audit_params: dict = field(default_factory=dict)
+    jobs: int = 1
+    cache_dir: str | None = None
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        grid = self.to_grid()  # validates + canonicalises
+        self.datasets = grid.datasets
+        self.approaches = grid.approaches
+        self.models = grid.models
+        self.errors = grid.errors
+        self.seeds = grid.seeds
+        self.rows = grid.rows
+        self.feature_counts = grid.feature_counts
+        self.audit_params = dict(grid.audit_params)
+        self.jobs = int(self.jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config) -> "SweepSpec":
+        """Build from a ``{"sweep": {...}, "engine": {...}}`` mapping,
+        a flat mapping, or a JSON/YAML config path.
+
+        ``seeds`` may be an integer N (meaning seeds ``0..N-1``).
+        """
+        fields = _as_mapping(config, "sweep")
+        fields = _as_mapping(fields, "engine")
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        _check_fields(fields, allowed, "sweep")
+        seeds = fields.get("seeds")
+        if isinstance(seeds, int):
+            if seeds < 1:
+                raise ValueError(f"seeds count must be at least 1, "
+                                 f"got {seeds}")
+            fields["seeds"] = list(range(seeds))
+        return cls(**fields)
+
+    def to_config(self) -> dict:
+        """``{"sweep": {...}, "engine": {...}}`` mapping (full round
+        trip: ``SweepSpec.from_config(spec.to_config()) == spec``)."""
+        config = dataclasses.asdict(self)
+        engine = {name: config.pop(name) for name in _ENGINE_FIELDS}
+        config = {name: (list(value) if isinstance(value, tuple)
+                         else value)
+                  for name, value in config.items()}
+        return {"sweep": config, "engine": engine}
+
+    # ------------------------------------------------------------------
+    def to_grid(self) -> ScenarioGrid:
+        """The :class:`ScenarioGrid` this spec declares."""
+        return ScenarioGrid(
+            datasets=self.datasets, approaches=self.approaches,
+            models=self.models, errors=self.errors, seeds=self.seeds,
+            rows=self.rows, feature_counts=self.feature_counts,
+            causal_samples=self.causal_samples,
+            test_fraction=self.test_fraction, audit=self.audit,
+            chunk_rows=self.chunk_rows,
+            audit_params=dict(self.audit_params))
+
+    def run(self, progress=None, max_workers: int | None = None,
+            cache: ResultCache | None = None,
+            resume: bool | None = None) -> SweepReport:
+        """Expand and execute the grid with the spec's engine options
+        (each keyword argument overrides its spec field)."""
+        if cache is None and self.cache_dir not in (None, "none"):
+            cache = ResultCache(self.cache_dir)
+        return run_sweep(
+            self.to_grid().expand(), cache=cache,
+            max_workers=self.jobs if max_workers is None else max_workers,
+            resume=self.resume if resume is None else resume,
+            progress=progress)
+
+
+# ----------------------------------------------------------------------
+# One-call conveniences
+# ----------------------------------------------------------------------
+def run_spec(config) -> EvaluationResult:
+    """Run a single experiment from a spec, mapping, or config path."""
+    if isinstance(config, ExperimentSpec):
+        return config.run()
+    return ExperimentSpec.from_config(config).run()
+
+
+def sweep(config, progress=None) -> SweepReport:
+    """Run a sweep from a spec, mapping, or config path."""
+    spec = (config if isinstance(config, SweepSpec)
+            else SweepSpec.from_config(config))
+    return spec.run(progress=progress)

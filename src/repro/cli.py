@@ -3,14 +3,15 @@ approaches from the shell.
 
 Examples
 --------
-List everything that can be run::
+List every registered component with its defaults::
 
     python -m repro list
 
-Evaluate three approaches against the baseline on COMPAS::
+Evaluate three approaches against the baseline on COMPAS (any
+component accepts registry parameters inline)::
 
     python -m repro run --dataset compas --approach KamCal-dp \
-        --approach Hardt-eo
+        --approach "Celis-pp(tau=0.9)" --model "knn(k=7)"
 
 Audit the fairness-unaware baseline only::
 
@@ -20,6 +21,10 @@ Sweep a full scenario grid in parallel with result caching::
 
     python -m repro sweep --dataset compas --approach KamCal-dp \
         --approach Hardt-eo --seeds 3 --jobs 4 --cache-dir .sweep-cache
+
+Run the same kind of sweep from a declarative scenario file::
+
+    python -m repro sweep --config examples/sweep.yaml
 
 Browse the paper's Figure 3 notion catalog::
 
@@ -36,16 +41,26 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .datasets import LOADERS, load, train_test_split
-from .engine import (BASELINE_ALIASES, ResultCache, ScenarioGrid,
-                     grid_table, run_sweep)
-from .errors import RECIPES
-from .fairness import ALL_APPROACHES, Stage, make_approach
+from .datasets import train_test_split
+from .engine import ResultCache, grid_table, run_sweep
+from .fairness import Stage
 from .metrics.notions import (Association, CausalHierarchy, Granularity,
                               catalog)
-from .models import MODEL_FAMILIES, make_model
 from .pipeline import (ApplicationProfile, ResultStore,
                        format_results_table, recommend, run_experiment)
+from .registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS, METRICS,
+                       MODELS, format_spec, parse_spec)
+
+
+def _spec_argument(registry):
+    """argparse ``type=`` validating a registry spec (key + params)."""
+    def parse(text: str) -> str:
+        try:
+            return registry.canonical(text)
+        except (KeyError, ValueError) as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    parse.__name__ = registry.family  # for argparse error messages
+    return parse
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,74 +70,94 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(SIGMOD 2022): fair-classification benchmarking.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list datasets and approaches")
+    list_cmd = sub.add_parser(
+        "list", help="list every registered component with defaults")
+    list_cmd.add_argument("--family", default=None,
+                          choices=["datasets", "models", "approaches",
+                                   "errors", "imputers", "metrics"],
+                          help="restrict to one component family")
     list_cmd.set_defaults(func=cmd_list)
 
     for name, help_text in (("run", "evaluate approaches vs the baseline"),
                             ("audit", "score the fairness-unaware "
                                       "baseline")):
         cmd = sub.add_parser(name, help=help_text)
-        cmd.add_argument("--dataset", choices=sorted(LOADERS),
+        cmd.add_argument("--dataset", choices=sorted(DATASETS.keys()),
                          default="compas")
         cmd.add_argument("--rows", type=int, default=4000,
                          help="synthetic sample size")
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--causal-samples", type=int, default=5000,
                          help="Monte-Carlo samples for TE/NDE/NIE")
-        cmd.add_argument("--model", choices=sorted(MODEL_FAMILIES),
-                         default="lr",
-                         help="downstream model family (ignored by "
-                              "in-processing approaches)")
+        cmd.add_argument("--model", type=_spec_argument(MODELS),
+                         default="lr", metavar="SPEC",
+                         help="downstream model family, with optional "
+                              "parameters, e.g. lr or 'knn(k=7)' "
+                              "(ignored by in-processing approaches)")
         cmd.add_argument("--store", metavar="DIR", default=None,
                          help="persist results as JSON under this directory")
         cmd.add_argument("--run-name", default=None,
                          help="name for the stored run (default: derived)")
         if name == "run":
             cmd.add_argument("--approach", action="append", default=[],
-                             metavar="NAME",
-                             help="approach to run (repeatable; default: "
-                                  "one per stage)")
+                             metavar="SPEC",
+                             help="approach to run, with optional "
+                                  "parameters, e.g. 'Celis-pp(tau=0.9)' "
+                                  "(repeatable; default: one per stage)")
             cmd.set_defaults(func=cmd_run)
         else:
             cmd.set_defaults(func=cmd_audit)
 
     sweep_cmd = sub.add_parser(
         "sweep", help="run a scenario grid in parallel with caching")
+    sweep_cmd.add_argument("--config", metavar="FILE", default=None,
+                           help="declarative JSON/YAML scenario file "
+                                "(replaces the grid flags below)")
     sweep_cmd.add_argument("--dataset", action="append", default=[],
-                           choices=sorted(LOADERS), metavar="NAME",
+                           choices=sorted(DATASETS.keys()), metavar="NAME",
                            help="dataset to include (repeatable; "
                                 "default: compas)")
     sweep_cmd.add_argument("--approach", action="append", default=[],
-                           metavar="NAME",
-                           help="approach to include (repeatable; "
-                                "default: one per stage)")
+                           metavar="SPEC",
+                           help="approach to include, with optional "
+                                "parameters (repeatable; default: one "
+                                "per stage)")
     sweep_cmd.add_argument("--model", action="append", default=[],
-                           choices=sorted(MODEL_FAMILIES), metavar="NAME",
+                           type=_spec_argument(MODELS), metavar="SPEC",
                            help="downstream model family (repeatable; "
                                 "default: lr)")
     sweep_cmd.add_argument("--error", action="append", default=[],
-                           choices=sorted(RECIPES), metavar="RECIPE",
+                           type=_spec_argument(ERRORS), metavar="RECIPE",
                            help="training-data corruption recipe "
                                 "(repeatable; default: clean data)")
-    sweep_cmd.add_argument("--seeds", type=int, default=1,
-                           help="number of seeds per cell (0..N-1)")
+    sweep_cmd.add_argument("--seeds", type=int, default=None,
+                           help="number of seeds per cell (0..N-1; "
+                                "default: 1)")
     sweep_cmd.add_argument("--rows", type=int, action="append",
                            default=[], metavar="N",
                            help="sample size (repeatable for "
                                 "scalability sweeps; default: 4000)")
-    sweep_cmd.add_argument("--causal-samples", type=int, default=5000,
-                           help="Monte-Carlo samples for TE/NDE/NIE")
+    sweep_cmd.add_argument("--causal-samples", type=int, default=None,
+                           help="Monte-Carlo samples for TE/NDE/NIE "
+                                "(default: 5000, or the config's value)")
+    sweep_cmd.add_argument("--audit", default=None,
+                           choices=["counterfactual"],
+                           help="extend every cell with the rung-3 "
+                                "counterfactual audit")
+    sweep_cmd.add_argument("--chunk-rows", type=int, default=None,
+                           metavar="N",
+                           help="abduction rows per batch for the "
+                                "counterfactual audit")
     sweep_cmd.add_argument("--no-baseline", action="store_true",
                            help="omit the fairness-unaware LR baseline "
                                 "cells")
-    sweep_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="worker processes (1 = run serially)")
-    sweep_cmd.add_argument("--cache-dir", metavar="DIR",
-                           default=".sweep-cache",
+    sweep_cmd.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="worker processes (default 1 = serial)")
+    sweep_cmd.add_argument("--cache-dir", metavar="DIR", default=None,
                            help="content-addressed result cache "
                                 "(default: .sweep-cache; 'none' "
                                 "disables caching)")
-    sweep_cmd.add_argument("--resume", default=True,
+    sweep_cmd.add_argument("--resume", default=None,
                            action=argparse.BooleanOptionalAction,
                            help="reuse cached cells (--no-resume "
                                 "recomputes and refreshes them)")
@@ -130,7 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     describe_cmd = sub.add_parser(
         "describe", help="summarise a dataset: stats, bias, MVD check")
-    describe_cmd.add_argument("--dataset", choices=sorted(LOADERS),
+    describe_cmd.add_argument("--dataset", choices=sorted(DATASETS.keys()),
                               default="compas")
     describe_cmd.add_argument("--rows", type=int, default=4000)
     describe_cmd.add_argument("--seed", type=int, default=0)
@@ -174,32 +209,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("datasets:")
-    for name in sorted(LOADERS):
-        print(f"  {name}")
-    print("approaches:")
-    for stage in (Stage.PRE, Stage.IN, Stage.POST):
-        print(f"  [{stage.value}]")
-        for name, factory in ALL_APPROACHES.items():
-            approach = factory()
-            if approach.stage is stage:
-                print(f"    {name:20s} targets {approach.notion.value}")
+    def want(family: str) -> bool:
+        return args.family is None or args.family == family
+
+    if want("datasets"):
+        print("datasets:")
+        for component in DATASETS.components():
+            print(f"  {component.describe()}")
+    if want("models"):
+        print("models:")
+        for component in MODELS.components():
+            print(f"  {component.describe()}")
+    if want("approaches"):
+        print("approaches:")
+        for stage in (Stage.PRE, Stage.IN, Stage.POST):
+            print(f"  [{stage.value}]")
+            for component in APPROACHES.components(stage=stage):
+                label = format_spec(component.key, component.defaults)
+                flags = " [stochastic]" if component.stochastic else ""
+                print(f"    {label:36s} targets "
+                      f"{component.metadata['notion'].value}{flags}")
+    if want("errors"):
+        print("errors:")
+        for component in ERRORS.components():
+            print(f"  {component.describe()}")
+    if want("imputers"):
+        print("imputers:")
+        for component in IMPUTERS.components():
+            print(f"  {component.describe()}")
+    if want("metrics"):
+        print("metrics:")
+        for component in METRICS.components():
+            print(f"  {component.describe()}")
     return 0
 
 
 def _evaluate(args: argparse.Namespace,
               approach_names: Sequence[str | None]) -> int:
-    dataset = load(args.dataset, n=args.rows, seed=args.seed)
+    dataset = DATASETS.build(args.dataset, n=args.rows, seed=args.seed)
     split = train_test_split(dataset, seed=args.seed)
     results = []
     for name in approach_names:
-        if name is not None and name not in ALL_APPROACHES:
-            print(f"error: unknown approach {name!r} "
-                  f"(see `repro list`)", file=sys.stderr)
-            return 2
+        if name is not None:
+            try:
+                name = APPROACHES.canonical(name)
+            except KeyError:
+                print(f"error: unknown approach {name!r} "
+                      f"(see `repro list`)", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         results.append(run_experiment(
-            name, split.train, split.test, model=make_model(args.model),
-            seed=args.seed, causal_samples=args.causal_samples))
+            name, split.train, split.test,
+            model=MODELS.build(args.model), seed=args.seed,
+            causal_samples=args.causal_samples))
     print(format_results_table(
         results, title=f"{args.dataset} (n={args.rows}, seed={args.seed})"))
     if args.store is not None:
@@ -214,43 +278,92 @@ def _evaluate(args: argparse.Namespace,
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    for name in args.approach:
-        if name not in ALL_APPROACHES and name not in BASELINE_ALIASES:
-            print(f"error: unknown approach {name!r} (see `repro list`)",
-                  file=sys.stderr)
-            return 2
-    if args.seeds < 1:
+    from .api import SweepSpec
+
+    grid_flags_used = bool(args.dataset or args.approach or args.model
+                           or args.error or args.rows
+                           or args.seeds is not None or args.no_baseline)
+    if args.seeds is not None and args.seeds < 1:
         print("error: --seeds must be at least 1", file=sys.stderr)
         return 2
-    if args.jobs < 1:
+    if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
-    approaches = args.approach or ["KamCal-dp", "Zafar-dp-fair",
-                                   "Hardt-eo"]
-    if not args.no_baseline:
-        approaches = [None, *approaches]
-    grid = ScenarioGrid(
-        datasets=args.dataset or ["compas"],
-        approaches=approaches,
-        models=args.model or ["lr"],
-        errors=[None, *args.error] if args.error else [None],
-        seeds=range(args.seeds),
-        rows=args.rows or [4000],
-        causal_samples=args.causal_samples,
-    )
-    jobs = grid.expand()
-    cache = (None if args.cache_dir in (None, "none")
-             else ResultCache(args.cache_dir))
-    print(grid.describe() + (f", cache at {cache.root}" if cache
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        print("error: --chunk-rows must be at least 1", file=sys.stderr)
+        return 2
+
+    if args.config is not None:
+        if grid_flags_used:
+            print("error: --config replaces the grid flags; drop "
+                  "--dataset/--approach/--model/--error/--seeds/--rows/"
+                  "--no-baseline", file=sys.stderr)
+            return 2
+        try:
+            spec = SweepSpec.from_config(args.config)
+        except FileNotFoundError:
+            print(f"error: config file {args.config!r} not found",
+                  file=sys.stderr)
+            return 2
+        except (KeyError, ValueError, TypeError, RuntimeError) as exc:
+            print(f"error: invalid config {args.config!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        approaches = args.approach or ["KamCal-dp", "Zafar-dp-fair",
+                                       "Hardt-eo"]
+        if not args.no_baseline:
+            approaches = [None, *approaches]
+        try:
+            spec = SweepSpec(
+                datasets=args.dataset or ["compas"],
+                approaches=approaches,
+                models=args.model or ["lr"],
+                errors=[None, *args.error] if args.error else [None],
+                seeds=range(args.seeds if args.seeds is not None else 1),
+                rows=args.rows or [4000],
+                causal_samples=(args.causal_samples
+                                if args.causal_samples is not None
+                                else 5000),
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message} (see `repro list`)",
+                  file=sys.stderr)
+            return 2
+
+    # CLI engine/audit flags override the config (or fill defaults).
+    if args.jobs is not None:
+        spec.jobs = args.jobs
+    if args.cache_dir is not None:
+        spec.cache_dir = args.cache_dir
+    elif spec.cache_dir is None:
+        # The CLI always caches by default (configs disable it
+        # explicitly with cache_dir: none).
+        spec.cache_dir = ".sweep-cache"
+    if args.resume is not None:
+        spec.resume = args.resume
+    if args.audit is not None:
+        spec.audit = args.audit
+    if args.chunk_rows is not None:
+        spec.chunk_rows = args.chunk_rows
+    if args.config is not None and args.causal_samples is not None:
+        spec.causal_samples = args.causal_samples
+
+    grid = spec.to_grid()
+    caching = spec.cache_dir not in (None, "none")
+    cache = ResultCache(spec.cache_dir) if caching else None
+    print(grid.describe() + (f", cache at {cache.root}" if caching
                              else ", caching disabled"))
-    report = run_sweep(jobs, cache=cache, max_workers=args.jobs,
-                       resume=args.resume,
+    report = run_sweep(grid.expand(), cache=cache, max_workers=spec.jobs,
+                       resume=spec.resume,
                        progress=lambda p: print(p.line()))
-    for dataset in grid.datasets:
+    for dataset_spec in grid.datasets:
+        dataset = parse_spec(dataset_spec)[0]
         print()
         print(grid_table(report.outcomes, dataset=dataset,
                          title=f"{dataset} (seed-averaged over "
-                               f"{args.seeds} seeds)"))
+                               f"{len(grid.seeds)} seeds)"))
     print()
     print(f"sweep finished: {report.summary()}")
     for failure in report.failures:
@@ -271,7 +384,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_describe(args: argparse.Namespace) -> int:
     from .datasets import check_mvd, discretize_dataset
 
-    dataset = load(args.dataset, n=args.rows, seed=args.seed)
+    dataset = DATASETS.build(args.dataset, n=args.rows, seed=args.seed)
     print(dataset)
     print(f"base rates: P(Y=1|S=0) = {dataset.base_rate(0):.3f}, "
           f"P(Y=1|S=1) = {dataset.base_rate(1):.3f}")

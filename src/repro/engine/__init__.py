@@ -19,10 +19,10 @@ from .executor import (JobOutcome, SweepProgress, SweepReport, execute_job,
                        run_sweep)
 from .report import (aggregate_over_seeds, cell_key, grid_table,
                      group_outcomes, mean_result, overhead_series, pivot)
-from .spec import BASELINE_ALIASES, SPEC_VERSION, Job, ScenarioGrid
+from .spec import AUDITS, BASELINE_ALIASES, SPEC_VERSION, Job, ScenarioGrid
 
 __all__ = [
-    "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
+    "AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
     "ResultCache",
     "JobOutcome", "SweepProgress", "SweepReport", "execute_job",
     "run_sweep",

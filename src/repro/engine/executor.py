@@ -36,13 +36,25 @@ __all__ = ["JobOutcome", "SweepProgress", "SweepReport", "execute_job",
 # ----------------------------------------------------------------------
 def execute_job(job: Job) -> EvaluationResult:
     """Run one grid cell: load → (truncate) → split → (corrupt) → fit →
-    evaluate.  Deterministic in ``job`` alone."""
-    from ..datasets import load, train_test_split
-    from ..errors import corrupt
-    from ..models import make_model
-    from ..pipeline.experiment import run_experiment
+    evaluate → (audit).  Deterministic in ``job`` alone.
 
-    dataset = load(job.dataset, n=job.rows, seed=job.seed)
+    Every component is built through :mod:`repro.registry` from the
+    job's key + parameter overrides.  When ``job.audit`` is
+    ``"counterfactual"``, the cell additionally runs the batched
+    rung-3 audit (abduction in ``chunk_rows``-bounded batches) and
+    merges its summary values into the result's ``raw`` mapping under
+    ``cf_*`` / ``ctf_*`` keys.
+    """
+    import dataclasses
+
+    from ..datasets import train_test_split
+    from ..pipeline.experiment import run_experiment
+    from ..registry import DATASETS, ERRORS, MODELS
+
+    # dataset_params may override the protocol's n/seed only on a
+    # hand-built Job; grid- and spec-built jobs reject that upstream.
+    dataset = DATASETS.build(job.dataset, **{
+        "n": job.rows, "seed": job.seed, **job.dataset_params})
     if job.n_features is not None:
         dataset = dataset.select_features(
             dataset.feature_names[:job.n_features])
@@ -50,10 +62,35 @@ def execute_job(job: Job) -> EvaluationResult:
                              seed=job.seed)
     train = split.train
     if job.error is not None:
-        train = corrupt(train, job.error, seed=job.seed)
-    return run_experiment(job.approach, train, split.test,
-                          model=make_model(job.model), seed=job.seed,
-                          causal_samples=job.causal_samples)
+        injector = ERRORS.build(job.error, **job.error_params)
+        train = injector(train, seed=job.seed)
+    result = run_experiment(job.approach, train, split.test,
+                            model=MODELS.build(job.model,
+                                               **job.model_params),
+                            seed=job.seed,
+                            causal_samples=job.causal_samples,
+                            approach_params=job.approach_params)
+    if job.audit == "counterfactual":
+        from ..pipeline.counterfactual_eval import evaluate_counterfactual
+
+        audit = evaluate_counterfactual(
+            job.approach, train, split.test,
+            model=MODELS.build(job.model, **job.model_params),
+            seed=job.seed, chunk_rows=job.chunk_rows,
+            approach_params=job.approach_params, **job.audit_params)
+        result = dataclasses.replace(result, raw={
+            **result.raw,
+            "cf_mean_gap": audit.fairness.mean_gap,
+            "cf_max_gap": audit.fairness.max_gap,
+            "cf_unfair_fraction": audit.fairness.unfair_fraction,
+            "ctf_de": audit.effects.de,
+            "ctf_ie": audit.effects.ie,
+            "ctf_se": audit.effects.se,
+            "ctf_tv": audit.effects.tv,
+            "cf_fpr_gap": audit.error_rates.fpr_gap,
+            "cf_fnr_gap": audit.error_rates.fnr_gap,
+        })
+    return result
 
 
 def _guarded_execute(indexed_job: tuple[int, Job]

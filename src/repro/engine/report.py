@@ -28,11 +28,36 @@ _METRIC_FIELDS = ("accuracy", "precision", "recall", "f1", "di_star",
                   "fit_seconds")
 
 
+def _axis_value(job, attr: str):
+    """A job attribute as a grouping value.
+
+    Component axes (dataset/approach/model/error) include their
+    registry parameter overrides — rendered as the canonical spec
+    string — so ``Celis-pp(tau=0.7)`` and ``Celis-pp(tau=0.9)`` land
+    in different rows instead of being silently averaged.
+    Parameter-free cells keep the bare key.
+    """
+    if attr in ("dataset", "approach", "model", "error"):
+        key = getattr(job, attr)
+        params = getattr(job, f"{attr}_params")
+        if key is None or not params:
+            return key
+        from ..registry import format_spec
+        return format_spec(key, params)
+    return getattr(job, attr)
+
+
 def cell_key(outcome: JobOutcome) -> tuple:
-    """Grid coordinates of a cell with the seed dimension removed."""
+    """Grid coordinates of a cell with the seed dimension removed.
+
+    Parameter overrides and the audit configuration are part of the
+    coordinates: cells that differ only in ``tau`` (or in
+    ``audit``/``chunk_rows``) aggregate separately.
+    """
     job = outcome.job
-    return (job.dataset, job.approach, job.model, job.error, job.rows,
-            job.n_features)
+    return (_axis_value(job, "dataset"), _axis_value(job, "approach"),
+            _axis_value(job, "model"), _axis_value(job, "error"),
+            job.rows, job.n_features, job.audit, job.chunk_rows)
 
 
 def group_outcomes(outcomes: Iterable[JobOutcome], attr: str
@@ -69,13 +94,24 @@ def mean_result(results: Sequence[EvaluationResult]) -> EvaluationResult:
 def aggregate_over_seeds(outcomes: Iterable[JobOutcome]
                          ) -> list[EvaluationResult]:
     """Collapse the seed dimension: one mean result per distinct cell,
-    in the grid's first-seen order.  Failed cells are dropped."""
-    groups: dict[tuple, list[EvaluationResult]] = {}
+    in the grid's first-seen order.  Failed cells are dropped.
+
+    Cells run with approach parameter overrides get the parameterized
+    label (``Celis-pp(tau=0.9)``) as their ``approach`` so table rows
+    stay distinguishable.
+    """
+    groups: dict[tuple, list[JobOutcome]] = {}
     for outcome in outcomes:
         if outcome.ok:
-            groups.setdefault(cell_key(outcome), []).append(
-                outcome.result)
-    return [mean_result(results) for results in groups.values()]
+            groups.setdefault(cell_key(outcome), []).append(outcome)
+    aggregated = []
+    for cell in groups.values():
+        result = mean_result([o.result for o in cell])
+        if cell[0].job.approach_params:
+            result = dataclasses.replace(
+                result, approach=cell[0].job.approach_label)
+        aggregated.append(result)
+    return aggregated
 
 
 def pivot(outcomes: Iterable[JobOutcome], index: str, columns: str,
@@ -93,8 +129,8 @@ def pivot(outcomes: Iterable[JobOutcome], index: str, columns: str,
     for outcome in outcomes:
         if not outcome.ok:
             continue
-        row = getattr(outcome.job, index)
-        col = getattr(outcome.job, columns)
+        row = _axis_value(outcome.job, index)
+        col = _axis_value(outcome.job, columns)
         acc.setdefault(row, {}).setdefault(col, []).append(
             getattr(outcome.result, value))
     return {row: {col: fmean(vals) for col, vals in cols.items()}

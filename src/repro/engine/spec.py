@@ -6,8 +6,14 @@ error condition × seed) — so the engine's unit of work is one grid
 :class:`ScenarioGrid` that expands into the deterministic job list.
 Each job carries a stable content fingerprint hashed from its full
 parameterization, which is what the result cache keys on: two sweeps
-that describe the same cell — whether from the CLI, a benchmark, or an
-example script — share one cache entry.
+that describe the same cell — whether from the CLI, a benchmark, a
+config file, or an example script — share one cache entry.
+
+Grid dimensions are registry specs: any entry may carry parameter
+overrides in the :mod:`repro.registry` spec grammar
+(``"Celis-pp(tau=0.9)"``, ``{"key": "knn", "params": {"k": 7}}``), and
+those parameters are part of the cell's fingerprint — a changed
+``tau`` is a cache miss, not a silent reuse.
 """
 
 from __future__ import annotations
@@ -15,25 +21,62 @@ from __future__ import annotations
 import hashlib
 import json
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
-__all__ = ["BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION"]
+__all__ = ["AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid",
+           "SPEC_VERSION"]
 
 #: Bumped whenever the experimental protocol behind a job changes
 #: meaning (it is hashed into every fingerprint, so old cache entries
-#: are invalidated rather than silently reused).
-SPEC_VERSION = 1
+#: are invalidated rather than silently reused).  Version 2: registry
+#: parameter overrides and the optional counterfactual audit joined
+#: the parameterization.
+SPEC_VERSION = 2
 
 #: Spellings accepted for the fairness-unaware baseline pipeline.
 BASELINE_ALIASES = {None, "", "baseline", "none", "LR"}
+
+#: Recognised per-cell audit extensions (``None`` = paper metrics only).
+AUDITS = (None, "counterfactual")
+
+#: Parameters ``audit_params`` may tune (the keyword surface of
+#: ``evaluate_counterfactual`` minus what the job protocol owns:
+#: approach/model/seed and the explicit ``chunk_rows`` field).
+AUDIT_PARAM_NAMES = frozenset({"n_bins", "n_samples", "n_particles",
+                               "max_rows"})
+
+
+def check_audit_params(audit: str | None, params: dict) -> dict:
+    """Validate an audit configuration at construction time.
+
+    Unknown parameter names (or audit parameters without an audit to
+    consume them) must fail before any cell is scheduled, not
+    per-cell inside a worker.
+    """
+    params = _check_json_params(dict(params), "audit")
+    if audit not in AUDITS:
+        raise ValueError(f"unknown audit {audit!r}; choose "
+                         f"from {[a for a in AUDITS if a]}")
+    if params and audit is None:
+        raise ValueError(
+            f"audit_params {sorted(params)} given without an audit; "
+            f"set audit to one of {[a for a in AUDITS if a]}")
+    unknown = sorted(set(params) - AUDIT_PARAM_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown audit parameter(s) {unknown}; accepted: "
+            f"{sorted(AUDIT_PARAM_NAMES)} (seed/chunk_rows/approach/"
+            "model are controlled by their own job fields)")
+    return params
 
 
 @dataclass(frozen=True)
 class Job:
     """One fully-parameterized grid cell.
 
-    All fields are plain picklable primitives so jobs can cross a
-    process boundary and serialise canonically into a fingerprint.
+    All fields are plain picklable primitives (registry keys, numbers,
+    and JSON-ready parameter mappings) so jobs can cross a process
+    boundary and serialise canonically into a fingerprint.
     """
 
     dataset: str
@@ -45,9 +88,29 @@ class Job:
     n_features: int | None = None  # truncate feature set (scalability)
     causal_samples: int = 5000
     test_fraction: float = 0.3
+    # Registry parameter overrides (merged over each component's
+    # declared defaults); all hash into the fingerprint.
+    dataset_params: dict = field(default_factory=dict)
+    approach_params: dict = field(default_factory=dict)
+    model_params: dict = field(default_factory=dict)
+    error_params: dict = field(default_factory=dict)
+    # Optional per-cell audit extension and its batching knobs.
+    audit: str | None = None  # e.g. "counterfactual"
+    chunk_rows: int | None = None  # abduction rows per batch
+    audit_params: dict = field(default_factory=dict)
 
     def params(self) -> dict:
-        """The job's full parameterization as a JSON-ready mapping."""
+        """The job's full parameterization as a JSON-ready mapping.
+
+        Component parameters appear *resolved* — registry defaults
+        merged under the job's overrides — so two jobs that build the
+        same component share one entry (``Celis-pp`` versus an
+        explicit ``Celis-pp(tau=0.8)``), and editing a declared
+        default in the registry changes the fingerprint instead of
+        silently re-serving results computed under the old default.
+        """
+        from ..registry import APPROACHES, DATASETS, ERRORS, MODELS
+
         return {
             "spec_version": SPEC_VERSION,
             "dataset": self.dataset,
@@ -60,6 +123,22 @@ class Job:
                            else int(self.n_features)),
             "causal_samples": int(self.causal_samples),
             "test_fraction": float(self.test_fraction),
+            "dataset_params": DATASETS.resolved_params(
+                self.dataset, self.dataset_params),
+            "approach_params": (
+                {} if self.approach is None
+                else APPROACHES.resolved_params(self.approach,
+                                                self.approach_params)),
+            "model_params": MODELS.resolved_params(self.model,
+                                                   self.model_params),
+            "error_params": (
+                {} if self.error is None
+                else ERRORS.resolved_params(self.error,
+                                            self.error_params)),
+            "audit": self.audit,
+            "chunk_rows": (None if self.chunk_rows is None
+                           else int(self.chunk_rows)),
+            "audit_params": dict(self.audit_params),
         }
 
     @property
@@ -69,15 +148,23 @@ class Job:
         sha256 over the canonical (sorted-key, no-whitespace) JSON of
         :meth:`params` — independent of process, platform, and
         ``PYTHONHASHSEED``, so parallel workers and later sessions
-        agree on cache keys.
+        agree on cache keys.  Parameter overrides are part of the
+        hash: ``Celis-pp(tau=0.9)`` and ``Celis-pp`` are different
+        cells.
         """
         canonical = json.dumps(self.params(), sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
     @property
     def approach_label(self) -> str:
-        return self.approach if self.approach is not None else "LR"
+        if self.approach is None:
+            return "LR"
+        from ..registry import format_spec
+        return format_spec(self.approach, self.approach_params)
 
     def label(self) -> str:
         """Compact human-readable cell description for progress lines."""
@@ -87,12 +174,17 @@ class Job:
             parts.insert(2, f"error={self.error}")
         if self.n_features is not None:
             parts.append(f"attrs={self.n_features}")
+        if self.audit is not None:
+            parts.append(f"audit={self.audit}")
         parts.append(f"n={self.rows}")
         return " ".join(parts)
 
 
-def _normalise_approach(name: str | None) -> str | None:
-    return None if name in BASELINE_ALIASES else name
+def _normalise_approach(name):
+    """Map any baseline alias to ``None``; other specs pass through."""
+    if name is None or (isinstance(name, str) and name in BASELINE_ALIASES):
+        return None
+    return name
 
 
 def _as_tuple(values: Iterable | None, default: tuple) -> tuple:
@@ -103,6 +195,48 @@ def _as_tuple(values: Iterable | None, default: tuple) -> tuple:
     return tuple(values)
 
 
+def _check_json_params(params: dict, what: str) -> dict:
+    try:
+        json.dumps(params, sort_keys=True)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{what} parameters must be JSON-serialisable literals, "
+            f"got {params!r}") from None
+    return params
+
+
+def check_fingerprintable_params(spec: str, what: str) -> None:
+    """Reject spec parameters that cannot enter a fingerprint.
+
+    Parameter values are hashed as canonical JSON; a value that is a
+    valid Python literal but not JSON-ready (e.g. a set) must fail at
+    construction, not later inside :attr:`Job.fingerprint`.
+    """
+    from ..registry import parse_spec
+
+    _check_json_params(parse_spec(spec)[1], what)
+
+
+def check_reserved_params(spec: str | None, reserved: dict[str, str]
+                          ) -> None:
+    """Reject spec parameters the experiment protocol owns.
+
+    ``reserved`` maps a parameter name to the field that controls it
+    (e.g. the grid's ``rows``/``seeds`` dimensions); letting a spec
+    set it too would make the cell's parameterization ambiguous.
+    """
+    if spec is None:
+        return
+    from ..registry import parse_spec
+
+    key, params = parse_spec(spec)
+    for name, owner in reserved.items():
+        if name in params:
+            raise ValueError(
+                f"spec {spec!r} may not set {name!r}: it is controlled "
+                f"by {owner}")
+
+
 @dataclass
 class ScenarioGrid:
     """Declarative cross-product of experimental dimensions.
@@ -110,12 +244,19 @@ class ScenarioGrid:
     Expands to ``datasets × approaches × models × errors × seeds ×
     rows × feature_counts`` jobs, in that (deterministic) nesting
     order, with duplicate cells removed.  Dimension values are
-    validated against the live registries at construction so a typo
-    fails before any work is scheduled.
+    registry specs — a bare key or a parameterized
+    ``"key(param=value)"`` string / nested dict — validated against
+    the live registries at construction so a typo (in a key *or* a
+    parameter name) fails before any work is scheduled.
 
     ``approaches`` may contain ``None`` (or the aliases ``"baseline"``
     / ``"LR"``) for the fairness-unaware baseline; most figures want it
     as their first row.
+
+    ``audit="counterfactual"`` extends every cell with the rung-3
+    counterfactual audit; ``chunk_rows`` bounds its abduction batches
+    and ``audit_params`` (``n_particles``, ``max_rows``, ``n_bins``,
+    ``n_samples``) tune its cost.
     """
 
     datasets: Sequence[str]
@@ -127,42 +268,54 @@ class ScenarioGrid:
     feature_counts: Sequence[int | None] = (None,)
     causal_samples: int = 5000
     test_fraction: float = 0.3
+    audit: str | None = None
+    chunk_rows: int | None = None
+    audit_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        from ..datasets import LOADERS
-        from ..errors import RECIPES
-        from ..fairness import ALL_APPROACHES
-        from ..models import MODEL_FAMILIES
+        from ..registry import APPROACHES, DATASETS, ERRORS, MODELS
 
-        self.datasets = _as_tuple(self.datasets, ())
+        self.datasets = tuple(
+            DATASETS.canonical(d) for d in _as_tuple(self.datasets, ()))
         self.approaches = tuple(
-            _normalise_approach(a)
+            None if _normalise_approach(a) is None
+            else APPROACHES.canonical(a)
             for a in _as_tuple(self.approaches, (None,)))
-        self.models = _as_tuple(self.models, ("lr",))
-        self.errors = _as_tuple(self.errors, (None,))
+        self.models = tuple(
+            MODELS.canonical(m) for m in _as_tuple(self.models, ("lr",)))
+        self.errors = tuple(
+            None if e is None else ERRORS.canonical(e)
+            for e in _as_tuple(self.errors, (None,)))
         self.seeds = tuple(int(s) for s in _as_tuple(self.seeds, (0,)))
         self.rows = tuple(int(r) for r in _as_tuple(self.rows, (4000,)))
         self.feature_counts = _as_tuple(self.feature_counts, (None,))
+        self.audit_params = check_audit_params(self.audit,
+                                               self.audit_params)
 
         if not self.datasets:
             raise ValueError("a ScenarioGrid needs at least one dataset")
-        for pool, values, what in (
-                (LOADERS, self.datasets, "dataset"),
-                (ALL_APPROACHES, [a for a in self.approaches
-                                  if a is not None], "approach"),
-                (MODEL_FAMILIES, self.models, "model"),
-                (RECIPES, [e for e in self.errors if e is not None],
-                 "error recipe")):
-            for value in values:
-                if value not in pool:
-                    raise KeyError(f"unknown {what} {value!r}; choose "
-                                   f"from {sorted(pool)}")
+        for dataset_spec in self.datasets:
+            check_reserved_params(dataset_spec, {
+                "n": "the rows dimension", "seed": "the seeds dimension"})
+        for approach_spec in self.approaches:
+            check_reserved_params(approach_spec,
+                                  {"seed": "the seeds dimension"})
+        for what, specs in (("dataset", self.datasets),
+                            ("approach", self.approaches),
+                            ("model", self.models),
+                            ("error", self.errors)):
+            for spec in specs:
+                if spec is not None:
+                    check_fingerprintable_params(spec, what)
         for seed in self.seeds:
             if seed < 0:
                 raise ValueError(f"seeds must be non-negative, got {seed}")
         for n in self.rows:
             if n <= 0:
                 raise ValueError(f"rows must be positive, got {n}")
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(
+                f"chunk_rows must be positive, got {self.chunk_rows}")
 
     # ------------------------------------------------------------------
     @property
@@ -183,14 +336,24 @@ class ScenarioGrid:
         cached = getattr(self, "_jobs", None)
         if cached is not None:
             return list(cached)
+        from ..registry import parse_spec
+
         jobs: list[Job] = []
-        seen: set[tuple] = set()
-        for dataset in self.datasets:
+        seen: set[str] = set()
+        for dataset_spec in self.datasets:
+            dataset, dataset_params = parse_spec(dataset_spec)
             for n_rows in self.rows:
                 for n_features in self.feature_counts:
-                    for error in self.errors:
-                        for model in self.models:
-                            for approach in self.approaches:
+                    for error_spec in self.errors:
+                        error, error_params = (
+                            (None, {}) if error_spec is None
+                            else parse_spec(error_spec))
+                        for model_spec in self.models:
+                            model, model_params = parse_spec(model_spec)
+                            for approach_spec in self.approaches:
+                                approach, approach_params = (
+                                    (None, {}) if approach_spec is None
+                                    else parse_spec(approach_spec))
                                 for seed in self.seeds:
                                     job = Job(
                                         dataset=dataset,
@@ -202,12 +365,17 @@ class ScenarioGrid:
                                         n_features=n_features,
                                         causal_samples=self.causal_samples,
                                         test_fraction=self.test_fraction,
+                                        dataset_params=dataset_params,
+                                        approach_params=approach_params,
+                                        model_params=model_params,
+                                        error_params=error_params,
+                                        audit=self.audit,
+                                        chunk_rows=self.chunk_rows,
+                                        audit_params=dict(self.audit_params),
                                     )
-                                    key = (dataset, approach, model,
-                                           error, seed, n_rows,
-                                           n_features)
-                                    if key not in seen:
-                                        seen.add(key)
+                                    fingerprint = job.fingerprint
+                                    if fingerprint not in seen:
+                                        seen.add(fingerprint)
                                         jobs.append(job)
         self._jobs = jobs
         return list(jobs)
@@ -221,4 +389,5 @@ class ScenarioGrid:
             if len(values) > 1 or (len(values) == 1
                                    and values[0] is not None):
                 dims.append(f"{len(values)} {name}")
-        return f"grid of {self.size} cells ({', '.join(dims)})"
+        extras = f", audit={self.audit}" if self.audit else ""
+        return f"grid of {self.size} cells ({', '.join(dims)}{extras})"

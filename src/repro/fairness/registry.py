@@ -1,95 +1,93 @@
-"""Registry of all evaluated fair-classification variants.
+"""Deprecated approach-dict shim over :mod:`repro.registry`.
 
-Maps the paper's variant names (Figure 5 plus the appendix's three
-additional approaches) to factories, so experiments and benchmarks can
-enumerate approaches uniformly.  Factories accept a ``seed`` keyword
-where the underlying approach is randomised.
+The dictionaries ``MAIN_APPROACHES`` / ``ADDITIONAL_APPROACHES`` /
+``EXTENSION_APPROACHES`` / ``ALL_APPROACHES`` were the original
+registry of fair-classification variants (dicts of ``lambda seed=0:``
+factories).  The unified component registry replaced them — every
+variant now lives in :data:`repro.registry.APPROACHES` with declared
+defaults and an explicit stochastic flag — but the dicts remain
+importable here, with a :class:`DeprecationWarning`, so existing code
+keeps working.  :func:`make_approach` and :func:`approaches_by_stage`
+are stable API and delegate to the registry without a warning.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import warnings
 
 from .base import FairApproach, Stage
-from .inprocessing.agarwal import AgarwalDP, AgarwalEO
-from .inprocessing.celis import Celis
-from .inprocessing.kamishima import Kamishima
-from .inprocessing.kearns import Kearns
-from .inprocessing.thomas import ThomasDP, ThomasEO
-from .inprocessing.zafar import ZafarDPAcc, ZafarDPFair, ZafarEOFair
-from .inprocessing.zhale import ZhaLe
-from .postprocessing.hardt import Hardt
-from .postprocessing.kamkar import KamKar
-from .postprocessing.omnifair import OmniFair
-from .postprocessing.pleiss import Pleiss
-from .preprocessing.calders import CaldersVerwer
-from .preprocessing.calmon import Calmon
-from .preprocessing.feld import Feld
-from .preprocessing.kamcal import KamCal
-from .preprocessing.madras import Madras
-from .preprocessing.salimi import SalimiMatFac, SalimiMaxSAT
-from .preprocessing.zhawu import ZhaWuDCE, ZhaWuPSF
 
-Factory = Callable[..., FairApproach]
+__all__ = ["ADDITIONAL_APPROACHES", "ALL_APPROACHES",
+           "EXTENSION_APPROACHES", "MAIN_APPROACHES",
+           "approaches_by_stage", "make_approach"]
 
-#: The 18 variants of the paper's main evaluation (Figure 5), keyed by
-#: the paper's names.
-MAIN_APPROACHES: dict[str, Factory] = {
-    # pre-processing
-    "KamCal-dp": lambda seed=0: KamCal(seed=seed),
-    "Feld-dp": lambda seed=0: Feld(lam=1.0),
-    "Calmon-dp": lambda seed=0: Calmon(seed=seed),
-    "ZhaWu-psf": lambda seed=0: ZhaWuPSF(epsilon=0.05, seed=seed),
-    "ZhaWu-dce": lambda seed=0: ZhaWuDCE(tau=0.05, seed=seed),
-    "Salimi-jf-maxsat": lambda seed=0: SalimiMaxSAT(seed=seed),
-    "Salimi-jf-matfac": lambda seed=0: SalimiMatFac(seed=seed),
-    # in-processing
-    "Zafar-dp-fair": lambda seed=0: ZafarDPFair(),
-    "Zafar-dp-acc": lambda seed=0: ZafarDPAcc(),
-    "Zafar-eo-fair": lambda seed=0: ZafarEOFair(),
-    "ZhaLe-eo": lambda seed=0: ZhaLe(seed=seed),
-    "Kearns-pe": lambda seed=0: Kearns(gamma=0.005),
-    "Celis-pp": lambda seed=0: Celis(tau=0.8),
-    "Thomas-dp": lambda seed=0: ThomasDP(delta=0.05, seed=seed),
-    "Thomas-eo": lambda seed=0: ThomasEO(delta=0.05, seed=seed),
-    # post-processing
-    "KamKar-dp": lambda seed=0: KamKar(),
-    "Hardt-eo": lambda seed=0: Hardt(),
-    "Pleiss-eop": lambda seed=0: Pleiss(),
+#: Deprecated dict name -> registry ``group`` filter (None = all).
+_DEPRECATED_DICTS = {
+    "MAIN_APPROACHES": "main",
+    "ADDITIONAL_APPROACHES": "additional",
+    "EXTENSION_APPROACHES": "extension",
+    "ALL_APPROACHES": None,
 }
 
-#: The three additional variants of the paper's Appendix B.4.
-ADDITIONAL_APPROACHES: dict[str, Factory] = {
-    "Madras-dp": lambda seed=0: Madras(seed=seed),
-    "Agarwal-dp": lambda seed=0: AgarwalDP(),
-    "Agarwal-eo": lambda seed=0: AgarwalEO(),
-}
 
-#: Extension variants beyond the paper's evaluation: approaches the
-#: paper cites as related work ([14] massaging, [47] prejudice remover)
-#: that exercise mechanisms the evaluated set lacks.
-EXTENSION_APPROACHES: dict[str, Factory] = {
-    "CaldersVerwer-dp": lambda seed=0: CaldersVerwer(level=1.0),
-    "Kamishima-pr": lambda seed=0: Kamishima(eta=5.0),
-    "OmniFair-dp": lambda seed=0: OmniFair(metric="dp", epsilon=0.03),
-}
+class _RegistryFactory:
+    """Seed-accepting factory mimicking the old ``lambda seed=0:``
+    entries (the registry decides whether the seed is actually used)."""
 
-ALL_APPROACHES: dict[str, Factory] = {**MAIN_APPROACHES,
-                                      **ADDITIONAL_APPROACHES,
-                                      **EXTENSION_APPROACHES}
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def __call__(self, seed: int = 0) -> FairApproach:
+        from ..registry import APPROACHES
+        return APPROACHES.build(self.key, seed=seed)
+
+    def __repr__(self) -> str:
+        return f"_RegistryFactory({self.key!r})"
 
 
-def make_approach(name: str, seed: int = 0) -> FairApproach:
-    """Instantiate a variant by its paper name."""
-    if name not in ALL_APPROACHES:
-        raise KeyError(
-            f"unknown approach {name!r}; choose from {sorted(ALL_APPROACHES)}")
-    return ALL_APPROACHES[name](seed=seed)
+def _approach_dict(group: str | None) -> dict[str, _RegistryFactory]:
+    from ..registry import APPROACHES
+    keys = (APPROACHES.keys() if group is None
+            else APPROACHES.keys(group=group))
+    return {key: _RegistryFactory(key) for key in keys}
+
+
+#: Built once per dict on first access, so repeated accesses return
+#: the *same* object — legacy code that mutated MAIN_APPROACHES keeps
+#: seeing its additions.
+_DICT_CACHE: dict[str, dict] = {}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_DICTS:
+        warnings.warn(
+            f"repro.fairness.registry.{name} is deprecated; use "
+            "repro.registry.APPROACHES (string keys + parameters) "
+            "instead", DeprecationWarning, stacklevel=2)
+        if name not in _DICT_CACHE:
+            _DICT_CACHE[name] = _approach_dict(_DEPRECATED_DICTS[name])
+        return _DICT_CACHE[name]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def make_approach(name: str, seed: int = 0, **params) -> FairApproach:
+    """Instantiate a variant by its paper name (registry-backed).
+
+    The seed reaches the factory only for stochastic variants; extra
+    keyword parameters override the registry defaults.
+    """
+    from ..registry import APPROACHES
+    return APPROACHES.build(name, seed=seed, **params)
 
 
 def approaches_by_stage(stage: Stage,
                         include_additional: bool = False) -> list[str]:
     """Names of all registered variants operating at a given stage."""
-    pool = ALL_APPROACHES if include_additional else MAIN_APPROACHES
-    return [name for name, factory in pool.items()
-            if factory().stage is stage]
+    from ..registry import APPROACHES
+    keys = (APPROACHES.keys() if include_additional
+            else APPROACHES.keys(group="main"))
+    return [key for key in keys
+            if APPROACHES.get(key).metadata["stage"] is stage]

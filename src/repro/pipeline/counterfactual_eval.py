@@ -65,6 +65,7 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
                             max_rows: int | None = 60,
                             seed: int = 0,
                             chunk_rows: int | None = None,
+                            approach_params: dict | None = None,
                             ) -> CounterfactualAudit:
     """Fit an approach and audit it at the counterfactual rung.
 
@@ -96,6 +97,9 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
         bounds rows × particles memory.  Chunking sets the RNG batch
         boundaries, so audits are reproducible for a fixed
         (seed, chunk_rows) pair, not across different chunk sizes.
+    approach_params:
+        Registry parameter overrides for the approach factory
+        (``approach_name`` may also carry them as a spec string).
 
     Raises
     ------
@@ -107,12 +111,13 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
             f"dataset {train.name!r} has no causal graph; counterfactual "
             "evaluation needs one (learn it with repro.causal.pc)"
         )
-    from ..fairness.registry import make_approach
+    from ..registry import APPROACHES
 
     train_disc = discretize_dataset(train, n_bins=n_bins)
     test_disc = discretize_dataset(test, n_bins=n_bins)
 
-    approach = (make_approach(approach_name, seed=seed)
+    approach = (APPROACHES.build(approach_name, seed=seed,
+                                 **(approach_params or {}))
                 if approach_name is not None else None)
     pipeline = FairPipeline(approach, model=model, seed=seed)
     pipeline.fit(train_disc)

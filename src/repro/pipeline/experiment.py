@@ -286,12 +286,19 @@ def evaluate_pipeline(pipeline: FairPipeline, test: Dataset,
 
 def run_experiment(approach_name: str | None, train: Dataset,
                    test: Dataset, model: Classifier | None = None,
-                   seed: int = 0,
-                   causal_samples: int = 20000) -> EvaluationResult:
-    """Fit and evaluate one variant by registry name (None = baseline)."""
-    from ..fairness.registry import make_approach
+                   seed: int = 0, causal_samples: int = 20000,
+                   approach_params: dict | None = None) -> EvaluationResult:
+    """Fit and evaluate one variant by registry spec (None = baseline).
 
-    approach = (make_approach(approach_name, seed=seed)
+    ``approach_name`` may be a bare registry key or a parameterized
+    spec (``"Celis-pp(tau=0.9)"``); ``approach_params`` merges on top.
+    The seed reaches the approach factory only when the registry
+    declares the variant stochastic.
+    """
+    from ..registry import APPROACHES
+
+    approach = (APPROACHES.build(approach_name, seed=seed,
+                                 **(approach_params or {}))
                 if approach_name is not None else None)
     pipeline = FairPipeline(approach, model=model, seed=seed)
     pipeline.fit(train)

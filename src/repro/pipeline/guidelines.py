@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..fairness.base import Stage
-from ..fairness.registry import ALL_APPROACHES
 
 __all__ = [
     "ApplicationProfile",
@@ -159,14 +158,11 @@ _NOTION_FAMILY = {
 
 
 def _candidates(stage: Stage, family: str) -> list[str]:
-    names = []
-    for name, factory in ALL_APPROACHES.items():
-        approach = factory()
-        if approach.stage is not stage:
-            continue
-        if _NOTION_FAMILY.get(approach.notion.value) == family:
-            names.append(name)
-    return names
+    from ..registry import APPROACHES
+
+    return [name for name in APPROACHES.keys(stage=stage)
+            if _NOTION_FAMILY.get(
+                APPROACHES.get(name).metadata["notion"].value) == family]
 
 
 def recommend(profile: ApplicationProfile) -> Recommendation:

@@ -1,0 +1,71 @@
+"""Unified component registry: every dataset, model, fair approach,
+error injector, imputer, and metric, addressable by string key.
+
+The six global registries are populated on import and shared by the
+sweep engine, the CLI, the benchmarks, and :mod:`repro.api`::
+
+    from repro import registry
+
+    registry.APPROACHES.build("Celis-pp(tau=0.9)")   # spec string
+    registry.MODELS.build("knn", k=7)                # key + kwargs
+    registry.DATASETS.build("german", n=400, seed=1)
+    registry.build("error", "t1")(dataset, seed=0)   # family dispatch
+
+Registration is decorator-friendly for third-party components::
+
+    from repro.registry import register
+
+    @register("approach", "My-dp", defaults={"tau": 0.5})
+    def build_mine(tau, seed=0):
+        return MyApproach(tau=tau, seed=seed)
+
+See :mod:`repro.registry.core` for the spec grammar and validation
+rules, and :mod:`repro.registry.components` for the built-ins.
+"""
+
+from __future__ import annotations
+
+from .components import (APPROACHES, DATASETS, ERRORS, IMPUTERS, METRICS,
+                         MODELS, ErrorInjector, Metric)
+from .core import Component, Registry, format_spec, parse_spec
+
+#: All registries by family name.
+REGISTRIES: dict[str, Registry] = {
+    "dataset": DATASETS,
+    "model": MODELS,
+    "approach": APPROACHES,
+    "error": ERRORS,
+    "imputer": IMPUTERS,
+    "metric": METRICS,
+}
+
+__all__ = [
+    "APPROACHES", "Component", "DATASETS", "ERRORS", "ErrorInjector",
+    "IMPUTERS", "METRICS", "MODELS", "Metric", "REGISTRIES", "Registry",
+    "build", "format_spec", "get_registry", "parse_spec", "register",
+]
+
+
+def get_registry(family: str) -> Registry:
+    """The registry for a component family (singular or plural name)."""
+    name = family.rstrip("s") if family not in REGISTRIES else family
+    if name == "approache":  # plural of approach
+        name = "approach"
+    if name not in REGISTRIES:
+        raise KeyError(f"unknown component family {family!r}; choose "
+                       f"from {sorted(REGISTRIES)}")
+    return REGISTRIES[name]
+
+
+def register(family: str, key: str, factory=None, **options):
+    """Register a component in a family's registry (decorator-friendly).
+
+    ``register("approach", "My-dp", defaults={...})`` returns a
+    decorator; passing ``factory`` registers directly.
+    """
+    return get_registry(family).register(key, factory, **options)
+
+
+def build(family: str, spec, *, seed: int | None = None, **overrides):
+    """Build a component of any family from a spec."""
+    return get_registry(family).build(spec, seed=seed, **overrides)

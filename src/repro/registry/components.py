@@ -1,0 +1,278 @@
+"""Built-in component registrations for all six families.
+
+Importing this module (which :mod:`repro.registry` does on import)
+populates the global registries with every dataset, model, fair
+approach, error injector, imputer, and metric the repository ships.
+Registrations declare defaults and stochasticity explicitly, so the
+registry — not ad-hoc ``lambda seed=0:`` factories — decides whether a
+``seed`` reaches a component, and unknown parameters fail loudly.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..datasets.generators import load_adult, load_compas, load_german
+from ..errors.extended import corrupt_t4, corrupt_t5, corrupt_t6
+from ..errors.imputers import (impute_constant, impute_iterative, impute_knn,
+                               impute_mean, impute_median, impute_mode)
+from ..errors.injectors import corrupt_t1, corrupt_t2, corrupt_t3
+from ..fairness.inprocessing.agarwal import AgarwalDP, AgarwalEO
+from ..fairness.inprocessing.celis import Celis
+from ..fairness.inprocessing.kamishima import Kamishima
+from ..fairness.inprocessing.kearns import Kearns
+from ..fairness.inprocessing.thomas import ThomasDP, ThomasEO
+from ..fairness.inprocessing.zafar import ZafarDPAcc, ZafarDPFair, ZafarEOFair
+from ..fairness.inprocessing.zhale import ZhaLe
+from ..fairness.postprocessing.hardt import Hardt
+from ..fairness.postprocessing.kamkar import KamKar
+from ..fairness.postprocessing.omnifair import OmniFair
+from ..fairness.postprocessing.pleiss import Pleiss
+from ..fairness.preprocessing.calders import CaldersVerwer
+from ..fairness.preprocessing.calmon import Calmon
+from ..fairness.preprocessing.feld import Feld
+from ..fairness.preprocessing.kamcal import KamCal
+from ..fairness.preprocessing.madras import Madras
+from ..fairness.preprocessing.salimi import SalimiMatFac, SalimiMaxSAT
+from ..fairness.preprocessing.zhawu import ZhaWuDCE, ZhaWuPSF
+from ..models.boosting import GradientBoosting
+from ..models.forest import RandomForest
+from ..models.knn import KNearestNeighbors
+from ..models.logistic import LogisticRegression
+from ..models.mlp import MLPClassifier
+from ..models.naive_bayes import GaussianNB
+from ..models.svm import KernelSVM
+from .core import Registry, _accepted_params
+
+__all__ = ["APPROACHES", "DATASETS", "ERRORS", "ErrorInjector", "IMPUTERS",
+           "METRICS", "MODELS", "Metric"]
+
+DATASETS = Registry("dataset", "benchmark dataset generators")
+MODELS = Registry("model", "downstream model families")
+APPROACHES = Registry("approach", "fair-classification variants")
+ERRORS = Registry("error", "training-data corruption recipes")
+IMPUTERS = Registry("imputer", "missing-value imputers")
+METRICS = Registry("metric", "evaluation metrics")
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+DATASETS.register("adult", load_adult, defaults={},
+                  description="synthetic UCI Adult (sex sensitive)")
+DATASETS.register("compas", load_compas,
+                  description="synthetic ProPublica COMPAS (race sensitive)")
+DATASETS.register("german", load_german,
+                  description="synthetic German Credit (sex sensitive)")
+
+
+# ----------------------------------------------------------------------
+# Models — built with their own defaults; the per-job seed is *not*
+# threaded in (the experiment protocol seeds data and approaches, and
+# the paper's models run at fixed internal seeds).
+# ----------------------------------------------------------------------
+for _key, _cls, _desc in (
+        ("lr", LogisticRegression, "logistic regression (paper default)"),
+        ("svm", KernelSVM, "RBF-feature kernel SVM"),
+        ("knn", KNearestNeighbors, "k-nearest neighbours"),
+        ("rf", RandomForest, "random forest"),
+        ("mlp", MLPClassifier, "one-hidden-layer MLP"),
+        ("nb", GaussianNB, "Gaussian naive Bayes"),
+        ("gb", GradientBoosting, "gradient-boosted trees")):
+    MODELS.register(_key, _cls, stochastic=False, description=_desc)
+
+
+# ----------------------------------------------------------------------
+# Fair approaches — keys are the paper's variant names.  ``stochastic``
+# marks the variants whose fitting is randomised; only those receive
+# the experiment seed.  Defaults reproduce the paper's settings.
+# ----------------------------------------------------------------------
+def _mro_accepts(cls) -> frozenset[str] | None:
+    """Constructor parameters of ``cls``, following ``**kwargs`` up the
+    MRO (``ZafarDPAcc(gamma, **kwargs)`` forwards to the base Zafar
+    constructor, whose parameters are part of the contract).  ``None``
+    only if the chain stays open all the way down."""
+    names: set[str] = set()
+    for klass in cls.__mro__:
+        if klass is object:
+            return None
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        open_signature = False
+        for parameter in inspect.signature(init).parameters.values():
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                open_signature = True
+            elif parameter.kind in (
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    inspect.Parameter.KEYWORD_ONLY):
+                names.add(parameter.name)
+        if not open_signature:
+            return frozenset(names - {"self"})
+    return None
+
+
+def _approach(key: str, cls, group: str, defaults: dict | None = None,
+              **extra) -> None:
+    probe = cls(**(defaults or {}))
+    APPROACHES.register(key, cls, defaults=defaults,
+                        accepts=_mro_accepts(cls),
+                        group=group, stage=probe.stage,
+                        notion=probe.notion, **extra)
+
+
+# The 18 variants of the paper's main evaluation (Figure 5).
+_approach("KamCal-dp", KamCal, "main")
+_approach("Feld-dp", Feld, "main", defaults={"lam": 1.0})
+_approach("Calmon-dp", Calmon, "main")
+_approach("ZhaWu-psf", ZhaWuPSF, "main", defaults={"epsilon": 0.05})
+_approach("ZhaWu-dce", ZhaWuDCE, "main", defaults={"tau": 0.05})
+_approach("Salimi-jf-maxsat", SalimiMaxSAT, "main")
+_approach("Salimi-jf-matfac", SalimiMatFac, "main")
+_approach("Zafar-dp-fair", ZafarDPFair, "main")
+_approach("Zafar-dp-acc", ZafarDPAcc, "main")
+_approach("Zafar-eo-fair", ZafarEOFair, "main")
+_approach("ZhaLe-eo", ZhaLe, "main")
+_approach("Kearns-pe", Kearns, "main", defaults={"gamma": 0.005})
+_approach("Celis-pp", Celis, "main", defaults={"tau": 0.8})
+_approach("Thomas-dp", ThomasDP, "main", defaults={"delta": 0.05})
+_approach("Thomas-eo", ThomasEO, "main", defaults={"delta": 0.05})
+_approach("KamKar-dp", KamKar, "main")
+_approach("Hardt-eo", Hardt, "main")
+_approach("Pleiss-eop", Pleiss, "main")
+
+# The three additional variants of the paper's Appendix B.4.
+_approach("Madras-dp", Madras, "additional")
+_approach("Agarwal-dp", AgarwalDP, "additional")
+_approach("Agarwal-eo", AgarwalEO, "additional")
+
+# Extension variants beyond the paper's evaluation.
+_approach("CaldersVerwer-dp", CaldersVerwer, "extension",
+          defaults={"level": 1.0})
+_approach("Kamishima-pr", Kamishima, "extension", defaults={"eta": 5.0})
+_approach("OmniFair-dp", OmniFair, "extension",
+          defaults={"metric": "dp", "epsilon": 0.03})
+
+
+# ----------------------------------------------------------------------
+# Error injectors — a recipe key builds an :class:`ErrorInjector`, a
+# configured callable applied to a dataset with a seed at corruption
+# time (so the same injector reproduces any cell's corruption).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorInjector:
+    """A corruption recipe bound to its parameters."""
+
+    key: str
+    recipe: Callable
+    params: dict = field(default_factory=dict)
+
+    def __call__(self, dataset: Dataset, seed: int = 0) -> Dataset:
+        return self.recipe(dataset, np.random.default_rng(seed),
+                           **self.params)
+
+
+def _register_recipe(key: str, recipe: Callable, description: str,
+                     group: str) -> None:
+    accepted = _accepted_params(recipe)
+    ERRORS.register(
+        key, functools.partial(_make_injector, key, recipe),
+        accepts=(None if accepted is None
+                 else accepted - {"dataset", "rng"}),
+        stochastic=False, description=description, group=group)
+
+
+def _make_injector(key: str, recipe: Callable, **params) -> ErrorInjector:
+    return ErrorInjector(key=key, recipe=recipe, params=params)
+
+
+_register_recipe("t1", corrupt_t1, "swapped attribute values", "paper")
+_register_recipe("t2", corrupt_t2, "scaled + noisy attributes", "paper")
+_register_recipe("t3", corrupt_t3, "missing S and Y, re-imputed", "paper")
+_register_recipe("t4", corrupt_t4, "disproportionate label flips",
+                 "extended")
+_register_recipe("t5", corrupt_t5, "selection bias (row removal)",
+                 "extended")
+_register_recipe("t6", corrupt_t6, "outliers + duplicated rows",
+                 "extended")
+
+
+# ----------------------------------------------------------------------
+# Imputers — a key builds a configured ``array -> array`` callable.
+# ----------------------------------------------------------------------
+def _register_imputer(key: str, fn: Callable, description: str) -> None:
+    accepted = _accepted_params(fn)
+    IMPUTERS.register(key, functools.partial(_make_imputer, fn),
+                      accepts=(None if accepted is None
+                               else accepted - {"values", "X"}),
+                      stochastic=False, description=description)
+
+
+def _make_imputer(fn: Callable, **params) -> Callable:
+    return functools.partial(fn, **params)
+
+
+_register_imputer("mean", impute_mean, "column mean")
+_register_imputer("median", impute_median, "column median")
+_register_imputer("mode", impute_mode, "most frequent value")
+_register_imputer("constant", impute_constant, "fixed fill value")
+_register_imputer("knn", impute_knn, "k-nearest-donor average")
+_register_imputer("iterative", impute_iterative,
+                  "MICE-style round-robin ridge")
+
+
+# ----------------------------------------------------------------------
+# Metrics — a key builds a :class:`Metric` descriptor that reads its
+# value off an :class:`~repro.pipeline.experiment.EvaluationResult`
+# (all report columns are on the normalised "1 = best" scale).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Metric:
+    """One report metric: where it lives on a result and how to read it."""
+
+    key: str
+    kind: str  # "correctness" | "fairness"
+    result_field: str
+    higher_is_better: bool = True
+
+    def of(self, result) -> float:
+        """The metric's value on an ``EvaluationResult``."""
+        return getattr(result, self.result_field)
+
+
+def _register_metric(key: str, kind: str, result_field: str,
+                     description: str) -> None:
+    METRICS.register(
+        key, functools.partial(Metric, key=key, kind=kind,
+                               result_field=result_field),
+        accepts=frozenset({"higher_is_better"}), stochastic=False,
+        description=description, kind=kind)
+
+
+_register_metric("accuracy", "correctness", "accuracy",
+                 "fraction of correct predictions")
+_register_metric("precision", "correctness", "precision",
+                 "positive predictive value")
+_register_metric("recall", "correctness", "recall",
+                 "true positive rate")
+_register_metric("f1", "correctness", "f1",
+                 "harmonic precision/recall mean")
+_register_metric("di_star", "fairness", "di_star",
+                 "normalised disparate impact")
+_register_metric("tprb", "fairness", "tprb",
+                 "1 - |TPR balance|")
+_register_metric("tnrb", "fairness", "tnrb",
+                 "1 - |TNR balance|")
+_register_metric("id", "fairness", "id",
+                 "1 - individual discrimination rate")
+_register_metric("te", "fairness", "te", "1 - |total effect|")
+_register_metric("nde", "fairness", "nde",
+                 "1 - |natural direct effect|")
+_register_metric("nie", "fairness", "nie",
+                 "1 - |natural indirect effect|")

@@ -1,0 +1,344 @@
+"""Typed component registries and the parameterized-spec grammar.
+
+A :class:`Registry` maps string keys to :class:`Component` records —
+factory, declared defaults, whether the component is stochastic (takes
+a ``seed``), and free-form metadata (stage, group, …).  Every component
+family in the system (datasets, models, fair approaches, error
+injectors, imputers, metrics) lives in one of these, so the sweep
+engine, the CLI, benchmarks, and config files all address components
+the same way: a string key plus keyword parameters.
+
+The *spec grammar* is how parameters travel inside a single string or
+a config entry:
+
+* ``"Celis-pp"`` — the key alone, built with its declared defaults;
+* ``"Celis-pp(tau=0.9)"`` — keyword overrides as Python literals;
+* ``{"key": "Celis-pp", "params": {"tau": 0.9}}`` — the nested-dict
+  form used in JSON/YAML configs;
+* ``{"Celis-pp": {"tau": 0.9}}`` — single-item shorthand;
+* ``("Celis-pp", {"tau": 0.9})`` — the parsed pair itself.
+
+:func:`parse_spec` normalises all of these to ``(key, params)`` and
+:func:`format_spec` renders the canonical string back, so specs
+round-trip losslessly through config files and cache fingerprints.
+
+Unknown keys raise ``KeyError`` naming the valid choices; parameters a
+component does not accept raise ``ValueError`` naming the offender and
+the accepted names — nothing is silently swallowed (the historic
+``lambda seed=0:`` factories dropped the seed of deterministic
+approaches without a word).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["Component", "Registry", "format_spec", "parse_spec"]
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+def parse_spec(spec) -> tuple[str, dict]:
+    """Normalise any accepted spec form to ``(key, params)``.
+
+    See the module docstring for the accepted forms.  Parameter values
+    in the string form must be Python literals (numbers, strings,
+    booleans, ``None``, tuples/lists of those).
+    """
+    if isinstance(spec, tuple) and len(spec) == 2 \
+            and isinstance(spec[0], str):
+        key, params = spec
+        return key, dict(params or {})
+    if isinstance(spec, Mapping):
+        if "key" in spec:
+            extra = set(spec) - {"key", "params"}
+            if extra:
+                raise ValueError(
+                    f"unexpected fields {sorted(extra)} in component spec "
+                    f"{dict(spec)!r} (expected 'key' and optional 'params')")
+            return str(spec["key"]), dict(spec.get("params") or {})
+        if len(spec) == 1:
+            (key, params), = spec.items()
+            return str(key), dict(params or {})
+        raise ValueError(
+            f"ambiguous component spec {dict(spec)!r}: use "
+            "{'key': ..., 'params': {...}} or a single-item mapping")
+    if not isinstance(spec, str):
+        raise TypeError(f"cannot parse component spec {spec!r}")
+
+    text = spec.strip()
+    if "(" not in text:
+        if text.endswith(")"):
+            raise ValueError(f"malformed component spec {spec!r}")
+        return text, {}
+    key, _, args = text.partition("(")
+    key = key.strip()
+    if not key or not args.endswith(")"):
+        raise ValueError(f"malformed component spec {spec!r}")
+    args = args[:-1].strip()
+    if not args:
+        return key, {}
+    try:
+        call = ast.parse(f"_({args})", mode="eval").body
+    except SyntaxError as exc:
+        raise ValueError(
+            f"malformed parameters in component spec {spec!r}: {exc}"
+        ) from None
+    if not isinstance(call, ast.Call) or call.args:
+        raise ValueError(
+            f"component spec {spec!r} must use keyword parameters only, "
+            "e.g. 'Celis-pp(tau=0.9)'")
+    params = {}
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            raise ValueError(
+                f"component spec {spec!r} may not use ** expansion")
+        try:
+            params[keyword.arg] = ast.literal_eval(keyword.value)
+        except ValueError:
+            raise ValueError(
+                f"parameter {keyword.arg!r} in component spec {spec!r} "
+                "must be a Python literal") from None
+    return key, params
+
+
+def format_spec(key: str, params: Mapping | None = None) -> str:
+    """Render ``(key, params)`` as the canonical spec string.
+
+    Parameters are sorted by name so equal parameterizations format
+    identically; ``format_spec(*parse_spec(s))`` is a fixed point.
+    """
+    if not params:
+        return key
+    rendered = ", ".join(f"{name}={params[name]!r}"
+                         for name in sorted(params))
+    return f"{key}({rendered})"
+
+
+def _accepted_params(factory: Callable) -> frozenset[str] | None:
+    """Keyword parameters ``factory`` accepts; ``None`` if open
+    (``**kwargs`` anywhere in the signature or no signature at all)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return None
+    names = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                              inspect.Parameter.KEYWORD_ONLY):
+            names.add(parameter.name)
+    names.discard("self")
+    return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# Components and registries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Component:
+    """One registered component: how to build it and what it declares.
+
+    Attributes
+    ----------
+    family, key:
+        The registry's family name and the component's string key.
+    factory:
+        Callable building the component from keyword parameters.
+    defaults:
+        Declared default parameters, merged under any overrides.
+    stochastic:
+        Whether the component is randomised — only then does
+        :meth:`Registry.build` thread its ``seed`` into the factory.
+    accepts:
+        Parameter names the factory takes (``None`` = open signature).
+    description:
+        One-line human description for listings.
+    metadata:
+        Free-form annotations (e.g. ``stage``/``group`` of approaches).
+    """
+
+    family: str
+    key: str
+    factory: Callable
+    defaults: dict = field(default_factory=dict)
+    stochastic: bool = False
+    accepts: frozenset[str] | None = None
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """``key(defaults) [stochastic] — description`` listing line."""
+        parts = [format_spec(self.key, self.defaults)]
+        if self.stochastic:
+            parts.append("[stochastic]")
+        if self.description:
+            parts.append(f"— {self.description}")
+        return " ".join(parts)
+
+
+class Registry:
+    """An ordered string-keyed registry for one component family."""
+
+    def __init__(self, family: str, description: str = ""):
+        self.family = family
+        self.description = description
+        self._components: dict[str, Component] = {}
+
+    # -- registration --------------------------------------------------
+    def register(self, key: str, factory: Callable | None = None, *,
+                 defaults: Mapping | None = None,
+                 stochastic: bool | None = None,
+                 accepts: frozenset[str] | set[str] | None = None,
+                 signature_from: Callable | None = None,
+                 description: str = "", **metadata):
+        """Register ``factory`` under ``key``; usable as a decorator.
+
+        ::
+
+            @register("approach", "Celis-pp", defaults={"tau": 0.8})
+            def build_celis(**params):
+                return Celis(**params)
+
+        ``stochastic`` defaults to whether the factory accepts a
+        ``seed`` parameter; ``accepts``/``signature_from`` override the
+        parameter-name introspection for wrapper factories.
+        """
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self.register(key, fn, defaults=defaults,
+                              stochastic=stochastic, accepts=accepts,
+                              signature_from=signature_from,
+                              description=description, **metadata)
+                return fn
+            return decorator
+
+        if key in self._components:
+            raise ValueError(
+                f"duplicate {self.family} key {key!r} (already registered)")
+        if accepts is None:
+            accepts = _accepted_params(signature_from or factory)
+        else:
+            accepts = frozenset(accepts)
+        if stochastic is None:
+            stochastic = accepts is not None and "seed" in accepts
+        component = Component(
+            family=self.family, key=key, factory=factory,
+            defaults=dict(defaults or {}), stochastic=bool(stochastic),
+            accepts=accepts, description=description,
+            metadata=dict(metadata))
+        self._validate_params(component, component.defaults)
+        self._components[key] = component
+        return factory
+
+    # -- lookup --------------------------------------------------------
+    def get(self, key: str) -> Component:
+        """The component registered under ``key`` (``KeyError`` if
+        absent, naming the valid choices)."""
+        try:
+            return self._components[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.family} {key!r}; choose from "
+                f"{sorted(self._components)}") from None
+
+    def keys(self, **metadata_filter) -> list[str]:
+        """Registered keys in registration order, optionally filtered
+        by metadata equality (e.g. ``keys(group="main")``)."""
+        return [key for key, component in self._components.items()
+                if all(component.metadata.get(name) == value
+                       for name, value in metadata_filter.items())]
+
+    def components(self, **metadata_filter) -> list[Component]:
+        """Registered components, same filtering as :meth:`keys`."""
+        return [self._components[key] for key in self.keys(**metadata_filter)]
+
+    def __contains__(self, key) -> bool:
+        return key in self._components
+
+    def __iter__(self):
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return (f"Registry({self.family!r}, "
+                f"{len(self._components)} components)")
+
+    # -- building ------------------------------------------------------
+    def _validate_params(self, component: Component,
+                         params: Mapping) -> None:
+        if component.accepts is None:
+            return
+        unknown = sorted(set(params) - component.accepts)
+        if unknown:
+            raise ValueError(
+                f"{self.family} {component.key!r} does not accept "
+                f"parameter(s) {unknown}; accepted: "
+                f"{sorted(component.accepts)}")
+
+    def resolve(self, spec) -> tuple[Component, dict]:
+        """Parse + validate a spec into its component and full params
+        (defaults merged under the spec's overrides)."""
+        key, overrides = parse_spec(spec)
+        component = self.get(key)
+        params = {**component.defaults, **overrides}
+        self._validate_params(component, params)
+        return component, params
+
+    def canonical(self, spec) -> str:
+        """The canonical spec string: validated, overrides only, and
+        overrides that merely restate a declared default dropped —
+        ``"Celis-pp(tau=0.8)"`` and ``"Celis-pp"`` describe the same
+        component, so they must canonicalise (and fingerprint)
+        identically."""
+        key, overrides = parse_spec(spec)
+        component = self.get(key)
+        self._validate_params(component,
+                              {**component.defaults, **overrides})
+        overrides = {name: value for name, value in overrides.items()
+                     if not (name in component.defaults
+                             and component.defaults[name] == value)}
+        return format_spec(key, overrides)
+
+    def resolved_params(self, key: str, overrides: Mapping) -> dict:
+        """Defaults merged under overrides — the full effective
+        parameterization of a component (used by cache fingerprints,
+        so editing a declared default invalidates stale entries).
+        Unknown keys pass the overrides through untouched."""
+        if key not in self._components:
+            return dict(overrides)
+        return {**self._components[key].defaults, **overrides}
+
+    def build(self, spec, *, seed: int | None = None, **overrides):
+        """Build a component from any spec form.
+
+        ``seed`` is threaded into the factory only for stochastic
+        components; deterministic components never see it (asking for
+        an explicit ``seed=`` *parameter* on one is a ``ValueError``,
+        because the factory does not accept it).
+        """
+        component, params = self.resolve(spec)
+        if overrides:
+            params.update(overrides)
+            self._validate_params(component, params)
+        if component.stochastic and seed is not None:
+            params.setdefault("seed", seed)
+        if component.accepts is not None:
+            return component.factory(**params)
+        try:
+            return component.factory(**params)
+        except TypeError as exc:
+            # Open-signature factories (accepts=None) are the one case
+            # where a bad parameter name surfaces only here; closed
+            # signatures were already validated, so their TypeErrors
+            # are real constructor bugs and propagate untouched.
+            raise ValueError(
+                f"invalid parameters for {self.family} "
+                f"{component.key!r}: {exc}") from None

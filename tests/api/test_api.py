@@ -1,0 +1,317 @@
+"""The declarative experiment API: specs, configs, and round trips."""
+
+import json
+
+import pytest
+
+from repro.api import (ExperimentSpec, SweepSpec, load_config, run_spec,
+                       sweep)
+from repro.cli import main
+from repro.engine import ScenarioGrid
+
+SMALL_SWEEP = {
+    "sweep": {
+        "datasets": ["german"],
+        "approaches": ["baseline", "Hardt-eo"],
+        "seeds": [0, 1],
+        "rows": [400],
+        "causal_samples": 300,
+    },
+    "engine": {"jobs": 1, "cache_dir": None, "resume": True},
+}
+
+
+class TestExperimentSpec:
+    def test_defaults(self):
+        spec = ExperimentSpec()
+        assert spec.dataset == "compas"
+        assert spec.approach is None and spec.model == "lr"
+
+    def test_canonicalises_specs(self):
+        spec = ExperimentSpec(dataset="german", approach="baseline",
+                              model={"key": "knn", "params": {"k": 7}})
+        assert spec.approach is None
+        assert spec.model == "knn(k=7)"
+
+    def test_config_round_trip_is_identity(self):
+        spec = ExperimentSpec(dataset="german",
+                              approach="Celis-pp(tau=0.9)",
+                              model="knn(k=7)", error="t1", seed=3,
+                              rows=500, causal_samples=400,
+                              audit="counterfactual", chunk_rows=32,
+                              audit_params={"n_particles": 5})
+        assert ExperimentSpec.from_config(spec.to_config()) == spec
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentSpec(approach="FairGAN")
+        with pytest.raises(ValueError):
+            ExperimentSpec(approach="Celis-pp(bogus=1)")
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ValueError, match="typo_field"):
+            ExperimentSpec.from_config({"dataset": "german",
+                                        "typo_field": 1})
+
+    def test_to_job_carries_params(self):
+        job = ExperimentSpec(dataset="german",
+                             approach="Celis-pp(tau=0.9)",
+                             model="knn(k=7)").to_job()
+        assert job.approach == "Celis-pp"
+        assert job.approach_params == {"tau": 0.9}
+        assert job.model_params == {"k": 7}
+
+    def test_run_matches_run_experiment(self, german_small):
+        # The facade must reproduce the long-standing library path.
+        from repro.datasets import train_test_split
+        from repro.pipeline import run_experiment
+        from repro.registry import DATASETS
+
+        spec = ExperimentSpec(dataset="german", approach="Hardt-eo",
+                              rows=400, seed=0, causal_samples=300)
+        via_api = spec.run()
+
+        dataset = DATASETS.build("german", n=400, seed=0)
+        split = train_test_split(dataset, test_fraction=0.3, seed=0)
+        direct = run_experiment("Hardt-eo", split.train, split.test,
+                                seed=0, causal_samples=300)
+        assert via_api.accuracy == direct.accuracy
+        assert via_api.fairness_scores() == direct.fairness_scores()
+
+    def test_run_spec_accepts_mapping(self):
+        result = run_spec({"dataset": "german", "rows": 300,
+                           "causal_samples": 200})
+        assert result.approach == "LR"
+
+
+class TestSweepSpec:
+    def test_from_config_round_trip_is_identity(self):
+        spec = SweepSpec.from_config(SMALL_SWEEP)
+        assert SweepSpec.from_config(spec.to_config()) == spec
+
+    def test_seeds_as_count(self):
+        spec = SweepSpec.from_config(
+            {"datasets": ["german"], "seeds": 3})
+        assert spec.seeds == (0, 1, 2)
+        with pytest.raises(ValueError):
+            SweepSpec.from_config({"datasets": ["german"], "seeds": 0})
+
+    def test_flat_mapping_accepted(self):
+        flat = {"datasets": ["german"], "approaches": ["Hardt-eo"],
+                "jobs": 2}
+        spec = SweepSpec.from_config(flat)
+        assert spec.jobs == 2
+        assert spec.approaches == ("Hardt-eo",)
+
+    def test_field_in_two_sections_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            SweepSpec.from_config({"sweep": {"datasets": ["german"],
+                                             "jobs": 1},
+                                   "engine": {"jobs": 2}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="typo"):
+            SweepSpec.from_config({"datasets": ["german"], "typo": 1})
+
+    def test_grid_matches_direct_scenario_grid(self):
+        spec = SweepSpec.from_config(SMALL_SWEEP)
+        direct = ScenarioGrid(datasets=["german"],
+                              approaches=[None, "Hardt-eo"],
+                              seeds=[0, 1], rows=[400],
+                              causal_samples=300)
+        assert ([j.fingerprint for j in spec.to_grid().expand()]
+                == [j.fingerprint for j in direct.expand()])
+
+    def test_param_override_changes_fingerprints(self):
+        base = SweepSpec.from_config(
+            {"datasets": ["german"], "approaches": ["Celis-pp"]})
+        tuned = SweepSpec.from_config(
+            {"datasets": ["german"],
+             "approaches": ["Celis-pp(tau=0.9)"]})
+        assert (base.to_grid().expand()[0].fingerprint
+                != tuned.to_grid().expand()[0].fingerprint)
+
+    def test_json_and_yaml_configs_load(self, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        json_path.write_text(json.dumps(SMALL_SWEEP))
+        from_json = SweepSpec.from_config(json_path)
+
+        yaml = pytest.importorskip("yaml")
+        yaml_path = tmp_path / "sweep.yaml"
+        yaml_path.write_text(yaml.safe_dump(SMALL_SWEEP))
+        assert SweepSpec.from_config(yaml_path) == from_json
+        assert load_config(yaml_path) == json.loads(json_path.read_text())
+
+    def test_repo_example_config_expands(self):
+        import pathlib
+
+        path = (pathlib.Path(__file__).parents[2] / "examples"
+                / "sweep.yaml")
+        spec = SweepSpec.from_config(path)
+        assert spec.to_grid().size == 8  # (baseline + 3) × 2 seeds
+        assert spec.jobs == 2
+
+    def test_sweep_runs_end_to_end(self):
+        report = sweep(SMALL_SWEEP)
+        assert len(report.outcomes) == 4
+        assert not report.failures
+
+
+class TestConfigEqualsLegacyFlags:
+    def test_config_sweep_hits_legacy_flag_cache(self, tmp_path, capsys):
+        """A --config sweep and the equivalent flag-driven sweep are
+        cell-for-cell identical: the second run is 100% cache hits."""
+        cache = tmp_path / "cache"
+        config_path = tmp_path / "sweep.json"
+        config_path.write_text(json.dumps(SMALL_SWEEP))
+
+        assert main(["sweep", "--config", str(config_path),
+                     "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells, 4 computed, 0 cached" in out
+
+        assert main(["sweep", "--dataset", "german", "--approach",
+                     "Hardt-eo", "--rows", "400", "--seeds", "2",
+                     "--causal-samples", "300",
+                     "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells, 0 computed, 4 cached" in out
+
+    def test_config_excludes_grid_flags(self, tmp_path, capsys):
+        config_path = tmp_path / "sweep.json"
+        config_path.write_text(json.dumps(SMALL_SWEEP))
+        code = main(["sweep", "--config", str(config_path),
+                     "--dataset", "german"])
+        assert code == 2
+        assert "--config" in capsys.readouterr().err
+
+    def test_missing_config_file(self, capsys):
+        assert main(["sweep", "--config", "/no/such/file.yaml"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_yaml_config_is_clean_error(self, tmp_path,
+                                                  capsys):
+        pytest.importorskip("yaml")
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("sweep: [unclosed\n  datasets: {")
+        assert main(["sweep", "--config", str(bad)]) == 2
+        assert "invalid config" in capsys.readouterr().err
+
+    def test_config_without_cache_dir_still_caches(self, tmp_path,
+                                                   capsys, monkeypatch):
+        # The CLI promises a .sweep-cache default; a config omitting
+        # engine.cache_dir must not silently disable caching.
+        monkeypatch.chdir(tmp_path)
+        config_path = tmp_path / "sweep.json"
+        config = {"sweep": dict(SMALL_SWEEP["sweep"])}
+        config["sweep"]["approaches"] = ["baseline"]
+        config["sweep"]["seeds"] = [0]
+        config_path.write_text(json.dumps(config))
+        assert main(["sweep", "--config", str(config_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache at .sweep-cache" in out
+        assert (tmp_path / ".sweep-cache").is_dir()
+
+
+class TestAuditThreading:
+    CONFIG = {
+        "sweep": {
+            "datasets": ["german"],
+            "approaches": ["baseline"],
+            "rows": [300],
+            "causal_samples": 200,
+            "audit": "counterfactual",
+            "chunk_rows": 16,
+            "audit_params": {"n_particles": 8, "max_rows": 10,
+                             "n_samples": 300},
+        },
+    }
+
+    def test_audit_results_merged_into_raw(self):
+        report = sweep(self.CONFIG)
+        assert not report.failures
+        raw = report.results[0].raw
+        for key in ("cf_mean_gap", "cf_max_gap", "cf_unfair_fraction",
+                    "ctf_de", "ctf_ie", "ctf_se", "ctf_tv",
+                    "cf_fpr_gap", "cf_fnr_gap"):
+            assert key in raw
+
+    def test_audit_and_chunk_rows_feed_fingerprint(self):
+        spec = SweepSpec.from_config(self.CONFIG)
+        plain = SweepSpec.from_config(
+            {"datasets": ["german"], "approaches": ["baseline"],
+             "rows": [300], "causal_samples": 200})
+        rechunked = SweepSpec.from_config(
+            {**self.CONFIG["sweep"], "chunk_rows": 8})
+        fingerprints = {
+            s.to_grid().expand()[0].fingerprint
+            for s in (spec, plain, rechunked)}
+        assert len(fingerprints) == 3
+
+    def test_audit_cell_cached_like_any_other(self, tmp_path):
+        spec = SweepSpec.from_config(self.CONFIG)
+        spec.cache_dir = str(tmp_path / "cache")
+        first = spec.run()
+        again = spec.run()
+        assert first.computed_count == 1
+        assert again.cached_count == 1
+        assert (again.results[0].raw["cf_mean_gap"]
+                == first.results[0].raw["cf_mean_gap"])
+
+    def test_unknown_audit_rejected(self):
+        with pytest.raises(ValueError, match="audit"):
+            SweepSpec.from_config({"datasets": ["german"],
+                                   "audit": "quantum"})
+
+    def test_bad_chunk_rows_rejected(self, capsys):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            ExperimentSpec(dataset="german", audit="counterfactual",
+                           chunk_rows=0)
+        assert main(["sweep", "--dataset", "german",
+                     "--chunk-rows", "0"]) == 2
+        assert "--chunk-rows" in capsys.readouterr().err
+
+
+class TestParameterizedReporting:
+    def test_distinct_params_get_distinct_rows(self):
+        """Two tau settings of one approach must not be blended into a
+        single averaged table row."""
+        report = sweep({
+            "datasets": ["german"],
+            "approaches": ["Celis-pp(tau=0.6)", "Celis-pp(tau=0.9)"],
+            "rows": [300], "causal_samples": 200})
+        from repro.engine import aggregate_over_seeds, grid_table
+
+        aggregated = aggregate_over_seeds(report.outcomes)
+        assert len(aggregated) == 2
+        labels = {r.approach for r in aggregated}
+        assert labels == {"Celis-pp(tau=0.6)", "Celis-pp(tau=0.9)"}
+        table = grid_table(report.outcomes, dataset="german")
+        assert "tau=0.6" in table and "tau=0.9" in table
+
+    def test_pivot_separates_params(self):
+        from repro.engine import pivot
+
+        report = sweep({
+            "datasets": ["german"],
+            "approaches": [None, "Celis-pp(tau=0.6)",
+                           "Celis-pp(tau=0.9)"],
+            "rows": [300], "causal_samples": 200})
+        fit = pivot(report.outcomes, index="approach", columns="rows",
+                    value="fit_seconds")
+        assert set(fit) == {None, "Celis-pp(tau=0.6)",
+                            "Celis-pp(tau=0.9)"}
+
+    def test_config_causal_samples_override(self, tmp_path, capsys):
+        config_path = tmp_path / "sweep.json"
+        config_path.write_text(json.dumps(SMALL_SWEEP))
+        assert main(["sweep", "--config", str(config_path),
+                     "--causal-samples", "200",
+                     "--cache-dir", "none"]) == 0
+        capsys.readouterr()
+        # The override must change the cells' fingerprints.
+        spec = SweepSpec.from_config(SMALL_SWEEP)
+        spec.causal_samples = 200
+        base = SweepSpec.from_config(SMALL_SWEEP)
+        assert (spec.to_grid().expand()[0].fingerprint
+                != base.to_grid().expand()[0].fingerprint)

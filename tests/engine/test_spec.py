@@ -104,3 +104,110 @@ class TestFingerprint:
         label = self.JOB.label()
         assert "compas" in label and "KamCal-dp" in label
         assert "seed=3" in label
+
+    @pytest.mark.parametrize("field,value", [
+        ("approach_params", {"tau": 0.9}),
+        ("model_params", {"k": 7}),
+        ("error_params", {"unprivileged_rate": 0.3}),
+        ("dataset_params", {"n": 100}),
+        ("audit", "counterfactual"),
+        ("chunk_rows", 64),
+        ("audit_params", {"n_particles": 5})])
+    def test_registry_params_feed_the_hash(self, field, value):
+        changed = dataclasses.replace(self.JOB, **{field: value})
+        assert changed.fingerprint != self.JOB.fingerprint
+
+    def test_param_order_does_not_change_the_hash(self):
+        a = dataclasses.replace(self.JOB,
+                                approach_params={"a": 1, "b": 2})
+        b = dataclasses.replace(self.JOB,
+                                approach_params={"b": 2, "a": 1})
+        assert a.fingerprint == b.fingerprint
+
+    def test_jobs_are_hashable_by_fingerprint(self):
+        job = dataclasses.replace(self.JOB,
+                                  approach_params={"tau": 0.9})
+        assert hash(job) == hash(dataclasses.replace(job))
+        assert len({job, dataclasses.replace(job)}) == 1
+
+
+class TestParameterizedGrid:
+    def test_spec_strings_become_job_params(self):
+        grid = small_grid(approaches=[None, "Hardt-eo"],
+                          models=["knn(k=7)"])
+        jobs = grid.expand()
+        assert all(j.model == "knn" and j.model_params == {"k": 7}
+                   for j in jobs)
+
+    def test_nested_dict_specs_accepted(self):
+        grid = small_grid(
+            approaches=[{"key": "Celis-pp", "params": {"tau": 0.9}}])
+        job = grid.expand()[0]
+        assert job.approach == "Celis-pp"
+        assert job.approach_params == {"tau": 0.9}
+
+    def test_equivalent_spellings_share_fingerprints(self):
+        as_string = small_grid(approaches=["Celis-pp(tau=0.9)"])
+        as_dict = small_grid(
+            approaches=[{"Celis-pp": {"tau": 0.9}}])
+        assert ([j.fingerprint for j in as_string.expand()]
+                == [j.fingerprint for j in as_dict.expand()])
+
+    def test_explicit_default_equals_bare_key(self):
+        # "Celis-pp(tau=0.8)" restates the declared default: same
+        # component, so same canonical spec, fingerprint, and cache
+        # entry as the bare key.
+        bare = small_grid(approaches=["Celis-pp"])
+        explicit = small_grid(approaches=["Celis-pp(tau=0.8)"])
+        assert explicit.approaches == bare.approaches == ("Celis-pp",)
+        assert ([j.fingerprint for j in bare.expand()]
+                == [j.fingerprint for j in explicit.expand()])
+
+    def test_hand_built_jobs_resolve_defaults_too(self):
+        bare = Job(dataset="german", approach="Celis-pp", rows=400)
+        explicit = dataclasses.replace(
+            bare, approach_params={"tau": 0.8})
+        assert bare.fingerprint == explicit.fingerprint
+
+    def test_audit_param_names_validated(self):
+        with pytest.raises(ValueError, match="n_paritcles"):
+            small_grid(audit="counterfactual",
+                       audit_params={"n_paritcles": 5})
+        with pytest.raises(ValueError, match="seed"):
+            small_grid(audit="counterfactual",
+                       audit_params={"seed": 1})
+        with pytest.raises(ValueError, match="without an audit"):
+            small_grid(audit_params={"n_particles": 5})
+
+    def test_unknown_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="bogus"):
+            small_grid(approaches=["Hardt-eo(bogus=1)"])
+
+    def test_open_signature_params_still_validated(self):
+        # Zafar-dp-acc forwards **kwargs to the base constructor;
+        # its parameter contract is the MRO union, not "anything".
+        with pytest.raises(ValueError, match="bogus"):
+            small_grid(approaches=["Zafar-dp-acc(bogus=1)"])
+        grid = small_grid(
+            approaches=["Zafar-dp-acc(covariance_bound=0.01)"])
+        assert grid.expand()[0].approach_params == {
+            "covariance_bound": 0.01}
+
+    def test_non_json_literal_params_rejected_at_construction(self):
+        # A set is a fine Python literal but cannot be fingerprinted.
+        with pytest.raises(ValueError, match="JSON"):
+            small_grid(approaches=["Celis-pp(tau={1, 2})"])
+
+    def test_protocol_owned_params_rejected(self):
+        # n/seed belong to the rows/seeds dimensions; letting a spec
+        # set them too would crash (or silently shadow) execution.
+        with pytest.raises(ValueError, match="rows"):
+            small_grid(datasets=["german(n=100)"])
+        with pytest.raises(ValueError, match="seeds"):
+            small_grid(datasets=["german(seed=1)"])
+        with pytest.raises(ValueError, match="seeds"):
+            small_grid(approaches=["ZhaLe-eo(seed=1)"])
+
+    def test_extended_error_recipes_valid_dimensions(self):
+        grid = small_grid(errors=[None, "t4"])
+        assert grid.size == 8

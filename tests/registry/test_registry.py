@@ -1,0 +1,307 @@
+"""The unified component registry: keys, specs, params, stochasticity."""
+
+import pytest
+
+from repro import registry
+from repro.fairness.base import FairApproach, Stage
+from repro.registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS, METRICS,
+                            MODELS, REGISTRIES, Registry, build, format_spec,
+                            get_registry, parse_spec, register)
+
+
+class TestSpecGrammar:
+    @pytest.mark.parametrize("spec,expected", [
+        ("lr", ("lr", {})),
+        ("Celis-pp", ("Celis-pp", {})),
+        ("Celis-pp(tau=0.9)", ("Celis-pp", {"tau": 0.9})),
+        ("knn(k=7, chunk_size=64)", ("knn", {"k": 7, "chunk_size": 64})),
+        ("x(name='abc', flag=True, none=None)",
+         ("x", {"name": "abc", "flag": True, "none": None})),
+        ("spaced( a = 1 )", ("spaced", {"a": 1})),
+        ("empty()", ("empty", {})),
+        ({"key": "Celis-pp", "params": {"tau": 0.9}},
+         ("Celis-pp", {"tau": 0.9})),
+        ({"key": "Celis-pp"}, ("Celis-pp", {})),
+        ({"Celis-pp": {"tau": 0.9}}, ("Celis-pp", {"tau": 0.9})),
+        (("Celis-pp", {"tau": 0.9}), ("Celis-pp", {"tau": 0.9})),
+    ])
+    def test_parse(self, spec, expected):
+        assert parse_spec(spec) == expected
+
+    @pytest.mark.parametrize("bad", [
+        "Celis-pp(tau=0.9",       # unbalanced
+        "Celis-pp)",              # stray close
+        "f(0.9)",                 # positional
+        "f(tau=undefined_name)",  # not a literal
+        "f(**kw)",                # expansion
+        {"key": "x", "params": {}, "extra": 1},
+        {"a": {}, "b": {}},       # ambiguous two-key mapping
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_spec(bad)
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            parse_spec(42)
+
+    def test_format_round_trip(self):
+        for key, params in (("lr", {}), ("Celis-pp", {"tau": 0.9}),
+                            ("m", {"b": 2, "a": "s", "c": True})):
+            assert parse_spec(format_spec(key, params)) == (key, params)
+
+    def test_format_is_canonical(self):
+        assert (format_spec("m", {"b": 2, "a": 1})
+                == format_spec("m", {"a": 1, "b": 2}))
+
+
+class TestFamilies:
+    def test_expected_families(self):
+        assert set(REGISTRIES) == {"dataset", "model", "approach",
+                                   "error", "imputer", "metric"}
+
+    def test_expected_counts(self):
+        assert len(DATASETS) == 3
+        assert len(MODELS) == 7
+        assert len(APPROACHES) == 24
+        assert len(ERRORS) == 6       # t1-t3 paper + t4-t6 extended
+        assert len(IMPUTERS) == 6
+        assert len(METRICS) == 11     # 4 correctness + 7 fairness
+
+    def test_get_registry_accepts_plural(self):
+        assert get_registry("models") is MODELS
+        assert get_registry("approaches") is APPROACHES
+        with pytest.raises(KeyError):
+            get_registry("widgets")
+
+    def test_every_registered_key_builds(self):
+        # Datasets need a tiny n; everything else builds bare.
+        for key in DATASETS:
+            dataset = DATASETS.build(key, n=50, seed=0)
+            assert dataset.n_rows == 50
+        for key in MODELS:
+            assert hasattr(MODELS.build(key), "fit")
+        for key in APPROACHES:
+            approach = APPROACHES.build(key, seed=1)
+            assert isinstance(approach, FairApproach)
+        for key in ERRORS:
+            injector = ERRORS.build(key)
+            assert callable(injector)
+        for key in IMPUTERS:
+            assert callable(IMPUTERS.build(key))
+        for key in METRICS:
+            metric = METRICS.build(key)
+            assert metric.kind in ("correctness", "fairness")
+
+    def test_unknown_key_lists_choices(self):
+        with pytest.raises(KeyError, match="Celis-pp"):
+            APPROACHES.get("FairGAN")
+
+    def test_registries_stay_in_sync_with_legacy_dicts(self):
+        # LOADERS/MODEL_FAMILIES/RECIPES remain live API; a component
+        # added to one side must be added to the other.
+        from repro.datasets import LOADERS
+        from repro.errors import EXTENDED_RECIPES, RECIPES
+        from repro.models import MODEL_FAMILIES
+
+        assert set(DATASETS.keys()) == set(LOADERS)
+        assert set(MODELS.keys()) == set(MODEL_FAMILIES)
+        assert set(ERRORS.keys()) == set(RECIPES) | set(EXTENDED_RECIPES)
+
+    def test_keys_filter_by_metadata(self):
+        assert len(APPROACHES.keys(group="main")) == 18
+        assert len(APPROACHES.keys(group="additional")) == 3
+        assert len(APPROACHES.keys(group="extension")) == 3
+        pre = APPROACHES.keys(stage=Stage.PRE)
+        assert "KamCal-dp" in pre and "Hardt-eo" not in pre
+
+
+class TestParamValidation:
+    def test_spec_params_reach_the_component(self):
+        assert APPROACHES.build("Celis-pp(tau=0.9)").tau == 0.9
+        assert MODELS.build("knn", k=7).k == 7
+
+    def test_defaults_apply(self):
+        assert APPROACHES.build("Celis-pp").tau == 0.8
+        assert APPROACHES.build("Kearns-pe").gamma == 0.005
+
+    def test_unknown_param_is_value_error(self):
+        with pytest.raises(ValueError, match="bogus"):
+            APPROACHES.build("Celis-pp(bogus=1)")
+        with pytest.raises(ValueError, match="accepted"):
+            MODELS.build("lr", learning_rate=0.1)
+
+    def test_unknown_param_fails_before_building(self):
+        with pytest.raises(ValueError):
+            APPROACHES.canonical("Celis-pp(bogus=1)")
+
+    @pytest.mark.parametrize("key", ["Feld-dp", "Zafar-dp-fair",
+                                     "Kearns-pe", "Celis-pp", "Hardt-eo"])
+    def test_deterministic_component_rejects_seed_param(self, key):
+        # The old lambda factories swallowed seed= silently; the
+        # registry makes it a loud error.
+        with pytest.raises(ValueError, match="seed"):
+            APPROACHES.build(f"{key}(seed=3)")
+
+
+class TestStochasticity:
+    def test_declared_flags(self):
+        stochastic = {key for key in APPROACHES
+                      if APPROACHES.get(key).stochastic}
+        assert {"KamCal-dp", "Calmon-dp", "ZhaWu-psf", "ZhaWu-dce",
+                "Salimi-jf-maxsat", "Salimi-jf-matfac", "ZhaLe-eo",
+                "Thomas-dp", "Thomas-eo", "Madras-dp"} == stochastic
+
+    def test_seed_reaches_stochastic_components(self):
+        assert APPROACHES.build("KamCal-dp", seed=5).seed == 5
+
+    def test_seed_ignored_by_deterministic_components(self):
+        # build(seed=...) is the engine's uniform call; deterministic
+        # factories simply never see it.
+        approach = APPROACHES.build("Celis-pp", seed=5)
+        assert not hasattr(approach, "seed")
+
+    def test_models_not_reseeded_by_engine(self):
+        assert not any(MODELS.get(key).stochastic for key in MODELS)
+
+
+class TestRegistration:
+    def test_decorator_registration(self):
+        reg = Registry("widget")
+
+        @reg.register("w1", defaults={"size": 2}, color="red")
+        def make_widget(size, seed=0):
+            return ("widget", size, seed)
+
+        assert "w1" in reg
+        assert reg.get("w1").stochastic  # seed in signature
+        assert reg.build("w1", seed=4) == ("widget", 2, 4)
+        assert reg.keys(color="red") == ["w1"]
+
+    def test_duplicate_key_rejected(self):
+        reg = Registry("widget")
+        reg.register("w", lambda: None, stochastic=False)
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.register("w", lambda: None, stochastic=False)
+
+    def test_bad_defaults_rejected_at_registration(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError, match="nope"):
+            reg.register("w", lambda size=1: size,
+                         defaults={"nope": 2})
+
+    def test_constructor_bugs_not_misreported_as_bad_params(self):
+        # A TypeError raised *inside* a closed-signature factory is a
+        # real bug and must propagate, not be rebranded "invalid
+        # parameters".
+        reg = Registry("widget")
+
+        def broken(size=1):
+            raise TypeError("internal constructor bug")
+
+        reg.register("w", broken, stochastic=False)
+        with pytest.raises(TypeError, match="internal constructor"):
+            reg.build("w")
+
+    def test_open_signature_component_accepts_any_param(self):
+        reg = Registry("widget")
+        reg.register("w", lambda **options: options, stochastic=False)
+        assert reg.build("w", anything=1) == {"anything": 1}
+
+    def test_top_level_register_and_build(self):
+        # The module-level helpers dispatch by family name.
+        assert build("model", "knn(k=9)").k == 9
+        with pytest.raises(ValueError):
+            register("approach", "Celis-pp", lambda: None)  # duplicate
+
+
+class TestErrorInjectors:
+    def test_injector_applies_recipe(self, german_small):
+        injector = ERRORS.build("t1")
+        corrupted = injector(german_small, seed=0)
+        assert corrupted.n_rows == german_small.n_rows
+
+    def test_injector_matches_legacy_corrupt(self, german_small):
+        from repro.errors import corrupt
+
+        ours = ERRORS.build("t2(scale_factor=5.0)")(german_small, seed=3)
+        legacy = corrupt(german_small, "t2", seed=3, scale_factor=5.0)
+        for column in ours.table.columns:
+            assert (ours.table[column] == legacy.table[column]).all()
+
+    def test_extended_recipes_registered(self, german_small):
+        flipped = ERRORS.build("t4")(german_small, seed=1)
+        assert (flipped.y != german_small.y).any()
+
+    def test_rate_params_validated(self):
+        with pytest.raises(ValueError, match="nope"):
+            ERRORS.build("t1(nope=0.4)")
+
+
+class TestImputers:
+    def test_parameterised_imputer(self):
+        import numpy as np
+
+        impute = IMPUTERS.build("constant", fill_value=-1.0)
+        out = impute(np.array([1.0, np.nan, 3.0]))
+        assert out[1] == -1.0
+
+
+class TestMetrics:
+    def test_metric_reads_result_field(self):
+        from repro.pipeline.experiment import EvaluationResult
+
+        result = EvaluationResult(
+            approach="x", dataset="d", stage="pre", accuracy=0.9,
+            precision=0.8, recall=0.7, f1=0.75, di_star=0.95, tprb=0.9,
+            tnrb=0.85, id=1.0, te=0.9, nde=0.9, nie=0.9)
+        assert METRICS.build("accuracy").of(result) == 0.9
+        assert METRICS.build("di_star").of(result) == 0.95
+
+    def test_kinds_partition(self):
+        kinds = {key: METRICS.build(key).kind for key in METRICS}
+        assert sum(1 for k in kinds.values() if k == "correctness") == 4
+        assert sum(1 for k in kinds.values() if k == "fairness") == 7
+
+
+class TestLegacyShim:
+    def test_main_approaches_importable_with_warning(self):
+        import importlib
+
+        module = importlib.import_module("repro.fairness.registry")
+        with pytest.warns(DeprecationWarning, match="MAIN_APPROACHES"):
+            main = module.MAIN_APPROACHES
+        assert len(main) == 18
+        # Old factory semantics: callable with an optional seed.
+        approach = main["KamCal-dp"](seed=2)
+        assert approach.seed == 2
+        assert main["Celis-pp"]().tau == 0.8
+
+    def test_package_level_import_warns(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.fairness import ALL_APPROACHES
+        assert len(ALL_APPROACHES) == 24
+
+    def test_shim_dicts_keep_identity_and_mutations(self):
+        import importlib
+
+        module = importlib.import_module("repro.fairness.registry")
+        with pytest.warns(DeprecationWarning):
+            first = module.MAIN_APPROACHES
+            first["__probe__"] = lambda seed=0: None
+            second = module.MAIN_APPROACHES
+        assert second is first and "__probe__" in second
+        del first["__probe__"]
+
+    def test_top_level_import_warns(self):
+        with pytest.warns(DeprecationWarning):
+            from repro import MAIN_APPROACHES  # noqa: F401
+
+    def test_make_approach_does_not_warn(self, recwarn):
+        from repro.fairness import make_approach
+
+        approach = make_approach("Hardt-eo", seed=1)
+        assert approach.stage is Stage.POST
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
