@@ -20,6 +20,9 @@ Config schema (YAML shown; JSON is isomorphic)::
       approaches: [baseline, Hardt-eo, "Celis-pp(tau=0.9)"]
       models: [lr]
       errors: [null, t1]                    # null = clean data
+      imputers: [null, mean, "knn(k=7)"]    # repairs NaNs (e.g. after
+                                            # the `missing` recipe)
+      metrics: [accuracy, di_star]          # per-cell metric_value
       seeds: [0, 1]                         # or an int: seeds 0..N-1
       rows: [400]
       causal_samples: 300
@@ -30,6 +33,11 @@ Config schema (YAML shown; JSON is isomorphic)::
       jobs: 2
       cache_dir: .sweep-cache
       resume: true
+
+A finished cache loads back without re-execution::
+
+    report = api.report(".sweep-cache",
+                        where={"dataset": "german", "error": "none"})
 
 Every component entry is a :mod:`repro.registry` spec — a bare key,
 a parameterized ``"key(param=value)"`` string, or the nested
@@ -47,15 +55,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .engine import (Job, ResultCache, ScenarioGrid, SweepReport,
-                     execute_job, run_sweep)
+                     execute_job, filter_outcomes, run_sweep)
 from .engine.spec import (_normalise_approach, check_audit_params,
                           check_fingerprintable_params,
                           check_reserved_params)
 from .pipeline.experiment import EvaluationResult
-from .registry import APPROACHES, DATASETS, ERRORS, MODELS, parse_spec
+from .registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS, METRICS,
+                       MODELS, parse_spec)
 
-__all__ = ["ExperimentSpec", "SweepSpec", "load_config", "run_spec",
-           "sweep"]
+__all__ = ["ExperimentSpec", "SweepSpec", "load_config", "report",
+           "run_spec", "sweep"]
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +151,8 @@ class ExperimentSpec:
     approach: str | None = None
     model: str = "lr"
     error: str | None = None
+    imputer: str | None = None
+    metric: str | None = None
     seed: int = 0
     rows: int = 4000
     n_features: int | None = None
@@ -159,6 +170,10 @@ class ExperimentSpec:
         self.model = MODELS.canonical(self.model)
         self.error = (None if self.error is None
                       else ERRORS.canonical(self.error))
+        self.imputer = (None if self.imputer is None
+                        else IMPUTERS.canonical(self.imputer))
+        self.metric = (None if self.metric is None
+                       else METRICS.canonical(self.metric))
         check_reserved_params(self.dataset, {
             "n": "the rows field", "seed": "the seed field"})
         check_reserved_params(self.approach,
@@ -166,7 +181,9 @@ class ExperimentSpec:
         for what, spec in (("dataset", self.dataset),
                            ("approach", self.approach),
                            ("model", self.model),
-                           ("error", self.error)):
+                           ("error", self.error),
+                           ("imputer", self.imputer),
+                           ("metric", self.metric)):
             if spec is not None:
                 check_fingerprintable_params(spec, what)
         self.seed = int(self.seed)
@@ -203,14 +220,21 @@ class ExperimentSpec:
             else parse_spec(self.approach))
         error, error_params = ((None, {}) if self.error is None
                                else parse_spec(self.error))
+        imputer, imputer_params = ((None, {}) if self.imputer is None
+                                   else parse_spec(self.imputer))
+        metric, metric_params = ((None, {}) if self.metric is None
+                                 else parse_spec(self.metric))
         return Job(dataset=dataset, approach=approach, model=model,
-                   error=error, seed=self.seed, rows=self.rows,
+                   error=error, imputer=imputer, metric=metric,
+                   seed=self.seed, rows=self.rows,
                    n_features=self.n_features,
                    causal_samples=self.causal_samples,
                    test_fraction=self.test_fraction,
                    dataset_params=dataset_params,
                    approach_params=approach_params,
                    model_params=model_params, error_params=error_params,
+                   imputer_params=imputer_params,
+                   metric_params=metric_params,
                    audit=self.audit, chunk_rows=self.chunk_rows,
                    audit_params=dict(self.audit_params))
 
@@ -241,6 +265,8 @@ class SweepSpec:
     approaches: tuple = (None,)
     models: tuple = ("lr",)
     errors: tuple = (None,)
+    imputers: tuple = (None,)
+    metrics: tuple = (None,)
     seeds: tuple = (0,)
     rows: tuple = (4000,)
     feature_counts: tuple = (None,)
@@ -259,6 +285,8 @@ class SweepSpec:
         self.approaches = grid.approaches
         self.models = grid.models
         self.errors = grid.errors
+        self.imputers = grid.imputers
+        self.metrics = grid.metrics
         self.seeds = grid.seeds
         self.rows = grid.rows
         self.feature_counts = grid.feature_counts
@@ -302,7 +330,9 @@ class SweepSpec:
         """The :class:`ScenarioGrid` this spec declares."""
         return ScenarioGrid(
             datasets=self.datasets, approaches=self.approaches,
-            models=self.models, errors=self.errors, seeds=self.seeds,
+            models=self.models, errors=self.errors,
+            imputers=self.imputers, metrics=self.metrics,
+            seeds=self.seeds,
             rows=self.rows, feature_counts=self.feature_counts,
             causal_samples=self.causal_samples,
             test_fraction=self.test_fraction, audit=self.audit,
@@ -338,3 +368,29 @@ def sweep(config, progress=None) -> SweepReport:
     spec = (config if isinstance(config, SweepSpec)
             else SweepSpec.from_config(config))
     return spec.run(progress=progress)
+
+
+def report(cache_dir, where: Mapping | None = None) -> SweepReport:
+    """Load a finished sweep cache as a :class:`SweepReport` — the
+    cache directory is the query surface, nothing is re-executed.
+
+    Every cached cell's stored ``params`` block is reconstructed into
+    its job, so the returned outcomes support the full aggregation
+    toolkit (``grid_table``/``pivot``/``overhead_series``/exports)
+    exactly like a live sweep's, with the baseline ordered first per
+    dataset.  ``where`` filters by any job axis before returning,
+    e.g. ``{"dataset": "adult", "approach": "Celis-pp(tau=0.9)"}``.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``cache_dir`` does not exist (an existing-but-empty cache
+        returns an empty report instead).
+    """
+    root = Path(cache_dir)
+    if not root.exists():
+        raise FileNotFoundError(f"no sweep cache at {root}")
+    outcomes = ResultCache(root).outcomes()
+    if where:
+        outcomes = filter_outcomes(outcomes, where)
+    return SweepReport(outcomes=outcomes)

@@ -26,6 +26,12 @@ Run the same kind of sweep from a declarative scenario file::
 
     python -m repro sweep --config examples/sweep.yaml
 
+Query a finished sweep's cache — tables, pivots, exports — without
+re-executing anything::
+
+    python -m repro report --cache-dir .sweep-cache \
+        --where error=missing --pivot approach imputer accuracy
+
 Browse the paper's Figure 3 notion catalog::
 
     python -m repro notions --association causal
@@ -130,6 +136,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            type=_spec_argument(ERRORS), metavar="RECIPE",
                            help="training-data corruption recipe "
                                 "(repeatable; default: clean data)")
+    sweep_cmd.add_argument("--imputer", action="append", default=[],
+                           type=_spec_argument(IMPUTERS), metavar="SPEC",
+                           help="imputer repairing NaNs in the training "
+                                "split, e.g. after --error missing "
+                                "(repeatable; default: none)")
+    sweep_cmd.add_argument("--metric", action="append", default=[],
+                           type=_spec_argument(METRICS), metavar="SPEC",
+                           help="report metric surfaced per cell as "
+                                "raw metric_value (repeatable; "
+                                "default: none)")
     sweep_cmd.add_argument("--seeds", type=int, default=None,
                            help="number of seeds per cell (0..N-1; "
                                 "default: 1)")
@@ -162,6 +178,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="reuse cached cells (--no-resume "
                                 "recomputes and refreshes them)")
     sweep_cmd.set_defaults(func=cmd_sweep)
+
+    report_cmd = sub.add_parser(
+        "report", help="query a finished sweep cache (no re-execution)")
+    report_cmd.add_argument("--cache-dir", metavar="DIR",
+                            default=".sweep-cache",
+                            help="sweep cache to load (default: "
+                                 ".sweep-cache)")
+    report_cmd.add_argument("--where", nargs="*", default=[],
+                            metavar="AXIS=VALUE",
+                            help="filter cells by job axes, e.g. "
+                                 "dataset=adult error=none "
+                                 "approach='Celis-pp(tau=0.9)'")
+    report_cmd.add_argument("--pivot", nargs=3, action="append",
+                            default=[],
+                            metavar=("INDEX", "COLUMNS", "VALUE"),
+                            help="print a two-way pivot; VALUE is a "
+                                 "metric field or any raw/audit key "
+                                 "(e.g. cf_mean_gap); repeatable")
+    report_cmd.add_argument("--overhead", nargs="?", const="rows",
+                            default=None, metavar="AXIS",
+                            help="print the Figure 8 overhead series "
+                                 "along AXIS (default: rows)")
+    report_cmd.add_argument("--no-tables", action="store_true",
+                            help="skip the per-dataset Figure 7 tables")
+    report_cmd.add_argument("--export-json", metavar="FILE", default=None,
+                            help="write flat per-cell records as JSON")
+    report_cmd.add_argument("--export-csv", metavar="FILE", default=None,
+                            help="write flat per-cell records as CSV")
+    report_cmd.set_defaults(func=cmd_report)
 
     describe_cmd = sub.add_parser(
         "describe", help="summarise a dataset: stats, bias, MVD check")
@@ -281,7 +326,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .api import SweepSpec
 
     grid_flags_used = bool(args.dataset or args.approach or args.model
-                           or args.error or args.rows
+                           or args.error or args.imputer or args.metric
+                           or args.rows
                            or args.seeds is not None or args.no_baseline)
     if args.seeds is not None and args.seeds < 1:
         print("error: --seeds must be at least 1", file=sys.stderr)
@@ -296,8 +342,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.config is not None:
         if grid_flags_used:
             print("error: --config replaces the grid flags; drop "
-                  "--dataset/--approach/--model/--error/--seeds/--rows/"
-                  "--no-baseline", file=sys.stderr)
+                  "--dataset/--approach/--model/--error/--imputer/"
+                  "--metric/--seeds/--rows/--no-baseline",
+                  file=sys.stderr)
             return 2
         try:
             spec = SweepSpec.from_config(args.config)
@@ -320,6 +367,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 approaches=approaches,
                 models=args.model or ["lr"],
                 errors=[None, *args.error] if args.error else [None],
+                imputers=args.imputer or [None],
+                metrics=args.metric or [None],
                 seeds=range(args.seeds if args.seeds is not None else 1),
                 rows=args.rows or [4000],
                 causal_samples=(args.causal_samples
@@ -370,6 +419,89 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\nFAILED {failure.job.label()}:\n{failure.error}",
               file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _parse_where(pairs: Sequence[str]) -> dict:
+    """Parse ``AXIS=VALUE`` CLI tokens into a filter mapping."""
+    where = {}
+    for pair in pairs:
+        axis, sep, value = pair.partition("=")
+        if not sep or not axis:
+            raise ValueError(f"--where expects AXIS=VALUE, got {pair!r}")
+        where[axis] = value
+    return where
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .api import report
+    from .engine import (export_csv, export_json, format_pivot_table,
+                         grid_slices, overhead_series, pivot)
+    from .pipeline.report import format_runtime_table
+
+    try:
+        where = _parse_where(args.where)
+        sweep_report = report(args.cache_dir, where=where)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    outcomes = sweep_report.outcomes
+    selection = f" matching {' '.join(args.where)}" if where else ""
+    print(f"{len(outcomes)} cached cells{selection} in {args.cache_dir}")
+    if not outcomes:
+        return 1
+
+    if not args.no_tables:
+        datasets: list[str] = []
+        for outcome in outcomes:
+            if outcome.job.dataset not in datasets:
+                datasets.append(outcome.job.dataset)
+        for dataset in datasets:
+            selected = [o for o in outcomes if o.job.dataset == dataset]
+            seeds = {o.job.seed for o in selected}
+            # One table per combination of varying non-approach axes,
+            # so e.g. clean and corrupted cells never render as
+            # identically-labelled rows of one table.
+            for label, cells in grid_slices(selected):
+                qualifier = f"{label}, " if label else ""
+                print()
+                print(grid_table(cells, dataset=dataset,
+                                 title=f"{dataset} ({qualifier}"
+                                       f"seed-averaged over "
+                                       f"{len(seeds)} seeds)"))
+
+    for index, columns, value in args.pivot:
+        try:
+            table = pivot(outcomes, index=index, columns=columns,
+                          value=value)
+        except (AttributeError, KeyError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print()
+        print(format_pivot_table(table, index=index, columns=columns,
+                                 value=value))
+
+    if args.overhead is not None:
+        try:
+            series = overhead_series(outcomes, sweep=args.overhead)
+        except (AttributeError, KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print()
+        print(format_runtime_table(
+            list(series.items()), sweep_label=args.overhead,
+            title=f"fit-time overhead vs baseline by {args.overhead}"))
+
+    if args.export_json is not None:
+        print(f"wrote {export_json(outcomes, args.export_json)}")
+    if args.export_csv is not None:
+        print(f"wrote {export_csv(outcomes, args.export_csv)}")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:

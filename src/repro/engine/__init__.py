@@ -11,21 +11,30 @@ seed) — and this subsystem is the one way to run them:
 * :mod:`~repro.engine.executor` — :func:`run_sweep` executes cells
   over a process pool with failure isolation and progress/ETA.
 * :mod:`~repro.engine.report` — pivots a finished grid into the
-  per-figure tables.
+  per-figure tables, filters outcomes by any axis, and exports flat
+  records; together with :meth:`ResultCache.outcomes` it turns a
+  cache directory into a query surface (``repro report``).
 """
 
 from .cache import ResultCache
 from .executor import (JobOutcome, SweepProgress, SweepReport, execute_job,
                        run_sweep)
-from .report import (aggregate_over_seeds, cell_key, grid_table,
-                     group_outcomes, mean_result, overhead_series, pivot)
-from .spec import AUDITS, BASELINE_ALIASES, SPEC_VERSION, Job, ScenarioGrid
+from .report import (aggregate_over_seeds, cell_key, export_csv,
+                     export_json, filter_outcomes, format_pivot_table,
+                     grid_slices, grid_table, group_outcomes,
+                     mean_result, outcome_records, overhead_series,
+                     pivot)
+from .spec import (AUDITS, BASELINE_ALIASES, SPEC_VERSION, Job,
+                   ScenarioGrid, job_from_params)
 
 __all__ = [
     "AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
+    "job_from_params",
     "ResultCache",
     "JobOutcome", "SweepProgress", "SweepReport", "execute_job",
     "run_sweep",
     "aggregate_over_seeds", "cell_key", "grid_table", "group_outcomes",
     "mean_result", "overhead_series", "pivot",
+    "filter_outcomes", "outcome_records", "export_json", "export_csv",
+    "format_pivot_table", "grid_slices",
 ]

@@ -29,6 +29,19 @@ from .spec import Job
 __all__ = ["ResultCache"]
 
 
+def _none_first(value) -> tuple:
+    return (value is not None, "" if value is None else str(value))
+
+
+def _grid_order(outcome) -> tuple:
+    """Sort key restoring a grid-like order over reconstructed cells."""
+    job = outcome.job
+    return (job.dataset, job.rows, _none_first(job.n_features),
+            _none_first(job.error), _none_first(job.imputer), job.model,
+            job.approach is not None, job.approach_label,
+            _none_first(job.metric), job.seed)
+
+
 class ResultCache:
     """Fingerprint-addressed store of finished grid cells."""
 
@@ -71,6 +84,58 @@ class ResultCache:
         if not self.root.exists():
             return []
         return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def entries(self):
+        """Iterate ``(fingerprint, result, params)`` over every
+        readable cached cell (malformed files are skipped, as in
+        :meth:`get`)."""
+        for fingerprint in self.fingerprints():
+            try:
+                results, params = self._store(fingerprint).load(
+                    fingerprint)
+            except (FileNotFoundError, ValueError, KeyError):
+                continue
+            if not results:
+                continue
+            yield fingerprint, results[0], params
+
+    def outcomes(self):
+        """Reconstruct every cached cell as a :class:`JobOutcome`.
+
+        This is the reporting path: each entry's stored ``params``
+        block fully describes its job, so a finished sweep cache loads
+        back as outcomes — grid tables, pivots, and exports all work
+        with zero job re-executions.  Entries whose params no longer
+        parse (e.g. a component since removed from the registry) are
+        skipped.  Outcomes come back in a deterministic grid-like
+        order — dataset, rows, error, imputer, model, then approaches
+        with the baseline first — so rendered tables match a live
+        sweep's layout regardless of fingerprint order on disk.
+
+        A cache that survived a ``SPEC_VERSION`` bump can hold the
+        same logical cell twice (the old entry plus its re-computed
+        replacement under the new fingerprint); such duplicates
+        reconstruct to equal jobs and are collapsed to the entry
+        written under the newest spec version, so the old protocol's
+        results are never silently averaged into the new ones.
+        """
+        from .executor import JobOutcome
+        from .spec import job_from_params
+
+        best: dict[str, tuple[int, object]] = {}
+        for _, result, params in self.entries():
+            try:
+                job = job_from_params(params)
+            except (KeyError, TypeError, ValueError):
+                continue
+            version = int(params.get("spec_version", 0))
+            key = job.fingerprint
+            if key in best and best[key][0] >= version:
+                continue
+            best[key] = (version, JobOutcome(job=job, result=result,
+                                             cached=True))
+        return sorted((outcome for _, outcome in best.values()),
+                      key=_grid_order)
 
     def __len__(self) -> int:
         return len(self.fingerprints())

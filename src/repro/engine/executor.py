@@ -34,12 +34,45 @@ __all__ = ["JobOutcome", "SweepProgress", "SweepReport", "execute_job",
 # ----------------------------------------------------------------------
 # Single-cell execution (top level: must be picklable for the pool)
 # ----------------------------------------------------------------------
+def _impute_train(train, imputer_key: str, imputer_params: dict):
+    """Repair NaNs in the training features with a registry imputer.
+
+    Column-wise imputers (mean/median/mode/constant) fill each feature
+    column independently; matrix imputers (knn/iterative, marked with
+    ``matrix=True`` registry metadata) see the whole feature matrix so
+    they can borrow across columns.  A train split without NaNs passes
+    through untouched — the imputer axis is then a no-op cell.
+    """
+    import numpy as np
+
+    from ..registry import IMPUTERS
+
+    if not np.isnan(train.X).any():
+        return train
+    imputer = IMPUTERS.build(imputer_key, **imputer_params)
+    table = train.table
+    if IMPUTERS.get(imputer_key).metadata.get("matrix", False):
+        fixed = imputer(train.X)
+        for column, feature in enumerate(train.feature_names):
+            table = table.assign(**{feature: fixed[:, column]})
+    else:
+        for feature in train.feature_names:
+            values = table[feature].astype(float)
+            if np.isnan(values).any():
+                table = table.assign(**{feature: imputer(values)})
+    return train.with_table(table)
+
+
 def execute_job(job: Job) -> EvaluationResult:
-    """Run one grid cell: load → (truncate) → split → (corrupt) → fit →
-    evaluate → (audit).  Deterministic in ``job`` alone.
+    """Run one grid cell: load → (truncate) → split → (corrupt) →
+    (impute) → fit → evaluate → (audit).  Deterministic in ``job``
+    alone.
 
     Every component is built through :mod:`repro.registry` from the
-    job's key + parameter overrides.  When ``job.audit`` is
+    job's key + parameter overrides.  ``job.imputer`` repairs NaNs the
+    error recipe left in the training features; ``job.metric`` reads
+    the selected report metric off the finished result into
+    ``raw["metric_value"]``.  When ``job.audit`` is
     ``"counterfactual"``, the cell additionally runs the batched
     rung-3 audit (abduction in ``chunk_rows``-bounded batches) and
     merges its summary values into the result's ``raw`` mapping under
@@ -49,7 +82,7 @@ def execute_job(job: Job) -> EvaluationResult:
 
     from ..datasets import train_test_split
     from ..pipeline.experiment import run_experiment
-    from ..registry import DATASETS, ERRORS, MODELS
+    from ..registry import DATASETS, ERRORS, METRICS, MODELS
 
     # dataset_params may override the protocol's n/seed only on a
     # hand-built Job; grid- and spec-built jobs reject that upstream.
@@ -64,6 +97,8 @@ def execute_job(job: Job) -> EvaluationResult:
     if job.error is not None:
         injector = ERRORS.build(job.error, **job.error_params)
         train = injector(train, seed=job.seed)
+    if job.imputer is not None:
+        train = _impute_train(train, job.imputer, job.imputer_params)
     result = run_experiment(job.approach, train, split.test,
                             model=MODELS.build(job.model,
                                                **job.model_params),
@@ -90,6 +125,10 @@ def execute_job(job: Job) -> EvaluationResult:
             "cf_fpr_gap": audit.error_rates.fpr_gap,
             "cf_fnr_gap": audit.error_rates.fnr_gap,
         })
+    if job.metric is not None:
+        metric = METRICS.build(job.metric, **job.metric_params)
+        result = dataclasses.replace(result, raw={
+            **result.raw, "metric_value": float(metric.of(result))})
     return result
 
 

@@ -24,14 +24,15 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 __all__ = ["AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid",
-           "SPEC_VERSION"]
+           "SPEC_VERSION", "job_from_params"]
 
 #: Bumped whenever the experimental protocol behind a job changes
 #: meaning (it is hashed into every fingerprint, so old cache entries
 #: are invalidated rather than silently reused).  Version 2: registry
 #: parameter overrides and the optional counterfactual audit joined
-#: the parameterization.
-SPEC_VERSION = 2
+#: the parameterization.  Version 3: the imputer and metric families
+#: became sweep axes (``imputer``/``metric`` + ``*_params`` fields).
+SPEC_VERSION = 3
 
 #: Spellings accepted for the fairness-unaware baseline pipeline.
 BASELINE_ALIASES = {None, "", "baseline", "none", "LR"}
@@ -83,6 +84,8 @@ class Job:
     approach: str | None = None  # None = fairness-unaware baseline
     model: str = "lr"
     error: str | None = None  # corruption recipe for the training split
+    imputer: str | None = None  # repairs NaNs left in the train split
+    metric: str | None = None  # selected report metric for this cell
     seed: int = 0
     rows: int = 4000
     n_features: int | None = None  # truncate feature set (scalability)
@@ -94,6 +97,8 @@ class Job:
     approach_params: dict = field(default_factory=dict)
     model_params: dict = field(default_factory=dict)
     error_params: dict = field(default_factory=dict)
+    imputer_params: dict = field(default_factory=dict)
+    metric_params: dict = field(default_factory=dict)
     # Optional per-cell audit extension and its batching knobs.
     audit: str | None = None  # e.g. "counterfactual"
     chunk_rows: int | None = None  # abduction rows per batch
@@ -109,7 +114,8 @@ class Job:
         default in the registry changes the fingerprint instead of
         silently re-serving results computed under the old default.
         """
-        from ..registry import APPROACHES, DATASETS, ERRORS, MODELS
+        from ..registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS,
+                                METRICS, MODELS)
 
         return {
             "spec_version": SPEC_VERSION,
@@ -117,6 +123,8 @@ class Job:
             "approach": self.approach,
             "model": self.model,
             "error": self.error,
+            "imputer": self.imputer,
+            "metric": self.metric,
             "seed": int(self.seed),
             "rows": int(self.rows),
             "n_features": (None if self.n_features is None
@@ -135,6 +143,14 @@ class Job:
                 {} if self.error is None
                 else ERRORS.resolved_params(self.error,
                                             self.error_params)),
+            "imputer_params": (
+                {} if self.imputer is None
+                else IMPUTERS.resolved_params(self.imputer,
+                                              self.imputer_params)),
+            "metric_params": (
+                {} if self.metric is None
+                else METRICS.resolved_params(self.metric,
+                                             self.metric_params)),
             "audit": self.audit,
             "chunk_rows": (None if self.chunk_rows is None
                            else int(self.chunk_rows)),
@@ -170,14 +186,70 @@ class Job:
         """Compact human-readable cell description for progress lines."""
         parts = [self.dataset, self.approach_label, self.model,
                  f"seed={self.seed}"]
+        if self.imputer is not None:
+            parts.insert(2, f"imputer={self.imputer}")
         if self.error is not None:
             parts.insert(2, f"error={self.error}")
+        if self.metric is not None:
+            parts.append(f"metric={self.metric}")
         if self.n_features is not None:
             parts.append(f"attrs={self.n_features}")
         if self.audit is not None:
             parts.append(f"audit={self.audit}")
         parts.append(f"n={self.rows}")
         return " ".join(parts)
+
+
+def job_from_params(params) -> Job:
+    """Reconstruct a :class:`Job` from a stored cache ``params`` block.
+
+    Inverse of :meth:`Job.params` for the reporting path: a finished
+    sweep cache fully describes its cells, so outcomes can be rebuilt
+    without re-executing anything.  Stored component parameters are
+    *resolved* (registry defaults were merged in at save time);
+    entries that merely restate a currently-declared default are
+    stripped back to overrides, so reconstructed jobs carry the same
+    axis labels — and, for current-``SPEC_VERSION`` entries, the same
+    fingerprints — as live ones.  Blocks written under an older
+    ``spec_version`` still reconstruct (absent axes default), they just
+    fingerprint differently.
+    """
+    from ..registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS,
+                            METRICS, MODELS)
+
+    def overrides(registry, key) -> dict:
+        stored = dict(params.get(f"{registry.family}_params") or {})
+        if key is None or key not in registry:
+            return stored
+        defaults = registry.get(key).defaults
+        return {name: value for name, value in stored.items()
+                if not (name in defaults and defaults[name] == value)}
+
+    dataset = params["dataset"]
+    n_features = params.get("n_features")
+    chunk_rows = params.get("chunk_rows")
+    return Job(
+        dataset=dataset,
+        approach=params.get("approach"),
+        model=params.get("model", "lr"),
+        error=params.get("error"),
+        imputer=params.get("imputer"),
+        metric=params.get("metric"),
+        seed=int(params.get("seed", 0)),
+        rows=int(params.get("rows", 4000)),
+        n_features=None if n_features is None else int(n_features),
+        causal_samples=int(params.get("causal_samples", 5000)),
+        test_fraction=float(params.get("test_fraction", 0.3)),
+        dataset_params=overrides(DATASETS, dataset),
+        approach_params=overrides(APPROACHES, params.get("approach")),
+        model_params=overrides(MODELS, params.get("model", "lr")),
+        error_params=overrides(ERRORS, params.get("error")),
+        imputer_params=overrides(IMPUTERS, params.get("imputer")),
+        metric_params=overrides(METRICS, params.get("metric")),
+        audit=params.get("audit"),
+        chunk_rows=None if chunk_rows is None else int(chunk_rows),
+        audit_params=dict(params.get("audit_params") or {}),
+    )
 
 
 def _normalise_approach(name):
@@ -241,9 +313,9 @@ def check_reserved_params(spec: str | None, reserved: dict[str, str]
 class ScenarioGrid:
     """Declarative cross-product of experimental dimensions.
 
-    Expands to ``datasets × approaches × models × errors × seeds ×
-    rows × feature_counts`` jobs, in that (deterministic) nesting
-    order, with duplicate cells removed.  Dimension values are
+    Expands to ``datasets × approaches × models × errors × imputers ×
+    metrics × seeds × rows × feature_counts`` jobs, in a deterministic
+    nesting order, with duplicate cells removed.  Dimension values are
     registry specs — a bare key or a parameterized
     ``"key(param=value)"`` string / nested dict — validated against
     the live registries at construction so a typo (in a key *or* a
@@ -252,6 +324,17 @@ class ScenarioGrid:
     ``approaches`` may contain ``None`` (or the aliases ``"baseline"``
     / ``"LR"``) for the fairness-unaware baseline; most figures want it
     as their first row.
+
+    ``imputers`` entries repair any NaNs the error recipe left in the
+    training split (``None`` = no repair); ``metrics`` entries select a
+    registered report metric whose value each cell surfaces as
+    ``raw["metric_value"]`` (``None`` = no selection).  Every metric
+    entry is a full grid cell — K metrics run (and cache) each
+    experiment K times — so sweep ``metrics`` only when the metric
+    must be a first-class grid coordinate (per-metric exports, a
+    ``metric`` pivot axis); every result always carries all metric
+    fields anyway, and :func:`~repro.engine.report.pivot` reads them
+    at report time for free.
 
     ``audit="counterfactual"`` extends every cell with the rung-3
     counterfactual audit; ``chunk_rows`` bounds its abduction batches
@@ -263,6 +346,8 @@ class ScenarioGrid:
     approaches: Sequence[str | None] = (None,)
     models: Sequence[str] = ("lr",)
     errors: Sequence[str | None] = (None,)
+    imputers: Sequence[str | None] = (None,)
+    metrics: Sequence[str | None] = (None,)
     seeds: Sequence[int] = (0,)
     rows: Sequence[int] = (4000,)
     feature_counts: Sequence[int | None] = (None,)
@@ -273,7 +358,8 @@ class ScenarioGrid:
     audit_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        from ..registry import APPROACHES, DATASETS, ERRORS, MODELS
+        from ..registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS,
+                                METRICS, MODELS)
 
         self.datasets = tuple(
             DATASETS.canonical(d) for d in _as_tuple(self.datasets, ()))
@@ -286,6 +372,12 @@ class ScenarioGrid:
         self.errors = tuple(
             None if e is None else ERRORS.canonical(e)
             for e in _as_tuple(self.errors, (None,)))
+        self.imputers = tuple(
+            None if i is None else IMPUTERS.canonical(i)
+            for i in _as_tuple(self.imputers, (None,)))
+        self.metrics = tuple(
+            None if m is None else METRICS.canonical(m)
+            for m in _as_tuple(self.metrics, (None,)))
         self.seeds = tuple(int(s) for s in _as_tuple(self.seeds, (0,)))
         self.rows = tuple(int(r) for r in _as_tuple(self.rows, (4000,)))
         self.feature_counts = _as_tuple(self.feature_counts, (None,))
@@ -303,7 +395,9 @@ class ScenarioGrid:
         for what, specs in (("dataset", self.datasets),
                             ("approach", self.approaches),
                             ("model", self.models),
-                            ("error", self.errors)):
+                            ("error", self.errors),
+                            ("imputer", self.imputers),
+                            ("metric", self.metrics)):
             for spec in specs:
                 if spec is not None:
                     check_fingerprintable_params(spec, what)
@@ -348,43 +442,66 @@ class ScenarioGrid:
                         error, error_params = (
                             (None, {}) if error_spec is None
                             else parse_spec(error_spec))
-                        for model_spec in self.models:
-                            model, model_params = parse_spec(model_spec)
-                            for approach_spec in self.approaches:
-                                approach, approach_params = (
-                                    (None, {}) if approach_spec is None
-                                    else parse_spec(approach_spec))
-                                for seed in self.seeds:
-                                    job = Job(
-                                        dataset=dataset,
-                                        approach=approach,
-                                        model=model,
-                                        error=error,
-                                        seed=seed,
-                                        rows=n_rows,
-                                        n_features=n_features,
-                                        causal_samples=self.causal_samples,
-                                        test_fraction=self.test_fraction,
-                                        dataset_params=dataset_params,
-                                        approach_params=approach_params,
-                                        model_params=model_params,
-                                        error_params=error_params,
-                                        audit=self.audit,
-                                        chunk_rows=self.chunk_rows,
-                                        audit_params=dict(self.audit_params),
-                                    )
-                                    fingerprint = job.fingerprint
-                                    if fingerprint not in seen:
-                                        seen.add(fingerprint)
-                                        jobs.append(job)
+                        for imputer_spec in self.imputers:
+                            imputer, imputer_params = (
+                                (None, {}) if imputer_spec is None
+                                else parse_spec(imputer_spec))
+                            for model_spec in self.models:
+                                model, model_params = parse_spec(
+                                    model_spec)
+                                for approach_spec in self.approaches:
+                                    approach, approach_params = (
+                                        (None, {})
+                                        if approach_spec is None
+                                        else parse_spec(approach_spec))
+                                    self._expand_cell(
+                                        jobs, seen,
+                                        dataset, dataset_params,
+                                        n_rows, n_features,
+                                        error, error_params,
+                                        imputer, imputer_params,
+                                        model, model_params,
+                                        approach, approach_params)
         self._jobs = jobs
         return list(jobs)
+
+    def _expand_cell(self, jobs, seen, dataset, dataset_params, n_rows,
+                     n_features, error, error_params, imputer,
+                     imputer_params, model, model_params, approach,
+                     approach_params) -> None:
+        """Innermost expansion: metrics × seeds for one grid point."""
+        from ..registry import parse_spec
+
+        for metric_spec in self.metrics:
+            metric, metric_params = ((None, {}) if metric_spec is None
+                                     else parse_spec(metric_spec))
+            for seed in self.seeds:
+                job = Job(
+                    dataset=dataset, approach=approach, model=model,
+                    error=error, imputer=imputer, metric=metric,
+                    seed=seed, rows=n_rows, n_features=n_features,
+                    causal_samples=self.causal_samples,
+                    test_fraction=self.test_fraction,
+                    dataset_params=dataset_params,
+                    approach_params=approach_params,
+                    model_params=model_params,
+                    error_params=error_params,
+                    imputer_params=imputer_params,
+                    metric_params=metric_params,
+                    audit=self.audit, chunk_rows=self.chunk_rows,
+                    audit_params=dict(self.audit_params),
+                )
+                fingerprint = job.fingerprint
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    jobs.append(job)
 
     def describe(self) -> str:
         """One-line summary for logs and CLI output."""
         dims = []
         for name in ("datasets", "approaches", "models", "errors",
-                     "seeds", "rows", "feature_counts"):
+                     "imputers", "metrics", "seeds", "rows",
+                     "feature_counts"):
             values = getattr(self, name)
             if len(values) > 1 or (len(values) == 1
                                    and values[0] is not None):

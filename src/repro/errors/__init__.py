@@ -1,9 +1,9 @@
 """Data-error injection and imputation (robustness experiments)."""
 
 from .extended import (EXTENDED_RECIPES, CorruptionPipeline, CorruptionStep,
-                       corrupt_extended, duplicate_rows, flip_labels,
-                       inject_outliers, missing_completely_at_random,
-                       selection_bias)
+                       corrupt_extended, corrupt_missing, duplicate_rows,
+                       flip_labels, inject_outliers,
+                       missing_completely_at_random, selection_bias)
 from .imputers import (impute_constant, impute_iterative, impute_knn,
                        impute_mean, impute_median, impute_mode)
 from .injectors import (RECIPES, add_noise, affected_rows, corrupt,
@@ -19,5 +19,5 @@ __all__ = [
     "flip_labels", "selection_bias", "inject_outliers", "duplicate_rows",
     "missing_completely_at_random",
     "CorruptionStep", "CorruptionPipeline",
-    "EXTENDED_RECIPES", "corrupt_extended",
+    "EXTENDED_RECIPES", "corrupt_extended", "corrupt_missing",
 ]

@@ -223,7 +223,38 @@ def corrupt_t6(dataset: Dataset, rng: np.random.Generator,
     return duplicate_rows(out, dup_mask)
 
 
-EXTENDED_RECIPES = {"t4": corrupt_t4, "t5": corrupt_t5, "t6": corrupt_t6}
+def corrupt_missing(dataset: Dataset, rng: np.random.Generator,
+                    unprivileged_rate: float = 0.5,
+                    privileged_rate: float = 0.1,
+                    column_rate: float = 0.5) -> Dataset:
+    """Disproportionate feature missingness, left as NaN.
+
+    Unlike T3 (which blanks S and Y and re-imputes them on the spot),
+    the holes here *stay* NaN: each affected row loses a random
+    ``column_rate`` fraction of its feature values.  The repair choice
+    is deliberately someone else's job — pair this recipe with the
+    sweep engine's ``imputer`` axis to compare imputers on identical
+    corruption.
+    """
+    mask = affected_rows(dataset, unprivileged_rate, privileged_rate, rng)
+    if not 0.0 <= column_rate <= 1.0:
+        raise ValueError("column_rate must be in [0, 1]")
+    features = dataset.feature_names
+    holes = mask[:, None] & (rng.random((dataset.n_rows,
+                                         len(features))) < column_rate)
+    table = dataset.table
+    for column, feature in enumerate(features):
+        column_holes = holes[:, column]
+        if column_holes.all():  # keep every column imputable
+            column_holes[rng.integers(dataset.n_rows)] = False
+        values = table[feature].astype(float).copy()
+        values[column_holes] = np.nan
+        table = table.assign(**{feature: values})
+    return dataset.with_table(table)
+
+
+EXTENDED_RECIPES = {"t4": corrupt_t4, "t5": corrupt_t5, "t6": corrupt_t6,
+                    "missing": corrupt_missing}
 
 
 def corrupt_extended(dataset: Dataset, recipe: str, seed: int = 0,

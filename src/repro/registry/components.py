@@ -19,7 +19,8 @@ import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..datasets.generators import load_adult, load_compas, load_german
-from ..errors.extended import corrupt_t4, corrupt_t5, corrupt_t6
+from ..errors.extended import (corrupt_missing, corrupt_t4, corrupt_t5,
+                               corrupt_t6)
 from ..errors.imputers import (impute_constant, impute_iterative, impute_knn,
                                impute_mean, impute_median, impute_mode)
 from ..errors.injectors import corrupt_t1, corrupt_t2, corrupt_t3
@@ -201,17 +202,24 @@ _register_recipe("t5", corrupt_t5, "selection bias (row removal)",
                  "extended")
 _register_recipe("t6", corrupt_t6, "outliers + duplicated rows",
                  "extended")
+_register_recipe("missing", corrupt_missing,
+                 "feature NaNs left for the imputer axis", "extended")
 
 
 # ----------------------------------------------------------------------
 # Imputers — a key builds a configured ``array -> array`` callable.
+# ``matrix=True`` metadata marks imputers that consume the whole
+# feature matrix (and can borrow across columns); the others fill one
+# column at a time.  The sweep executor dispatches on this flag.
 # ----------------------------------------------------------------------
-def _register_imputer(key: str, fn: Callable, description: str) -> None:
+def _register_imputer(key: str, fn: Callable, description: str,
+                      matrix: bool = False) -> None:
     accepted = _accepted_params(fn)
     IMPUTERS.register(key, functools.partial(_make_imputer, fn),
                       accepts=(None if accepted is None
                                else accepted - {"values", "X"}),
-                      stochastic=False, description=description)
+                      stochastic=False, description=description,
+                      matrix=matrix)
 
 
 def _make_imputer(fn: Callable, **params) -> Callable:
@@ -222,9 +230,10 @@ _register_imputer("mean", impute_mean, "column mean")
 _register_imputer("median", impute_median, "column median")
 _register_imputer("mode", impute_mode, "most frequent value")
 _register_imputer("constant", impute_constant, "fixed fill value")
-_register_imputer("knn", impute_knn, "k-nearest-donor average")
+_register_imputer("knn", impute_knn, "k-nearest-donor average",
+                  matrix=True)
 _register_imputer("iterative", impute_iterative,
-                  "MICE-style round-robin ridge")
+                  "MICE-style round-robin ridge", matrix=True)
 
 
 # ----------------------------------------------------------------------

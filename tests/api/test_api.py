@@ -148,7 +148,9 @@ class TestSweepSpec:
         path = (pathlib.Path(__file__).parents[2] / "examples"
                 / "sweep.yaml")
         spec = SweepSpec.from_config(path)
-        assert spec.to_grid().size == 8  # (baseline + 3) × 2 seeds
+        # (baseline + 2) × 2 errors × 1 imputer × 2 seeds
+        assert spec.to_grid().size == 12
+        assert spec.imputers == ("knn",)
         assert spec.jobs == 2
 
     def test_sweep_runs_end_to_end(self):

@@ -3,28 +3,32 @@
 import pytest
 
 from repro.engine import (Job, JobOutcome, aggregate_over_seeds,
-                          grid_table, mean_result, overhead_series, pivot)
+                          grid_table, group_outcomes, mean_result,
+                          overhead_series, pivot)
 from repro.pipeline import EvaluationResult
 
 
 def make_result(approach="LR", stage="baseline", accuracy=0.7,
-                fit_seconds=1.0) -> EvaluationResult:
+                fit_seconds=1.0, raw=None) -> EvaluationResult:
     return EvaluationResult(
         approach=approach, dataset="german", stage=stage,
         accuracy=accuracy, precision=0.6, recall=0.8, f1=0.69,
         di_star=0.9, tprb=0.95, tnrb=0.92, id=0.88, te=0.91, nde=0.93,
-        nie=0.97, raw={"di": accuracy}, fit_seconds=fit_seconds)
+        nie=0.97, raw=raw if raw is not None else {"di": accuracy},
+        fit_seconds=fit_seconds)
 
 
 def make_outcome(approach=None, seed=0, rows=400, accuracy=0.7,
-                 fit_seconds=1.0, failed=False) -> JobOutcome:
+                 fit_seconds=1.0, failed=False, approach_params=None,
+                 raw=None) -> JobOutcome:
     job = Job(dataset="german", approach=approach, seed=seed, rows=rows,
-              causal_samples=300)
+              causal_samples=300,
+              approach_params=approach_params or {})
     if failed:
         return JobOutcome(job=job, error="boom")
     name = approach if approach is not None else "LR"
     return JobOutcome(job=job, result=make_result(
-        name, accuracy=accuracy, fit_seconds=fit_seconds))
+        name, accuracy=accuracy, fit_seconds=fit_seconds, raw=raw))
 
 
 class TestMeanResult:
@@ -42,6 +46,23 @@ class TestMeanResult:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             mean_result([])
+
+    def test_partially_missing_raw_keys_survive(self):
+        # A raw key absent on some seeds (e.g. a failed audit on one)
+        # must surface as the mean over the seeds that carry it, not
+        # silently vanish from the aggregate.
+        merged = mean_result([
+            make_result(raw={"di": 0.8, "cf_mean_gap": 0.1}),
+            make_result(raw={"di": 0.6}),
+            make_result(raw={"di": 0.7, "cf_mean_gap": 0.3}),
+        ])
+        assert merged.raw["di"] == pytest.approx(0.7)
+        assert merged.raw["cf_mean_gap"] == pytest.approx(0.2)
+
+    def test_raw_key_missing_from_first_result_survives(self):
+        merged = mean_result([make_result(raw={}),
+                              make_result(raw={"cf_mean_gap": 0.4})])
+        assert merged.raw["cf_mean_gap"] == pytest.approx(0.4)
 
 
 class TestAggregateOverSeeds:
@@ -79,6 +100,71 @@ class TestPivot:
     def test_unknown_metric_rejected(self):
         with pytest.raises(KeyError):
             pivot([], index="approach", columns="rows", value="stage")
+
+    def test_raw_and_audit_metrics_resolve(self):
+        # value="cf_mean_gap" lives in result.raw, not _METRIC_FIELDS;
+        # it must pivot instead of being rejected.
+        outcomes = [
+            make_outcome(None, seed=0, raw={"cf_mean_gap": 0.2}),
+            make_outcome(None, seed=1, raw={"cf_mean_gap": 0.4}),
+            make_outcome("Hardt-eo", seed=0, raw={"cf_mean_gap": 0.1}),
+        ]
+        table = pivot(outcomes, index="approach", columns="dataset",
+                      value="cf_mean_gap")
+        assert table[None]["german"] == pytest.approx(0.3)
+        assert table["Hardt-eo"]["german"] == pytest.approx(0.1)
+
+    def test_outcomes_missing_the_raw_key_are_skipped(self):
+        outcomes = [
+            make_outcome(None, seed=0, raw={"cf_mean_gap": 0.2}),
+            make_outcome("Hardt-eo", seed=0, raw={}),  # failed audit
+        ]
+        table = pivot(outcomes, index="approach", columns="dataset",
+                      value="cf_mean_gap")
+        assert list(table) == [None]
+
+    def test_raw_key_found_nowhere_rejected(self):
+        outcomes = [make_outcome(None, raw={"cf_mean_gap": 0.2})]
+        with pytest.raises(KeyError, match="cf_mean_gap"):
+            pivot(outcomes, index="approach", columns="dataset",
+                  value="nonexistent")
+
+    def test_parameterized_cells_pivot_separately(self):
+        outcomes = [
+            make_outcome("Celis-pp", approach_params={"tau": 0.7},
+                         accuracy=0.6),
+            make_outcome("Celis-pp", approach_params={"tau": 0.9},
+                         accuracy=0.8),
+        ]
+        table = pivot(outcomes, index="approach", columns="dataset",
+                      value="accuracy")
+        assert table["Celis-pp(tau=0.7)"]["german"] == pytest.approx(0.6)
+        assert table["Celis-pp(tau=0.9)"]["german"] == pytest.approx(0.8)
+
+
+class TestGroupOutcomes:
+    def test_parameterized_cells_group_separately(self):
+        # Before the _axis_value fix these two silently merged into one
+        # "Celis-pp" group.
+        outcomes = [
+            make_outcome("Celis-pp", approach_params={"tau": 0.7}),
+            make_outcome("Celis-pp", approach_params={"tau": 0.9}),
+            make_outcome("Celis-pp", approach_params={"tau": 0.9},
+                         seed=1),
+        ]
+        groups = group_outcomes(outcomes, "approach")
+        assert list(groups) == ["Celis-pp(tau=0.7)", "Celis-pp(tau=0.9)"]
+        assert len(groups["Celis-pp(tau=0.9)"]) == 2
+
+    def test_failed_outcomes_excluded(self):
+        groups = group_outcomes([make_outcome(None, failed=True)],
+                                "approach")
+        assert groups == {}
+
+    def test_plain_attributes_still_group(self):
+        groups = group_outcomes([make_outcome(None, seed=0),
+                                 make_outcome(None, seed=1)], "seed")
+        assert list(groups) == [0, 1]
 
 
 class TestGridTable:

@@ -64,7 +64,7 @@ class TestFamilies:
         assert len(DATASETS) == 3
         assert len(MODELS) == 7
         assert len(APPROACHES) == 24
-        assert len(ERRORS) == 6       # t1-t3 paper + t4-t6 extended
+        assert len(ERRORS) == 7       # t1-t3 paper + t4-t6/missing ext.
         assert len(IMPUTERS) == 6
         assert len(METRICS) == 11     # 4 correctness + 7 fairness
 
