@@ -1,26 +1,34 @@
 """Perf benchmark: the vectorized rung-3 audit vs the loop reference.
 
 Times the counterfactual-fairness audit (batched abduction, two
-predict calls per chunk) and the situation-testing audit (chunked
-distances + argpartition top-k) against the retained loop references
-in ``repro.causal.reference`` / ``repro.metrics.reference``, at
-n ∈ {1k, 5k, 20k} rows of the synthetic COMPAS dataset, and writes the
-result as ``BENCH_counterfactual.json`` — the repo's perf-trajectory
-record for this hot path.
+predict calls per chunk) and the situation-testing audit (shared
+block-matmul top-k kernel, ``repro.metrics.pairwise``) against the
+retained loop references in ``repro.causal.reference`` /
+``repro.metrics.reference``, at n ∈ {1k, 5k, 20k} rows of the
+synthetic COMPAS dataset, and writes the result as
+``BENCH_counterfactual.json`` — the repo's perf-trajectory record for
+this hot path.
 
 The loop reference is skipped above ``--loop-max`` rows (it is the
 point of this benchmark that the loop does not scale; the dense
 situation-testing matrix alone is 3.2 GB at n=20k).
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_counterfactual.py
-      (--sizes 1000 --out BENCH_counterfactual.ci.json for the CI
-      smoke variant)
+      (--sizes 1000 20000 --particles 25 --out
+      BENCH_counterfactual.ci.json for the CI smoke variant)
 
 ``--assert-no-regression BASELINE.json`` compares the run against a
 committed baseline record: at every common size, the vectorized-path
 speedup over the loop reference must stay within ``--regression-slack``
 of the baseline's (ratios absorb machine differences better than raw
-seconds do); a violation exits non-zero so CI fails.
+seconds do), and at sizes where the loop was skipped on both sides
+(n=20k) the vectorized wall times themselves may not exceed
+``baseline / slack`` — so the large-n paths are guarded even without
+a loop to ratio against.  Checks are gated on the knobs the numbers
+depend on (``cf_*`` needs matching particle counts, ``st_*`` matching
+``k``/``block_size``) and skipped with a printed note otherwise — the
+CI smoke runs reduced particles, so only its situation-testing
+numbers are compared.  A violation exits non-zero so CI fails.
 """
 
 from __future__ import annotations
@@ -69,7 +77,7 @@ def timed(fn):
 
 
 def bench_size(size: int, n_particles: int, k: int,
-               run_loop: bool) -> dict:
+               run_loop: bool, block_size: int | None = None) -> dict:
     from repro.metrics import counterfactual_fairness, situation_testing
     from repro.metrics.reference import (counterfactual_fairness_loop,
                                          situation_testing_loop)
@@ -86,7 +94,7 @@ def bench_size(size: int, n_particles: int, k: int,
 
     y_hat = predict(cols)
     st_vec_s, st_vec = timed(lambda: situation_testing(
-        ds.X, ds.s, y_hat, k=k))
+        ds.X, ds.s, y_hat, k=k, block_size=block_size))
     entry["st_vectorized_s"] = round(st_vec_s, 4)
     entry["st_mean_gap"] = round(st_vec.mean_gap, 6)
 
@@ -111,24 +119,70 @@ def bench_size(size: int, n_particles: int, k: int,
     return entry
 
 
-def check_regression(results: dict, baseline_path: pathlib.Path,
+def check_regression(payload: dict, baseline_path: pathlib.Path,
                      slack: float) -> list[str]:
-    """Speedup-ratio regressions of ``results`` vs a baseline record."""
-    baseline = json.loads(baseline_path.read_text())["results"]
+    """Regressions of a run ``payload`` vs a baseline record.
+
+    Comparisons are gated on the knobs each number actually depends
+    on, so a configuration drift between the run and the baseline is
+    skipped loudly instead of producing a meaningless 50%-slack pass:
+
+    * counterfactual-audit checks require matching ``n_particles``;
+    * situation-testing checks require matching ``k`` and
+      ``block_size``.
+
+    Where both runs timed the loop reference, the speedup *ratio*
+    must stay within ``slack`` of the baseline's (ratios absorb
+    machine differences).  At sizes where neither did (above
+    ``--loop-max``, e.g. the n=20k smoke), the vectorized wall time
+    itself is held to ``baseline / slack``.
+    """
+    baseline_payload = json.loads(baseline_path.read_text())
+    baseline = baseline_payload["results"]
+    comparable = {
+        "cf": baseline_payload.get("n_particles") == payload.get(
+            "n_particles"),
+        "st": (baseline_payload.get("k") == payload.get("k")
+               and baseline_payload.get("block_size")
+               == payload.get("block_size")),
+    }
+    for prefix, ok in comparable.items():
+        if not ok:
+            print(f"note: {prefix}_* checks skipped — run/baseline "
+                  "configs differ "
+                  f"(run {payload.get('n_particles')} particles / "
+                  f"k={payload.get('k')} / "
+                  f"block_size={payload.get('block_size')}, baseline "
+                  f"{baseline_payload.get('n_particles')} / "
+                  f"k={baseline_payload.get('k')} / "
+                  f"block_size={baseline_payload.get('block_size')})")
     problems = []
-    for size, entry in results.items():
+    for size, entry in payload["results"].items():
         reference = baseline.get(size)
         if reference is None:
             continue
-        for metric in ("cf_speedup", "st_speedup"):
-            if metric not in entry or metric not in reference:
+        for prefix in ("cf", "st"):
+            if not comparable[prefix]:
                 continue
-            floor = reference[metric] * slack
-            if entry[metric] < floor:
-                problems.append(
-                    f"n={size}: {metric} {entry[metric]:.2f}x is below "
-                    f"{slack:.0%} of the baseline's "
-                    f"{reference[metric]:.2f}x")
+            ratio = f"{prefix}_speedup"
+            if ratio in entry and ratio in reference:
+                floor = reference[ratio] * slack
+                if entry[ratio] < floor:
+                    problems.append(
+                        f"n={size}: {ratio} {entry[ratio]:.2f}x is "
+                        f"below {slack:.0%} of the baseline's "
+                        f"{reference[ratio]:.2f}x")
+            elif ratio not in entry and ratio not in reference:
+                seconds = f"{prefix}_vectorized_s"
+                if seconds not in entry or seconds not in reference:
+                    continue
+                ceiling = reference[seconds] / slack
+                if entry[seconds] > ceiling:
+                    problems.append(
+                        f"n={size}: {seconds} {entry[seconds]:.2f}s "
+                        f"exceeds {ceiling:.2f}s (baseline "
+                        f"{reference[seconds]:.2f}s / {slack:.0%} "
+                        "slack)")
     return problems
 
 
@@ -142,6 +196,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--loop-max", type=int, default=5000,
                         help="largest size at which the loop reference "
                              "is also timed")
+    parser.add_argument("--block-size", type=int, default=None,
+                        metavar="N",
+                        help="pairwise-kernel query rows per block for "
+                             "situation testing (default: kernel "
+                             "default)")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     parser.add_argument("--assert-no-regression", type=pathlib.Path,
                         default=None, metavar="BASELINE",
@@ -159,7 +218,8 @@ def main(argv: list[str] | None = None) -> None:
               f"({'with' if run_loop else 'without'} loop reference) ...",
               flush=True)
         results[str(size)] = bench_size(size, args.particles, args.k,
-                                        run_loop)
+                                        run_loop,
+                                        block_size=args.block_size)
         entry = results[str(size)]
         line = (f"  cf audit {entry['cf_vectorized_s']:.3f}s"
                 f"  situation testing {entry['st_vectorized_s']:.3f}s")
@@ -172,10 +232,11 @@ def main(argv: list[str] | None = None) -> None:
 
     payload = {
         "bench": "counterfactual_audit",
-        "schema": 1,
+        "schema": 2,
         "dataset": "compas (synthetic generator, 4-bin discretized)",
         "n_particles": args.particles,
         "k": args.k,
+        "block_size": args.block_size,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -187,7 +248,7 @@ def main(argv: list[str] | None = None) -> None:
     print(f"wrote {args.out}")
 
     if args.assert_no_regression is not None:
-        problems = check_regression(results, args.assert_no_regression,
+        problems = check_regression(payload, args.assert_no_regression,
                                     args.regression_slack)
         if problems:
             raise SystemExit("PERF REGRESSION vs "

@@ -29,6 +29,7 @@ Config schema (YAML shown; JSON is isomorphic)::
       audit: counterfactual                 # optional rung-3 audit
       chunk_rows: 256                       # abduction batch bound
       audit_params: {n_particles: 20, max_rows: 40}
+      block_size: 1024                      # pairwise-kernel blocks
     engine:
       jobs: 2
       cache_dir: .sweep-cache
@@ -161,6 +162,7 @@ class ExperimentSpec:
     audit: str | None = None
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
+    block_size: int | None = None
 
     def __post_init__(self) -> None:
         self.dataset = DATASETS.canonical(self.dataset)
@@ -193,6 +195,9 @@ class ExperimentSpec:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(
                 f"chunk_rows must be positive, got {self.chunk_rows}")
+        if self.block_size is not None and self.block_size < 1:
+            raise ValueError(
+                f"block_size must be positive, got {self.block_size}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -236,7 +241,8 @@ class ExperimentSpec:
                    imputer_params=imputer_params,
                    metric_params=metric_params,
                    audit=self.audit, chunk_rows=self.chunk_rows,
-                   audit_params=dict(self.audit_params))
+                   audit_params=dict(self.audit_params),
+                   block_size=self.block_size)
 
     def run(self) -> EvaluationResult:
         """Execute the experiment (load → split → corrupt → fit →
@@ -275,6 +281,7 @@ class SweepSpec:
     audit: str | None = None
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
+    block_size: int | None = None
     jobs: int = 1
     cache_dir: str | None = None
     resume: bool = True
@@ -337,7 +344,8 @@ class SweepSpec:
             causal_samples=self.causal_samples,
             test_fraction=self.test_fraction, audit=self.audit,
             chunk_rows=self.chunk_rows,
-            audit_params=dict(self.audit_params))
+            audit_params=dict(self.audit_params),
+            block_size=self.block_size)
 
     def run(self, progress=None, max_workers: int | None = None,
             cache: ResultCache | None = None,

@@ -164,6 +164,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="abduction rows per batch for the "
                                 "counterfactual audit")
+    sweep_cmd.add_argument("--block-size", type=int, default=None,
+                           metavar="N",
+                           help="pairwise-kernel query rows per block "
+                                "for k-NN components (knn model / "
+                                "imputer)")
     sweep_cmd.add_argument("--no-baseline", action="store_true",
                            help="omit the fairness-unaware LR baseline "
                                 "cells")
@@ -338,6 +343,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.chunk_rows is not None and args.chunk_rows < 1:
         print("error: --chunk-rows must be at least 1", file=sys.stderr)
         return 2
+    if args.block_size is not None and args.block_size < 1:
+        print("error: --block-size must be at least 1", file=sys.stderr)
+        return 2
 
     if args.config is not None:
         if grid_flags_used:
@@ -396,6 +404,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.audit = args.audit
     if args.chunk_rows is not None:
         spec.chunk_rows = args.chunk_rows
+    if args.block_size is not None:
+        spec.block_size = args.block_size
     if args.config is not None and args.causal_samples is not None:
         spec.causal_samples = args.causal_samples
 

@@ -76,60 +76,67 @@ def execute_job(job: Job) -> EvaluationResult:
     ``"counterfactual"``, the cell additionally runs the batched
     rung-3 audit (abduction in ``chunk_rows``-bounded batches) and
     merges its summary values into the result's ``raw`` mapping under
-    ``cf_*`` / ``ctf_*`` keys.
+    ``cf_*`` / ``ctf_*`` keys.  ``job.block_size`` overrides the
+    pairwise kernel's block size for the whole cell, reaching every
+    k-NN-shaped component (knn model, knn imputer) it builds.
     """
     import dataclasses
 
     from ..datasets import train_test_split
+    from ..metrics import pairwise
     from ..pipeline.experiment import run_experiment
     from ..registry import DATASETS, ERRORS, METRICS, MODELS
 
-    # dataset_params may override the protocol's n/seed only on a
-    # hand-built Job; grid- and spec-built jobs reject that upstream.
-    dataset = DATASETS.build(job.dataset, **{
-        "n": job.rows, "seed": job.seed, **job.dataset_params})
-    if job.n_features is not None:
-        dataset = dataset.select_features(
-            dataset.feature_names[:job.n_features])
-    split = train_test_split(dataset, test_fraction=job.test_fraction,
-                             seed=job.seed)
-    train = split.train
-    if job.error is not None:
-        injector = ERRORS.build(job.error, **job.error_params)
-        train = injector(train, seed=job.seed)
-    if job.imputer is not None:
-        train = _impute_train(train, job.imputer, job.imputer_params)
-    result = run_experiment(job.approach, train, split.test,
-                            model=MODELS.build(job.model,
-                                               **job.model_params),
-                            seed=job.seed,
-                            causal_samples=job.causal_samples,
-                            approach_params=job.approach_params)
-    if job.audit == "counterfactual":
-        from ..pipeline.counterfactual_eval import evaluate_counterfactual
+    with pairwise.default_block_size(job.block_size):
+        # dataset_params may override the protocol's n/seed only on a
+        # hand-built Job; grid- and spec-built jobs reject that
+        # upstream.
+        dataset = DATASETS.build(job.dataset, **{
+            "n": job.rows, "seed": job.seed, **job.dataset_params})
+        if job.n_features is not None:
+            dataset = dataset.select_features(
+                dataset.feature_names[:job.n_features])
+        split = train_test_split(dataset,
+                                 test_fraction=job.test_fraction,
+                                 seed=job.seed)
+        train = split.train
+        if job.error is not None:
+            injector = ERRORS.build(job.error, **job.error_params)
+            train = injector(train, seed=job.seed)
+        if job.imputer is not None:
+            train = _impute_train(train, job.imputer, job.imputer_params)
+        result = run_experiment(job.approach, train, split.test,
+                                model=MODELS.build(job.model,
+                                                   **job.model_params),
+                                seed=job.seed,
+                                causal_samples=job.causal_samples,
+                                approach_params=job.approach_params)
+        if job.audit == "counterfactual":
+            from ..pipeline.counterfactual_eval import \
+                evaluate_counterfactual
 
-        audit = evaluate_counterfactual(
-            job.approach, train, split.test,
-            model=MODELS.build(job.model, **job.model_params),
-            seed=job.seed, chunk_rows=job.chunk_rows,
-            approach_params=job.approach_params, **job.audit_params)
-        result = dataclasses.replace(result, raw={
-            **result.raw,
-            "cf_mean_gap": audit.fairness.mean_gap,
-            "cf_max_gap": audit.fairness.max_gap,
-            "cf_unfair_fraction": audit.fairness.unfair_fraction,
-            "ctf_de": audit.effects.de,
-            "ctf_ie": audit.effects.ie,
-            "ctf_se": audit.effects.se,
-            "ctf_tv": audit.effects.tv,
-            "cf_fpr_gap": audit.error_rates.fpr_gap,
-            "cf_fnr_gap": audit.error_rates.fnr_gap,
-        })
-    if job.metric is not None:
-        metric = METRICS.build(job.metric, **job.metric_params)
-        result = dataclasses.replace(result, raw={
-            **result.raw, "metric_value": float(metric.of(result))})
-    return result
+            audit = evaluate_counterfactual(
+                job.approach, train, split.test,
+                model=MODELS.build(job.model, **job.model_params),
+                seed=job.seed, chunk_rows=job.chunk_rows,
+                approach_params=job.approach_params, **job.audit_params)
+            result = dataclasses.replace(result, raw={
+                **result.raw,
+                "cf_mean_gap": audit.fairness.mean_gap,
+                "cf_max_gap": audit.fairness.max_gap,
+                "cf_unfair_fraction": audit.fairness.unfair_fraction,
+                "ctf_de": audit.effects.de,
+                "ctf_ie": audit.effects.ie,
+                "ctf_se": audit.effects.se,
+                "ctf_tv": audit.effects.tv,
+                "cf_fpr_gap": audit.error_rates.fpr_gap,
+                "cf_fnr_gap": audit.error_rates.fnr_gap,
+            })
+        if job.metric is not None:
+            metric = METRICS.build(job.metric, **job.metric_params)
+            result = dataclasses.replace(result, raw={
+                **result.raw, "metric_value": float(metric.of(result))})
+        return result
 
 
 def _guarded_execute(indexed_job: tuple[int, Job]

@@ -39,7 +39,7 @@ _METRIC_FIELDS = ("accuracy", "precision", "recall", "f1", "di_star",
 _COMPONENT_AXES = ("dataset", "approach", "model", "error", "imputer",
                    "metric")
 _JOB_AXES = (*_COMPONENT_AXES, "seed", "rows", "n_features", "audit",
-             "chunk_rows")
+             "chunk_rows", "block_size")
 
 
 def _axis_value(job, attr: str):
@@ -70,7 +70,8 @@ def cell_key(outcome: JobOutcome) -> tuple:
     """
     job = outcome.job
     return (*(_axis_value(job, axis) for axis in _COMPONENT_AXES),
-            job.rows, job.n_features, job.audit, job.chunk_rows)
+            job.rows, job.n_features, job.audit, job.chunk_rows,
+            job.block_size)
 
 
 def group_outcomes(outcomes: Iterable[JobOutcome], attr: str
@@ -224,7 +225,8 @@ def _normalise_axis_query(axis: str, value):
     ``Celis-pp`` because 0.8 restates the declared default)."""
     if isinstance(value, str) and value.lower() in _NONE_SPELLINGS:
         value = None
-    if axis in ("seed", "rows", "n_features", "chunk_rows"):
+    if axis in ("seed", "rows", "n_features", "chunk_rows",
+                "block_size"):
         return None if value is None else int(value)
     if value is None or axis == "audit":
         return value
@@ -265,7 +267,7 @@ def filter_outcomes(outcomes: Iterable[JobOutcome],
 #: Figure-7 table rows except the approach (the row label) and the
 #: seed (aggregated away).
 _SLICE_AXES = ("dataset", "error", "imputer", "metric", "rows",
-               "n_features", "audit", "chunk_rows")
+               "n_features", "audit", "chunk_rows", "block_size")
 
 
 def grid_slices(outcomes: Iterable[JobOutcome],

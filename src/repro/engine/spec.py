@@ -32,7 +32,9 @@ __all__ = ["AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid",
 #: parameter overrides and the optional counterfactual audit joined
 #: the parameterization.  Version 3: the imputer and metric families
 #: became sweep axes (``imputer``/``metric`` + ``*_params`` fields).
-SPEC_VERSION = 3
+#: Version 4: the pairwise-kernel ``block_size`` knob joined the
+#: parameterization (k-NN consumers' tie-breaking can depend on it).
+SPEC_VERSION = 4
 
 #: Spellings accepted for the fairness-unaware baseline pipeline.
 BASELINE_ALIASES = {None, "", "baseline", "none", "LR"}
@@ -103,6 +105,9 @@ class Job:
     audit: str | None = None  # e.g. "counterfactual"
     chunk_rows: int | None = None  # abduction rows per batch
     audit_params: dict = field(default_factory=dict)
+    # Pairwise-kernel block size for every k-NN-shaped component the
+    # cell builds (knn model/imputer, metric audits); None = default.
+    block_size: int | None = None
 
     def params(self) -> dict:
         """The job's full parameterization as a JSON-ready mapping.
@@ -155,6 +160,8 @@ class Job:
             "chunk_rows": (None if self.chunk_rows is None
                            else int(self.chunk_rows)),
             "audit_params": dict(self.audit_params),
+            "block_size": (None if self.block_size is None
+                           else int(self.block_size)),
         }
 
     @property
@@ -228,6 +235,7 @@ def job_from_params(params) -> Job:
     dataset = params["dataset"]
     n_features = params.get("n_features")
     chunk_rows = params.get("chunk_rows")
+    block_size = params.get("block_size")
     return Job(
         dataset=dataset,
         approach=params.get("approach"),
@@ -249,6 +257,7 @@ def job_from_params(params) -> Job:
         audit=params.get("audit"),
         chunk_rows=None if chunk_rows is None else int(chunk_rows),
         audit_params=dict(params.get("audit_params") or {}),
+        block_size=None if block_size is None else int(block_size),
     )
 
 
@@ -339,7 +348,9 @@ class ScenarioGrid:
     ``audit="counterfactual"`` extends every cell with the rung-3
     counterfactual audit; ``chunk_rows`` bounds its abduction batches
     and ``audit_params`` (``n_particles``, ``max_rows``, ``n_bins``,
-    ``n_samples``) tune its cost.
+    ``n_samples``) tune its cost.  ``block_size`` bounds the pairwise
+    kernel's query blocks for every k-NN-shaped component a cell
+    builds (the knn model and imputer).
     """
 
     datasets: Sequence[str]
@@ -356,6 +367,7 @@ class ScenarioGrid:
     audit: str | None = None
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
+    block_size: int | None = None
 
     def __post_init__(self) -> None:
         from ..registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS,
@@ -410,6 +422,9 @@ class ScenarioGrid:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(
                 f"chunk_rows must be positive, got {self.chunk_rows}")
+        if self.block_size is not None and self.block_size < 1:
+            raise ValueError(
+                f"block_size must be positive, got {self.block_size}")
 
     # ------------------------------------------------------------------
     @property
@@ -490,6 +505,7 @@ class ScenarioGrid:
                     metric_params=metric_params,
                     audit=self.audit, chunk_rows=self.chunk_rows,
                     audit_params=dict(self.audit_params),
+                    block_size=self.block_size,
                 )
                 fingerprint = job.fingerprint
                 if fingerprint not in seen:

@@ -45,12 +45,17 @@ def impute_constant(values: np.ndarray, fill_value: float) -> np.ndarray:
     return values
 
 
-def impute_knn(X: np.ndarray, k: int = 5) -> np.ndarray:
+def impute_knn(X: np.ndarray, k: int = 5,
+               block_size: int | None = None) -> np.ndarray:
     """k-nearest-neighbour imputation over a feature matrix.
 
     For each missing cell, the imputed value is the mean of that column
     over the ``k`` rows nearest in the observed coordinates (distances
     use only features present in *both* rows, rescaled per column).
+    Donor distances come from the shared masked block-matmul kernel
+    (:func:`repro.metrics.pairwise.masked_sq_blocks`): rows needing
+    repair are processed ``block_size`` at a time against the whole
+    matrix, instead of one Python-level row at a time.
 
     Parameters
     ----------
@@ -58,12 +63,17 @@ def impute_knn(X: np.ndarray, k: int = 5) -> np.ndarray:
         2-D matrix with NaNs marking missing entries.
     k:
         Neighbourhood size.
+    block_size:
+        Rows-needing-repair per kernel block (``None`` = the kernel
+        default).
 
     Raises
     ------
     ValueError
         If some column is entirely missing or ``k`` is invalid.
     """
+    from ..metrics import pairwise
+
     X = np.asarray(X, dtype=float).copy()
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -75,29 +85,31 @@ def impute_knn(X: np.ndarray, k: int = 5) -> np.ndarray:
     if missing.all(axis=0).any():
         raise ValueError("cannot impute a fully missing column")
 
-    # Column scaling for comparable distances.
+    # Column scaling for comparable distances; constant columns keep a
+    # unit scale rather than dividing by a zero spread.
     col_mean = np.nanmean(X, axis=0)
     col_std = np.nanstd(X, axis=0)
     col_std[col_std == 0] = 1.0
     Z = (X - col_mean) / col_std
 
     out = X.copy()
+    observed = ~missing
     needs = np.flatnonzero(missing.any(axis=1))
-    for i in needs:
-        shared = ~missing[i] & ~missing            # (n, d) overlap mask
-        diff = np.where(shared, Z - Z[i], 0.0)
-        counts = shared.sum(axis=1)
-        counts[i] = 0                              # never one's own row
+    for start, stop, d2, counts in pairwise.masked_sq_blocks(
+            Z, observed, needs, block_size=block_size):
+        rows = needs[start:stop]
         with np.errstate(invalid="ignore", divide="ignore"):
-            dist = np.sqrt((diff ** 2).sum(axis=1) / np.maximum(counts, 1))
+            dist = np.sqrt(d2 / np.maximum(counts, 1))
         dist[counts == 0] = np.inf
-        order = np.argsort(dist, kind="stable")
-        finite = np.isfinite(dist[order])
-        for j in np.flatnonzero(missing[i]):
-            eligible = finite & ~missing[order, j]
-            donors = order[eligible][:k]
-            out[i, j] = (float(np.mean(X[donors, j])) if donors.size
-                         else col_mean[j])
+        dist[np.arange(rows.size), rows] = np.inf  # never one's own row
+        order = np.argsort(dist, axis=1, kind="stable")
+        finite = np.take_along_axis(np.isfinite(dist), order, axis=1)
+        for local, i in enumerate(rows):
+            for j in np.flatnonzero(missing[i]):
+                eligible = finite[local] & observed[order[local], j]
+                donors = order[local, eligible][:k]
+                out[i, j] = (float(np.mean(X[donors, j])) if donors.size
+                             else col_mean[j])
     return out
 
 

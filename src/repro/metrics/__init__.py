@@ -1,7 +1,10 @@
 """Evaluation metrics: correctness (Figure 2), fairness (Figure 4), and
 the full notion catalog of Figure 3 (observational, interventional, and
-counterfactual)."""
+counterfactual).  :mod:`repro.metrics.pairwise` is the shared
+block-matmul distance/top-k kernel behind every k-NN-shaped consumer.
+"""
 
+from . import pairwise
 from .causal_notions import (CounterfactualErrorRates, CtfEffects,
                              causal_risk_difference,
                              counterfactual_error_rates, ctf_effects,
@@ -42,5 +45,5 @@ __all__ = [
     "path_specific_counterfactual_fairness",
     "SituationTestingResult", "situation_testing",
     "fairness_through_awareness", "metric_multifairness",
-    "normalized_euclidean",
+    "normalized_euclidean", "pairwise",
 ]

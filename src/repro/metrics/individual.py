@@ -28,6 +28,8 @@ import numpy as np
 
 from ..causal.counterfactual import CounterfactualSCM
 from ..causal.pse import path_specific_effect
+from . import pairwise
+from .pairwise import minmax_scale as _minmax_scale
 
 __all__ = [
     "CounterfactualFairnessResult",
@@ -214,7 +216,10 @@ class SituationTestingResult:
     threshold:
         The gap above which an individual counts as discriminated.
     n_audited:
-        Number of individuals audited.
+        Number of individuals the aggregates cover: audited-group
+        members with usable neighbours in both pools (an individual
+        alone in its own group has no within-group rate and is
+        excluded from all three numbers).
     """
 
     flagged_fraction: float
@@ -223,62 +228,27 @@ class SituationTestingResult:
     n_audited: int
 
 
-def _minmax_scale(X: np.ndarray) -> np.ndarray:
-    """Rescale every feature to ``[0, 1]`` (constant features to 0)."""
-    X = np.asarray(X, dtype=float)
-    lo = X.min(axis=0)
-    span = X.max(axis=0) - lo
-    span[span == 0] = 1.0
-    return (X - lo) / span
-
-
-def _scaled_block(Z: np.ndarray, sq: np.ndarray,
-                  rows: np.ndarray) -> np.ndarray:
-    """Distances from the given rows to every point, via the expansion
-    trick; ``sq`` is the precomputed per-row squared norm."""
-    d2 = sq[rows][:, None] + sq[None, :] - 2.0 * Z[rows] @ Z.T
-    d2[np.arange(rows.size), rows] = 0.0
-    return np.sqrt(np.maximum(d2, 0.0))
-
-
-def _pair_distances(Z: np.ndarray, a: np.ndarray,
-                    b: np.ndarray) -> np.ndarray:
-    """Scaled Euclidean distance for the given index pairs only."""
-    diff = Z[a] - Z[b]
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
-
-
 def normalized_euclidean(X: np.ndarray,
-                         chunk_size: int = 2048) -> np.ndarray:
+                         block_size: int | None = None) -> np.ndarray:
     """Pairwise distances after per-feature min-max scaling.
 
     The standard distance for situation testing: features are rescaled
-    to ``[0, 1]`` so no single attribute dominates.  The matrix is
-    filled in row blocks, so peak *temporary* memory stays
-    ``O(chunk_size · n)`` on top of the returned ``n × n`` result.
+    to ``[0, 1]`` so no single attribute dominates (zero-variance
+    features contribute nothing rather than dividing by zero).  The
+    matrix is filled through the shared block-matmul kernel
+    (:mod:`repro.metrics.pairwise`), so peak *temporary* memory stays
+    ``O(block_size · n)`` on top of the returned ``n × n`` result.
     The pair-sampling metrics below never materialise this matrix at
     all unless one is passed in.
     """
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
-    Z = _minmax_scale(X)
-    n = Z.shape[0]
-    sq = np.einsum("ij,ij->i", Z, Z)
-    out = np.empty((n, n))
-    for start in range(0, n, chunk_size):
-        stop = min(start + chunk_size, n)
-        out[start:stop] = (sq[start:stop, None] + sq[None, :]
-                           - 2.0 * Z[start:stop] @ Z.T)
-    np.fill_diagonal(out, 0.0)
-    np.maximum(out, 0.0, out=out)
-    return np.sqrt(out, out=out)
+    return pairwise.distances(_minmax_scale(X), block_size=block_size)
 
 
 def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
                       k: int = 8, threshold: float = 0.2,
                       audit_group: int = 0,
                       distances: np.ndarray | None = None,
-                      chunk_size: int = 512,
+                      block_size: int | None = None,
                       ) -> SituationTestingResult:
     """Zhang et al.'s situation-testing discrimination discovery.
 
@@ -288,10 +258,17 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
     means similar individuals are treated differently depending on the
     sensitive attribute — individual *direct* discrimination.
 
-    Distances are computed in blocks of ``chunk_size`` audited rows and
-    neighbours are selected with :func:`np.argpartition` top-k, so the
-    audit never materialises a dense ``n × n`` matrix and memory stays
-    ``O(chunk_size · n)``.
+    Neighbour search runs on the shared blockwise top-k kernel
+    (:func:`repro.metrics.pairwise.topk`), so the audit never
+    materialises a dense ``n × n`` matrix and memory stays
+    ``O(block_size · n)``.
+
+    Groups smaller than ``k`` are audited against the neighbours they
+    do have (``k`` is clamped per pool); an audited individual whose
+    *own* group holds no one else gets no within-group rate and is
+    excluded from the aggregates.  Only an entirely empty group — or
+    an audit in which no individual has usable neighbours on both
+    sides — is an error.
 
     Parameters
     ----------
@@ -309,10 +286,10 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         Which group's members to audit (default: the unprivileged).
     distances:
         Optional precomputed pairwise distance matrix; defaults to
-        chunked :func:`normalized_euclidean` distances computed on the
-        fly.
-    chunk_size:
-        Audited rows per distance block.
+        min-max-scaled Euclidean distances computed blockwise on the
+        fly (never materialising them).
+    block_size:
+        Audited rows per kernel block (``None`` = kernel default).
     """
     X = np.asarray(X, dtype=float)
     s = np.asarray(s, dtype=int)
@@ -321,17 +298,16 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         raise ValueError("X, s, y_hat must be aligned")
     if k < 1:
         raise ValueError("k must be at least 1")
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
     idx_priv = np.flatnonzero(s == 1)
     idx_unpriv = np.flatnonzero(s == 0)
-    if idx_priv.size < k or idx_unpriv.size < k:
-        raise ValueError(f"each group needs at least k={k} members")
-    if distances is None:
-        Z = _minmax_scale(X)
-        sq = np.einsum("ij,ij->i", Z, Z)
-    else:
-        distances = np.asarray(distances, dtype=float)
+    if idx_priv.size == 0 or idx_unpriv.size == 0:
+        raise ValueError(
+            "situation testing needs both sensitive groups non-empty; "
+            f"got {idx_priv.size} privileged and {idx_unpriv.size} "
+            "unprivileged members")
+    audited = np.flatnonzero(s == audit_group)
+    if audited.size == 0:
+        raise ValueError(f"audit_group={audit_group} selects no rows")
     pools = (idx_priv, idx_unpriv)
     # Position of each point inside each pool (-1 = not a member), for
     # masking a point out of its own neighbourhood.
@@ -341,34 +317,39 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         pos[pool] = np.arange(pool.size)
         positions.append(pos)
 
-    audited = np.flatnonzero(s == audit_group)
-    gaps = np.empty(audited.size)
-    for start in range(0, audited.size, chunk_size):
-        rows = audited[start:start + chunk_size]
+    if distances is None:
+        Z = _minmax_scale(X)
+        queries = Z[audited]
+    else:
+        distances = np.asarray(distances, dtype=float)
+    rates = []
+    for pool, pos in zip(pools, positions):
         if distances is None:
-            block = _scaled_block(Z, sq, rows)
+            nearest, d2 = pairwise.topk(queries, Z[pool], k,
+                                        block_size=block_size,
+                                        exclude=pos[audited])
         else:
-            block = distances[rows]
-        rates = []
-        for pool, pos in zip(pools, positions):
-            sub = block[:, pool]          # fancy indexing copies
-            own = pos[rows]
-            member = own >= 0
-            sub[member, own[member]] = np.inf
-            kk = min(k, sub.shape[1])
-            nearest = np.argpartition(sub, kk - 1, axis=1)[:, :kk]
-            picked = np.take_along_axis(sub, nearest, axis=1)
-            usable = np.isfinite(picked)  # drops the masked self-entry
-            counts = usable.sum(axis=1)
-            votes = (y_hat[pool[nearest]] * usable).sum(axis=1)
-            rates.append(np.where(counts > 0,
-                                  votes / np.maximum(counts, 1), np.nan))
-        gaps[start:start + rows.size] = rates[0] - rates[1]
+            nearest, d2 = pairwise.topk_dense(distances, k,
+                                              rows=audited, columns=pool,
+                                              block_size=block_size,
+                                              exclude=pos[audited])
+        usable = np.isfinite(d2)  # drops the masked self-entry
+        counts = usable.sum(axis=1)
+        votes = (y_hat[pool[nearest]] * usable).sum(axis=1)
+        rates.append(np.where(counts > 0,
+                              votes / np.maximum(counts, 1), np.nan))
+    gaps = rates[0] - rates[1]
+    finite = np.isfinite(gaps)
+    if not finite.any():
+        raise ValueError(
+            "no audited individual has usable neighbours in both "
+            "groups; audit a larger sample")
+    gaps = gaps[finite]
     return SituationTestingResult(
         flagged_fraction=float(np.mean(np.abs(gaps) > threshold)),
         mean_gap=float(gaps.mean()),
         threshold=threshold,
-        n_audited=int(audited.size),
+        n_audited=int(gaps.size),
     )
 
 
@@ -408,7 +389,7 @@ def fairness_through_awareness(X: np.ndarray, scores: np.ndarray,
     # Only the sampled pairs' distances are needed — O(n_pairs) memory,
     # never the dense n × n matrix.
     if distances is None:
-        d_ab = _pair_distances(_minmax_scale(X), a, b)
+        d_ab = pairwise.pair_distances(_minmax_scale(X), a, b)
     else:
         d_ab = np.asarray(distances)[a, b]
     violations = np.abs(scores[a] - scores[b]) > lipschitz * d_ab + 1e-12
@@ -436,7 +417,7 @@ def metric_multifairness(X: np.ndarray, scores: np.ndarray,
     found_any = False
     for _ in range(n_sets):
         a, b = _sample_pairs(n, set_size * 4, rng)
-        d_ab = (_pair_distances(Z, a, b) if distances is None
+        d_ab = (pairwise.pair_distances(Z, a, b) if distances is None
                 else np.asarray(distances)[a, b])
         close = d_ab <= radius
         a, b = a[close][:set_size], b[close][:set_size]

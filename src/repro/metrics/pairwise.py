@@ -1,0 +1,454 @@
+"""Shared block-matmul pairwise-distance / top-k kernel.
+
+Every individual-fairness metric in this repo ultimately needs one of
+three primitives over a point set:
+
+* a **dense** pairwise-distance matrix (``normalized_euclidean``),
+* the **k nearest rows** of a reference set for each query row
+  (situation testing, the k-NN classifier, k-NN donor imputation), or
+* distances for an **explicit list of index pairs** (awareness and
+  multifairness pair sampling).
+
+They all reduce to the Gram expansion ``‖a − b‖² = ‖a‖² + ‖b‖² −
+2·a@bᵀ`` evaluated in row blocks, so this module is the single home
+for that kernel: squared norms are precomputed once, query rows are
+tiled in blocks of ``block_size``, and neighbour selection uses
+:func:`np.argpartition` per block — the dense ``n × n`` matrix is
+never materialised unless the dense matrix *is* the requested output.
+
+Top-k selection runs a two-stage **screen / re-rank** scheme: the
+screening pass evaluates the Gram blocks in float32 (on memory-bound
+hardware this roughly halves the time of the dominant matmul +
+selection sweep) and keeps a candidate margin beyond ``k``; the exact
+float64 distances of the surviving candidates are then recomputed
+directly from the coordinate differences and re-ranked with a stable
+``(distance, index)`` order.  On tie-free data the result is exactly
+the float64 top-k (the true k-th neighbour would have to be buried
+behind a full candidate margin of float32-indistinguishable
+distances to be missed); on heavily tied data the stable re-rank
+picks the lowest reference indices among the ties the screen
+surfaced, mirroring the loop references' stable ``argsort``.
+
+``block_size`` is a performance knob: each query row always sees
+every reference row whatever the tiling, so selection is
+tiling-independent wherever distances are distinct (the property
+suite in ``tests/metrics/test_pairwise_kernel.py`` locks this in).
+BLAS may still reassociate the float32 screen arithmetic differently
+under different tilings, which could in principle break *exact ties*
+differently — so the engine conservatively hashes ``block_size`` into
+job fingerprints rather than assuming bitwise equivalence.  Callers
+that take an optional ``block_size`` should pass it through
+:func:`resolve_block_size`; the engine threads a per-job value via
+:func:`default_block_size`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "default_block_size",
+    "resolve_block_size",
+    "minmax_scale",
+    "sq_norms",
+    "iter_sq_blocks",
+    "sq_distances",
+    "distances",
+    "pair_distances",
+    "PreparedReference",
+    "prepare_reference",
+    "topk",
+    "topk_dense",
+    "masked_sq_blocks",
+]
+
+#: Query rows per Gram block.  Big enough that the BLAS calls and the
+#: per-block ``argpartition`` sweeps amortise their setup, small enough
+#: that one ``block_size × n`` block stays cache-friendly on the large
+#: audits (1024 × 20k float32 ≈ 80 MB of streamed, not resident, data).
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Extra float32-screen candidates kept beyond ``k`` before the exact
+#: float64 re-rank.  Missing a true neighbour requires at least this
+#: many reference points within float32 resolution of the k-th
+#: distance — pathological even for discretised data.
+_SCREEN_MARGIN = 8
+
+_default_block: int = DEFAULT_BLOCK_SIZE
+
+
+def resolve_block_size(block_size: int | None) -> int:
+    """Validate an optional block size, falling back to the module
+    default (which :func:`default_block_size` can override)."""
+    if block_size is None:
+        return _default_block
+    block_size = int(block_size)
+    if block_size < 1:
+        raise ValueError(f"block_size must be at least 1, "
+                         f"got {block_size}")
+    return block_size
+
+
+@contextmanager
+def default_block_size(block_size: int | None):
+    """Temporarily override the kernel's default block size.
+
+    The engine wraps each job's execution in this, so one
+    ``block_size`` knob reaches every kernel consumer the cell touches
+    (k-NN model, k-NN imputer, metric audits) without threading the
+    parameter through every intermediate signature.  ``None`` is a
+    no-op.
+    """
+    global _default_block
+    if block_size is None:
+        yield
+        return
+    previous = _default_block
+    _default_block = resolve_block_size(block_size)
+    try:
+        yield
+    finally:
+        _default_block = previous
+
+
+# ----------------------------------------------------------------------
+# Scaling and norms
+# ----------------------------------------------------------------------
+def minmax_scale(X: np.ndarray) -> np.ndarray:
+    """Rescale every feature to ``[0, 1]``.
+
+    The scale vector is precomputed per feature; zero-variance
+    (constant) features get a unit span so they contribute zero to
+    every distance instead of dividing by zero — a single-row input is
+    the all-constant corner of the same rule.
+    """
+    X = np.asarray(X, dtype=float)
+    lo = X.min(axis=0)
+    span = X.max(axis=0) - lo
+    span[span == 0] = 1.0
+    return (X - lo) / span
+
+
+def sq_norms(Z: np.ndarray) -> np.ndarray:
+    """Per-row squared Euclidean norms (the reusable Gram-trick
+    scale vector)."""
+    Z = np.asarray(Z, dtype=float)
+    return np.einsum("ij,ij->i", Z, Z)
+
+
+# ----------------------------------------------------------------------
+# Dense distances, filled blockwise
+# ----------------------------------------------------------------------
+def iter_sq_blocks(A: np.ndarray, B: np.ndarray | None = None, *,
+                   block_size: int | None = None,
+                   a_sq: np.ndarray | None = None,
+                   b_sq: np.ndarray | None = None,
+                   ) -> Iterator[tuple[int, int, np.ndarray]]:
+    """Yield ``(start, stop, d2)`` row blocks of squared distances.
+
+    ``B=None`` means self-distances (``B = A``).  Each block is
+    ``‖a‖² + ‖b‖² − 2·a@bᵀ`` over ``block_size`` query rows, clipped
+    at zero (the expansion can go slightly negative in floating
+    point).  Norm vectors are accepted so repeated sweeps over the
+    same points reuse them.
+    """
+    A = np.asarray(A, dtype=float)
+    B = A if B is None else np.asarray(B, dtype=float)
+    block = resolve_block_size(block_size)
+    if a_sq is None:
+        a_sq = sq_norms(A)
+    if b_sq is None:
+        b_sq = a_sq if B is A else sq_norms(B)
+    BT = B.T
+    for start in range(0, A.shape[0], block):
+        stop = min(start + block, A.shape[0])
+        d2 = A[start:stop] @ BT
+        d2 *= -2.0
+        d2 += a_sq[start:stop, None]
+        d2 += b_sq[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        yield start, stop, d2
+
+
+def sq_distances(A: np.ndarray, B: np.ndarray | None = None, *,
+                 block_size: int | None = None) -> np.ndarray:
+    """Dense squared-distance matrix, filled in row blocks.
+
+    Peak *temporary* memory is one ``block_size × n`` block on top of
+    the returned matrix.  In self mode (``B=None``) the diagonal is
+    forced to exactly zero.
+    """
+    A = np.asarray(A, dtype=float)
+    self_mode = B is None
+    B = A if self_mode else np.asarray(B, dtype=float)
+    out = np.empty((A.shape[0], B.shape[0]))
+    for start, stop, d2 in iter_sq_blocks(A, None if self_mode else B,
+                                          block_size=block_size):
+        out[start:stop] = d2
+    if self_mode:
+        np.fill_diagonal(out, 0.0)
+    return out
+
+
+def distances(A: np.ndarray, B: np.ndarray | None = None, *,
+              block_size: int | None = None) -> np.ndarray:
+    """Dense Euclidean-distance matrix, filled in row blocks."""
+    out = sq_distances(A, B, block_size=block_size)
+    return np.sqrt(out, out=out)
+
+
+def pair_distances(Z: np.ndarray, a: np.ndarray,
+                   b: np.ndarray) -> np.ndarray:
+    """Euclidean distances for explicit index pairs only —
+    ``O(len(a))`` memory, never a matrix."""
+    Z = np.asarray(Z, dtype=float)
+    diff = Z[a] - Z[b]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+# ----------------------------------------------------------------------
+# Blockwise top-k
+# ----------------------------------------------------------------------
+def _stable_smallest(cand: np.ndarray, d2: np.ndarray, kk: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Per row, the ``kk`` candidates with smallest exact distance,
+    stable on ties by reference index (mirroring the loop references'
+    stable ``argsort``)."""
+    rows = np.arange(cand.shape[0])[:, None]
+    order = np.lexsort((cand, d2), axis=1)[:, :kk]
+    return cand[rows, order], d2[rows, order]
+
+
+@dataclass(frozen=True)
+class PreparedReference:
+    """Reference-side :func:`topk` operands, computed once.
+
+    Callers that query the same reference set repeatedly (the k-NN
+    classifier predicts many times against one training set) build
+    this at fit time via :func:`prepare_reference` and pass it in
+    place of ``B``, skipping the per-call cast/transpose/norm sweep.
+
+    ``mu`` is the reference column mean: the float32 screen runs on
+    *centred* coordinates, because squared distances are
+    translation-invariant but the Gram expansion is not — on data
+    with a large common offset (raw timestamps, IDs) the uncentred
+    ``‖b‖² − 2·a@bᵀ`` cancels catastrophically in float32 and would
+    misrank neighbours beyond the re-rank margin.
+    """
+
+    B: np.ndarray        # original float64 points, for the exact re-rank
+    mu: np.ndarray       # column means used to centre the screen
+    BT_32: np.ndarray    # centred float32 reference, transposed
+    b_sq_32: np.ndarray  # centred float32 squared norms
+
+
+def prepare_reference(B: np.ndarray) -> PreparedReference:
+    """Precompute the screen operands for a :func:`topk` reference
+    set."""
+    B = np.asarray(B, dtype=float)
+    if B.ndim != 2:
+        raise ValueError(f"B must be 2-D, got shape {B.shape}")
+    mu = (B.mean(axis=0) if B.shape[0]
+          else np.zeros(B.shape[1]))
+    BT_32 = np.ascontiguousarray((B - mu).T, dtype=np.float32)
+    b_sq_32 = np.einsum("ij,ij->i", BT_32.T, BT_32.T,
+                        dtype=np.float32)
+    return PreparedReference(B=B, mu=mu, BT_32=BT_32, b_sq_32=b_sq_32)
+
+
+def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
+         block_size: int | None = None,
+         exclude: np.ndarray | None = None,
+         ) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest rows of ``B`` for every row of ``A``, blockwise.
+
+    Returns ``(idx, d2)`` of shape ``(len(A), kk)`` with
+    ``kk = min(k, len(B))``: for each query row, the indices of its
+    ``kk`` nearest reference rows in ascending ``(distance, index)``
+    order, and their exact float64 squared distances.  The dense
+    ``len(A) × len(B)`` matrix is only ever held one float32 screen
+    block at a time.
+
+    Parameters
+    ----------
+    A, B:
+        Query and reference points (``B`` may be ``A`` itself, or a
+        :class:`PreparedReference` built once via
+        :func:`prepare_reference`).
+    k:
+        Neighbours per query row (clipped to ``len(B)``).
+    block_size:
+        Query rows per screen block (``None`` = the kernel default).
+    exclude:
+        Optional per-query index into ``B`` to mask out (``-1`` =
+        nothing), for self-exclusion when the query point is a member
+        of the reference set.  A masked entry can still be *returned*
+        when ``kk`` spans the whole reference set — it carries
+        ``d2 = inf``, so callers filter with ``np.isfinite``.
+    """
+    A = np.asarray(A, dtype=float)
+    ref = (B if isinstance(B, PreparedReference)
+           else prepare_reference(B))
+    B = ref.B
+    if A.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise ValueError(
+            f"A and B must be 2-D with matching feature counts, got "
+            f"{A.shape} and {B.shape}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    block = resolve_block_size(block_size)
+    m = B.shape[0]
+    kk = min(k, m)
+    n_q = A.shape[0]
+    if m == 0 or n_q == 0:
+        return (np.empty((n_q, kk), dtype=np.intp),
+                np.empty((n_q, kk)))
+    if exclude is not None:
+        exclude = np.asarray(exclude)
+        if exclude.shape != (n_q,):
+            raise ValueError(
+                f"exclude must have one entry per query row, got shape "
+                f"{exclude.shape} for {n_q} rows")
+
+    # float32 screen operands on centred coordinates (see
+    # PreparedReference); ‖a‖² is a per-row constant under
+    # argpartition, so the screen key is just ‖b‖² − 2·a@bᵀ.
+    A2_32 = np.ascontiguousarray((A - ref.mu) * -2.0, dtype=np.float32)
+    n_cand = min(m, kk + max(_SCREEN_MARGIN, kk))
+
+    idx = np.empty((n_q, kk), dtype=np.intp)
+    d2 = np.empty((n_q, kk))
+    for start in range(0, n_q, block):
+        stop = min(start + block, n_q)
+        rows = slice(start, stop)
+        G = A2_32[rows] @ ref.BT_32
+        G += ref.b_sq_32
+        excl = None
+        if exclude is not None:
+            excl = exclude[rows]
+            member = excl >= 0
+            G[np.flatnonzero(member), excl[member]] = np.inf
+        if n_cand < m:
+            cand = np.argpartition(G, n_cand - 1, axis=1)[:, :n_cand]
+        else:
+            cand = np.broadcast_to(np.arange(m), (stop - start, m))
+        # Exact float64 re-rank of the surviving candidates, from the
+        # coordinate differences directly (no Gram cancellation).
+        diff = A[rows][:, None, :] - B[cand]
+        exact = np.einsum("rcd,rcd->rc", diff, diff)
+        if excl is not None:
+            exact[cand == excl[:, None]] = np.inf
+        idx[rows], d2[rows] = _stable_smallest(cand, exact, kk)
+    return idx, d2
+
+
+def topk_dense(D: np.ndarray, k: int, *,
+               rows: np.ndarray | None = None,
+               columns: np.ndarray | None = None,
+               block_size: int | None = None,
+               exclude: np.ndarray | None = None,
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`topk` over a precomputed distance matrix.
+
+    For callers that accept an externally supplied metric (situation
+    testing with ``distances=``): selects, for each of the query
+    ``rows`` of ``D`` (default: all), the ``kk`` smallest entries
+    among ``columns`` (default: all), with the same blockwise sweep,
+    stable ``(value, index)`` order, ``exclude`` masking, and
+    ``(idx, value)`` return contract as :func:`topk` — ``idx``
+    indexes into ``columns``.  Only one ``block_size``-row slice of
+    the selected submatrix is ever copied at a time.
+    """
+    D = np.asarray(D, dtype=float)
+    if D.ndim != 2:
+        raise ValueError(f"D must be 2-D, got shape {D.shape}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    block = resolve_block_size(block_size)
+    rows = (np.arange(D.shape[0]) if rows is None
+            else np.asarray(rows))
+    n_q = rows.size
+    m = D.shape[1] if columns is None else len(columns)
+    kk = min(k, m)
+    if m == 0 or n_q == 0:
+        return (np.empty((n_q, kk), dtype=np.intp),
+                np.empty((n_q, kk)))
+    if exclude is not None:
+        exclude = np.asarray(exclude)
+        if exclude.shape != (n_q,):
+            raise ValueError(
+                f"exclude must have one entry per query row, got shape "
+                f"{exclude.shape} for {n_q} rows")
+    idx = np.empty((n_q, kk), dtype=np.intp)
+    vals = np.empty((n_q, kk))
+    all_cols = np.arange(m)
+    for start in range(0, n_q, block):
+        stop = min(start + block, n_q)
+        # One fancy-indexed copy of exactly the block × columns
+        # submatrix — never a full-width intermediate.
+        sub = (D[rows[start:stop]] if columns is None
+               else D[np.ix_(rows[start:stop], columns)])
+        if exclude is not None:
+            excl = exclude[start:stop]
+            member = excl >= 0
+            sub[np.flatnonzero(member), excl[member]] = np.inf
+        if kk < m:
+            cand = np.argpartition(sub, kk - 1, axis=1)[:, :kk]
+            picked = np.take_along_axis(sub, cand, axis=1)
+        else:
+            cand = np.broadcast_to(all_cols, (stop - start, m))
+            picked = sub
+        idx[start:stop], vals[start:stop] = _stable_smallest(
+            cand, np.ascontiguousarray(picked, dtype=float), kk)
+    return idx, vals
+
+
+# ----------------------------------------------------------------------
+# Masked distances (k-NN imputation)
+# ----------------------------------------------------------------------
+def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
+                     rows: np.ndarray, *,
+                     block_size: int | None = None,
+                     ) -> Iterator[tuple[int, int, np.ndarray, np.ndarray]]:
+    """Blockwise masked squared distances and overlap counts.
+
+    For partially observed data, the distance between rows *i* and *j*
+    only uses features observed in **both**; with ``M`` the observed
+    mask and ``Z̃ = Z·M`` (missing coordinates zeroed), the masked
+    Gram expansion is three matmuls::
+
+        Σ_d M_id M_jd (Z_id − Z_jd)² = (Z̃²)_i·M_j − 2·Z̃_i·Z̃_j
+                                        + M_i·(Z̃²)_j
+
+    Yields ``(start, stop, d2, counts)`` over blocks of ``rows``
+    (query-row indices into ``Z``): the masked squared-difference sums
+    (clipped at zero) against **every** row of ``Z``, and the shared
+    observed-feature counts — both exact in float64.  Consumers divide
+    by the counts themselves (zero overlap means the pair is
+    incomparable).
+    """
+    Z = np.asarray(Z, dtype=float)
+    rows = np.asarray(rows)
+    block = resolve_block_size(block_size)
+    M = np.asarray(observed, dtype=float)
+    if M.shape != Z.shape:
+        raise ValueError(
+            f"observed mask shape {M.shape} must match Z {Z.shape}")
+    ZM = np.where(observed, Z, 0.0)
+    ZM_sq = ZM * ZM
+    MT, ZMT, ZM_sqT = M.T, ZM.T, ZM_sq.T
+    for start in range(0, rows.size, block):
+        stop = min(start + block, rows.size)
+        take = rows[start:stop]
+        d2 = ZM[take] @ ZMT
+        d2 *= -2.0
+        d2 += ZM_sq[take] @ MT
+        d2 += M[take] @ ZM_sqT
+        np.maximum(d2, 0.0, out=d2)
+        counts = M[take] @ MT
+        yield start, stop, d2, counts

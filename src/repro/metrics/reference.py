@@ -26,6 +26,8 @@ __all__ = [
     "normalized_euclidean_dense",
     "fairness_through_awareness_dense",
     "metric_multifairness_dense",
+    "knn_predict_proba_loop",
+    "impute_knn_loop",
 ]
 
 
@@ -87,7 +89,15 @@ def situation_testing_loop(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
                            distances: np.ndarray | None = None,
                            ) -> SituationTestingResult:
     """Per-individual neighbour search over a dense distance matrix
-    with full-pool stable ``argsort``."""
+    with full-pool stable ``argsort``.
+
+    Defines the edge-case semantics the blockwise path must
+    reproduce: pools smaller than ``k`` contribute the neighbours
+    they have, an audited individual alone in its own pool yields no
+    within-group rate (and drops out of the aggregates), and only an
+    entirely empty group — or an audit with no usable rows at all —
+    is an error.
+    """
     X = np.asarray(X, dtype=float)
     s = np.asarray(s, dtype=int)
     y_hat = (np.asarray(y_hat, dtype=float) > 0.5).astype(float)
@@ -98,24 +108,36 @@ def situation_testing_loop(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
     d = normalized_euclidean_dense(X) if distances is None else distances
     idx_priv = np.flatnonzero(s == 1)
     idx_unpriv = np.flatnonzero(s == 0)
-    if idx_priv.size < k or idx_unpriv.size < k:
-        raise ValueError(f"each group needs at least k={k} members")
+    if idx_priv.size == 0 or idx_unpriv.size == 0:
+        raise ValueError(
+            "situation testing needs both sensitive groups non-empty; "
+            f"got {idx_priv.size} privileged and {idx_unpriv.size} "
+            "unprivileged members")
 
     audited = np.flatnonzero(s == audit_group)
+    if audited.size == 0:
+        raise ValueError(f"audit_group={audit_group} selects no rows")
     gaps = []
     for i in audited:
         gap_parts = []
         for pool in (idx_priv, idx_unpriv):
             others = pool[pool != i]
             nearest = others[np.argsort(d[i, others], kind="stable")[:k]]
-            gap_parts.append(float(np.mean(y_hat[nearest])))
+            gap_parts.append(float(np.mean(y_hat[nearest]))
+                             if nearest.size else np.nan)
         gaps.append(gap_parts[0] - gap_parts[1])
     gaps_arr = np.asarray(gaps)
+    finite = np.isfinite(gaps_arr)
+    if not finite.any():
+        raise ValueError(
+            "no audited individual has usable neighbours in both "
+            "groups; audit a larger sample")
+    gaps_arr = gaps_arr[finite]
     return SituationTestingResult(
         flagged_fraction=float(np.mean(np.abs(gaps_arr) > threshold)),
         mean_gap=float(gaps_arr.mean()),
         threshold=threshold,
-        n_audited=int(audited.size),
+        n_audited=int(gaps_arr.size),
     )
 
 
@@ -140,6 +162,60 @@ def fairness_through_awareness_dense(X: np.ndarray, scores: np.ndarray,
         raise ValueError("no valid pairs sampled; increase n_pairs")
     violations = np.abs(scores[a] - scores[b]) > lipschitz * d[a, b] + 1e-12
     return float(np.mean(violations))
+
+
+def knn_predict_proba_loop(X_train: np.ndarray, y: np.ndarray,
+                           weights: np.ndarray, X_query: np.ndarray,
+                           k: int) -> np.ndarray:
+    """Pre-kernel k-NN voting: one dense distance row per query point,
+    neighbours by stable full ``argsort``."""
+    X_train = np.asarray(X_train, dtype=float)
+    X_query = np.asarray(X_query, dtype=float)
+    kk = min(k, X_train.shape[0])
+    out = np.empty(X_query.shape[0])
+    for i, q in enumerate(X_query):
+        d2 = np.sum((X_train - q) ** 2, axis=1)
+        nearest = np.argsort(d2, kind="stable")[:kk]
+        votes = weights[nearest]
+        out[i] = (votes * (y[nearest] == 1)).sum() / votes.sum()
+    return out
+
+
+def impute_knn_loop(X: np.ndarray, k: int = 5) -> np.ndarray:
+    """Pre-kernel k-NN imputation: one masked distance row per
+    needy row, computed with full-matrix broadcasting."""
+    X = np.asarray(X, dtype=float).copy()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    missing = np.isnan(X)
+    if not missing.any():
+        return X
+    if missing.all(axis=0).any():
+        raise ValueError("cannot impute a fully missing column")
+    col_mean = np.nanmean(X, axis=0)
+    col_std = np.nanstd(X, axis=0)
+    col_std[col_std == 0] = 1.0
+    Z = (X - col_mean) / col_std
+    out = X.copy()
+    needs = np.flatnonzero(missing.any(axis=1))
+    for i in needs:
+        shared = ~missing[i] & ~missing            # (n, d) overlap mask
+        diff = np.where(shared, Z - Z[i], 0.0)
+        counts = shared.sum(axis=1)
+        counts[i] = 0                              # never one's own row
+        with np.errstate(invalid="ignore", divide="ignore"):
+            dist = np.sqrt((diff ** 2).sum(axis=1) / np.maximum(counts, 1))
+        dist[counts == 0] = np.inf
+        order = np.argsort(dist, kind="stable")
+        finite = np.isfinite(dist[order])
+        for j in np.flatnonzero(missing[i]):
+            eligible = finite & ~missing[order, j]
+            donors = order[eligible][:k]
+            out[i, j] = (float(np.mean(X[donors, j])) if donors.size
+                         else col_mean[j])
+    return out
 
 
 def metric_multifairness_dense(X: np.ndarray, scores: np.ndarray,

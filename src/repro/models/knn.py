@@ -1,14 +1,17 @@
 """Brute-force k-nearest-neighbours classification.
 
 The paper pairs pre-/post-processing approaches with a 33-NN classifier
-(Appendix F).  Distances are computed in chunks so memory stays bounded
-on the larger scalability sweeps.
+(Appendix F).  Neighbour search runs on the shared block-matmul top-k
+kernel (:mod:`repro.metrics.pairwise`), so memory stays bounded on the
+larger scalability sweeps and the model shares one tuned code path
+with the individual-fairness metrics and the k-NN imputer.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..metrics import pairwise
 from .base import Classifier, check_weights, check_Xy
 
 
@@ -19,19 +22,23 @@ class KNearestNeighbors(Classifier):
     ----------
     k:
         Number of neighbours (paper default: 33).
-    chunk_size:
-        Rows of the query matrix processed per distance block.
+    block_size:
+        Query rows per kernel block (``None`` = the kernel default,
+        which the sweep engine can override per job).
     """
 
-    def __init__(self, k: int = 33, chunk_size: int = 512):
+    def __init__(self, k: int = 33, block_size: int | None = None):
         if k < 1:
             raise ValueError("k must be at least 1")
+        if block_size is not None and block_size < 1:
+            raise ValueError(
+                f"block_size must be at least 1, got {block_size}")
         self.k = k
-        self.chunk_size = chunk_size
+        self.block_size = block_size
         self.X_: np.ndarray | None = None
         self.y_: np.ndarray | None = None
         self.w_: np.ndarray | None = None
-        self._train_sq: np.ndarray | None = None
+        self.ref_: pairwise.PreparedReference | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray,
             sample_weight: np.ndarray | None = None) -> "KNearestNeighbors":
@@ -39,26 +46,17 @@ class KNearestNeighbors(Classifier):
         self.X_ = X
         self.y_ = y
         self.w_ = check_weights(sample_weight, len(y))
-        # Train-side squared norms never change between predict calls.
-        self._train_sq = np.einsum("ij,ij->i", X, X)
+        # Train-side kernel operands never change between predict
+        # calls; prepare them once.
+        self.ref_ = pairwise.prepare_reference(X)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         if self.X_ is None:
             raise RuntimeError("model not fitted")
         X, _ = check_Xy(X)
-        k = min(self.k, self.X_.shape[0])
-        out = np.empty(X.shape[0])
-        for start in range(0, X.shape[0], self.chunk_size):
-            block = X[start:start + self.chunk_size]
-            # Squared Euclidean distance via the expansion trick;
-            # argpartition keeps neighbour selection O(n) per row
-            # instead of a full sort.
-            d2 = (np.einsum("ij,ij->i", block, block)[:, None]
-                  - 2 * block @ self.X_.T + self._train_sq[None, :])
-            neighbours = np.argpartition(d2, k - 1, axis=1)[:, :k]
-            votes = self.w_[neighbours]
-            positive = votes * (self.y_[neighbours] == 1)
-            total = votes.sum(axis=1)
-            out[start:start + block.shape[0]] = positive.sum(axis=1) / total
-        return out
+        neighbours, _ = pairwise.topk(X, self.ref_, self.k,
+                                      block_size=self.block_size)
+        votes = self.w_[neighbours]
+        positive = votes * (self.y_[neighbours] == 1)
+        return positive.sum(axis=1) / votes.sum(axis=1)

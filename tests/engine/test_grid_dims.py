@@ -56,14 +56,15 @@ class TestFingerprints:
               causal_samples=200, error="missing", imputer="knn",
               imputer_params={"k": 3}, metric="accuracy")
 
-    def test_spec_version_3_in_params(self):
-        assert self.JOB.params()["spec_version"] == 3
+    def test_spec_version_4_in_params(self):
+        assert self.JOB.params()["spec_version"] == 4
 
     def test_new_axes_feed_the_hash(self):
         for change in ({"imputer": "mean", "imputer_params": {}},
                        {"imputer_params": {"k": 4}},
                        {"metric": "di_star"},
-                       {"metric": None, "metric_params": {}}):
+                       {"metric": None, "metric_params": {}},
+                       {"block_size": 256}):
             changed = dataclasses.replace(self.JOB, **change)
             assert changed.fingerprint != self.JOB.fingerprint, change
 
@@ -116,3 +117,42 @@ class TestExecution:
                   causal_samples=200, error="missing", imputer="mean")
         result = execute_job(job)
         assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestBlockSizeKnob:
+    def test_grid_threads_block_size_into_jobs(self):
+        grid = ScenarioGrid(datasets=["german"], block_size=128)
+        assert all(j.block_size == 128 for j in grid.expand())
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError, match="block_size"):
+            ScenarioGrid(datasets=["german"], block_size=0)
+
+    def test_round_trips_through_stored_params(self):
+        from repro.engine.spec import job_from_params
+
+        job = Job(dataset="german", rows=300, causal_samples=200,
+                  block_size=64)
+        rebuilt = job_from_params(job.params())
+        assert rebuilt.block_size == 64
+        assert rebuilt.fingerprint == job.fingerprint
+
+    def test_block_size_does_not_change_results(self):
+        """The knob is performance-only: the same cell computed under
+        different kernel tilings must produce identical metrics."""
+        base = Job(dataset="german", approach=None, model="knn(k=7)",
+                   rows=240, causal_samples=200)
+        tiled = dataclasses.replace(base, block_size=13)
+        a, b = execute_job(base), execute_job(tiled)
+        assert a.accuracy == b.accuracy
+        assert a.di_star == b.di_star
+
+    def test_executor_context_reaches_kernel(self):
+        """While a job with block_size runs, kernel consumers that
+        pass no explicit value resolve to the job's."""
+        from repro.metrics import pairwise
+
+        with pairwise.default_block_size(77):
+            assert pairwise.resolve_block_size(None) == 77
+        assert (pairwise.resolve_block_size(None)
+                == pairwise.DEFAULT_BLOCK_SIZE)

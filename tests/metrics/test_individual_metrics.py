@@ -136,11 +136,57 @@ class TestSituationTesting:
         with pytest.raises(ValueError, match="at least 1"):
             situation_testing(X, s, y_hat, k=0)
 
-    def test_small_group_rejected(self):
-        X = np.zeros((5, 2))
-        s = np.array([1, 1, 1, 1, 0])
-        with pytest.raises(ValueError, match="at least k"):
-            situation_testing(X, s, np.zeros(5), k=3)
+    def test_k_above_group_size_clamps(self):
+        """A group smaller than k contributes the neighbours it has
+        instead of failing the whole audit."""
+        rng = RNG(0)
+        X = rng.normal(size=(30, 3))
+        s = np.zeros(30, dtype=int)
+        s[:4] = 1  # only 4 privileged members, k far above that
+        y_hat = np.ones(30)
+        res = situation_testing(X, s, y_hat, k=10)
+        assert res.n_audited == 26
+        assert res.mean_gap == pytest.approx(0.0)  # decisions all equal
+        assert np.isfinite(res.flagged_fraction)
+
+    def test_empty_group_rejected(self):
+        X = RNG(0).normal(size=(5, 2))
+        s = np.zeros(5, dtype=int)
+        with pytest.raises(ValueError, match="non-empty"):
+            situation_testing(X, s, np.zeros(5), k=2)
+
+    def test_single_member_group_as_neighbour_pool(self):
+        """A single-member privileged group still supplies its one
+        neighbour to every audited individual."""
+        rng = RNG(1)
+        X = rng.normal(size=(12, 2))
+        s = np.zeros(12, dtype=int)
+        s[0] = 1
+        y_hat = np.ones(12)
+        res = situation_testing(X, s, y_hat, k=3)
+        assert res.n_audited == 11
+        assert res.mean_gap == pytest.approx(0.0)
+
+    def test_lone_audited_individual_rejected(self):
+        """An auditee that is its own group's only member has no
+        within-group neighbours; when no auditee has usable rates the
+        audit fails with a clear message rather than returning NaN."""
+        rng = RNG(2)
+        X = rng.normal(size=(5, 2))
+        s = np.array([0, 1, 1, 1, 1])
+        with pytest.raises(ValueError, match="usable neighbours"):
+            situation_testing(X, s, np.ones(5), k=2, audit_group=0)
+
+    def test_zero_variance_features_do_not_blow_up(self):
+        """Constant features must contribute nothing — not NaN scales
+        from a zero span."""
+        rng = RNG(3)
+        X = np.column_stack([rng.normal(size=40), np.full(40, 7.0)])
+        s = (rng.random(40) < 0.5).astype(int)
+        y_hat = (X[:, 0] > 0).astype(float)
+        res = situation_testing(X, s, y_hat, k=5)
+        assert np.isfinite(res.mean_gap)
+        assert np.isfinite(res.flagged_fraction)
 
 
 class TestNormalizedEuclidean:
@@ -162,6 +208,12 @@ class TestNormalizedEuclidean:
         d = normalized_euclidean(X)
         i, j, k = RNG(n + 1).integers(0, n, 3)
         assert d[i, k] <= d[i, j] + d[j, k] + 1e-9
+
+    def test_single_row_distance_matrix(self):
+        """One row means every feature is constant — the scale guard
+        must yield a clean 1×1 zero matrix."""
+        d = normalized_euclidean(np.array([[3.0, -2.0, 9.0]]))
+        assert np.array_equal(d, np.zeros((1, 1)))
 
 
 class TestAwareness:

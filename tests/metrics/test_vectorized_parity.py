@@ -5,21 +5,28 @@ The vectorized paths reorder RNG draws (one batch per node instead of
 one batch per row), so the audits are compared exactly where the
 result is RNG-independent (deterministic predictors, shared distance
 matrices, tie-free neighbourhoods) and to statistical tolerance where
-it is not.
+it is not.  Every consumer of the shared pairwise kernel — situation
+testing, awareness, multifairness, the k-NN classifier, and k-NN
+donor imputation — is checked here against its retained loop
+reference, across odd kernel block boundaries.
 """
 
 import numpy as np
 import pytest
 
 from repro.causal import CausalGraph, CounterfactualSCM, DiscreteCPT
+from repro.errors.imputers import impute_knn
 from repro.metrics import (counterfactual_fairness,
                            fairness_through_awareness, metric_multifairness,
                            normalized_euclidean, situation_testing)
 from repro.metrics.reference import (counterfactual_fairness_loop,
                                      fairness_through_awareness_dense,
+                                     impute_knn_loop,
+                                     knn_predict_proba_loop,
                                      metric_multifairness_dense,
                                      normalized_euclidean_dense,
                                      situation_testing_loop)
+from repro.models.knn import KNearestNeighbors
 
 RNG = np.random.default_rng
 DOM = np.array([0.0, 1.0])
@@ -146,37 +153,58 @@ class TestSituationTestingParity:
         assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=1e-12)
         assert vec.flagged_fraction == loop.flagged_fraction
 
-    def test_chunk_size_does_not_change_result(self):
+    def test_block_size_does_not_change_result(self):
         X, s, y_hat = self.make_data(seed=2, n=150)
-        whole = situation_testing(X, s, y_hat, k=6, chunk_size=10_000)
-        tiny = situation_testing(X, s, y_hat, k=6, chunk_size=13)
+        whole = situation_testing(X, s, y_hat, k=6, block_size=10_000)
+        tiny = situation_testing(X, s, y_hat, k=6, block_size=13)
         assert whole.mean_gap == pytest.approx(tiny.mean_gap, abs=1e-12)
         assert whole.flagged_fraction == tiny.flagged_fraction
 
-    def test_invalid_chunk_size_rejected(self):
+    # 419/420/427 are n−1 / n / n+7 for the n below: blocks that just
+    # miss, exactly hit, and overshoot the audited count.
+    @pytest.mark.parametrize("block_size", [1, None, 419, 420, 427])
+    def test_matches_loop_across_odd_block_boundaries(self, block_size):
+        """Blockwise top-k must agree with the loop reference whatever
+        the tiling — including one-row blocks and blocks around the
+        query-count boundary."""
+        X, s, y_hat = self.make_data(seed=5, n=420)
+        vec = situation_testing(X, s, y_hat, k=7, block_size=block_size)
+        loop = situation_testing_loop(X, s, y_hat, k=7)
+        assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=1e-9)
+        assert vec.flagged_fraction == loop.flagged_fraction
+        assert vec.n_audited == loop.n_audited
+
+    def test_matches_loop_at_larger_n(self):
+        X, s, y_hat = self.make_data(seed=6, n=1500)
+        vec = situation_testing(X, s, y_hat, k=11, block_size=256)
+        loop = situation_testing_loop(X, s, y_hat, k=11)
+        assert vec.mean_gap == pytest.approx(loop.mean_gap, abs=1e-9)
+        assert vec.flagged_fraction == loop.flagged_fraction
+
+    def test_invalid_block_size_rejected(self):
         X, s, y_hat = self.make_data(seed=3, n=60)
-        with pytest.raises(ValueError, match="chunk_size"):
-            situation_testing(X, s, y_hat, k=4, chunk_size=0)
-        with pytest.raises(ValueError, match="chunk_size"):
-            normalized_euclidean(X, chunk_size=-1)
+        with pytest.raises(ValueError, match="block_size"):
+            situation_testing(X, s, y_hat, k=4, block_size=0)
+        with pytest.raises(ValueError, match="block_size"):
+            normalized_euclidean(X, block_size=-1)
 
     def test_float32_distances_accepted(self):
         X, s, y_hat = self.make_data(seed=4, n=120)
         d = normalized_euclidean_dense(X).astype(np.float32)
         res = situation_testing(X, s, y_hat, k=5, distances=d,
-                                chunk_size=17)
+                                block_size=17)
         ref = situation_testing_loop(X, s, y_hat, k=5,
                                      distances=d.astype(float))
         assert res.mean_gap == pytest.approx(ref.mean_gap, abs=1e-6)
 
 
 class TestDistanceParity:
-    def test_chunked_normalized_euclidean_matches_dense(self):
+    def test_blocked_normalized_euclidean_matches_dense(self):
         X = RNG(0).normal(size=(97, 5))
-        chunked = normalized_euclidean(X, chunk_size=11)
+        blocked = normalized_euclidean(X, block_size=11)
         default = normalized_euclidean(X)
         dense = normalized_euclidean_dense(X)
-        assert np.allclose(chunked, dense, atol=1e-12)
+        assert np.allclose(blocked, dense, atol=1e-12)
         assert np.allclose(default, dense, atol=1e-12)
 
     def test_awareness_matches_dense_path(self):
@@ -194,3 +222,73 @@ class TestDistanceParity:
         sparse = metric_multifairness(X, scores, RNG(4))
         dense = metric_multifairness_dense(X, scores, RNG(4))
         assert sparse == pytest.approx(dense, abs=1e-3)
+
+
+class TestKnnModelParity:
+    """The k-NN classifier rides the shared kernel; its votes must
+    match the per-query loop reference exactly on tie-free data."""
+
+    def make_data(self, n=260, d=4, seed=0):
+        rng = RNG(seed)
+        X = rng.normal(size=(n, d))
+        y = (X @ np.arange(1, d + 1) > 0).astype(int)
+        return X, y
+
+    @pytest.mark.parametrize("block_size", [1, 63, 64, 71, None])
+    def test_matches_loop_across_block_boundaries(self, block_size):
+        X, y = self.make_data()
+        model = KNearestNeighbors(k=7, block_size=block_size).fit(X, y)
+        queries = X[:64]
+        ref = knn_predict_proba_loop(X, y, np.ones(len(y)), queries, 7)
+        np.testing.assert_allclose(model.predict_proba(queries), ref)
+
+    def test_weighted_votes_match_loop(self):
+        X, y = self.make_data(seed=1)
+        rng = RNG(2)
+        w = rng.random(len(y)) + 0.1
+        model = KNearestNeighbors(k=9).fit(X, y, sample_weight=w)
+        ref = knn_predict_proba_loop(X, y, w, X[:80], 9)
+        np.testing.assert_allclose(model.predict_proba(X[:80]), ref)
+
+    def test_k_above_train_size_matches_loop(self):
+        X, y = self.make_data(n=12)
+        model = KNearestNeighbors(k=40).fit(X, y)
+        ref = knn_predict_proba_loop(X, y, np.ones(len(y)), X, 40)
+        np.testing.assert_allclose(model.predict_proba(X), ref)
+
+    def test_offset_features_match_loop(self):
+        """Raw unscaled features with a large common offset (e.g.
+        timestamps) must not lose precision in the kernel's screen —
+        regression test for float32 Gram cancellation."""
+        rng = RNG(3)
+        X = rng.normal(size=(400, 5)) + 1e4
+        y = (X[:, 0] > 1e4).astype(int)
+        model = KNearestNeighbors(k=7).fit(X, y)
+        queries = X[:50]
+        ref = knn_predict_proba_loop(X, y, np.ones(len(y)), queries, 7)
+        np.testing.assert_allclose(model.predict_proba(queries), ref)
+
+
+class TestImputeKnnParity:
+    """k-NN donor imputation rides the masked kernel; donors must
+    match the per-row loop reference on tie-free data."""
+
+    def make_data(self, n=70, d=5, seed=0, hole_rate=0.2):
+        rng = RNG(seed)
+        X = rng.normal(size=(n, d))
+        holes = rng.random((n, d)) < hole_rate
+        holes &= ~np.all(holes, axis=0)  # keep every column imputable
+        X[holes] = np.nan
+        return X
+
+    @pytest.mark.parametrize("block_size", [1, 69, 70, 77, None])
+    def test_matches_loop_across_block_boundaries(self, block_size):
+        X = self.make_data()
+        out = impute_knn(X, k=3, block_size=block_size)
+        ref = impute_knn_loop(X, k=3)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_matches_loop_with_dense_holes(self):
+        X = self.make_data(seed=1, hole_rate=0.45)
+        np.testing.assert_allclose(impute_knn(X, k=4),
+                                   impute_knn_loop(X, k=4), atol=1e-9)

@@ -156,15 +156,27 @@ class TestKNN:
         p = m.predict_proba(X)
         np.testing.assert_allclose(p, y.mean())
 
-    def test_chunking_consistent(self):
+    def test_blocking_consistent(self):
         X, y = linearly_separable(200)
-        a = KNearestNeighbors(k=5, chunk_size=7).fit(X, y).predict_proba(X)
-        b = KNearestNeighbors(k=5, chunk_size=512).fit(X, y).predict_proba(X)
+        a = KNearestNeighbors(k=5, block_size=7).fit(X, y).predict_proba(X)
+        b = KNearestNeighbors(k=5, block_size=512).fit(X, y).predict_proba(X)
         np.testing.assert_allclose(a, b)
+
+    def test_matches_loop_reference(self):
+        from repro.metrics.reference import knn_predict_proba_loop
+
+        X, y = linearly_separable(150)
+        model = KNearestNeighbors(k=9).fit(X, y)
+        ref = knn_predict_proba_loop(X, y, np.ones(len(y)), X[:60], 9)
+        np.testing.assert_allclose(model.predict_proba(X[:60]), ref)
 
     def test_invalid_k(self):
         with pytest.raises(ValueError):
             KNearestNeighbors(k=0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            KNearestNeighbors(k=3, block_size=0)
 
 
 class TestTreeAndForest:

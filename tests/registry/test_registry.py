@@ -14,7 +14,7 @@ class TestSpecGrammar:
         ("lr", ("lr", {})),
         ("Celis-pp", ("Celis-pp", {})),
         ("Celis-pp(tau=0.9)", ("Celis-pp", {"tau": 0.9})),
-        ("knn(k=7, chunk_size=64)", ("knn", {"k": 7, "chunk_size": 64})),
+        ("knn(k=7, block_size=64)", ("knn", {"k": 7, "block_size": 64})),
         ("x(name='abc', flag=True, none=None)",
          ("x", {"name": "abc", "flag": True, "none": None})),
         ("spaced( a = 1 )", ("spaced", {"a": 1})),
