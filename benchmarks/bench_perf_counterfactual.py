@@ -9,6 +9,15 @@ synthetic COMPAS dataset, and writes the result as
 ``BENCH_counterfactual.json`` — the repo's perf-trajectory record for
 this hot path.
 
+The headline timings run with telemetry *disabled* — exactly the
+configuration ``--assert-no-regression`` guards — so a hold against
+the committed baseline doubles as the proof that the instrumented
+kernels' disabled-mode overhead stays under the noise floor.  A
+separate traced pass (skippable with ``--no-phases``) then re-runs
+both audits under ``repro.obs.recording`` and embeds the per-phase
+span durations and kernel counters (``abduction.chunks``,
+``pairwise.blocks``, ...) into each size's record.
+
 The loop reference is skipped above ``--loop-max`` rows (it is the
 point of this benchmark that the loop does not scale; the dense
 situation-testing matrix alone is 3.2 GB at n=20k).
@@ -76,8 +85,32 @@ def timed(fn):
     return time.perf_counter() - start, out
 
 
+def traced_phases(ds, scm, cols, predict, n_particles: int, k: int,
+                  block_size: int | None) -> tuple[dict, dict]:
+    """Re-run both audits under a recorder; per-phase seconds and the
+    merged kernel counters (not comparable to the untraced headline
+    timings — this pass pays the instrumentation)."""
+    from repro import obs
+    from repro.metrics import counterfactual_fairness, situation_testing
+
+    rng = np.random.default_rng
+    with obs.recording() as rec:
+        with obs.span("cf_audit"):
+            counterfactual_fairness(
+                scm, cols, ds.sensitive, ds.label, predict, rng(1),
+                n_particles=n_particles, max_rows=None)
+        with obs.span("situation_testing"):
+            situation_testing(ds.X, ds.s, predict(cols), k=k,
+                              block_size=block_size)
+    snapshot = rec.snapshot()
+    phases = {s["name"]: round(s["dur"], 4)
+              for s in snapshot["spans"] if s["depth"] == 0}
+    return phases, snapshot["counters"]
+
+
 def bench_size(size: int, n_particles: int, k: int,
-               run_loop: bool, block_size: int | None = None) -> dict:
+               run_loop: bool, block_size: int | None = None,
+               collect_phases: bool = True) -> dict:
     from repro.metrics import counterfactual_fairness, situation_testing
     from repro.metrics.reference import (counterfactual_fairness_loop,
                                          situation_testing_loop)
@@ -116,6 +149,10 @@ def bench_size(size: int, n_particles: int, k: int,
         # tie-free data in the test-suite).
         assert abs(st_loop.mean_gap - st_vec.mean_gap) < 0.05, \
             "situation-testing parity violated beyond tie noise"
+
+    if collect_phases:
+        entry["phases"], entry["counters"] = traced_phases(
+            ds, scm, cols, predict, n_particles, k, block_size)
     return entry
 
 
@@ -201,6 +238,9 @@ def main(argv: list[str] | None = None) -> None:
                         help="pairwise-kernel query rows per block for "
                              "situation testing (default: kernel "
                              "default)")
+    parser.add_argument("--no-phases", action="store_true",
+                        help="skip the traced pass that embeds "
+                             "per-phase durations and kernel counters")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     parser.add_argument("--assert-no-regression", type=pathlib.Path,
                         default=None, metavar="BASELINE",
@@ -219,7 +259,8 @@ def main(argv: list[str] | None = None) -> None:
               flush=True)
         results[str(size)] = bench_size(size, args.particles, args.k,
                                         run_loop,
-                                        block_size=args.block_size)
+                                        block_size=args.block_size,
+                                        collect_phases=not args.no_phases)
         entry = results[str(size)]
         line = (f"  cf audit {entry['cf_vectorized_s']:.3f}s"
                 f"  situation testing {entry['st_vectorized_s']:.3f}s")
@@ -229,10 +270,14 @@ def main(argv: list[str] | None = None) -> None:
                      f"{entry['cf_speedup']:.1f}x / "
                      f"{entry['st_speedup']:.1f}x)")
         print(line, flush=True)
+        if "phases" in entry:
+            print("  traced phases: "
+                  + "  ".join(f"{name} {secs:.3f}s" for name, secs
+                              in entry["phases"].items()), flush=True)
 
     payload = {
         "bench": "counterfactual_audit",
-        "schema": 2,
+        "schema": 3,
         "dataset": "compas (synthetic generator, 4-bin discretized)",
         "n_particles": args.particles,
         "k": args.k,

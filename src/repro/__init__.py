@@ -20,9 +20,12 @@ Public API tour:
 * :mod:`repro.pipeline` — uniform experiment runner and reports.
 * :mod:`repro.engine` — declarative scenario grids, parallel sweeps,
   and content-addressed result caching.
+* :mod:`repro.obs` — telemetry: spans, counters, trace export
+  (``repro sweep --trace``), and environment diagnostics
+  (``repro doctor``).
 """
 
-from . import registry
+from . import obs, registry
 from .api import ExperimentSpec, SweepSpec, load_config, run_spec, sweep
 from .datasets import load, load_adult, load_compas, load_german
 from .engine import Job, ResultCache, ScenarioGrid, run_sweep
@@ -38,7 +41,7 @@ _DEPRECATED_FAIRNESS = ("MAIN_APPROACHES", "ALL_APPROACHES",
                         "ADDITIONAL_APPROACHES", "EXTENSION_APPROACHES")
 
 __all__ = [
-    "registry",
+    "obs", "registry",
     "ExperimentSpec", "SweepSpec", "load_config", "run_spec", "sweep",
     "load", "load_adult", "load_compas", "load_german",
     "MAIN_APPROACHES", "ALL_APPROACHES", "make_approach",

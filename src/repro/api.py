@@ -349,21 +349,44 @@ class SweepSpec:
 
     def run(self, progress=None, max_workers: int | None = None,
             cache: ResultCache | None = None,
-            resume: bool | None = None) -> SweepReport:
+            resume: bool | None = None, trace=None) -> SweepReport:
         """Expand and execute the grid with the spec's engine options
-        (each keyword argument overrides its spec field)."""
+        (each keyword argument overrides its spec field).
+
+        ``trace`` turns on telemetry: pass a directory path to record
+        the sweep and write ``events.jsonl`` + ``trace.json`` there, or
+        a :class:`~repro.obs.TraceCollector` to collect without writing
+        (inspect or ``.write()`` it yourself).
+        """
         if cache is None and self.cache_dir not in (None, "none"):
             cache = ResultCache(self.cache_dir)
-        return run_sweep(
+        trace_dir, collector = _resolve_trace(trace)
+        report = run_sweep(
             self.to_grid().expand(), cache=cache,
             max_workers=self.jobs if max_workers is None else max_workers,
             resume=self.resume if resume is None else resume,
-            progress=progress)
+            progress=progress, trace=collector)
+        if trace_dir is not None:
+            collector.write(trace_dir)
+        return report
 
 
 # ----------------------------------------------------------------------
 # One-call conveniences
 # ----------------------------------------------------------------------
+def _resolve_trace(trace):
+    """Normalise a ``trace`` argument: ``None`` → no telemetry, a
+    path → fresh collector written there after the run, a
+    :class:`~repro.obs.TraceCollector` → used as-is (caller writes)."""
+    if trace is None:
+        return None, None
+    from . import obs
+
+    if isinstance(trace, obs.TraceCollector):
+        return None, trace
+    return Path(trace), obs.TraceCollector(env=obs.environment_info())
+
+
 def run_spec(config) -> EvaluationResult:
     """Run a single experiment from a spec, mapping, or config path."""
     if isinstance(config, ExperimentSpec):
@@ -371,11 +394,15 @@ def run_spec(config) -> EvaluationResult:
     return ExperimentSpec.from_config(config).run()
 
 
-def sweep(config, progress=None) -> SweepReport:
-    """Run a sweep from a spec, mapping, or config path."""
+def sweep(config, progress=None, trace=None) -> SweepReport:
+    """Run a sweep from a spec, mapping, or config path.
+
+    ``trace`` records telemetry: a directory path (events + Chrome
+    trace written there) or a :class:`~repro.obs.TraceCollector`.
+    """
     spec = (config if isinstance(config, SweepSpec)
             else SweepSpec.from_config(config))
-    return spec.run(progress=progress)
+    return spec.run(progress=progress, trace=trace)
 
 
 def report(cache_dir, where: Mapping | None = None) -> SweepReport:

@@ -32,6 +32,17 @@ re-executing anything::
     python -m repro report --cache-dir .sweep-cache \
         --where error=missing --pivot approach imputer accuracy
 
+Record a sweep's telemetry and inspect it (also openable in
+Perfetto / ``chrome://tracing`` via ``DIR/trace.json``)::
+
+    python -m repro sweep --config examples/sweep.yaml --trace DIR
+    python -m repro trace DIR --by error --check
+
+Print the environment block traces embed (versions, BLAS, thread
+caps)::
+
+    python -m repro doctor
+
 Browse the paper's Figure 3 notion catalog::
 
     python -m repro notions --association causal
@@ -44,6 +55,7 @@ Get a stage recommendation for a deployment profile (Section 5)::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -182,7 +194,41 @@ def _build_parser() -> argparse.ArgumentParser:
                            action=argparse.BooleanOptionalAction,
                            help="reuse cached cells (--no-resume "
                                 "recomputes and refreshes them)")
+    sweep_cmd.add_argument("--trace", metavar="DIR", default=None,
+                           help="record telemetry and write "
+                                "events.jsonl + trace.json (Chrome "
+                                "trace-event) into DIR")
+    sweep_cmd.add_argument("--trace-memory", action="store_true",
+                           help="also track per-span peak allocation "
+                                "via tracemalloc (slower)")
+    sweep_cmd.add_argument("-v", "--verbose", action="count", default=0,
+                           help="per-phase timings in each progress "
+                                "line (implies trace collection)")
+    sweep_cmd.add_argument("-q", "--quiet", action="store_true",
+                           help="suppress per-cell progress lines")
     sweep_cmd.set_defaults(func=cmd_sweep)
+
+    doctor_cmd = sub.add_parser(
+        "doctor", help="print environment diagnostics (versions, BLAS, "
+                       "thread caps, kernel defaults)")
+    doctor_cmd.set_defaults(func=cmd_doctor)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="summarize a recorded sweep trace")
+    trace_cmd.add_argument("trace_dir", metavar="DIR",
+                           help="directory written by sweep --trace "
+                                "(or its events.jsonl)")
+    trace_cmd.add_argument("--top", type=int, default=10, metavar="N",
+                           help="slowest spans to list (default: 10)")
+    trace_cmd.add_argument("--by", default=None, metavar="AXIS",
+                           help="per-phase totals grouped by a grid "
+                                "axis (e.g. dataset, error, imputer)")
+    trace_cmd.add_argument("--check", action="store_true",
+                           help="verify every computed cell recorded "
+                                "its expected phase spans and the "
+                                "phases cover its elapsed time; "
+                                "exit 1 otherwise")
+    trace_cmd.set_defaults(func=cmd_trace)
 
     report_cmd = sub.add_parser(
         "report", help="query a finished sweep cache (no re-execution)")
@@ -414,9 +460,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cache = ResultCache(spec.cache_dir) if caching else None
     print(grid.describe() + (f", cache at {cache.root}" if caching
                              else ", caching disabled"))
-    report = run_sweep(grid.expand(), cache=cache, max_workers=spec.jobs,
-                       resume=spec.resume,
-                       progress=lambda p: print(p.line()))
+
+    from . import obs
+
+    # Progress (and obs warnings) go through logging on stderr so they
+    # never interleave with the stdout tables; the handler is attached
+    # per invocation and removed after, so repeated main() calls (the
+    # test-suite) never write to a stale stream.
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.WARNING if args.quiet else logging.INFO)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    progress = obs.LoggingProgress(
+        verbosity=-1 if args.quiet else args.verbose)
+    # -v needs per-cell fragments for its phase breakdowns, so it
+    # collects a trace even when none is written to disk.
+    collector = (obs.TraceCollector(env=obs.environment_info(),
+                                    meta={"grid": grid.describe()},
+                                    trace_memory=args.trace_memory)
+                 if args.trace is not None or args.verbose else None)
+    try:
+        report = run_sweep(grid.expand(), cache=cache,
+                           max_workers=spec.jobs, resume=spec.resume,
+                           progress=progress, trace=collector)
+    finally:
+        logger.removeHandler(handler)
+    if args.trace is not None:
+        collector.write(args.trace)
+        print(f"trace written to {args.trace} "
+              f"(inspect with `repro trace {args.trace}`)")
     for dataset_spec in grid.datasets:
         dataset = parse_spec(dataset_spec)[0]
         print()
@@ -511,6 +584,37 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {export_json(outcomes, args.export_json)}")
     if args.export_csv is not None:
         print(f"wrote {export_csv(outcomes, args.export_csv)}")
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from . import obs
+
+    print(obs.format_doctor(obs.environment_info()))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+
+    try:
+        trace = obs.load_trace(args.trace_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(obs.format_summary(trace, top=args.top, by=args.by))
+    if args.check:
+        problems = obs.check_trace(trace)
+        if problems:
+            print()
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("\ntrace check passed: all computed cells carry their "
+              "expected phase spans")
     return 0
 
 

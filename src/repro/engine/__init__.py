@@ -17,8 +17,8 @@ seed) — and this subsystem is the one way to run them:
 """
 
 from .cache import ResultCache
-from .executor import (JobOutcome, SweepProgress, SweepReport, execute_job,
-                       run_sweep)
+from .executor import (JobOutcome, SweepProgress, SweepReport, cell_attrs,
+                       execute_job, run_sweep)
 from .report import (aggregate_over_seeds, cell_key, export_csv,
                      export_json, filter_outcomes, format_pivot_table,
                      grid_slices, grid_table, group_outcomes,
@@ -31,8 +31,8 @@ __all__ = [
     "AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
     "job_from_params",
     "ResultCache",
-    "JobOutcome", "SweepProgress", "SweepReport", "execute_job",
-    "run_sweep",
+    "JobOutcome", "SweepProgress", "SweepReport", "cell_attrs",
+    "execute_job", "run_sweep",
     "aggregate_over_seeds", "cell_key", "grid_table", "group_outcomes",
     "mean_result", "overhead_series", "pivot",
     "filter_outcomes", "outcome_records", "export_json", "export_csv",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .. import obs
 from ..pipeline.experiment import EvaluationResult
 from ..pipeline.store import ResultStore
 from .spec import Job
@@ -51,29 +52,51 @@ class ResultCache:
     def _store(self, fingerprint: str) -> ResultStore:
         return ResultStore(self.root / fingerprint[:2])
 
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _corrupt(self, fingerprint: str, exc: Exception) -> None:
+        obs.add("cache.corrupt")
+        obs.warning("cache.corrupt", path=str(self._path(fingerprint)),
+                    reason=f"{type(exc).__name__}: {exc}")
+
     # ------------------------------------------------------------------
     def get(self, job: Job) -> EvaluationResult | None:
         """The cached result for a job, or ``None`` on a miss.
 
         A malformed entry (interrupted write predating atomic saves,
         disk corruption, stale format version) counts as a miss rather
-        than poisoning the sweep.
+        than poisoning the sweep, and is reported as a structured
+        ``cache.corrupt`` warning naming the shard file and the decode
+        failure.
         """
         fingerprint = job.fingerprint
         try:
             results, params = self._store(fingerprint).load(fingerprint)
-        except (FileNotFoundError, ValueError, KeyError):
+        except FileNotFoundError:
+            obs.add("cache.misses")
+            return None
+        except (ValueError, KeyError) as exc:
+            obs.add("cache.misses")
+            self._corrupt(fingerprint, exc)
             return None
         if params.get("fingerprint") != fingerprint or not results:
+            obs.add("cache.misses")
+            self._corrupt(fingerprint, ValueError(
+                "entry fingerprint mismatch" if results
+                else "entry holds no results"))
             return None
+        obs.add("cache.hits")
         return results[0]
 
     def put(self, job: Job, result: EvaluationResult) -> Path:
         """Store a finished cell; returns the entry's path."""
         fingerprint = job.fingerprint
         params = {"fingerprint": fingerprint, **job.params()}
-        return self._store(fingerprint).save(fingerprint, [result],
+        path = self._store(fingerprint).save(fingerprint, [result],
                                              params=params)
+        obs.add("cache.bytes_written", path.stat().st_size)
+        return path
 
     def __contains__(self, job: Job) -> bool:
         return self.get(job) is not None
@@ -93,9 +116,14 @@ class ResultCache:
             try:
                 results, params = self._store(fingerprint).load(
                     fingerprint)
-            except (FileNotFoundError, ValueError, KeyError):
+            except FileNotFoundError:
+                continue
+            except (ValueError, KeyError) as exc:
+                self._corrupt(fingerprint, exc)
                 continue
             if not results:
+                self._corrupt(fingerprint,
+                              ValueError("entry holds no results"))
                 continue
             yield fingerprint, results[0], params
 

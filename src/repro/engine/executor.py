@@ -13,6 +13,14 @@ then fresh cells through a ``ProcessPoolExecutor`` (or inline when
 * **Progress** — an optional callback receives a
   :class:`SweepProgress` snapshot (done/cached/failed counts, elapsed,
   ETA) after every finished cell.
+* **Telemetry** — with a :class:`~repro.obs.TraceCollector` passed as
+  ``trace``, every executed cell records a span tree (phases:
+  ``dataset`` / ``error`` / ``impute`` / ``fit`` / ``metrics`` /
+  ``audit``) plus counters inside its worker process; the fragment
+  travels back with the result pickle, lands on the cell's
+  :class:`JobOutcome`, and the collector merges all of them with the
+  parent's sweep-scope recording (cache probes and write-backs).
+  Without ``trace`` the instrumentation is a no-op.
 """
 
 from __future__ import annotations
@@ -23,12 +31,13 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..pipeline.experiment import EvaluationResult
 from .cache import ResultCache
 from .spec import Job
 
-__all__ = ["JobOutcome", "SweepProgress", "SweepReport", "execute_job",
-           "run_sweep"]
+__all__ = ["JobOutcome", "SweepProgress", "SweepReport", "cell_attrs",
+           "execute_job", "run_sweep"]
 
 
 # ----------------------------------------------------------------------
@@ -91,20 +100,24 @@ def execute_job(job: Job) -> EvaluationResult:
         # dataset_params may override the protocol's n/seed only on a
         # hand-built Job; grid- and spec-built jobs reject that
         # upstream.
-        dataset = DATASETS.build(job.dataset, **{
-            "n": job.rows, "seed": job.seed, **job.dataset_params})
-        if job.n_features is not None:
-            dataset = dataset.select_features(
-                dataset.feature_names[:job.n_features])
-        split = train_test_split(dataset,
-                                 test_fraction=job.test_fraction,
-                                 seed=job.seed)
+        with obs.span("dataset", dataset=job.dataset, rows=job.rows):
+            dataset = DATASETS.build(job.dataset, **{
+                "n": job.rows, "seed": job.seed, **job.dataset_params})
+            if job.n_features is not None:
+                dataset = dataset.select_features(
+                    dataset.feature_names[:job.n_features])
+            split = train_test_split(dataset,
+                                     test_fraction=job.test_fraction,
+                                     seed=job.seed)
         train = split.train
         if job.error is not None:
-            injector = ERRORS.build(job.error, **job.error_params)
-            train = injector(train, seed=job.seed)
+            with obs.span("error", error=job.error):
+                injector = ERRORS.build(job.error, **job.error_params)
+                train = injector(train, seed=job.seed)
         if job.imputer is not None:
-            train = _impute_train(train, job.imputer, job.imputer_params)
+            with obs.span("impute", imputer=job.imputer):
+                train = _impute_train(train, job.imputer,
+                                      job.imputer_params)
         result = run_experiment(job.approach, train, split.test,
                                 model=MODELS.build(job.model,
                                                    **job.model_params),
@@ -115,11 +128,13 @@ def execute_job(job: Job) -> EvaluationResult:
             from ..pipeline.counterfactual_eval import \
                 evaluate_counterfactual
 
-            audit = evaluate_counterfactual(
-                job.approach, train, split.test,
-                model=MODELS.build(job.model, **job.model_params),
-                seed=job.seed, chunk_rows=job.chunk_rows,
-                approach_params=job.approach_params, **job.audit_params)
+            with obs.span("audit", audit=job.audit):
+                audit = evaluate_counterfactual(
+                    job.approach, train, split.test,
+                    model=MODELS.build(job.model, **job.model_params),
+                    seed=job.seed, chunk_rows=job.chunk_rows,
+                    approach_params=job.approach_params,
+                    **job.audit_params)
             result = dataclasses.replace(result, raw={
                 **result.raw,
                 "cf_mean_gap": audit.fairness.mean_gap,
@@ -139,18 +154,49 @@ def execute_job(job: Job) -> EvaluationResult:
         return result
 
 
-def _guarded_execute(indexed_job: tuple[int, Job]
+def cell_attrs(job: Job) -> dict:
+    """Grid-axis attributes stamped on a cell's root span and its
+    trace record (``None`` axes omitted, so presence of a key tells
+    the trace checker which conditional phases to expect)."""
+    attrs = {"label": job.label(), "fingerprint": job.fingerprint,
+             "dataset": job.dataset, "approach": job.approach_label,
+             "model": job.model, "rows": job.rows, "seed": job.seed}
+    for axis in ("error", "imputer", "metric", "audit"):
+        value = getattr(job, axis)
+        if value is not None:
+            attrs[axis] = value
+    return attrs
+
+
+def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
+                     trace_memory: bool = False,
                      ) -> tuple[int, EvaluationResult | None, str | None,
-                                float]:
-    """Pool worker: never raises, so one bad cell can't kill the sweep."""
+                                float, dict | None]:
+    """Pool worker: never raises, so one bad cell can't kill the sweep.
+
+    With ``collect=True`` the cell executes under a fresh recorder
+    whose snapshot (spans, counters, events — plain picklable dicts)
+    rides back as the fifth tuple element; a failing cell still ships
+    the spans it closed before dying.
+    """
     index, job = indexed_job
     start = time.perf_counter()
-    try:
-        result = execute_job(job)
-        return index, result, None, time.perf_counter() - start
-    except Exception:
-        return index, None, traceback.format_exc(), \
-            time.perf_counter() - start
+    if not collect:
+        try:
+            result = execute_job(job)
+            return index, result, None, time.perf_counter() - start, None
+        except Exception:
+            return index, None, traceback.format_exc(), \
+                time.perf_counter() - start, None
+    with obs.recording(trace_memory=trace_memory) as rec:
+        error = None
+        try:
+            with obs.span("cell", **cell_attrs(job)):
+                result = execute_job(job)
+        except Exception:
+            result, error = None, traceback.format_exc()
+    return index, result, error, time.perf_counter() - start, \
+        rec.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +211,9 @@ class JobOutcome:
     error: str | None = None  # traceback text when the cell failed
     cached: bool = False
     seconds: float = 0.0
+    #: Trace fragment recorded in the executing worker (spans,
+    #: counters, events), when the sweep ran with trace collection.
+    trace: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -251,7 +300,8 @@ ProgressCallback = Callable[[SweepProgress], None]
 
 def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
               max_workers: int = 1, resume: bool = True,
-              progress: ProgressCallback | None = None) -> SweepReport:
+              progress: ProgressCallback | None = None,
+              trace=None) -> SweepReport:
     """Execute a job list, reusing and filling the cache.
 
     Parameters
@@ -271,9 +321,40 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
     progress:
         Called with a :class:`SweepProgress` after every finished cell
         (cache hits included), in completion order.
+    trace:
+        Optional :class:`~repro.obs.TraceCollector`.  When given,
+        every executed cell records its span tree + counters in its
+        worker, the parent records a ``sweep`` scope (cache probes,
+        write-backs), and the collector ends up holding the merged
+        trace — call ``trace.write(dir)`` for the JSONL + Chrome
+        exports.  Fragments are also attached to each
+        :class:`JobOutcome` (``outcome.trace``).
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if trace is None:
+        return _run_sweep(jobs, cache=cache, max_workers=max_workers,
+                          resume=resume, progress=progress)
+    with obs.recording(trace_memory=trace.trace_memory) as rec:
+        with obs.span("sweep", cells=len(jobs), workers=max_workers):
+            report = _run_sweep(jobs, cache=cache,
+                                max_workers=max_workers, resume=resume,
+                                progress=progress, collect=True,
+                                trace_memory=trace.trace_memory)
+    trace.add_scope("sweep", rec.snapshot())
+    for outcome in report.outcomes:
+        trace.add_cell(outcome.job.label(), fragment=outcome.trace,
+                       attrs=cell_attrs(outcome.job),
+                       elapsed=outcome.seconds, cached=outcome.cached,
+                       failed=not outcome.ok)
+    return report
+
+
+def _run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None,
+               max_workers: int, resume: bool,
+               progress: ProgressCallback | None,
+               collect: bool = False,
+               trace_memory: bool = False) -> SweepReport:
     start = time.perf_counter()
     slots: list[JobOutcome | None] = [None] * len(jobs)
     counts = {"done": 0, "cached": 0, "failed": 0}
@@ -298,20 +379,23 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
             pending.append((index, job))
 
     def finish(index: int, job: Job, result: EvaluationResult | None,
-               error: str | None, seconds: float) -> None:
+               error: str | None, seconds: float,
+               fragment: dict | None = None) -> None:
         if result is not None and cache is not None:
             cache.put(job, result)
         record(index, JobOutcome(job=job, result=result, error=error,
-                                 seconds=seconds))
+                                 seconds=seconds, trace=fragment))
 
     if max_workers == 1 or len(pending) <= 1:
         for index, job in pending:
-            _, result, error, seconds = _guarded_execute((index, job))
-            finish(index, job, result, error, seconds)
+            _, result, error, seconds, fragment = _guarded_execute(
+                (index, job), collect, trace_memory)
+            finish(index, job, result, error, seconds, fragment)
     else:
         workers = min(max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_guarded_execute, item): item
+            futures = {pool.submit(_guarded_execute, item, collect,
+                                   trace_memory): item
                        for item in pending}
             not_done = set(futures)
             while not_done:
@@ -324,8 +408,10 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
                         finish(index, job, None,
                                f"worker crashed: {exc!r}", 0.0)
                     else:
-                        _, result, error, seconds = future.result()
-                        finish(index, job, result, error, seconds)
+                        _, result, error, seconds, fragment = \
+                            future.result()
+                        finish(index, job, result, error, seconds,
+                               fragment)
 
     return SweepReport(outcomes=[o for o in slots if o is not None],
                        elapsed=time.perf_counter() - start)

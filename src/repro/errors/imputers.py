@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
+
 
 def impute_mean(values: np.ndarray) -> np.ndarray:
     """Replace NaNs with the mean of the observed entries."""
@@ -12,6 +14,7 @@ def impute_mean(values: np.ndarray) -> np.ndarray:
     missing = np.isnan(values)
     if missing.all():
         raise ValueError("cannot impute a fully missing column")
+    obs.add("impute.cells", int(missing.sum()))
     values[missing] = values[~missing].mean()
     return values
 
@@ -22,6 +25,7 @@ def impute_mode(values: np.ndarray) -> np.ndarray:
     missing = np.isnan(values)
     if missing.all():
         raise ValueError("cannot impute a fully missing column")
+    obs.add("impute.cells", int(missing.sum()))
     observed = values[~missing]
     uniques, counts = np.unique(observed, return_counts=True)
     values[missing] = uniques[np.argmax(counts)]
@@ -34,6 +38,7 @@ def impute_median(values: np.ndarray) -> np.ndarray:
     missing = np.isnan(values)
     if missing.all():
         raise ValueError("cannot impute a fully missing column")
+    obs.add("impute.cells", int(missing.sum()))
     values[missing] = np.median(values[~missing])
     return values
 
@@ -41,7 +46,9 @@ def impute_median(values: np.ndarray) -> np.ndarray:
 def impute_constant(values: np.ndarray, fill_value: float) -> np.ndarray:
     """Replace NaNs with a fixed sentinel value."""
     values = np.asarray(values, dtype=float).copy()
-    values[np.isnan(values)] = fill_value
+    missing = np.isnan(values)
+    obs.add("impute.cells", int(missing.sum()))
+    values[missing] = fill_value
     return values
 
 
@@ -84,6 +91,7 @@ def impute_knn(X: np.ndarray, k: int = 5,
         return X
     if missing.all(axis=0).any():
         raise ValueError("cannot impute a fully missing column")
+    obs.add("impute.cells", int(missing.sum()))
 
     # Column scaling for comparable distances; constant columns keep a
     # unit scale rather than dividing by a zero spread.
@@ -132,6 +140,7 @@ def impute_iterative(X: np.ndarray, n_iter: int = 5,
         return X
     if missing.all(axis=0).any():
         raise ValueError("cannot impute a fully missing column")
+    obs.add("impute.cells", int(missing.sum()))
     col_mean = np.nanmean(X, axis=0)
     filled = np.where(missing, col_mean, X)
     holes = np.flatnonzero(missing.any(axis=0))

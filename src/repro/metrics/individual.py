@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..causal.counterfactual import CounterfactualSCM
 from ..causal.pse import path_specific_effect
 from . import pairwise
@@ -156,9 +157,12 @@ def counterfactual_fairness(scm: CounterfactualSCM,
         chunk_rows = max(1, _MAX_BATCH // n_particles)
     elif chunk_rows < 1:
         raise ValueError(f"chunk_rows must be at least 1, got {chunk_rows}")
+    obs.add("audit.rows", int(take))
     gaps = np.empty(take)
     for start in range(0, take, chunk_rows):
         stop = min(start + chunk_rows, take)
+        obs.add("abduction.chunks")
+        obs.add("abduction.rows", stop - start)
         evidence = {node: np.repeat(cols[node][start:stop], n_particles)
                     for node in nodes}
         noise = scm.abduct_rows(evidence, rng)
@@ -345,6 +349,7 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
             "no audited individual has usable neighbours in both "
             "groups; audit a larger sample")
     gaps = gaps[finite]
+    obs.add("audit.rows", int(gaps.size))
     return SituationTestingResult(
         flagged_fraction=float(np.mean(np.abs(gaps) > threshold)),
         mean_gap=float(gaps.mean()),

@@ -50,6 +50,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "default_block_size",
@@ -167,6 +169,7 @@ def iter_sq_blocks(A: np.ndarray, B: np.ndarray | None = None, *,
     BT = B.T
     for start in range(0, A.shape[0], block):
         stop = min(start + block, A.shape[0])
+        obs.add("pairwise.blocks")
         d2 = A[start:stop] @ BT
         d2 *= -2.0
         d2 += a_sq[start:stop, None]
@@ -326,6 +329,7 @@ def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
     for start in range(0, n_q, block):
         stop = min(start + block, n_q)
         rows = slice(start, stop)
+        obs.add("pairwise.blocks")
         G = A2_32[rows] @ ref.BT_32
         G += ref.b_sq_32
         excl = None
@@ -339,6 +343,7 @@ def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
             cand = np.broadcast_to(np.arange(m), (stop - start, m))
         # Exact float64 re-rank of the surviving candidates, from the
         # coordinate differences directly (no Gram cancellation).
+        obs.add("pairwise.candidates", cand.shape[0] * cand.shape[1])
         diff = A[rows][:, None, :] - B[cand]
         exact = np.einsum("rcd,rcd->rc", diff, diff)
         if excl is not None:
@@ -389,6 +394,7 @@ def topk_dense(D: np.ndarray, k: int, *,
     all_cols = np.arange(m)
     for start in range(0, n_q, block):
         stop = min(start + block, n_q)
+        obs.add("pairwise.blocks")
         # One fancy-indexed copy of exactly the block × columns
         # submatrix — never a full-width intermediate.
         sub = (D[rows[start:stop]] if columns is None
@@ -444,6 +450,7 @@ def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
     MT, ZMT, ZM_sqT = M.T, ZM.T, ZM_sq.T
     for start in range(0, rows.size, block):
         stop = min(start + block, rows.size)
+        obs.add("pairwise.blocks")
         take = rows[start:stop]
         d2 = ZM[take] @ ZMT
         d2 *= -2.0

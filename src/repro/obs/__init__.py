@@ -1,0 +1,40 @@
+"""Observability: spans, counters, trace export, and diagnostics.
+
+The telemetry layer the sweep engine (and every hot kernel under it)
+is instrumented with.  Disabled by default with near-zero overhead —
+:func:`span` and :func:`add` are cheap no-ops until a recorder is
+installed — and process-safe: each worker records its own fragment,
+the parent merges them into a :class:`TraceCollector`, and the result
+exports as a JSON-lines event log plus a Chrome trace-event file
+(``chrome://tracing`` / Perfetto).
+
+Entry points::
+
+    repro sweep --trace DIR      # record a sweep
+    repro trace DIR              # summarize it (and --check in CI)
+    repro doctor                 # the environment block traces embed
+
+    from repro import obs
+    with obs.recording() as rec:
+        with obs.span("fit", model="lr"):
+            ...
+    rec.snapshot()
+"""
+
+from .core import (Recorder, add, enabled, recorder, recording, span,
+                   warning)
+from .doctor import THREAD_ENV_VARS, environment_info, format_doctor
+from .progress import LoggingProgress, phase_breakdown
+from .summary import (check_trace, format_summary, load_trace,
+                      merged_counters, phase_totals, phase_totals_by)
+from .trace import SCHEMA, TraceCollector
+
+__all__ = [
+    "Recorder", "add", "enabled", "recorder", "recording", "span",
+    "warning",
+    "THREAD_ENV_VARS", "environment_info", "format_doctor",
+    "LoggingProgress", "phase_breakdown",
+    "check_trace", "format_summary", "load_trace", "merged_counters",
+    "phase_totals", "phase_totals_by",
+    "SCHEMA", "TraceCollector",
+]

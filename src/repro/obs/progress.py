@@ -1,0 +1,53 @@
+"""Logging-based sweep progress emitter.
+
+The CLI's sweep path used to ``print`` every
+:class:`~repro.engine.executor.SweepProgress` line to stdout, where it
+interleaved with the result tables.  :class:`LoggingProgress` routes
+the per-cell lines through :mod:`logging` (logger ``repro.sweep``,
+i.e. stderr under the CLI's basic config) with a verbosity knob:
+
+* ``verbosity < 0`` (``repro sweep --quiet``): no per-cell lines —
+  only the final summary and tables on stdout.
+* ``verbosity == 0`` (default): the classic one line per finished
+  cell.
+* ``verbosity >= 1`` (``-v``): the line plus the cell's per-phase
+  timings, read from the trace fragment the engine attaches to each
+  executed outcome when trace collection is on.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["LoggingProgress", "phase_breakdown"]
+
+
+def phase_breakdown(outcome) -> str:
+    """``"dataset 0.01s · fit 0.31s · metrics 0.88s"`` for an outcome
+    carrying a trace fragment (empty string otherwise)."""
+    fragment = getattr(outcome, "trace", None)
+    if not fragment:
+        return ""
+    phases = sorted((s for s in fragment["spans"] if s["depth"] == 1),
+                    key=lambda s: s["ts"])
+    return " · ".join(f"{s['name']} {s['dur']:.2f}s" for s in phases)
+
+
+class LoggingProgress:
+    """A :func:`~repro.engine.executor.run_sweep` progress callback
+    emitting through ``logging``."""
+
+    def __init__(self, verbosity: int = 0,
+                 logger: logging.Logger | None = None):
+        self.verbosity = verbosity
+        self.logger = logger or logging.getLogger("repro.sweep")
+
+    def __call__(self, progress) -> None:
+        if self.verbosity < 0:
+            return
+        line = progress.line()
+        if self.verbosity >= 1:
+            detail = phase_breakdown(progress.outcome)
+            if detail:
+                line += f"  [{detail}]"
+        self.logger.info(line)

@@ -1,0 +1,272 @@
+"""Read back and summarize a written trace (`repro trace`).
+
+:func:`load_trace` parses an ``events.jsonl`` (or the directory
+holding one) back into header + per-cell records;
+:func:`format_summary` renders the analyst's view — per-phase totals,
+counters, slowest cells, top individual spans, optionally per-phase
+totals grouped by a grid axis — and :func:`check_trace` is the CI
+gate: every computed cell must carry the phase spans its job implies,
+and the phase spans must account for (cover) the cell's recorded
+elapsed time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["check_trace", "format_summary", "load_trace",
+           "phase_totals", "phase_totals_by"]
+
+#: Phase spans every computed cell records, plus the ones implied by
+#: the cell's grid axes (attribute name -> span name).
+ALWAYS_PHASES = ("dataset", "fit", "metrics")
+CONDITIONAL_PHASES = (("error", "error"), ("imputer", "impute"),
+                      ("audit", "audit"))
+
+
+def load_trace(path: str | Path) -> dict:
+    """Parse a trace back into ``{"header", "cells", "scopes"}``.
+
+    ``path`` may be the trace directory (containing ``events.jsonl``)
+    or the events file itself.
+
+    Raises
+    ------
+    FileNotFoundError
+        If no events file is found.
+    ValueError
+        If the file does not start with a header line or a line is not
+        valid JSON.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    if not path.exists():
+        raise FileNotFoundError(f"no trace events at {path}")
+    header = None
+    cells: dict[int, dict] = {}
+    scopes: dict[str, dict] = {}
+
+    def bucket(line: dict) -> dict:
+        if "cell_id" in line:
+            return cells.setdefault(line["cell_id"], _empty_cell())
+        name = line.get("scope", "?")
+        return scopes.setdefault(name, {"name": name, **_empty_cell()})
+
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        if not raw.strip():
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: invalid JSON ({exc})")
+        kind = line.get("type")
+        if kind == "header":
+            header = line
+        elif kind == "cell":
+            cell = cells.setdefault(line["cell_id"], _empty_cell())
+            cell.update({key: line[key] for key in
+                         ("label", "attrs", "elapsed", "cached", "failed")})
+            cell["id"] = line["cell_id"]
+        elif kind == "span":
+            bucket(line)["spans"].append(line)
+        elif kind == "counter":
+            target = bucket(line)["counters"]
+            target[line["name"]] = target.get(line["name"], 0) \
+                + line["value"]
+        else:
+            bucket(line)["events"].append(line)
+    if header is None:
+        raise ValueError(f"{path} has no header line")
+    return {"header": header,
+            "cells": [cells[key] for key in sorted(cells)],
+            "scopes": list(scopes.values())}
+
+
+def _empty_cell() -> dict:
+    return {"label": "?", "attrs": {}, "elapsed": 0.0, "cached": False,
+            "failed": False, "spans": [], "counters": {}, "events": []}
+
+
+# ----------------------------------------------------------------------
+# Aggregations
+# ----------------------------------------------------------------------
+def _cell_phases(cell: dict) -> list[dict]:
+    """The cell's phase spans (direct children of the root span)."""
+    return sorted((s for s in cell["spans"] if s["depth"] == 1),
+                  key=lambda s: s["ts"])
+
+
+def phase_totals(trace: dict) -> dict[str, dict]:
+    """Aggregate spans by name over every cell: count/total/mean/max."""
+    totals: dict[str, dict] = {}
+    for cell in trace["cells"]:
+        for span in cell["spans"]:
+            entry = totals.setdefault(
+                span["name"], {"count": 0, "total": 0.0, "max": 0.0})
+            entry["count"] += 1
+            entry["total"] += span["dur"]
+            entry["max"] = max(entry["max"], span["dur"])
+    for entry in totals.values():
+        entry["mean"] = entry["total"] / entry["count"]
+    return totals
+
+
+def phase_totals_by(trace: dict, axis: str) -> dict[str, dict[str, float]]:
+    """Per-phase total seconds grouped by a cell attribute (grid
+    axis), e.g. ``axis="approach"`` or ``"dataset"``."""
+    grouped: dict[str, dict[str, float]] = {}
+    for cell in trace["cells"]:
+        value = str(cell["attrs"].get(axis, "-"))
+        target = grouped.setdefault(value, {})
+        for span in _cell_phases(cell):
+            target[span["name"]] = target.get(span["name"], 0.0) \
+                + span["dur"]
+    return grouped
+
+
+def merged_counters(trace: dict) -> dict[str, float]:
+    merged: dict[str, float] = {}
+    for holder in (*trace["scopes"], *trace["cells"]):
+        for name, value in holder["counters"].items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+def _coverage(cell: dict) -> float | None:
+    """Fraction of the cell's recorded elapsed covered by its phase
+    spans (``None`` when the cell recorded no elapsed time)."""
+    if cell["elapsed"] <= 0:
+        return None
+    return sum(s["dur"] for s in _cell_phases(cell)) / cell["elapsed"]
+
+
+# ----------------------------------------------------------------------
+# The CI gate
+# ----------------------------------------------------------------------
+def check_trace(trace: dict, *, min_coverage: float = 0.9,
+                coverage_floor_s: float = 0.5) -> list[str]:
+    """Structural problems with a trace (empty list = pass).
+
+    Every computed (non-cached, non-failed) cell must record the
+    ``cell`` root span, the unconditional phases (``dataset`` /
+    ``fit`` / ``metrics``), and each phase its grid attributes imply
+    (``error``/``impute``/``audit``); its phase spans must sum to at
+    least ``min_coverage`` of the recorded elapsed (only enforced for
+    cells slower than ``coverage_floor_s`` — on sub-second cells the
+    fixed per-cell overhead outside any phase is mostly noise).
+    """
+    problems = []
+    for cell in trace["cells"]:
+        if cell["cached"] or cell["failed"]:
+            continue
+        names = {s["name"] for s in cell["spans"]}
+        expected = {"cell", *ALWAYS_PHASES}
+        expected.update(phase for attr, phase in CONDITIONAL_PHASES
+                        if cell["attrs"].get(attr) is not None)
+        missing = expected - names
+        if missing:
+            problems.append(f"cell {cell['label']!r}: missing span(s) "
+                            f"{sorted(missing)}")
+        coverage = _coverage(cell)
+        if (coverage is not None and cell["elapsed"] >= coverage_floor_s
+                and coverage < min_coverage):
+            problems.append(
+                f"cell {cell['label']!r}: phase spans cover only "
+                f"{coverage:.0%} of the recorded {cell['elapsed']:.2f}s "
+                f"(need {min_coverage:.0%})")
+    if not trace["cells"]:
+        problems.append("trace contains no cells")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_table(rows: list[tuple], headers: tuple) -> list[str]:
+    widths = [max(len(str(row[i])) for row in (headers, *rows))
+              for i in range(len(headers))]
+    lines = ["  " + "  ".join(f"{headers[i]:<{widths[i]}}"
+                              for i in range(len(headers)))]
+    for row in rows:
+        lines.append("  " + "  ".join(f"{str(row[i]):<{widths[i]}}"
+                                      for i in range(len(row))))
+    return lines
+
+
+def format_summary(trace: dict, *, top: int = 10,
+                   by: str | None = None) -> str:
+    """Analyst-readable trace summary (the ``repro trace`` output)."""
+    header = trace["header"]
+    env = header.get("env", {})
+    cells = trace["cells"]
+    computed = [c for c in cells if not c["cached"] and not c["failed"]]
+    cached = sum(1 for c in cells if c["cached"])
+    failed = sum(1 for c in cells if c["failed"])
+    lines = [
+        f"trace schema {header.get('schema')} · repro "
+        f"{env.get('repro')} · numpy {env.get('numpy')} · python "
+        f"{env.get('python')}",
+        f"{len(cells)} cells: {len(computed)} computed, {cached} "
+        f"cached, {failed} failed · executed wall "
+        f"{sum(c['elapsed'] for c in cells):.2f}s",
+    ]
+
+    totals = phase_totals(trace)
+    if totals:
+        rows = [(name, entry["count"], f"{entry['total']:.3f}s",
+                 f"{entry['mean']:.3f}s", f"{entry['max']:.3f}s")
+                for name, entry in sorted(totals.items(),
+                                          key=lambda kv: -kv[1]["total"])]
+        lines += ["", "span totals:"]
+        lines += _fmt_table(rows, ("span", "count", "total", "mean",
+                                   "max"))
+
+    if by is not None:
+        grouped = phase_totals_by(trace, by)
+        lines += ["", f"phase totals by {by}:"]
+        phases = sorted({phase for target in grouped.values()
+                         for phase in target})
+        rows = [(value, *(f"{target.get(p, 0.0):.3f}s" for p in phases))
+                for value, target in sorted(grouped.items())]
+        lines += _fmt_table(rows, (by, *phases))
+
+    counters = merged_counters(trace)
+    if counters:
+        lines += ["", "counters:"]
+        for name, value in sorted(counters.items()):
+            rendered = f"{value:.0f}" if value == int(value) \
+                else f"{value:.3f}"
+            lines.append(f"  {name} = {rendered}")
+
+    if computed:
+        lines += ["", "slowest cells:"]
+        for cell in sorted(computed, key=lambda c: -c["elapsed"])[:top]:
+            phases = " · ".join(f"{s['name']} {s['dur']:.2f}s"
+                                for s in _cell_phases(cell))
+            coverage = _coverage(cell)
+            covered = (f", phases cover {coverage:.0%}"
+                       if coverage is not None else "")
+            lines.append(f"  {cell['label']} — {cell['elapsed']:.2f}s"
+                         f"{covered}")
+            if phases:
+                lines.append(f"    {phases}")
+
+    all_spans = [(span, cell) for cell in cells for span in cell["spans"]
+                 if span["depth"] >= 1]
+    if all_spans:
+        lines += ["", f"top {min(top, len(all_spans))} spans:"]
+        for span, cell in sorted(all_spans,
+                                 key=lambda sc: -sc[0]["dur"])[:top]:
+            lines.append(f"  {span['name']} {span['dur']:.3f}s — "
+                         f"{cell['label']}")
+
+    warnings = [event for holder in (*trace["scopes"], *cells)
+                for event in holder["events"]
+                if event.get("type") == "warning"]
+    if warnings:
+        lines += ["", f"{len(warnings)} warning(s):"]
+        for event in warnings[:top]:
+            lines.append(f"  {event['name']}: {event.get('attrs', {})}")
+    return "\n".join(lines)

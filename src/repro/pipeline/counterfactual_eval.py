@@ -111,36 +111,42 @@ def evaluate_counterfactual(approach_name: str | None, train: Dataset,
             f"dataset {train.name!r} has no causal graph; counterfactual "
             "evaluation needs one (learn it with repro.causal.pc)"
         )
+    from .. import obs
     from ..registry import APPROACHES
 
-    train_disc = discretize_dataset(train, n_bins=n_bins)
-    test_disc = discretize_dataset(test, n_bins=n_bins)
+    with obs.span("audit.pipeline", n_bins=n_bins):
+        train_disc = discretize_dataset(train, n_bins=n_bins)
+        test_disc = discretize_dataset(test, n_bins=n_bins)
 
-    approach = (APPROACHES.build(approach_name, seed=seed,
-                                 **(approach_params or {}))
-                if approach_name is not None else None)
-    pipeline = FairPipeline(approach, model=model, seed=seed)
-    pipeline.fit(train_disc)
+        approach = (APPROACHES.build(approach_name, seed=seed,
+                                     **(approach_params or {}))
+                    if approach_name is not None else None)
+        pipeline = FairPipeline(approach, model=model, seed=seed)
+        pipeline.fit(train_disc)
 
     nodes = train.causal_graph.nodes
-    scm = CounterfactualSCM.fit(
-        {n: train_disc.table[n].astype(float) for n in nodes},
-        train.causal_graph)
+    with obs.span("audit.scm", nodes=len(nodes)):
+        scm = CounterfactualSCM.fit(
+            {n: train_disc.table[n].astype(float) for n in nodes},
+            train.causal_graph)
 
     def predict(columns: dict) -> np.ndarray:
         return pipeline.predict_columns(columns)
 
     rng = np.random.default_rng(seed)
-    fairness = counterfactual_fairness(
-        scm, {n: test_disc.table[n].astype(float) for n in nodes},
-        train.sensitive, train.label, predict, rng,
-        n_particles=n_particles, max_rows=max_rows,
-        chunk_rows=chunk_rows)
-    effects = ctf_effects(scm, train.sensitive, train.label,
-                          n=n_samples, rng=rng, predict=predict)
-    error_rates = counterfactual_error_rates(
-        scm, train.sensitive, train.label, predict,
-        n=n_samples, rng=rng)
+    with obs.span("audit.fairness", n_particles=n_particles):
+        fairness = counterfactual_fairness(
+            scm, {n: test_disc.table[n].astype(float) for n in nodes},
+            train.sensitive, train.label, predict, rng,
+            n_particles=n_particles, max_rows=max_rows,
+            chunk_rows=chunk_rows)
+    with obs.span("audit.effects", n_samples=n_samples):
+        effects = ctf_effects(scm, train.sensitive, train.label,
+                              n=n_samples, rng=rng, predict=predict)
+    with obs.span("audit.error_rates", n_samples=n_samples):
+        error_rates = counterfactual_error_rates(
+            scm, train.sensitive, train.label, predict,
+            n=n_samples, rng=rng)
     return CounterfactualAudit(
         approach=pipeline.name,
         dataset=train.name,

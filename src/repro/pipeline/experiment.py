@@ -295,12 +295,17 @@ def run_experiment(approach_name: str | None, train: Dataset,
     The seed reaches the approach factory only when the registry
     declares the variant stochastic.
     """
+    from .. import obs
     from ..registry import APPROACHES
 
     approach = (APPROACHES.build(approach_name, seed=seed,
                                  **(approach_params or {}))
                 if approach_name is not None else None)
     pipeline = FairPipeline(approach, model=model, seed=seed)
-    pipeline.fit(train)
-    return evaluate_pipeline(pipeline, test, causal_samples=causal_samples,
-                             seed=seed)
+    with obs.span("fit", approach=pipeline.name,
+                  stage=pipeline.stage_name):
+        pipeline.fit(train)
+    with obs.span("metrics", approach=pipeline.name):
+        return evaluate_pipeline(pipeline, test,
+                                 causal_samples=causal_samples,
+                                 seed=seed)

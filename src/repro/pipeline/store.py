@@ -119,6 +119,10 @@ class ResultStore:
             raise FileNotFoundError(
                 f"no run {run!r} in {self.root}; available: {self.runs()}")
         payload = json.loads(path.read_text())
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"run {run!r} is malformed: expected a JSON object, "
+                f"got {type(payload).__name__}")
         version = payload.get("version")
         if version != _FORMAT_VERSION:
             raise ValueError(

@@ -1,0 +1,161 @@
+"""Trace export: events.jsonl layout and Chrome trace-event schema."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+def make_collector() -> obs.TraceCollector:
+    collector = obs.TraceCollector(env={"repro": "x", "numpy": "y",
+                                        "python": "z"},
+                                   meta={"grid": "test grid"})
+    with obs.recording() as rec:
+        with obs.span("cell", label="cell-a", dataset="compas"):
+            with obs.span("dataset"):
+                pass
+            with obs.span("fit"):
+                pass
+            with obs.span("metrics"):
+                obs.add("pairwise.blocks", 3)
+    collector.add_cell("cell-a", fragment=rec.snapshot(),
+                       attrs={"dataset": "compas"}, elapsed=0.5)
+    collector.add_cell("cached-b", fragment=None, attrs={}, cached=True)
+    with obs.recording() as sweep_rec:
+        with obs.span("sweep", cells=2):
+            obs.add("cache.misses", 1)
+            obs.warning("cache.corrupt", path="/p.json", reason="bad")
+    collector.add_scope("sweep", sweep_rec.snapshot())
+    return collector
+
+
+class TestEventsJsonl:
+    def test_header_first_and_every_line_parses(self, tmp_path):
+        directory = make_collector().write(tmp_path / "trace")
+        lines = [json.loads(raw) for raw in
+                 (directory / "events.jsonl").read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema"] == obs.SCHEMA
+        assert lines[0]["env"]["repro"] == "x"
+        assert lines[0]["meta"] == {"grid": "test grid"}
+        kinds = {line["type"] for line in lines}
+        assert {"header", "cell", "span", "counter",
+                "warning"} <= kinds
+
+    def test_cell_lines_key_spans_by_cell_id(self, tmp_path):
+        directory = make_collector().write(tmp_path / "trace")
+        lines = [json.loads(raw) for raw in
+                 (directory / "events.jsonl").read_text().splitlines()]
+        cell_lines = [l for l in lines if l["type"] == "cell"]
+        assert [c["cell_id"] for c in cell_lines] == [0, 1]
+        assert cell_lines[1]["cached"] is True
+        spans_by_cell = [l for l in lines
+                         if l["type"] == "span" and "cell_id" in l]
+        assert {s["cell_id"] for s in spans_by_cell} == {0}
+        scope_spans = [l for l in lines
+                       if l["type"] == "span" and l.get("scope")]
+        assert scope_spans and scope_spans[0]["scope"] == "sweep"
+
+    def test_load_trace_roundtrip(self, tmp_path):
+        directory = make_collector().write(tmp_path / "trace")
+        trace = obs.load_trace(directory)
+        assert trace["header"]["schema"] == obs.SCHEMA
+        assert len(trace["cells"]) == 2
+        computed, cached = trace["cells"]
+        assert computed["label"] == "cell-a"
+        assert {s["name"] for s in computed["spans"]} == {
+            "cell", "dataset", "fit", "metrics"}
+        assert computed["counters"] == {"pairwise.blocks": 3}
+        assert cached["cached"] and cached["spans"] == []
+        assert obs.merged_counters(trace) == {"pairwise.blocks": 3,
+                                              "cache.misses": 1}
+        (scope,) = trace["scopes"]
+        assert scope["name"] == "sweep"
+        assert scope["events"][0]["name"] == "cache.corrupt"
+
+    def test_load_trace_accepts_file_path_too(self, tmp_path):
+        directory = make_collector().write(tmp_path / "trace")
+        trace = obs.load_trace(directory / "events.jsonl")
+        assert len(trace["cells"]) == 2
+
+    def test_load_trace_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            obs.load_trace(tmp_path / "missing")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "events.jsonl").write_text("{not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            obs.load_trace(bad)
+        headerless = tmp_path / "headerless"
+        headerless.mkdir()
+        (headerless / "events.jsonl").write_text(
+            '{"type": "cell", "cell_id": 0, "label": "x", "attrs": {}, '
+            '"elapsed": 0, "cached": false, "failed": false}\n')
+        with pytest.raises(ValueError, match="no header"):
+            obs.load_trace(headerless)
+
+
+class TestChromeTrace:
+    def test_validates_against_trace_event_schema(self, tmp_path):
+        directory = make_collector().write(tmp_path / "trace")
+        payload = json.loads((directory / "trace.json").read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["otherData"]["schema"] == obs.SCHEMA
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert complete and metadata
+        for event in complete:
+            # required complete-event fields, non-negative microseconds
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid",
+                                  "tid", "cat", "args"}
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["name"], str)
+        names = {e["args"]["name"] for e in metadata
+                 if e["name"] == "thread_name"}
+        assert "cell-a" in names and "sweep" in names
+        # cells and scopes land on distinct synthetic threads
+        tids = {e["tid"] for e in complete}
+        assert len(tids) == 2
+
+    def test_cached_cells_emit_no_complete_events(self, tmp_path):
+        collector = obs.TraceCollector(env={})
+        collector.add_cell("hit", fragment=None, cached=True)
+        payload = collector.chrome_trace()
+        assert all(e["ph"] != "X" for e in payload["traceEvents"])
+
+
+class TestCheckTrace:
+    def test_empty_trace_is_a_problem(self):
+        trace = {"header": {}, "cells": [], "scopes": []}
+        assert obs.check_trace(trace) == ["trace contains no cells"]
+
+    def test_missing_conditional_phase_flagged(self, tmp_path):
+        collector = obs.TraceCollector(env={})
+        with obs.recording() as rec:
+            with obs.span("cell"):
+                for phase in ("dataset", "fit", "metrics"):
+                    with obs.span(phase):
+                        pass
+        # the attrs claim an imputer axis, but no impute span recorded
+        collector.add_cell("c", fragment=rec.snapshot(),
+                           attrs={"imputer": "mean"}, elapsed=0.01)
+        trace = obs.load_trace(collector.write(tmp_path / "t"))
+        (problem,) = obs.check_trace(trace)
+        assert "impute" in problem
+
+    def test_low_coverage_flagged_only_above_floor(self, tmp_path):
+        collector = obs.TraceCollector(env={})
+        with obs.recording() as rec:
+            with obs.span("cell"):
+                for phase in ("dataset", "fit", "metrics"):
+                    with obs.span(phase):
+                        pass
+        fragment = rec.snapshot()
+        collector.add_cell("slow", fragment=fragment, attrs={},
+                           elapsed=10.0)   # phases cover ~0%
+        collector.add_cell("fast", fragment=fragment, attrs={},
+                           elapsed=0.01)   # below the floor: exempt
+        trace = obs.load_trace(collector.write(tmp_path / "t"))
+        problems = obs.check_trace(trace)
+        assert len(problems) == 1 and "slow" in problems[0]

@@ -81,9 +81,11 @@ class TestSweep:
                      "--rows", "300", "--causal-samples", "200",
                      "--cache-dir", "none"])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "2 cells" in out  # clean + t1, no baseline rows
-        assert "error=t1" in out
+        captured = capsys.readouterr()
+        assert "2 cells" in captured.out  # clean + t1, no baseline rows
+        # per-cell progress (with the error axis in the label) now goes
+        # through logging on stderr, not stdout
+        assert "error=t1" in captured.err
 
     def test_sweep_baseline_alias_accepted(self, capsys):
         # --no-baseline plus an explicit alias lets the user position
