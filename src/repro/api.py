@@ -34,6 +34,11 @@ Config schema (YAML shown; JSON is isomorphic)::
       jobs: 2
       cache_dir: .sweep-cache
       resume: true
+      retry: 3                              # attempts per cell on
+                                            # transient failures
+      timeout: 600                          # per-cell deadline (s)
+      backoff: 1.0                          # retry backoff base (s)
+      max_failures: 10                      # circuit breaker
 
 A finished cache loads back without re-execution::
 
@@ -55,8 +60,9 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .engine import (Job, ResultCache, ScenarioGrid, SweepReport,
-                     execute_job, filter_outcomes, run_sweep)
+from .engine import (Job, ResultCache, RetryPolicy, ScenarioGrid,
+                     SweepReport, execute_job, filter_outcomes,
+                     run_sweep)
 from .engine.spec import (_normalise_approach, check_audit_params,
                           check_fingerprintable_params,
                           check_reserved_params)
@@ -253,7 +259,8 @@ class ExperimentSpec:
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
-_ENGINE_FIELDS = ("jobs", "cache_dir", "resume")
+_ENGINE_FIELDS = ("jobs", "cache_dir", "resume", "retry", "timeout",
+                  "backoff", "max_failures")
 
 
 @dataclass
@@ -285,6 +292,10 @@ class SweepSpec:
     jobs: int = 1
     cache_dir: str | None = None
     resume: bool = True
+    retry: int = 1
+    timeout: float | None = None
+    backoff: float = 0.0
+    max_failures: int | None = None
 
     def __post_init__(self) -> None:
         grid = self.to_grid()  # validates + canonicalises
@@ -301,6 +312,8 @@ class SweepSpec:
         self.jobs = int(self.jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+        self.retry = int(self.retry)
+        self.to_policy()  # validates retry/timeout/backoff/max_failures
 
     # ------------------------------------------------------------------
     @classmethod
@@ -347,9 +360,17 @@ class SweepSpec:
             audit_params=dict(self.audit_params),
             block_size=self.block_size)
 
+    def to_policy(self) -> RetryPolicy:
+        """The :class:`~repro.engine.RetryPolicy` the engine fields
+        declare (the no-op default policy when none are set)."""
+        return RetryPolicy(max_attempts=self.retry,
+                           timeout=self.timeout, backoff=self.backoff,
+                           max_failures=self.max_failures)
+
     def run(self, progress=None, max_workers: int | None = None,
             cache: ResultCache | None = None,
-            resume: bool | None = None, trace=None) -> SweepReport:
+            resume: bool | None = None, trace=None,
+            chaos=None) -> SweepReport:
         """Expand and execute the grid with the spec's engine options
         (each keyword argument overrides its spec field).
 
@@ -357,6 +378,10 @@ class SweepSpec:
         the sweep and write ``events.jsonl`` + ``trace.json`` there, or
         a :class:`~repro.obs.TraceCollector` to collect without writing
         (inspect or ``.write()`` it yourself).
+
+        ``chaos`` injects deterministic faults for resilience testing:
+        a :class:`~repro.engine.FaultPlan`, an inline spec string, or
+        a plan file path (see :mod:`repro.engine.chaos`).
         """
         if cache is None and self.cache_dir not in (None, "none"):
             cache = ResultCache(self.cache_dir)
@@ -365,7 +390,8 @@ class SweepSpec:
             self.to_grid().expand(), cache=cache,
             max_workers=self.jobs if max_workers is None else max_workers,
             resume=self.resume if resume is None else resume,
-            progress=progress, trace=collector)
+            progress=progress, trace=collector,
+            policy=self.to_policy(), chaos=chaos)
         if trace_dir is not None:
             collector.write(trace_dir)
         return report
@@ -394,15 +420,17 @@ def run_spec(config) -> EvaluationResult:
     return ExperimentSpec.from_config(config).run()
 
 
-def sweep(config, progress=None, trace=None) -> SweepReport:
+def sweep(config, progress=None, trace=None, chaos=None) -> SweepReport:
     """Run a sweep from a spec, mapping, or config path.
 
     ``trace`` records telemetry: a directory path (events + Chrome
     trace written there) or a :class:`~repro.obs.TraceCollector`.
+    ``chaos`` injects deterministic faults (plan, inline spec, or plan
+    file — see :mod:`repro.engine.chaos`).
     """
     spec = (config if isinstance(config, SweepSpec)
             else SweepSpec.from_config(config))
-    return spec.run(progress=progress, trace=trace)
+    return spec.run(progress=progress, trace=trace, chaos=chaos)
 
 
 def report(cache_dir, where: Mapping | None = None) -> SweepReport:

@@ -26,6 +26,20 @@ Run the same kind of sweep from a declarative scenario file::
 
     python -m repro sweep --config examples/sweep.yaml
 
+Make an hours-long sweep survive flaky infrastructure — retries with
+backoff, per-cell deadlines, a circuit breaker — or soak-test that
+very machinery with deterministic fault injection::
+
+    python -m repro sweep --config examples/sweep.yaml \
+        --retry 3 --timeout 600 --backoff 1 --max-failures 10
+    python -m repro sweep --config examples/sweep.yaml \
+        --retry 3 --chaos 'transient:seed=0@0;kill:Hardt@0'
+
+Audit a sweep cache for corrupt or stale shards (and delete them so
+the next sweep recomputes exactly those cells)::
+
+    python -m repro cache verify --cache-dir .sweep-cache --repair
+
 Query a finished sweep's cache — tables, pivots, exports — without
 re-executing anything::
 
@@ -194,6 +208,33 @@ def _build_parser() -> argparse.ArgumentParser:
                            action=argparse.BooleanOptionalAction,
                            help="reuse cached cells (--no-resume "
                                 "recomputes and refreshes them)")
+    sweep_cmd.add_argument("--retry", type=int, default=None,
+                           metavar="N",
+                           help="attempts per cell on transient "
+                                "failures and timeouts (default 1 = "
+                                "no retries; deterministic errors "
+                                "always fail fast)")
+    sweep_cmd.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-cell deadline; a cell running "
+                                "past it has its worker killed and is "
+                                "re-queued (consumes an attempt)")
+    sweep_cmd.add_argument("--backoff", type=float, default=None,
+                           metavar="SECONDS",
+                           help="base sleep before retry k: "
+                                "backoff * 2^(k-1) (deterministic, "
+                                "no jitter; default 0)")
+    sweep_cmd.add_argument("--max-failures", type=int, default=None,
+                           metavar="N",
+                           help="circuit breaker: abort the sweep "
+                                "once more than N cells have "
+                                "terminally failed")
+    sweep_cmd.add_argument("--chaos", metavar="PLAN", default=None,
+                           help="inject deterministic faults: an "
+                                "inline spec like "
+                                "'transient:seed=0@0;kill:Hardt@0' "
+                                "or a JSON/YAML plan file (resilience "
+                                "soak testing)")
     sweep_cmd.add_argument("--trace", metavar="DIR", default=None,
                            help="record telemetry and write "
                                 "events.jsonl + trace.json (Chrome "
@@ -207,6 +248,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("-q", "--quiet", action="store_true",
                            help="suppress per-cell progress lines")
     sweep_cmd.set_defaults(func=cmd_sweep)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and repair a sweep result cache")
+    cache_cmd.add_argument("action", choices=["verify"],
+                           help="verify: walk every shard and report "
+                                "corrupt, stale, or mismatched entries")
+    cache_cmd.add_argument("--cache-dir", metavar="DIR",
+                           default=".sweep-cache",
+                           help="sweep cache to audit (default: "
+                                ".sweep-cache)")
+    cache_cmd.add_argument("--repair", action="store_true",
+                           help="delete defective entries so the next "
+                                "sweep recomputes exactly those cells")
+    cache_cmd.set_defaults(func=cmd_cache)
 
     doctor_cmd = sub.add_parser(
         "doctor", help="print environment diagnostics (versions, BLAS, "
@@ -392,6 +447,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.block_size is not None and args.block_size < 1:
         print("error: --block-size must be at least 1", file=sys.stderr)
         return 2
+    if args.retry is not None and args.retry < 1:
+        print("error: --retry must be at least 1", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    if args.backoff is not None and args.backoff < 0:
+        print("error: --backoff must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_failures is not None and args.max_failures < 0:
+        print("error: --max-failures must be >= 0", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos is not None:
+        from .engine import FaultPlan
+        try:
+            chaos = FaultPlan.load(args.chaos)
+        except (ValueError, KeyError, TypeError, RuntimeError) as exc:
+            print(f"error: invalid chaos plan {args.chaos!r}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     if args.config is not None:
         if grid_flags_used:
@@ -454,6 +530,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.block_size = args.block_size
     if args.config is not None and args.causal_samples is not None:
         spec.causal_samples = args.causal_samples
+    if args.retry is not None:
+        spec.retry = args.retry
+    if args.timeout is not None:
+        spec.timeout = args.timeout
+    if args.backoff is not None:
+        spec.backoff = args.backoff
+    if args.max_failures is not None:
+        spec.max_failures = args.max_failures
 
     grid = spec.to_grid()
     caching = spec.cache_dir not in (None, "none")
@@ -480,10 +564,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                     meta={"grid": grid.describe()},
                                     trace_memory=args.trace_memory)
                  if args.trace is not None or args.verbose else None)
+    if chaos is not None:
+        print(f"chaos plan active: {chaos.describe()}")
     try:
         report = run_sweep(grid.expand(), cache=cache,
                            max_workers=spec.jobs, resume=spec.resume,
-                           progress=progress, trace=collector)
+                           progress=progress, trace=collector,
+                           policy=spec.to_policy(), chaos=chaos)
     finally:
         logger.removeHandler(handler)
     if args.trace is not None:
@@ -501,6 +588,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for failure in report.failures:
         print(f"\nFAILED {failure.job.label()}:\n{failure.error}",
               file=sys.stderr)
+    if report.interrupted:
+        # Distinct status (SIGINT convention): partial results are
+        # cached, a re-run resumes from them.
+        return 130
     return 1 if report.failures else 0
 
 
@@ -585,6 +676,31 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.export_csv is not None:
         print(f"wrote {export_csv(outcomes, args.export_csv)}")
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    root = Path(args.cache_dir)
+    if not root.exists():
+        print(f"error: no sweep cache at {root}", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    problems = cache.verify(repair=args.repair)
+    total = len(cache) + (len(problems) if args.repair else 0)
+    if not problems:
+        print(f"cache at {root} is healthy: {total} entries verified")
+        return 0
+    for problem in problems:
+        print(problem.describe(), file=sys.stderr)
+    if args.repair:
+        print(f"repaired: deleted {len(problems)} defective of "
+              f"{total} entries (the next sweep recomputes exactly "
+              f"those cells)")
+        return 0
+    print(f"{len(problems)} defective of {total} entries "
+          f"(re-run with --repair to delete them)")
+    return 1
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:

@@ -10,15 +10,25 @@ seed) — and this subsystem is the one way to run them:
   whose fingerprint already has a stored result.
 * :mod:`~repro.engine.executor` — :func:`run_sweep` executes cells
   over a process pool with failure isolation and progress/ETA.
+* :mod:`~repro.engine.resilience` — :class:`RetryPolicy` adds retries
+  with deterministic backoff, per-cell deadlines, pool-crash recovery
+  with quarantine, and a circuit breaker.
+* :mod:`~repro.engine.chaos` — :class:`FaultPlan` injects
+  deterministic faults (errors, hangs, worker kills, shard
+  corruption) at exact ``(cell, attempt)`` points for resilience
+  testing.
 * :mod:`~repro.engine.report` — pivots a finished grid into the
   per-figure tables, filters outcomes by any axis, and exports flat
   records; together with :meth:`ResultCache.outcomes` it turns a
   cache directory into a query surface (``repro report``).
 """
 
-from .cache import ResultCache
+from .cache import CacheProblem, ResultCache
+from .chaos import Fault, FaultPlan
 from .executor import (JobOutcome, SweepProgress, SweepReport, cell_attrs,
                        execute_job, run_sweep)
+from .resilience import (Attempt, RetryPolicy, TransientError,
+                         classify_exception)
 from .report import (aggregate_over_seeds, cell_key, export_csv,
                      export_json, filter_outcomes, format_pivot_table,
                      grid_slices, grid_table, group_outcomes,
@@ -30,9 +40,11 @@ from .spec import (AUDITS, BASELINE_ALIASES, SPEC_VERSION, Job,
 __all__ = [
     "AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
     "job_from_params",
-    "ResultCache",
+    "CacheProblem", "ResultCache",
     "JobOutcome", "SweepProgress", "SweepReport", "cell_attrs",
     "execute_job", "run_sweep",
+    "Attempt", "RetryPolicy", "TransientError", "classify_exception",
+    "Fault", "FaultPlan",
     "aggregate_over_seeds", "cell_key", "grid_table", "group_outcomes",
     "mean_result", "overhead_series", "pivot",
     "filter_outcomes", "outcome_records", "export_json", "export_csv",

@@ -20,6 +20,7 @@ greppable and loadable with the plain ``ResultStore`` API.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 from .. import obs
@@ -27,7 +28,7 @@ from ..pipeline.experiment import EvaluationResult
 from ..pipeline.store import ResultStore
 from .spec import Job
 
-__all__ = ["ResultCache"]
+__all__ = ["CacheProblem", "ResultCache"]
 
 
 def _none_first(value) -> tuple:
@@ -41,6 +42,43 @@ def _grid_order(outcome) -> tuple:
             _none_first(job.error), _none_first(job.imputer), job.model,
             job.approach is not None, job.approach_label,
             _none_first(job.metric), job.seed)
+
+
+#: Problem kinds :meth:`ResultCache.verify` reports.
+PROBLEM_KINDS = ("unreadable", "empty", "mismatch", "unparseable",
+                 "stale")
+
+
+@dataclass(frozen=True)
+class CacheProblem:
+    """One defective cache entry found by :meth:`ResultCache.verify`.
+
+    ``kind`` is one of :data:`PROBLEM_KINDS`:
+
+    ``unreadable``
+        The shard file no longer parses (truncated write, disk
+        corruption, chaos ``corrupt`` fault).
+    ``empty``
+        The entry parses but holds no results.
+    ``mismatch``
+        The stored fingerprint disagrees with the file name, or the
+        entry's own params re-fingerprint to a different value — the
+        content no longer matches its address.
+    ``unparseable``
+        The params block no longer reconstructs a :class:`Job` (a
+        component since removed from the registry).
+    ``stale``
+        Written under an older ``SPEC_VERSION``; a current sweep can
+        never address it, so it only takes up disk.
+    """
+
+    fingerprint: str
+    path: Path
+    kind: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.path} ({self.detail})"
 
 
 class ResultCache:
@@ -164,6 +202,70 @@ class ResultCache:
                                              cached=True))
         return sorted((outcome for _, outcome in best.values()),
                       key=_grid_order)
+
+    def verify(self, repair: bool = False) -> list[CacheProblem]:
+        """Audit every shard; optionally delete the defective ones.
+
+        Walks all entries and reports the ones a sweep could not (or
+        should not) use — see :class:`CacheProblem` for the taxonomy.
+        Healthy entries are never touched.  With ``repair=True`` each
+        problem file is deleted (a later sweep then recomputes exactly
+        those cells); deletions are counted on the
+        ``cache.repaired`` counter.
+        """
+        from .spec import SPEC_VERSION, job_from_params
+
+        problems: list[CacheProblem] = []
+
+        def flag(fingerprint: str, kind: str, detail: str) -> None:
+            problems.append(CacheProblem(
+                fingerprint=fingerprint, path=self._path(fingerprint),
+                kind=kind, detail=detail))
+
+        for fingerprint in self.fingerprints():
+            try:
+                results, params = self._store(fingerprint).load(
+                    fingerprint)
+            except FileNotFoundError:
+                continue  # raced with eviction
+            except (ValueError, KeyError) as exc:
+                self._corrupt(fingerprint, exc)
+                flag(fingerprint, "unreadable",
+                     f"{type(exc).__name__}: {exc}")
+                continue
+            if not results:
+                flag(fingerprint, "empty", "entry holds no results")
+                continue
+            if params.get("fingerprint") != fingerprint:
+                flag(fingerprint, "mismatch",
+                     f"entry names fingerprint "
+                     f"{params.get('fingerprint')!r}")
+                continue
+            version = int(params.get("spec_version", 0))
+            if version != SPEC_VERSION:
+                flag(fingerprint, "stale",
+                     f"spec_version {version} (current {SPEC_VERSION})")
+                continue
+            try:
+                job = job_from_params(params)
+            except (KeyError, TypeError, ValueError) as exc:
+                flag(fingerprint, "unparseable",
+                     f"{type(exc).__name__}: {exc}")
+                continue
+            if job.fingerprint != fingerprint:
+                flag(fingerprint, "mismatch",
+                     "params re-fingerprint to "
+                     f"{job.fingerprint[:12]}…")
+        if repair:
+            for problem in problems:
+                try:
+                    problem.path.unlink()
+                except FileNotFoundError:
+                    continue
+                obs.add("cache.repaired")
+                obs.warning("cache.repaired", path=str(problem.path),
+                            kind=problem.kind)
+        return problems
 
     def __len__(self) -> int:
         return len(self.fingerprints())

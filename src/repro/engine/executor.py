@@ -2,14 +2,28 @@
 
 :func:`run_sweep` drives a job list end to end: cache lookups first,
 then fresh cells through a ``ProcessPoolExecutor`` (or inline when
-``max_workers=1``).  Three properties the experiments rely on:
+``max_workers=1``).  The properties the experiments rely on:
 
 * **Determinism** — :func:`execute_job` derives *all* randomness from
   the job's own seed, so a 2-worker sweep produces byte-identical
-  results to a serial run of the same grid, and a cache hit is
-  indistinguishable from a recomputation.
+  results to a serial run of the same grid, a cache hit is
+  indistinguishable from a recomputation, and a *retried* cell is
+  indistinguishable from one that succeeded first try.
 * **Failure isolation** — one diverging cell records a traceback in
   its :class:`JobOutcome`; the remaining cells still run.
+* **Resilience** — with a :class:`~repro.engine.resilience.RetryPolicy`,
+  transient failures retry with deterministic backoff (deterministic
+  failures fail fast), cells past their per-cell deadline have their
+  worker pool killed and are re-queued, a broken pool (SIGKILLed /
+  OOM-killed worker) is rebuilt with its in-flight cells re-queued —
+  a cell repeatedly present at pool crashes is quarantined — and a
+  ``max_failures`` circuit breaker aborts a hopeless grid instead of
+  burning hours on it.  Every execution a cell consumed is recorded
+  as an :class:`~repro.engine.resilience.Attempt` on its outcome.
+* **Interruptibility** — ``Ctrl-C`` mid-sweep cancels outstanding
+  work and returns the partial :class:`SweepReport`
+  (``report.interrupted`` set); completed cells are already in the
+  cache, so the next invocation resumes from them.
 * **Progress** — an optional callback receives a
   :class:`SweepProgress` snapshot (done/cached/failed counts, elapsed,
   ETA) after every finished cell.
@@ -19,8 +33,17 @@ then fresh cells through a ``ProcessPoolExecutor`` (or inline when
   ``audit``) plus counters inside its worker process; the fragment
   travels back with the result pickle, lands on the cell's
   :class:`JobOutcome`, and the collector merges all of them with the
-  parent's sweep-scope recording (cache probes and write-backs).
-  Without ``trace`` the instrumentation is a no-op.
+  parent's sweep-scope recording — which now also carries the
+  resilience counters (``sweep.retries`` / ``sweep.timeouts`` /
+  ``sweep.pool_restarts`` / ``sweep.quarantined`` /
+  ``cache.write_failed``).  Without ``trace`` the instrumentation is
+  a no-op.
+
+Fault injection for all of the above is deterministic and built in:
+pass a :class:`~repro.engine.chaos.FaultPlan` as ``chaos`` (delivered
+to workers through the environment) to raise errors, hang cells, kill
+workers, or corrupt cache shards at exact ``(cell, attempt)`` points —
+see :mod:`repro.engine.chaos`.
 """
 
 from __future__ import annotations
@@ -29,11 +52,14 @@ import time
 import traceback
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from .. import obs
 from ..pipeline.experiment import EvaluationResult
+from . import chaos as chaos_module
 from .cache import ResultCache
+from .resilience import Attempt, RetryPolicy, classify_exception
 from .spec import Job
 
 __all__ = ["JobOutcome", "SweepProgress", "SweepReport", "cell_attrs",
@@ -169,34 +195,57 @@ def cell_attrs(job: Job) -> dict:
 
 
 def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
-                     trace_memory: bool = False,
+                     trace_memory: bool = False, attempt: int = 0,
                      ) -> tuple[int, EvaluationResult | None, str | None,
-                                float, dict | None]:
+                                bool | None, float, dict | None]:
     """Pool worker: never raises, so one bad cell can't kill the sweep.
+
+    Returns ``(index, result, error, transient, seconds, fragment)``;
+    ``transient`` is the worker-side classification of a failure
+    (:func:`~repro.engine.resilience.classify_exception` sees the live
+    exception object, which the traceback text can't preserve across
+    the pool pickle) and ``None`` on success.  ``attempt`` keys the
+    deterministic chaos harness: an active fault plan may raise, hang,
+    or kill this execution at exactly this ``(cell, attempt)`` point.
 
     With ``collect=True`` the cell executes under a fresh recorder
     whose snapshot (spans, counters, events — plain picklable dicts)
-    rides back as the fifth tuple element; a failing cell still ships
+    rides back as the last tuple element; a failing cell still ships
     the spans it closed before dying.
     """
     index, job = indexed_job
     start = time.perf_counter()
     if not collect:
         try:
+            chaos_module.maybe_fault(job.label(), job.fingerprint,
+                                     attempt)
             result = execute_job(job)
-            return index, result, None, time.perf_counter() - start, None
-        except Exception:
+            return index, result, None, None, \
+                time.perf_counter() - start, None
+        except Exception as exc:
             return index, None, traceback.format_exc(), \
+                classify_exception(exc) == "transient", \
                 time.perf_counter() - start, None
     with obs.recording(trace_memory=trace_memory) as rec:
-        error = None
+        error, transient = None, None
         try:
             with obs.span("cell", **cell_attrs(job)):
+                chaos_module.maybe_fault(job.label(), job.fingerprint,
+                                         attempt)
                 result = execute_job(job)
-        except Exception:
+        except Exception as exc:
             result, error = None, traceback.format_exc()
-    return index, result, error, time.perf_counter() - start, \
-        rec.snapshot()
+            transient = classify_exception(exc) == "transient"
+    return index, result, error, transient, \
+        time.perf_counter() - start, rec.snapshot()
+
+
+def _error_summary(error: str | None) -> str | None:
+    """Last traceback line (``ExcType: message``) for attempt records."""
+    if not error:
+        return error
+    lines = error.strip().splitlines()
+    return lines[-1] if lines else error
 
 
 # ----------------------------------------------------------------------
@@ -214,10 +263,20 @@ class JobOutcome:
     #: Trace fragment recorded in the executing worker (spans,
     #: counters, events), when the sweep ran with trace collection.
     trace: dict | None = None
+    #: Execution history under the retry policy, oldest first; empty
+    #: for cache hits, a single ``ok``/``error`` entry for ordinary
+    #: cells, longer when the cell was retried, timed out, or crashed
+    #: its worker (see :class:`~repro.engine.resilience.Attempt`).
+    attempts: tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.result is not None
+
+    @property
+    def retried(self) -> bool:
+        """Whether the cell consumed more than one execution."""
+        return len(self.attempts) > 1
 
 
 @dataclass(frozen=True)
@@ -254,6 +313,8 @@ class SweepProgress:
         status = ("cached" if self.outcome.cached
                   else "FAILED" if not self.outcome.ok
                   else f"{self.outcome.seconds:.1f}s")
+        if self.outcome.retried:
+            status += f" [{len(self.outcome.attempts)} attempts]"
         eta = (f" eta {self.eta_seconds:.0f}s" if self.remaining else "")
         return (f"[{self.done}/{self.total}] "
                 f"{self.outcome.job.label()} — {status}{eta}")
@@ -265,6 +326,10 @@ class SweepReport:
 
     outcomes: list[JobOutcome] = field(default_factory=list)
     elapsed: float = 0.0
+    #: ``True`` when the sweep was cut short by ``KeyboardInterrupt``:
+    #: the outcomes list holds only the cells that finished (their
+    #: results are already cached), the rest were cancelled.
+    interrupted: bool = False
 
     @property
     def results(self) -> list[EvaluationResult]:
@@ -283,13 +348,24 @@ class SweepReport:
     def computed_count(self) -> int:
         return sum(1 for o in self.outcomes if o.ok and not o.cached)
 
+    @property
+    def retried_count(self) -> int:
+        """Cells that consumed more than one execution attempt."""
+        return sum(1 for o in self.outcomes if o.retried)
+
     def summary(self) -> str:
         parts = [f"{len(self.outcomes)} cells",
                  f"{self.computed_count} computed",
                  f"{self.cached_count} cached"]
+        if self.retried_count:
+            parts.append(f"{self.retried_count} retried")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
-        return f"{', '.join(parts)} in {self.elapsed:.1f}s"
+        line = f"{', '.join(parts)} in {self.elapsed:.1f}s"
+        if self.interrupted:
+            line += " — INTERRUPTED (partial report; completed cells "\
+                    "are cached)"
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -297,11 +373,15 @@ class SweepReport:
 # ----------------------------------------------------------------------
 ProgressCallback = Callable[[SweepProgress], None]
 
+#: Scheduler wake-up bound while deadlines or backoffs are pending (s).
+_MAX_TICK = 0.25
+
 
 def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
               max_workers: int = 1, resume: bool = True,
               progress: ProgressCallback | None = None,
-              trace=None) -> SweepReport:
+              trace=None, policy: RetryPolicy | None = None,
+              chaos=None) -> SweepReport:
     """Execute a job list, reusing and filling the cache.
 
     Parameters
@@ -311,10 +391,16 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
     cache:
         Optional content-addressed cache.  With ``resume=True``
         (default) cells whose fingerprint is already stored are
-        skipped; freshly computed cells are always written back.
+        skipped; freshly computed cells are always written back.  A
+        failing write-back (disk full, permissions) degrades to a
+        structured ``cache.write_failed`` warning — the computed
+        result stays on the outcome.
     max_workers:
         ``1`` runs inline in this process; ``>1`` fans out over a
-        ``ProcessPoolExecutor`` with at most that many workers.
+        ``ProcessPoolExecutor`` with at most that many workers.  (A
+        per-cell ``policy.timeout`` or a process-level chaos fault
+        forces the pool path regardless, since enforcement needs a
+        killable worker.)
     resume:
         Set ``False`` to recompute every cell even on a warm cache
         (entries are refreshed with the new results).
@@ -325,22 +411,41 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
         Optional :class:`~repro.obs.TraceCollector`.  When given,
         every executed cell records its span tree + counters in its
         worker, the parent records a ``sweep`` scope (cache probes,
-        write-backs), and the collector ends up holding the merged
-        trace — call ``trace.write(dir)`` for the JSONL + Chrome
-        exports.  Fragments are also attached to each
-        :class:`JobOutcome` (``outcome.trace``).
+        write-backs, retry/timeout/pool-restart counters), and the
+        collector ends up holding the merged trace — call
+        ``trace.write(dir)`` for the JSONL + Chrome exports.
+        Fragments are also attached to each :class:`JobOutcome`
+        (``outcome.trace``); a retried cell carries its *final*
+        attempt's fragment.
+    policy:
+        Optional :class:`~repro.engine.resilience.RetryPolicy`
+        (retries with deterministic backoff, per-cell deadlines,
+        pool-crash quarantine, circuit breaker).  ``None`` keeps the
+        historical single-attempt behaviour.
+    chaos:
+        Optional :class:`~repro.engine.chaos.FaultPlan` (or anything
+        ``FaultPlan.load`` accepts): deterministic fault injection for
+        resilience testing and soak runs.  Delivered to workers via
+        the environment for the duration of the sweep.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    if trace is None:
-        return _run_sweep(jobs, cache=cache, max_workers=max_workers,
-                          resume=resume, progress=progress)
-    with obs.recording(trace_memory=trace.trace_memory) as rec:
-        with obs.span("sweep", cells=len(jobs), workers=max_workers):
-            report = _run_sweep(jobs, cache=cache,
-                                max_workers=max_workers, resume=resume,
-                                progress=progress, collect=True,
-                                trace_memory=trace.trace_memory)
+    policy = RetryPolicy() if policy is None else policy
+    if chaos is not None:
+        chaos = chaos_module.FaultPlan.load(chaos)
+    with chaos_module.activate(chaos):
+        if trace is None:
+            return _run_sweep(jobs, cache=cache, max_workers=max_workers,
+                              resume=resume, progress=progress,
+                              policy=policy, chaos_plan=chaos)
+        with obs.recording(trace_memory=trace.trace_memory) as rec:
+            with obs.span("sweep", cells=len(jobs), workers=max_workers):
+                report = _run_sweep(jobs, cache=cache,
+                                    max_workers=max_workers,
+                                    resume=resume, progress=progress,
+                                    collect=True,
+                                    trace_memory=trace.trace_memory,
+                                    policy=policy, chaos_plan=chaos)
     trace.add_scope("sweep", rec.snapshot())
     for outcome in report.outcomes:
         trace.add_cell(outcome.job.label(), fragment=outcome.trace,
@@ -350,68 +455,388 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
     return report
 
 
+@dataclass
+class _Cell:
+    """Scheduler bookkeeping for one not-yet-finished grid cell."""
+
+    index: int
+    job: Job
+    ready_at: float = 0.0  # perf_counter time the cell may (re)start
+    crashes: int = 0  # pool breakages this cell was in flight for
+
+
+class _SweepState:
+    """Mutable driver state shared by the inline and pool paths."""
+
+    def __init__(self, jobs, cache, progress, policy, chaos_plan):
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.policy = policy
+        self.chaos_plan = chaos_plan
+        self.start = time.perf_counter()
+        self.slots: list[JobOutcome | None] = [None] * len(jobs)
+        self.done = self.cached = self.failed_cells = 0
+        self.failures = 0  # terminal failures (circuit-breaker input)
+        self.tripped = False
+        self.interrupted = False
+        self.attempts: dict[int, list[Attempt]] = {}
+
+    # ------------------------------------------------------------------
+    def history(self, index: int) -> list[Attempt]:
+        return self.attempts.setdefault(index, [])
+
+    def attempts_used(self, index: int) -> int:
+        """Executions counting against ``max_attempts`` (pool crashes
+        are governed by the quarantine bound instead)."""
+        return sum(1 for a in self.history(index) if a.kind != "crash")
+
+    # ------------------------------------------------------------------
+    def record(self, index: int, outcome: JobOutcome) -> None:
+        self.slots[index] = outcome
+        self.done += 1
+        self.cached += outcome.cached
+        self.failed_cells += not outcome.ok
+        if self.progress is not None:
+            self.progress(SweepProgress(
+                done=self.done, total=len(self.jobs),
+                cached=self.cached, failed=self.failed_cells,
+                elapsed=time.perf_counter() - self.start,
+                outcome=outcome))
+
+    def finish_ok(self, index: int, job: Job, result, seconds: float,
+                  fragment: dict | None, attempt: int) -> None:
+        self.history(index).append(Attempt(kind="ok", seconds=seconds))
+        if self.cache is not None:
+            self._cache_put(job, result, attempt)
+        self.record(index, JobOutcome(
+            job=job, result=result, seconds=seconds, trace=fragment,
+            attempts=tuple(self.history(index))))
+
+    def fail(self, index: int, job: Job, error: str, seconds: float = 0.0,
+             fragment: dict | None = None) -> None:
+        """Terminal failure: record the outcome and feed the breaker."""
+        self.record(index, JobOutcome(
+            job=job, error=error, seconds=seconds, trace=fragment,
+            attempts=tuple(self.history(index))))
+        self.failures += 1
+        if self.policy.tripped(self.failures) and not self.tripped:
+            self.tripped = True
+            obs.warning("sweep.circuit_open", failures=self.failures,
+                        max_failures=self.policy.max_failures)
+
+    def abort(self, cell: _Cell) -> None:
+        """Mark a cell the circuit breaker prevented from finishing."""
+        self.record(cell.index, JobOutcome(
+            job=cell.job, attempts=tuple(self.history(cell.index)),
+            error=f"sweep aborted: circuit breaker opened after "
+                  f"{self.failures} failed cells "
+                  f"(max_failures={self.policy.max_failures})"))
+
+    # ------------------------------------------------------------------
+    def _cache_put(self, job: Job, result, attempt: int) -> None:
+        """Write-back that degrades instead of killing the sweep: a
+        full disk or permission error on one shard must not discard a
+        computed result, let alone the rest of the grid."""
+        try:
+            path = self.cache.put(job, result)
+        except Exception as exc:
+            obs.add("cache.write_failed")
+            obs.warning("cache.write_failed", cell=job.label(),
+                        reason=f"{type(exc).__name__}: {exc}")
+            return
+        if self.chaos_plan is not None:
+            fault = self.chaos_plan.find(job.label(), job.fingerprint,
+                                         attempt, kinds=("corrupt",))
+            if fault is not None:
+                obs.warning("chaos.fault", fault="corrupt",
+                            cell=job.label(), attempt=attempt)
+                chaos_module.corrupt_entry(path)
+
+    # ------------------------------------------------------------------
+    def on_error(self, cell: _Cell, error: str, transient: bool,
+                 seconds: float, fragment: dict | None) -> bool:
+        """Handle an in-cell failure; returns ``True`` to re-queue."""
+        self.history(cell.index).append(Attempt(
+            kind="error", seconds=seconds,
+            error=_error_summary(error), transient=transient))
+        used = self.attempts_used(cell.index)
+        if self.policy.should_retry_error(transient, used):
+            obs.add("sweep.retries")
+            obs.warning("sweep.retry", cell=cell.job.label(),
+                        attempt=used, error=_error_summary(error))
+            cell.ready_at = (time.perf_counter()
+                             + self.policy.backoff_seconds(used))
+            return True
+        self.fail(cell.index, cell.job, error, seconds, fragment)
+        return False
+
+    def on_timeout(self, cell: _Cell, seconds: float) -> bool:
+        """Handle a deadline kill; returns ``True`` to re-queue."""
+        self.history(cell.index).append(Attempt(
+            kind="timeout", seconds=seconds,
+            error=f"exceeded {self.policy.timeout:g}s deadline"))
+        obs.add("sweep.timeouts")
+        obs.warning("sweep.timeout", cell=cell.job.label(),
+                    seconds=round(seconds, 2),
+                    deadline=self.policy.timeout)
+        used = self.attempts_used(cell.index)
+        if self.policy.should_retry_timeout(used):
+            cell.ready_at = (time.perf_counter()
+                             + self.policy.backoff_seconds(used))
+            return True
+        self.fail(cell.index, cell.job,
+                  f"cell timed out: exceeded the "
+                  f"{self.policy.timeout:g}s deadline on all "
+                  f"{used} attempt(s)", seconds)
+        return False
+
+    def on_crash(self, cell: _Cell, seconds: float, reason: str) -> bool:
+        """Handle a pool-breakage victim; returns ``True`` to
+        re-queue."""
+        cell.crashes += 1
+        self.history(cell.index).append(Attempt(
+            kind="crash", seconds=seconds, error=reason))
+        if self.policy.should_retry_crash(cell.crashes):
+            cell.ready_at = (time.perf_counter()
+                             + self.policy.backoff_seconds(cell.crashes))
+            return True
+        obs.add("sweep.quarantined")
+        obs.warning("sweep.quarantine", cell=cell.job.label(),
+                    crashes=cell.crashes)
+        self.fail(cell.index, cell.job,
+                  f"quarantined: the worker pool crashed "
+                  f"{cell.crashes} times while this cell was in "
+                  f"flight (last: {reason})", seconds)
+        return False
+
+    # ------------------------------------------------------------------
+    def report(self) -> SweepReport:
+        return SweepReport(
+            outcomes=[o for o in self.slots if o is not None],
+            elapsed=time.perf_counter() - self.start,
+            interrupted=self.interrupted)
+
+
 def _run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None,
                max_workers: int, resume: bool,
                progress: ProgressCallback | None,
-               collect: bool = False,
-               trace_memory: bool = False) -> SweepReport:
-    start = time.perf_counter()
-    slots: list[JobOutcome | None] = [None] * len(jobs)
-    counts = {"done": 0, "cached": 0, "failed": 0}
+               collect: bool = False, trace_memory: bool = False,
+               policy: RetryPolicy | None = None,
+               chaos_plan=None) -> SweepReport:
+    policy = RetryPolicy() if policy is None else policy
+    state = _SweepState(jobs, cache, progress, policy, chaos_plan)
 
-    def record(index: int, outcome: JobOutcome) -> None:
-        slots[index] = outcome
-        counts["done"] += 1
-        counts["cached"] += outcome.cached
-        counts["failed"] += not outcome.ok
-        if progress is not None:
-            progress(SweepProgress(
-                done=counts["done"], total=len(jobs),
-                cached=counts["cached"], failed=counts["failed"],
-                elapsed=time.perf_counter() - start, outcome=outcome))
-
-    pending: list[tuple[int, Job]] = []
+    pending: list[_Cell] = []
     for index, job in enumerate(jobs):
         hit = cache.get(job) if (cache is not None and resume) else None
         if hit is not None:
-            record(index, JobOutcome(job=job, result=hit, cached=True))
+            state.record(index,
+                         JobOutcome(job=job, result=hit, cached=True))
         else:
-            pending.append((index, job))
+            pending.append(_Cell(index, job))
 
-    def finish(index: int, job: Job, result: EvaluationResult | None,
-               error: str | None, seconds: float,
-               fragment: dict | None = None) -> None:
-        if result is not None and cache is not None:
-            cache.put(job, result)
-        record(index, JobOutcome(job=job, result=result, error=error,
-                                 seconds=seconds, trace=fragment))
+    # Deadlines and process-level chaos faults need a killable worker,
+    # so they force the pool path even for serial/single-cell runs.
+    needs_pool = (policy.timeout is not None
+                  or (chaos_plan is not None and chaos_plan.needs_pool))
+    if pending:
+        if (max_workers == 1 or len(pending) <= 1) and not needs_pool:
+            _run_inline(state, pending, collect, trace_memory)
+        else:
+            _run_pool(state, pending, max_workers, collect, trace_memory)
+    return state.report()
 
-    if max_workers == 1 or len(pending) <= 1:
-        for index, job in pending:
-            _, result, error, seconds, fragment = _guarded_execute(
-                (index, job), collect, trace_memory)
-            finish(index, job, result, error, seconds, fragment)
+
+def _run_inline(state: _SweepState, pending: list[_Cell],
+                collect: bool, trace_memory: bool) -> None:
+    """Serial path: execute cells in-process, with retries/backoff."""
+    for position, cell in enumerate(pending):
+        if state.tripped:
+            for remaining in pending[position:]:
+                state.abort(remaining)
+            return
+        while True:
+            attempt = len(state.history(cell.index))
+            try:
+                _, result, error, transient, seconds, fragment = \
+                    _guarded_execute((cell.index, cell.job), collect,
+                                     trace_memory, attempt)
+            except KeyboardInterrupt:
+                state.interrupted = True
+                return
+            if error is None:
+                state.finish_ok(cell.index, cell.job, result, seconds,
+                                fragment, attempt)
+                break
+            if not state.on_error(cell, error, bool(transient), seconds,
+                                  fragment):
+                break
+            delay = cell.ready_at - time.perf_counter()
+            if delay > 0:
+                try:
+                    time.sleep(delay)
+                except KeyboardInterrupt:
+                    state.interrupted = True
+                    return
+
+
+def _run_pool(state: _SweepState, pending: list[_Cell],
+              max_workers: int, collect: bool,
+              trace_memory: bool) -> None:
+    """Pool path: slot-limited scheduling with deadline enforcement,
+    broken-pool recovery, and crash-suspect serialization.
+
+    At most ``workers`` cells are submitted at a time (so a future's
+    submit timestamp *is* its start timestamp — deadlines and crash
+    attribution stay accurate), and at most one previously-crashed
+    cell runs at a time, so a repeat offender is identified and
+    quarantined instead of repeatedly taking innocent neighbours
+    down with it.
+    """
+    policy = state.policy
+    workers = max(1, min(max_workers, len(pending)))
+    queue: list[_Cell] = list(pending)
+    running: dict[object, tuple[_Cell, float]] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def restart_pool(reason: str, expired: set[int]) -> None:
+        """Kill and rebuild the pool; triage every in-flight cell."""
+        nonlocal pool
+        obs.add("sweep.pool_restarts")
+        obs.warning("sweep.pool_restart", reason=reason,
+                    in_flight=len(running))
+        _stop_pool(pool, force=True)
+        now = time.perf_counter()
+        victims = list(running.values())
+        running.clear()
+        for cell, submitted in victims:
+            elapsed = now - submitted
+            if cell.index in expired:
+                if state.on_timeout(cell, elapsed):
+                    queue.append(cell)
+            elif reason == "deadline":
+                # Innocent bystander of a deadline kill: the guilty
+                # cell is known precisely, so re-queue without
+                # consuming an attempt or a crash credit.
+                cell.ready_at = 0.0
+                queue.append(cell)
+            else:
+                if state.on_crash(cell, elapsed, reason):
+                    queue.append(cell)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit_eligible() -> bool:
+        """Fill free slots; returns ``False`` when the pool broke."""
+        now = time.perf_counter()
+        suspect_in_flight = any(c.crashes for c, _ in running.values())
+        position = 0
+        while position < len(queue) and len(running) < workers:
+            cell = queue[position]
+            if cell.ready_at > now or (cell.crashes
+                                       and suspect_in_flight):
+                position += 1
+                continue
+            queue.pop(position)
+            attempt = len(state.history(cell.index))
+            try:
+                future = pool.submit(_guarded_execute,
+                                     (cell.index, cell.job), collect,
+                                     trace_memory, attempt)
+            except BrokenProcessPool:
+                queue.insert(0, cell)
+                return False
+            running[future] = (cell, time.perf_counter())
+            suspect_in_flight = suspect_in_flight or bool(cell.crashes)
+        return True
+
+    def wait_tick() -> float | None:
+        """Longest safe sleep inside ``wait`` before the scheduler
+        must look at deadlines or backoff wake-ups again."""
+        now = time.perf_counter()
+        ticks = []
+        if policy.timeout is not None:
+            ticks.extend(submitted + policy.timeout - now
+                         for _, submitted in running.values())
+        ticks.extend(cell.ready_at - now for cell in queue
+                     if cell.ready_at > now)
+        if not ticks:
+            return None
+        return min(max(0.01, min(ticks) + 0.01), _MAX_TICK)
+
+    try:
+        while queue or running:
+            if state.tripped:
+                for cell, _ in running.values():
+                    state.abort(cell)
+                for cell in queue:
+                    state.abort(cell)
+                running.clear()
+                queue.clear()
+                break
+            if not submit_eligible():
+                restart_pool("worker pool broke at submit", set())
+                continue
+            if not running:
+                # Everything eligible is backing off; sleep until the
+                # earliest wake-up.
+                now = time.perf_counter()
+                wake = min(cell.ready_at for cell in queue)
+                time.sleep(min(max(0.0, wake - now), _MAX_TICK))
+                continue
+            done, _ = wait(set(running), timeout=wait_tick(),
+                           return_when=FIRST_COMPLETED)
+            broken: BaseException | None = None
+            for future in done:
+                cell, submitted = running.pop(future)
+                exc = future.exception()
+                if exc is not None:
+                    # A dead worker poisons every in-flight future
+                    # with BrokenProcessPool; fold this future's cell
+                    # back into `running` so the restart triages the
+                    # whole in-flight set uniformly.
+                    broken = exc
+                    running[future] = (cell, submitted)
+                    continue
+                _, result, error, transient, seconds, fragment = \
+                    future.result()
+                attempt = len(state.history(cell.index))
+                if error is None:
+                    state.finish_ok(cell.index, cell.job, result,
+                                    seconds, fragment, attempt)
+                elif state.on_error(cell, error, bool(transient),
+                                    seconds, fragment):
+                    queue.append(cell)
+            if broken is not None:
+                restart_pool(f"worker crashed: {broken!r}", set())
+                continue
+            if policy.timeout is not None and running:
+                now = time.perf_counter()
+                expired = {cell.index
+                           for cell, submitted in running.values()
+                           if now - submitted > policy.timeout}
+                if expired:
+                    restart_pool("deadline", expired)
+    except KeyboardInterrupt:
+        state.interrupted = True
+        for future in running:
+            future.cancel()
+        _stop_pool(pool, force=True)
     else:
-        workers = min(max_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_guarded_execute, item, collect,
-                                   trace_memory): item
-                       for item in pending}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done,
-                                      return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, job = futures[future]
-                    exc = future.exception()
-                    if exc is not None:  # e.g. worker killed by signal
-                        finish(index, job, None,
-                               f"worker crashed: {exc!r}", 0.0)
-                    else:
-                        _, result, error, seconds, fragment = \
-                            future.result()
-                        finish(index, job, result, error, seconds,
-                               fragment)
+        _stop_pool(pool, force=False)
 
-    return SweepReport(outcomes=[o for o in slots if o is not None],
-                       elapsed=time.perf_counter() - start)
+
+def _stop_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+    """Shut a pool down; ``force`` kills worker processes first (the
+    deadline-enforcement path — a hung worker would never drain)."""
+    if force:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # already reaped
+                pass
+    try:
+        pool.shutdown(wait=not force, cancel_futures=True)
+    except Exception:
+        pass

@@ -306,8 +306,10 @@ def outcome_records(outcomes: Iterable[JobOutcome]) -> list[dict]:
     """Flatten successful outcomes to JSON/CSV-ready records.
 
     One record per cell (seeds are *not* aggregated): every job axis,
-    every ``EvaluationResult`` metric field, the stage, and the raw /
-    audit values under ``raw.<key>`` columns.
+    every ``EvaluationResult`` metric field, the stage, the execution
+    provenance (``attempts`` consumed and whether the cell was
+    ``retried`` — cache hits report the zero/false resting values),
+    and the raw / audit values under ``raw.<key>`` columns.
     """
     records = []
     for outcome in outcomes:
@@ -316,6 +318,8 @@ def outcome_records(outcomes: Iterable[JobOutcome]) -> list[dict]:
         record = {axis: _axis_value(outcome.job, axis)
                   for axis in _JOB_AXES}
         record["stage"] = outcome.result.stage
+        record["attempts"] = len(outcome.attempts)
+        record["retried"] = outcome.retried
         record.update({name: getattr(outcome.result, name)
                        for name in _METRIC_FIELDS})
         record.update({f"raw.{key}": value
@@ -344,7 +348,8 @@ def export_csv(outcomes: Iterable[JobOutcome], path: str | Path) -> Path:
     raw_columns = sorted({column for record in records
                           for column in record
                           if column.startswith("raw.")})
-    columns = [*_JOB_AXES, "stage", *_METRIC_FIELDS, *raw_columns]
+    columns = [*_JOB_AXES, "stage", "attempts", "retried",
+               *_METRIC_FIELDS, *raw_columns]
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as handle:

@@ -1,5 +1,7 @@
 """Content-addressed result cache behaviour."""
 
+import json
+
 from repro.engine import Job, ResultCache
 from repro.pipeline import EvaluationResult, result_to_dict
 
@@ -81,3 +83,84 @@ class TestRobustness:
         assert cache.fingerprints() == []
         cache.put(JOB, make_result())
         assert cache.fingerprints() == [JOB.fingerprint]
+
+
+class TestVerify:
+    OTHER = Job(dataset="german", approach="Hardt-eo", rows=400,
+                causal_samples=300)
+
+    def test_healthy_cache_reports_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JOB, make_result())
+        cache.put(self.OTHER, make_result("Hardt"))
+        assert cache.verify() == []
+        assert len(cache) == 2  # verify never touches healthy entries
+
+    def test_unreadable_entry_flagged_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(JOB, make_result())
+        cache.put(self.OTHER, make_result("Hardt"))
+        path.write_text("{not json")
+
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["unreadable"]
+        assert problems[0].fingerprint == JOB.fingerprint
+        assert problems[0].path == path
+        assert path.exists()  # report-only without repair
+
+        cache.verify(repair=True)
+        assert not path.exists()
+        assert len(cache) == 1  # the healthy entry survives
+        assert cache.verify() == []
+
+    def test_mismatched_entry_flagged(self, tmp_path):
+        # A hand-copied shard: file name says JOB, content says OTHER.
+        cache = ResultCache(tmp_path)
+        source = cache.put(self.OTHER, make_result("Hardt"))
+        target = tmp_path / JOB.fingerprint[:2] \
+            / f"{JOB.fingerprint}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.read_text())
+        problems = {p.fingerprint: p.kind for p in cache.verify()}
+        assert problems == {JOB.fingerprint: "mismatch"}
+
+    def test_stale_spec_version_flagged(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(JOB, make_result())
+        entry = json.loads(path.read_text())
+        entry["params"]["spec_version"] = 1
+        path.write_text(json.dumps(entry))
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["stale"]
+        cache.verify(repair=True)
+        assert not path.exists()
+
+    def test_empty_entry_flagged(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(JOB, make_result())
+        entry = json.loads(path.read_text())
+        entry["results"] = []
+        path.write_text(json.dumps(entry))
+        assert [p.kind for p in cache.verify()] == ["empty"]
+
+    def test_sweep_recomputes_exactly_repaired_cells(self, tmp_path):
+        from repro.engine import ScenarioGrid, run_sweep
+        from repro.engine.chaos import corrupt_entry
+
+        grid = ScenarioGrid(datasets=["german"],
+                            approaches=[None, "Hardt-eo"], seeds=[0],
+                            rows=[300], causal_samples=200)
+        cache = ResultCache(tmp_path)
+        run_sweep(grid.expand(), cache=cache)
+        assert len(cache) == 2
+
+        victim = grid.expand()[1]
+        corrupt_entry(tmp_path / victim.fingerprint[:2]
+                      / f"{victim.fingerprint}.json")
+        problems = cache.verify(repair=True)
+        assert [p.fingerprint for p in problems] == [victim.fingerprint]
+
+        warm = run_sweep(grid.expand(), cache=cache)
+        recomputed = [o.job for o in warm.outcomes if not o.cached]
+        assert recomputed == [victim]
+        assert warm.cached_count == 1 and not warm.failures
