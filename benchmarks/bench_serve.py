@@ -1,0 +1,247 @@
+"""Perf benchmark: the online audit path (``repro serve``).
+
+Packs a serving bundle for one german-credit cell, loads it back
+through :class:`repro.serve.AuditService`, and measures the two
+request shapes the HTTP front end exposes:
+
+* **audit-one-row** — single-row requests in a tight loop; reported as
+  req/s plus p50/p95/p99 latency in milliseconds.  This is the
+  serving hot path: one situation-testing k-NN probe against the
+  frozen reference plus one ``2 × n_particles + 1``-world pipeline
+  call per request.
+* **audit-batch** — fixed-size batches; reported as rows/s.  The
+  batch path amortises request decoding and the k-NN probe, so its
+  per-row rate bounds the one-row rate from above.
+
+All timings run in-process (no HTTP) with telemetry disabled, so the
+numbers isolate the audit arithmetic from socket and JSON-framing
+costs; the recorded ``serve.requests``/``serve.rows`` counters from a
+short traced pass are embedded for the CI counter gate.  Results are
+written to ``BENCH_serve.json`` — the repo's perf-trajectory record
+for this path.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py
+      (--one-row-requests 300 --out BENCH_serve.ci.json for the CI
+      smoke variant)
+
+``--assert-no-regression BASELINE.json`` holds one-row req/s and
+batch rows/s to ``--regression-slack`` of the committed baseline's,
+gated on matching knobs (rows / particles / batch size) so a
+configuration drift is skipped loudly rather than compared
+meaninglessly.  A violation exits non-zero so CI fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def build_service(rows: int, n_particles: int, seed: int = 0):
+    """Pack a bundle for one cell and load the service from it, so the
+    benchmark exercises the exact object a ``repro serve`` process
+    runs."""
+    import tempfile
+
+    from repro.artifacts import build_serving_components, pack_bundle
+    from repro.engine import Job
+    from repro.serve import AuditService
+
+    job = Job(dataset="german", approach="Hardt-eo", model="lr",
+              seed=seed, rows=rows, causal_samples=300,
+              audit_params={"n_particles": n_particles})
+    pack_s, components = timed(lambda: build_serving_components(job))
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = pack_bundle(job, pathlib.Path(tmp) / "bundle",
+                             components=components)
+        load_s, service = timed(
+            lambda: AuditService.from_bundle(bundle))
+    return service, round(pack_s, 4), round(load_s, 4)
+
+
+def request_rows(service, count: int, seed: int = 1) -> list[dict]:
+    """Synthesize ``count`` valid request rows from the dataset's own
+    distribution (fresh draw, not the training split)."""
+    from repro.datasets import train_test_split
+    from repro.registry import DATASETS
+
+    dataset = DATASETS.build("german", n=max(2 * count, 400), seed=seed)
+    split = train_test_split(dataset, seed=seed)
+    table = split.test.table
+    n = min(count, split.test.n_rows)
+    rows = [{name: float(table[name][i]) for name in service.required}
+            for i in range(n)]
+    while len(rows) < count:
+        rows.extend(rows[:count - len(rows)])
+    return rows
+
+
+def bench_one_row(service, rows: list[dict], warmup: int) -> dict:
+    for row in rows[:warmup]:
+        service.audit_row(row)
+    latencies = []
+    start = time.perf_counter()
+    for row in rows:
+        t0 = time.perf_counter()
+        service.audit_row(row)
+        latencies.append(time.perf_counter() - t0)
+    total = time.perf_counter() - start
+    ms = np.sort(np.asarray(latencies)) * 1e3
+    return {
+        "requests": len(rows),
+        "req_per_s": round(len(rows) / total, 1),
+        "p50_ms": round(float(np.percentile(ms, 50)), 3),
+        "p95_ms": round(float(np.percentile(ms, 95)), 3),
+        "p99_ms": round(float(np.percentile(ms, 99)), 3),
+        "max_ms": round(float(ms[-1]), 3),
+    }
+
+
+def bench_batch(service, rows: list[dict], batch_size: int) -> dict:
+    batches = [rows[i:i + batch_size]
+               for i in range(0, len(rows) - batch_size + 1, batch_size)]
+    service.audit_batch(batches[0])  # warmup
+    start = time.perf_counter()
+    audited = 0
+    for batch in batches:
+        service.audit_batch(batch)
+        audited += len(batch)
+    total = time.perf_counter() - start
+    return {
+        "batch_size": batch_size,
+        "batches": len(batches),
+        "rows_per_s": round(audited / total, 1),
+        "batch_p50_ms": round(total / len(batches) * 1e3, 3),
+    }
+
+
+def traced_counters(service, rows: list[dict]) -> dict:
+    """A short instrumented pass; returns the serve.* counters (the CI
+    gate checks these, not the headline timings)."""
+    from repro import obs
+
+    with obs.recording() as rec:
+        service.audit_batch(rows[:8])
+        for row in rows[:4]:
+            service.audit_row(row)
+    return {name: value for name, value in rec.counters.items()
+            if name.startswith("serve.")}
+
+
+def check_regression(payload: dict, baseline_path: pathlib.Path,
+                     slack: float) -> list[str]:
+    """Throughput floors vs a baseline record, knob-gated.
+
+    One-row req/s and batch rows/s must each stay at or above
+    ``baseline * slack``.  Latency percentiles are recorded but not
+    gated — they follow 1/throughput and double-gating them only adds
+    noise sensitivity.
+    """
+    baseline_payload = json.loads(baseline_path.read_text())
+    knobs = ("rows", "n_particles", "batch_size")
+    if any(baseline_payload.get(k) != payload.get(k) for k in knobs):
+        print("note: serve throughput checks skipped — run/baseline "
+              "configs differ ("
+              + ", ".join(f"{k}: run {payload.get(k)} vs baseline "
+                          f"{baseline_payload.get(k)}" for k in knobs)
+              + ")")
+        return []
+    problems = []
+    pairs = (("one_row", "req_per_s"), ("batch", "rows_per_s"))
+    for section, rate in pairs:
+        current = payload["results"][section][rate]
+        reference = baseline_payload["results"][section][rate]
+        floor = reference * slack
+        if current < floor:
+            problems.append(
+                f"{section}: {rate} {current:.0f} is below "
+                f"{slack:.0%} of the baseline's {reference:.0f}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="training rows for the packed cell")
+    parser.add_argument("--particles", type=int, default=25,
+                        help="counterfactual particles per request")
+    parser.add_argument("--one-row-requests", type=int, default=2000,
+                        help="measured audit-one-row requests")
+    parser.add_argument("--warmup", type=int, default=50,
+                        help="unmeasured warmup requests")
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--assert-no-regression", type=pathlib.Path,
+                        default=None, metavar="BASELINE",
+                        help="fail if throughput falls below "
+                             "--regression-slack of this record's")
+    parser.add_argument("--regression-slack", type=float, default=0.5,
+                        help="fraction of the baseline throughput that "
+                             "must be retained (default 0.5)")
+    args = parser.parse_args(argv)
+
+    print(f"packing german cell (rows={args.rows}, "
+          f"particles={args.particles}) ...", flush=True)
+    service, pack_s, load_s = build_service(args.rows, args.particles)
+    rows = request_rows(service, args.one_row_requests)
+    print(f"  pack {pack_s:.2f}s  bundle load {load_s:.3f}s  "
+          f"({len(rows)} request rows)", flush=True)
+
+    one_row = bench_one_row(service, rows, args.warmup)
+    print(f"  audit-one-row: {one_row['req_per_s']:.0f} req/s  "
+          f"p50 {one_row['p50_ms']:.2f}ms  p95 {one_row['p95_ms']:.2f}ms"
+          f"  p99 {one_row['p99_ms']:.2f}ms", flush=True)
+
+    batch = bench_batch(service, rows, args.batch_size)
+    print(f"  audit-batch(x{args.batch_size}): "
+          f"{batch['rows_per_s']:.0f} rows/s  "
+          f"batch p50 {batch['batch_p50_ms']:.1f}ms", flush=True)
+
+    counters = traced_counters(service, rows)
+    payload = {
+        "bench": "serve_audit",
+        "schema": 1,
+        "dataset": "german (synthetic generator)",
+        "rows": args.rows,
+        "n_particles": args.particles,
+        "batch_size": args.batch_size,
+        "pack_s": pack_s,
+        "bundle_load_s": load_s,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "results": {"one_row": one_row, "batch": batch},
+        "traced_counters": counters,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.assert_no_regression is not None:
+        problems = check_regression(payload, args.assert_no_regression,
+                                    args.regression_slack)
+        if problems:
+            raise SystemExit("PERF REGRESSION vs "
+                             f"{args.assert_no_regression}:\n  "
+                             + "\n  ".join(problems))
+        print(f"no regression vs {args.assert_no_regression} "
+              f"(slack {args.regression_slack:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,12 @@ Public API tour:
 * :mod:`repro.obs` — telemetry: spans, counters, trace export
   (``repro sweep --trace``), and environment diagnostics
   (``repro doctor``).
+* :mod:`repro.artifacts` — versioned serving bundles: fitted
+  components serialized next to their cache cell (``repro pack`` /
+  ``repro inspect``).
+* :mod:`repro.serve` — online audit serving over a bundle
+  (``repro serve``, or the in-process
+  :class:`~repro.serve.AuditService`).
 """
 
 from . import obs, registry

@@ -39,6 +39,8 @@ Config schema (YAML shown; JSON is isomorphic)::
       timeout: 600                          # per-cell deadline (s)
       backoff: 1.0                          # retry backoff base (s)
       max_failures: 10                      # circuit breaker
+      pack_artifacts: true                  # store fitted components
+                                            # next to each cached cell
 
 A finished cache loads back without re-execution::
 
@@ -260,7 +262,7 @@ class ExperimentSpec:
 # Sweeps
 # ----------------------------------------------------------------------
 _ENGINE_FIELDS = ("jobs", "cache_dir", "resume", "retry", "timeout",
-                  "backoff", "max_failures")
+                  "backoff", "max_failures", "pack_artifacts")
 
 
 @dataclass
@@ -296,6 +298,7 @@ class SweepSpec:
     timeout: float | None = None
     backoff: float = 0.0
     max_failures: int | None = None
+    pack_artifacts: bool = False
 
     def __post_init__(self) -> None:
         grid = self.to_grid()  # validates + canonicalises
@@ -382,6 +385,11 @@ class SweepSpec:
         ``chaos`` injects deterministic faults for resilience testing:
         a :class:`~repro.engine.FaultPlan`, an inline spec string, or
         a plan file path (see :mod:`repro.engine.chaos`).
+
+        With ``pack_artifacts: true`` (engine section) each computed
+        cell's fitted components are packed into its cache artifact
+        slot, so ``repro pack`` later builds serving bundles without
+        re-fitting (requires ``cache_dir``).
         """
         if cache is None and self.cache_dir not in (None, "none"):
             cache = ResultCache(self.cache_dir)
@@ -391,7 +399,8 @@ class SweepSpec:
             max_workers=self.jobs if max_workers is None else max_workers,
             resume=self.resume if resume is None else resume,
             progress=progress, trace=collector,
-            policy=self.to_policy(), chaos=chaos)
+            policy=self.to_policy(), chaos=chaos,
+            pack=self.pack_artifacts)
         if trace_dir is not None:
             collector.write(trace_dir)
         return report

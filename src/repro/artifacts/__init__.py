@@ -1,0 +1,25 @@
+"""Artifact bundles: (spec + fitted state) serialization for
+registry-built components.
+
+A bundle is a versioned, checksummed directory holding everything a
+finished experiment cell fitted — the pipeline (approach + model +
+encoder), the explicit-noise SCM, the frozen discretisation edges, and
+the prepared situation-testing reference — so audits can be served
+online without refitting anything.  See :mod:`repro.artifacts.bundle`
+for the format, :mod:`repro.artifacts.pack` for building bundles from
+jobs and sweep caches, and :mod:`repro.serve` for the consumption
+side.
+"""
+
+from .bundle import (BUNDLE_SCHEMA_VERSION, Bundle, BundleError,
+                     format_manifest, load_bundle, write_bundle)
+from .codec import StateCodecError, decode, encode
+from .pack import (ServingComponents, build_serving_components,
+                   components_from_bundle, pack_bundle, pack_from_cache)
+
+__all__ = [
+    "BUNDLE_SCHEMA_VERSION", "Bundle", "BundleError", "ServingComponents",
+    "StateCodecError", "build_serving_components", "components_from_bundle",
+    "decode", "encode", "format_manifest", "load_bundle", "pack_bundle",
+    "pack_from_cache", "write_bundle",
+]

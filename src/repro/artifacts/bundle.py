@@ -1,0 +1,231 @@
+"""Versioned on-disk artifact bundles.
+
+A bundle is a directory::
+
+    bundle/
+      manifest.json          # schema version, fingerprint, env stamp,
+                             # job params, serving metadata, artifact index
+      artifacts/<name>.json  # spec string + encoded fitted state
+      artifacts/<name>.npz   # numpy arrays of that state (if any)
+
+Every artifact file is checksummed in the manifest, the manifest
+carries the bundle schema version (checked *before* anything else on
+load, so a bundle written by a future format fails with one clear
+sentence, not a traceback from half-parsed state), and writes are
+atomic: the directory is assembled under a temporary name and
+``os.replace``d into place, so a crashed ``repro pack`` never leaves a
+half-written bundle where a loader can find it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from .codec import decode, encode
+
+__all__ = ["Bundle", "BundleError", "BUNDLE_SCHEMA_VERSION",
+           "format_manifest", "load_bundle", "write_bundle"]
+
+#: Version of the bundle directory format.  Bump on incompatible
+#: manifest or encoding changes; loaders refuse other versions.
+BUNDLE_SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+
+
+class BundleError(ValueError):
+    """A bundle cannot be written, read, or verified."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_bundle(path, *, fingerprint: str, job_params: dict,
+                 artifacts: list[tuple[str, str, object]],
+                 serving: dict | None = None,
+                 overwrite: bool = False) -> Path:
+    """Serialize ``artifacts`` (name, spec, fitted object) to ``path``.
+
+    The spec string records how to rebuild the component unfitted; the
+    object's state is captured through the get_state/set_state protocol
+    and written JSON + npz.  Returns the bundle path.
+    """
+    path = Path(path)
+    if path.exists():
+        if not overwrite:
+            raise BundleError(
+                f"bundle target {path} already exists; pass --force / "
+                "overwrite=True to replace it")
+        if not (path / _MANIFEST).exists():
+            raise BundleError(
+                f"refusing to overwrite {path}: it exists but is not a "
+                "bundle (no manifest.json)")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(prefix=f".{path.name}.tmp-",
+                                dir=path.parent))
+    try:
+        art_dir = tmp / "artifacts"
+        art_dir.mkdir()
+        records = []
+        for name, spec, value in artifacts:
+            arrays: dict[str, np.ndarray] = {}
+            tree = encode(value, arrays)
+            state_file = art_dir / f"{name}.json"
+            state_file.write_text(json.dumps(
+                {"name": name, "spec": spec, "state": tree},
+                indent=2, sort_keys=True))
+            files = {"state": f"artifacts/{name}.json"}
+            checksums = {"state": _sha256(state_file)}
+            if arrays:
+                array_file = art_dir / f"{name}.npz"
+                with open(array_file, "wb") as fh:
+                    np.savez(fh, **arrays)
+                files["arrays"] = f"artifacts/{name}.npz"
+                checksums["arrays"] = _sha256(array_file)
+            records.append({"name": name, "spec": spec,
+                            "files": files, "sha256": checksums})
+        manifest = {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "fingerprint": fingerprint,
+            "job": job_params,
+            "serving": dict(serving or {}),
+            "environment": obs.environment_info(),
+            "artifacts": records,
+        }
+        (tmp / _MANIFEST).write_text(json.dumps(manifest, indent=2,
+                                                sort_keys=True))
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+class Bundle:
+    """A loaded bundle: parsed manifest + lazy artifact decoding."""
+
+    def __init__(self, path: Path, manifest: dict):
+        self.path = path
+        self.manifest = manifest
+        self._records = {r["name"]: r for r in manifest["artifacts"]}
+
+    @property
+    def fingerprint(self) -> str:
+        return self.manifest.get("fingerprint", "")
+
+    @property
+    def serving(self) -> dict:
+        return self.manifest.get("serving", {})
+
+    def artifact_names(self) -> list[str]:
+        return list(self._records)
+
+    def artifact_spec(self, name: str) -> str:
+        return self._record(name)["spec"]
+
+    def _record(self, name: str) -> dict:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise BundleError(
+                f"bundle {self.path} has no artifact {name!r}; "
+                f"available: {sorted(self._records)}") from None
+
+    def _verified_path(self, record: dict, kind: str) -> Path:
+        rel = record["files"][kind]
+        file = self.path / rel
+        if not file.is_file():
+            raise BundleError(
+                f"artifact {record['name']!r} is corrupt: missing file "
+                f"{rel} in {self.path}")
+        if _sha256(file) != record["sha256"][kind]:
+            raise BundleError(
+                f"artifact {record['name']!r} is corrupt: checksum "
+                f"mismatch on {rel} (bundle {self.path})")
+        return file
+
+    def load_artifact(self, name: str):
+        """Decode and return the fitted object stored under ``name``."""
+        record = self._record(name)
+        state_file = self._verified_path(record, "state")
+        try:
+            document = json.loads(state_file.read_text())
+        except json.JSONDecodeError as exc:
+            raise BundleError(
+                f"artifact {name!r} is corrupt: unparseable state file "
+                f"({exc})") from None
+        arrays: dict[str, np.ndarray] = {}
+        if "arrays" in record["files"]:
+            array_file = self._verified_path(record, "arrays")
+            with np.load(array_file, allow_pickle=False) as npz:
+                arrays = {key: npz[key] for key in npz.files}
+        return decode(document["state"], arrays)
+
+
+def load_bundle(path) -> Bundle:
+    """Open a bundle directory, validating the manifest first."""
+    path = Path(path)
+    manifest_file = path / _MANIFEST
+    if not manifest_file.is_file():
+        raise BundleError(
+            f"{path} is not a bundle: no {_MANIFEST} found")
+    try:
+        manifest = json.loads(manifest_file.read_text())
+    except json.JSONDecodeError as exc:
+        raise BundleError(
+            f"{path} has an unparseable manifest: {exc}") from None
+    version = manifest.get("schema_version")
+    if version != BUNDLE_SCHEMA_VERSION:
+        raise BundleError(
+            f"unsupported bundle schema version {version!r} in {path}; "
+            f"this build reads version {BUNDLE_SCHEMA_VERSION}")
+    if not isinstance(manifest.get("artifacts"), list):
+        raise BundleError(f"{path} has a malformed manifest: no "
+                          "artifact index")
+    return Bundle(path, manifest)
+
+
+def format_manifest(bundle: Bundle) -> str:
+    """Human-readable manifest rendering for ``repro inspect``."""
+    m = bundle.manifest
+    lines = [f"bundle: {bundle.path}",
+             f"schema version: {m['schema_version']}",
+             f"created: {m.get('created', '?')}",
+             f"fingerprint: {m.get('fingerprint', '?')}"]
+    job = m.get("job") or {}
+    if job:
+        lines.append("job:")
+        for key in sorted(job):
+            lines.append(f"  {key} = {job[key]!r}")
+    serving = m.get("serving") or {}
+    if serving:
+        lines.append("serving:")
+        for key in sorted(serving):
+            lines.append(f"  {key} = {serving[key]!r}")
+    env = m.get("environment") or {}
+    if env:
+        lines.append("environment:")
+        for key in sorted(env):
+            lines.append(f"  {key} = {env[key]!r}")
+    lines.append(f"artifacts ({len(m['artifacts'])}):")
+    for record in m["artifacts"]:
+        files = ", ".join(sorted(record["files"].values()))
+        lines.append(f"  {record['name']}: {record['spec']}  [{files}]")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""JSON-safe encoding of fitted component state.
+
+Bundles store each artifact as a JSON document plus one ``.npz``
+sidecar for its numpy arrays.  :func:`encode` turns the nested state
+returned by :func:`repro.registry.extract_state` into a pure-JSON tree,
+collecting arrays into a side table; :func:`decode` inverts it
+bit-exactly.
+
+The encoding is deliberately narrow — no pickle, no arbitrary-class
+instantiation.  Only classes defined inside the ``repro`` package are
+serialized as objects (module-qualified name + recursively encoded
+state), and :func:`decode` refuses to instantiate anything outside
+that allowlist, so a tampered manifest cannot name e.g.
+``os:system``.  Anything unencodable (lambdas, open files, foreign
+objects) raises :class:`StateCodecError` naming the offending value
+and its path from the state root.
+
+Tagged forms used in the JSON tree (tags never collide with plain
+data because plain dicts with ``__``-prefixed string keys take the
+explicit-pairs form):
+
+``{"__ndarray__": key}``
+    Array stored under ``key`` in the sidecar table.
+``{"__scalar__": dtype, "value": v}``
+    Numpy scalar (``np.float64(3.0)``, ``np.int64(2)``, …).
+``{"__tuple__": [...]}``
+    Python tuple (lists stay plain JSON arrays).
+``{"__dict__": [[k, v], ...]}``
+    Dict whose keys are not all plain strings (e.g. the float-tuple
+    keys of CPT tables); insertion order is preserved.
+``{"__object__": "module:qualname", "state": {...}}``
+    A repro-package object following the get_state/set_state protocol.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..registry import extract_state, restore_instance
+
+__all__ = ["StateCodecError", "decode", "encode"]
+
+_TAGS = ("__ndarray__", "__scalar__", "__tuple__", "__dict__", "__object__")
+
+
+class StateCodecError(ValueError):
+    """A value in a component's state cannot be (de)serialized."""
+
+
+def _fail(path: tuple, message: str) -> StateCodecError:
+    where = "$" + "".join(f".{p}" if isinstance(p, str) else f"[{p}]"
+                          for p in path)
+    return StateCodecError(f"{message} (at {where})")
+
+
+def _plain_keys(mapping: Mapping) -> bool:
+    return all(isinstance(k, str) and not k.startswith("__")
+               for k in mapping)
+
+
+def encode(value, arrays: dict[str, np.ndarray], path: tuple = ()):
+    """Encode ``value`` to a JSON-safe tree, appending arrays to
+    ``arrays`` (the per-artifact ``.npz`` side table)."""
+    if value is None or isinstance(value, str):
+        return value
+    # numpy scalars first: np.float64 IS a float subclass, np.bool_ is
+    # not a bool, np.int64 is not an int — one tagged form covers all.
+    if isinstance(value, np.generic):
+        return {"__scalar__": value.dtype.str, "value": value.item()}
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            raise _fail(path, "object-dtype arrays are not serializable")
+        key = f"a{len(arrays)}"
+        arrays[key] = value
+        return {"__ndarray__": key}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(v, arrays, path + (i,))
+                              for i, v in enumerate(value)]}
+    if isinstance(value, list):
+        return [encode(v, arrays, path + (i,)) for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        if _plain_keys(value):
+            return {k: encode(v, arrays, path + (k,))
+                    for k, v in value.items()}
+        return {"__dict__": [[encode(k, arrays, path + ("<key>",)),
+                              encode(v, arrays, path + (str(k),))]
+                             for k, v in value.items()]}
+    cls = type(value)
+    module = getattr(cls, "__module__", "")
+    if module == "repro" or module.startswith("repro."):
+        try:
+            state = extract_state(value)
+        except TypeError as exc:
+            raise _fail(path, str(exc)) from None
+        return {"__object__": f"{module}:{cls.__qualname__}",
+                "state": encode(state, arrays, path + (cls.__name__,))}
+    raise _fail(path, f"cannot serialize {cls.__module__}.{cls.__qualname__} "
+                      f"value {value!r}")
+
+
+def _resolve_class(ref: str, path: tuple) -> type:
+    module, _, qualname = ref.partition(":")
+    if not (module == "repro" or module.startswith("repro.")) or not qualname:
+        raise _fail(path, f"refusing to instantiate {ref!r}: only classes "
+                          "inside the repro package are allowed")
+    try:
+        obj = importlib.import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError):
+        raise _fail(path, f"unknown class {ref!r} in artifact state") from None
+    if not isinstance(obj, type):
+        raise _fail(path, f"{ref!r} is not a class")
+    return obj
+
+
+def decode(value, arrays: Mapping[str, np.ndarray], path: tuple = ()):
+    """Invert :func:`encode`; ``arrays`` is the loaded side table."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, list):
+        return [decode(v, arrays, path + (i,)) for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        if "__ndarray__" in value:
+            key = value["__ndarray__"]
+            try:
+                return arrays[key]
+            except KeyError:
+                raise _fail(path, f"missing array {key!r} in sidecar") \
+                    from None
+        if "__scalar__" in value:
+            return np.dtype(value["__scalar__"]).type(value["value"])
+        if "__tuple__" in value:
+            return tuple(decode(v, arrays, path + (i,))
+                         for i, v in enumerate(value["__tuple__"]))
+        if "__dict__" in value:
+            return {decode(k, arrays, path + ("<key>",)):
+                    decode(v, arrays, path + (str(k),))
+                    for k, v in value["__dict__"]}
+        if "__object__" in value:
+            cls = _resolve_class(value["__object__"], path)
+            state = decode(value["state"], arrays,
+                           path + (cls.__name__,))
+            return restore_instance(cls, state)
+        return {k: decode(v, arrays, path + (k,)) for k, v in value.items()}
+    raise _fail(path, f"unexpected value {value!r} in encoded state")

@@ -122,20 +122,51 @@ class DiscreteCPT:
         if fallback.shape != domain.shape:
             raise ValueError("fallback distribution has wrong shape")
         object.__setattr__(self, "fallback", fallback / fallback.sum())
-        # Compiled form: stack the table into matrices so the batched
-        # paths are gathers.  Row ``len(table)`` holds the fallback.
-        probs = np.empty((len(normalised) + 1, domain.size))
+        self._compile()
+
+    def _compile(self) -> None:
+        """Stack the (already normalised) table into matrices so the
+        batched paths are gathers.  Row ``len(table)`` holds the
+        fallback.  Separated from ``__post_init__`` so deserialization
+        can restore the normalised attributes verbatim and recompile —
+        re-normalising an already-normalised vector shifts ulps, and
+        the serving path promises bit-identical audits."""
+        probs = np.empty((len(self.table) + 1, self.domain.size))
         index: dict[tuple, int] = {}
-        for row, (key, vec) in enumerate(normalised.items()):
+        for row, (key, vec) in enumerate(self.table.items()):
             index[key] = row
             probs[row] = vec
-        probs[len(normalised)] = self.fallback
+        probs[len(self.table)] = self.fallback
         cdf = np.cumsum(probs, axis=1)
         # Guard against floating error leaving the last cdf below 1.
         cdf[:, -1] = 1.0
         object.__setattr__(self, "_index", index)
         object.__setattr__(self, "_probs", probs)
         object.__setattr__(self, "_cdf", cdf)
+
+    # ------------------------------------------------------------------
+    # Serialization (the artifact-bundle state protocol)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return {
+            "parents": self.parents,
+            "domain": self.domain,
+            "table": [[list(key), vec] for key, vec in self.table.items()],
+            "fallback": self.fallback,
+        }
+
+    def set_state(self, state: dict) -> None:
+        # Restore the normalised attributes verbatim (no re-validation,
+        # no re-normalisation) and recompile the gather matrices.
+        object.__setattr__(self, "parents", tuple(state["parents"]))
+        object.__setattr__(self, "domain",
+                           np.asarray(state["domain"], dtype=float))
+        object.__setattr__(self, "table",
+                           {_as_key(key): np.asarray(vec, dtype=float)
+                            for key, vec in state["table"]})
+        object.__setattr__(self, "fallback",
+                           np.asarray(state["fallback"], dtype=float))
+        self._compile()
 
     # ------------------------------------------------------------------
     def _rows(self, parent_values: Mapping[str, np.ndarray],
@@ -146,6 +177,10 @@ class DiscreteCPT:
         columns are integer-coded per column, combined into a single
         mixed-radix code, and deduplicated with :func:`np.unique` — so
         the dict is consulted per *unique* combination, not per row.
+        Small batches (the per-request serving path, where ``n`` is a
+        particle count) skip the array machinery entirely: at that size
+        the fixed cost of a few :func:`np.unique` calls dwarfs a memoised
+        dict walk.
         """
         fallback_row = len(self._index)
         if not self.parents:
@@ -153,6 +188,24 @@ class DiscreteCPT:
                            dtype=np.intp)
         columns = [np.asarray(parent_values[p], dtype=float)
                    for p in self.parents]
+        if all(col.ndim == 1 and col.strides == (0,) for col in columns):
+            # All parents are stride-0 broadcast views (per-row-constant
+            # evidence, as the serving path's abduction passes): one
+            # combination, one lookup.
+            key = tuple(col.item(0) for col in columns)
+            return np.full(n, self._index.get(key, fallback_row),
+                           dtype=np.intp)
+        if n <= 128:
+            rows = np.empty(n, dtype=np.intp)
+            memo: dict[tuple, int] = {}
+            for i, key in enumerate(zip(*(col.tolist()
+                                          for col in columns))):
+                row = memo.get(key)
+                if row is None:
+                    row = self._index.get(key, fallback_row)
+                    memo[key] = row
+                rows[i] = row
+            return rows
         codes = np.zeros(n, dtype=np.int64)
         for col in columns:
             uniq, inv = np.unique(col, return_inverse=True)
@@ -180,11 +233,11 @@ class DiscreteCPT:
         """
         noise = np.asarray(noise, dtype=float)
         rows = self._rows(parent_values, noise.shape[0])
-        idx = np.empty(noise.shape[0], dtype=np.intp)
-        for row in np.unique(rows):
-            mask = rows == row
-            idx[mask] = np.searchsorted(self._cdf[row], noise[mask],
-                                        side="right")
+        # Counting cdf entries <= noise equals a side="right"
+        # searchsorted on each row's (non-decreasing) cdf, with no
+        # per-unique-row loop; the domain is a handful of bins, so the
+        # (n, |domain|) comparison is small.
+        idx = np.sum(self._cdf[rows] <= noise[:, None], axis=1)
         np.minimum(idx, self.domain.size - 1, out=idx)
         return self.domain[idx]
 
@@ -535,6 +588,17 @@ class CounterfactualSCM:
         """Posterior mean of ``outcome`` in the counterfactual world."""
         cf = self.counterfactual(evidence, interventions, n_particles, rng)
         return float(np.mean(cf[outcome]))
+
+    # ------------------------------------------------------------------
+    # Serialization (the artifact-bundle state protocol)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return {"edges": self.graph.edges, "nodes": self.graph.nodes,
+                "cpts": self._cpts}
+
+    def set_state(self, state: dict) -> None:
+        graph = CausalGraph(state["edges"], nodes=state["nodes"])
+        self.__init__(graph, state["cpts"])
 
     def __repr__(self) -> str:
         return f"CounterfactualSCM({self.graph!r})"

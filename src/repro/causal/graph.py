@@ -38,6 +38,11 @@ class CausalGraph:
             cycle = nx.find_cycle(g)
             raise ValueError(f"causal graph must be acyclic; found cycle {cycle}")
         self._g = g
+        # The graph is immutable after construction, so structural
+        # queries memoise; the SCM hot paths (evaluate/abduct) ask for
+        # the same parent and descendant sets on every call.
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._descendants: dict[str, frozenset[str]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -52,7 +57,11 @@ class CausalGraph:
         return node in self._g
 
     def parents(self, node: str) -> list[str]:
-        return sorted(self._g.predecessors(node))
+        cached = self._parents.get(node)
+        if cached is None:
+            cached = tuple(sorted(self._g.predecessors(node)))
+            self._parents[node] = cached
+        return list(cached)
 
     def children(self, node: str) -> list[str]:
         return sorted(self._g.successors(node))
@@ -61,7 +70,11 @@ class CausalGraph:
         return set(nx.ancestors(self._g, node))
 
     def descendants(self, node: str) -> set[str]:
-        return set(nx.descendants(self._g, node))
+        cached = self._descendants.get(node)
+        if cached is None:
+            cached = frozenset(nx.descendants(self._g, node))
+            self._descendants[node] = cached
+        return set(cached)
 
     def topological_order(self) -> list[str]:
         """Nodes in an order where every cause precedes its effects."""
@@ -131,6 +144,16 @@ class CausalGraph:
     def to_networkx(self) -> nx.DiGraph:
         """Return a copy of the underlying networkx digraph."""
         return self._g.copy()
+
+    # ------------------------------------------------------------------
+    # Serialization (the artifact-bundle state protocol; the wrapped
+    # DiGraph is not attribute-serializable, edges + nodes are)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return {"edges": self.edges, "nodes": self.nodes}
+
+    def set_state(self, state: dict) -> None:
+        self.__init__(state["edges"], nodes=state["nodes"])
 
     def __repr__(self) -> str:
         return f"CausalGraph({len(self._g)} nodes, {self._g.number_of_edges()} edges)"

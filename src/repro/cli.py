@@ -57,6 +57,15 @@ caps)::
 
     python -m repro doctor
 
+Pack one finished cell's fitted components into a serving bundle, look
+inside it, then serve online audits from it::
+
+    python -m repro sweep --config examples/sweep.yaml --pack-artifacts
+    python -m repro pack --cache-dir .sweep-cache \
+        --where approach=Hardt-eo seed=0 --out audit-bundle
+    python -m repro inspect audit-bundle
+    python -m repro serve audit-bundle --port 8399
+
 Browse the paper's Figure 3 notion catalog::
 
     python -m repro notions --association causal
@@ -229,6 +238,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="circuit breaker: abort the sweep "
                                 "once more than N cells have "
                                 "terminally failed")
+    sweep_cmd.add_argument("--pack-artifacts", action="store_true",
+                           help="also store each computed cell's "
+                                "fitted components (model, SCM, "
+                                "encoding, reference) in the cache, "
+                                "so `repro pack` never refits")
     sweep_cmd.add_argument("--chaos", metavar="PLAN", default=None,
                            help="inject deterministic faults: an "
                                 "inline spec like "
@@ -313,6 +327,52 @@ def _build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--export-csv", metavar="FILE", default=None,
                             help="write flat per-cell records as CSV")
     report_cmd.set_defaults(func=cmd_report)
+
+    pack_cmd = sub.add_parser(
+        "pack", help="build a serving bundle from a finished sweep cell")
+    pack_cmd.add_argument("--cache-dir", metavar="DIR",
+                          default=".sweep-cache",
+                          help="sweep cache holding the cell "
+                               "(default: .sweep-cache)")
+    pack_cmd.add_argument("--where", nargs="*", default=[],
+                          metavar="AXIS=VALUE",
+                          help="select exactly one cached cell by job "
+                               "axes, e.g. approach=Hardt-eo seed=0")
+    pack_cmd.add_argument("--fingerprint", metavar="PREFIX", default=None,
+                          help="select the cell by (a prefix of) its "
+                               "cache fingerprint instead")
+    pack_cmd.add_argument("--out", metavar="DIR", required=True,
+                          help="bundle directory to create")
+    pack_cmd.add_argument("--force", action="store_true",
+                          help="overwrite an existing bundle at --out")
+    pack_cmd.set_defaults(func=cmd_pack)
+
+    inspect_cmd = sub.add_parser(
+        "inspect", help="print a serving bundle's manifest")
+    inspect_cmd.add_argument("bundle", metavar="DIR",
+                             help="bundle directory written by "
+                                  "`repro pack`")
+    inspect_cmd.set_defaults(func=cmd_inspect)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve online fairness audits from a bundle")
+    serve_cmd.add_argument("bundle", metavar="DIR",
+                           help="bundle directory written by "
+                                "`repro pack`")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8399,
+                           help="bind port (default: 8399; 0 picks a "
+                                "free port)")
+    serve_cmd.add_argument("--max-requests", type=int, default=None,
+                           metavar="N",
+                           help="shut down after N handled requests "
+                                "(smoke tests and CI)")
+    serve_cmd.add_argument("--trace", metavar="DIR", default=None,
+                           help="record request telemetry and write "
+                                "events.jsonl + trace.json into DIR "
+                                "on shutdown")
+    serve_cmd.set_defaults(func=cmd_serve)
 
     describe_cmd = sub.add_parser(
         "describe", help="summarise a dataset: stats, bias, MVD check")
@@ -538,9 +598,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.backoff = args.backoff
     if args.max_failures is not None:
         spec.max_failures = args.max_failures
+    if args.pack_artifacts:
+        spec.pack_artifacts = True
 
     grid = spec.to_grid()
     caching = spec.cache_dir not in (None, "none")
+    if spec.pack_artifacts and not caching:
+        print("error: --pack-artifacts stores bundles in the result "
+              "cache; it cannot be combined with --cache-dir none",
+              file=sys.stderr)
+        return 2
     cache = ResultCache(spec.cache_dir) if caching else None
     print(grid.describe() + (f", cache at {cache.root}" if caching
                              else ", caching disabled"))
@@ -570,7 +637,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         report = run_sweep(grid.expand(), cache=cache,
                            max_workers=spec.jobs, resume=spec.resume,
                            progress=progress, trace=collector,
-                           policy=spec.to_policy(), chaos=chaos)
+                           policy=spec.to_policy(), chaos=chaos,
+                           pack=spec.pack_artifacts)
     finally:
         logger.removeHandler(handler)
     if args.trace is not None:
@@ -701,6 +769,91 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"{len(problems)} defective of {total} entries "
           f"(re-run with --repair to delete them)")
     return 1
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .artifacts import BundleError, load_bundle, pack_from_cache
+
+    root = Path(args.cache_dir)
+    if not root.exists():
+        print(f"error: no sweep cache at {root}", file=sys.stderr)
+        return 2
+    try:
+        where = _parse_where(args.where)
+        path = pack_from_cache(ResultCache(root), args.out,
+                               where=where or None,
+                               fingerprint=args.fingerprint,
+                               overwrite=args.force)
+    except (KeyError, ValueError, BundleError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    bundle = load_bundle(path)
+    print(f"packed bundle at {path} "
+          f"(fingerprint {bundle.fingerprint[:12]}…)")
+    print(f"inspect with `repro inspect {path}`, serve with "
+          f"`repro serve {path}`")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from .artifacts import BundleError, format_manifest, load_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_manifest(bundle))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from . import obs
+    from .artifacts import BundleError
+    from .serve import AuditHTTPServer, AuditService
+
+    try:
+        service = AuditService.from_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    meta = service.components.meta
+    try:
+        server = AuditHTTPServer((args.host, args.port), service,
+                                 max_requests=args.max_requests)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving bundle {args.bundle} "
+          f"(dataset {meta.get('dataset', '?')}, "
+          f"approach {meta.get('job_label', '?')}) "
+          f"on http://{host}:{port}/", flush=True)
+
+    def run() -> None:
+        try:
+            server.serve_forever(poll_interval=0.05)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+
+    if args.trace is not None:
+        collector = obs.TraceCollector(env=obs.environment_info(),
+                                       meta={"bundle": str(args.bundle)})
+        with obs.recording() as recorder:
+            run()
+        collector.add_scope("serve", recorder.snapshot())
+        collector.write(args.trace)
+        print(f"trace written to {args.trace}")
+    else:
+        run()
+    print(f"served {server.requests_handled} requests")
+    return 0
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:

@@ -9,9 +9,13 @@ finished.
 
 Layout::
 
-    <root>/<fp[:2]>/<fp>.json    # one run file per cell, sharded by
-                                 # the first fingerprint byte so no
-                                 # directory grows unboundedly
+    <root>/<fp[:2]>/<fp>.json       # one run file per cell, sharded by
+                                    # the first fingerprint byte so no
+                                    # directory grows unboundedly
+    <root>/<fp[:2]>/<fp>.artifacts  # optional artifact bundle (fitted
+                                    # components) for the same cell,
+                                    # written by sweeps run with
+                                    # --pack-artifacts
 
 Each entry is an ordinary one-result run file (the ``params`` block
 holds the job's full parameterization), so cached cells remain
@@ -138,6 +142,39 @@ class ResultCache:
 
     def __contains__(self, job: Job) -> bool:
         return self.get(job) is not None
+
+    # ------------------------------------------------------------------
+    # Artifact payloads (optional, next to the metrics entry)
+    # ------------------------------------------------------------------
+    def artifact_path(self, job: Job | str) -> Path:
+        """Where a cell's artifact bundle lives (a sibling directory of
+        its metrics shard): ``<root>/<fp[:2]>/<fp>.artifacts``."""
+        fingerprint = job if isinstance(job, str) else job.fingerprint
+        return self.root / fingerprint[:2] / f"{fingerprint}.artifacts"
+
+    def put_artifact(self, job: Job, components=None) -> Path:
+        """Pack the cell's fitted components into its artifact slot.
+
+        With ``components=None`` they are refit deterministically from
+        the job (see :func:`repro.artifacts.build_serving_components`).
+        Overwrites any previous payload for the fingerprint.
+        """
+        from ..artifacts import pack_bundle  # local: avoids an
+        # import cycle (artifacts.pack imports the engine for Job)
+
+        return pack_bundle(job, self.artifact_path(job),
+                           components=components, overwrite=True)
+
+    def get_artifact(self, job: Job | str) -> Path | None:
+        """The cell's artifact-bundle path, or ``None`` when the sweep
+        stored no payload (or left a torn one behind)."""
+        path = self.artifact_path(job)
+        if (path / "manifest.json").is_file():
+            return path
+        return None
+
+    def has_artifact(self, job: Job | str) -> bool:
+        return self.get_artifact(job) is not None
 
     # ------------------------------------------------------------------
     def fingerprints(self) -> list[str]:
@@ -271,6 +308,12 @@ class ResultCache:
         return len(self.fingerprints())
 
     def evict(self, job: Job) -> None:
-        """Drop one cell (no-op if absent)."""
+        """Drop one cell, metrics and artifact payload both (no-op if
+        absent)."""
+        import shutil
+
         fingerprint = job.fingerprint
         self._store(fingerprint).delete(fingerprint)
+        artifact = self.artifact_path(fingerprint)
+        if artifact.exists():
+            shutil.rmtree(artifact, ignore_errors=True)

@@ -194,8 +194,24 @@ def cell_attrs(job: Job) -> dict:
     return attrs
 
 
+def _pack_artifact(job: Job, pack_dir: str) -> None:
+    """Worker-side artifact packing for a just-computed cell.
+
+    Packing is best-effort: a failure (disk full, an unserializable
+    component) degrades to a structured warning — the cell's metrics
+    result is unaffected and the sweep goes on.
+    """
+    try:
+        ResultCache(pack_dir).put_artifact(job)
+    except Exception as exc:
+        obs.add("artifact.pack_failed")
+        obs.warning("artifact.pack_failed", cell=job.label(),
+                    reason=f"{type(exc).__name__}: {exc}")
+
+
 def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
                      trace_memory: bool = False, attempt: int = 0,
+                     pack_dir: str | None = None,
                      ) -> tuple[int, EvaluationResult | None, str | None,
                                 bool | None, float, dict | None]:
     """Pool worker: never raises, so one bad cell can't kill the sweep.
@@ -212,6 +228,13 @@ def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
     whose snapshot (spans, counters, events — plain picklable dicts)
     rides back as the last tuple element; a failing cell still ships
     the spans it closed before dying.
+
+    With ``pack_dir`` set, a successful cell also refits and packs its
+    serving-artifact bundle into the cache's artifact slot, here in
+    the worker so packing parallelizes with the sweep.  Pack time is
+    excluded from the cell's reported seconds, and pack spans stay out
+    of the cell's trace fragment (the trace checker budgets the cell
+    phase set).
     """
     index, job = indexed_job
     start = time.perf_counter()
@@ -220,14 +243,16 @@ def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
             chaos_module.maybe_fault(job.label(), job.fingerprint,
                                      attempt)
             result = execute_job(job)
-            return index, result, None, None, \
-                time.perf_counter() - start, None
+            seconds = time.perf_counter() - start
+            if pack_dir is not None:
+                _pack_artifact(job, pack_dir)
+            return index, result, None, None, seconds, None
         except Exception as exc:
             return index, None, traceback.format_exc(), \
                 classify_exception(exc) == "transient", \
                 time.perf_counter() - start, None
     with obs.recording(trace_memory=trace_memory) as rec:
-        error, transient = None, None
+        error, transient, result = None, None, None
         try:
             with obs.span("cell", **cell_attrs(job)):
                 chaos_module.maybe_fault(job.label(), job.fingerprint,
@@ -236,8 +261,10 @@ def _guarded_execute(indexed_job: tuple[int, Job], collect: bool = False,
         except Exception as exc:
             result, error = None, traceback.format_exc()
             transient = classify_exception(exc) == "transient"
-    return index, result, error, transient, \
-        time.perf_counter() - start, rec.snapshot()
+    seconds = time.perf_counter() - start
+    if result is not None and pack_dir is not None:
+        _pack_artifact(job, pack_dir)
+    return index, result, error, transient, seconds, rec.snapshot()
 
 
 def _error_summary(error: str | None) -> str | None:
@@ -381,7 +408,7 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
               max_workers: int = 1, resume: bool = True,
               progress: ProgressCallback | None = None,
               trace=None, policy: RetryPolicy | None = None,
-              chaos=None) -> SweepReport:
+              chaos=None, pack: bool = False) -> SweepReport:
     """Execute a job list, reusing and filling the cache.
 
     Parameters
@@ -427,9 +454,18 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
         ``FaultPlan.load`` accepts): deterministic fault injection for
         resilience testing and soak runs.  Delivered to workers via
         the environment for the duration of the sweep.
+    pack:
+        With ``True`` (requires ``cache``), every freshly computed
+        cell also packs its fitted serving components into the cache's
+        artifact slot (``<fp>.artifacts`` bundle) so ``repro pack``
+        can later build a bundle without refitting.  Cache hits are
+        not re-packed.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if pack and cache is None:
+        raise ValueError("pack=True needs a cache to store artifacts in")
+    pack_dir = str(cache.root) if pack else None
     policy = RetryPolicy() if policy is None else policy
     if chaos is not None:
         chaos = chaos_module.FaultPlan.load(chaos)
@@ -437,7 +473,8 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
         if trace is None:
             return _run_sweep(jobs, cache=cache, max_workers=max_workers,
                               resume=resume, progress=progress,
-                              policy=policy, chaos_plan=chaos)
+                              policy=policy, chaos_plan=chaos,
+                              pack_dir=pack_dir)
         with obs.recording(trace_memory=trace.trace_memory) as rec:
             with obs.span("sweep", cells=len(jobs), workers=max_workers):
                 report = _run_sweep(jobs, cache=cache,
@@ -445,7 +482,8 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
                                     resume=resume, progress=progress,
                                     collect=True,
                                     trace_memory=trace.trace_memory,
-                                    policy=policy, chaos_plan=chaos)
+                                    policy=policy, chaos_plan=chaos,
+                                    pack_dir=pack_dir)
     trace.add_scope("sweep", rec.snapshot())
     for outcome in report.outcomes:
         trace.add_cell(outcome.job.label(), fragment=outcome.trace,
@@ -623,7 +661,8 @@ def _run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None,
                progress: ProgressCallback | None,
                collect: bool = False, trace_memory: bool = False,
                policy: RetryPolicy | None = None,
-               chaos_plan=None) -> SweepReport:
+               chaos_plan=None, pack_dir: str | None = None
+               ) -> SweepReport:
     policy = RetryPolicy() if policy is None else policy
     state = _SweepState(jobs, cache, progress, policy, chaos_plan)
 
@@ -642,14 +681,16 @@ def _run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None,
                   or (chaos_plan is not None and chaos_plan.needs_pool))
     if pending:
         if (max_workers == 1 or len(pending) <= 1) and not needs_pool:
-            _run_inline(state, pending, collect, trace_memory)
+            _run_inline(state, pending, collect, trace_memory, pack_dir)
         else:
-            _run_pool(state, pending, max_workers, collect, trace_memory)
+            _run_pool(state, pending, max_workers, collect, trace_memory,
+                      pack_dir)
     return state.report()
 
 
 def _run_inline(state: _SweepState, pending: list[_Cell],
-                collect: bool, trace_memory: bool) -> None:
+                collect: bool, trace_memory: bool,
+                pack_dir: str | None = None) -> None:
     """Serial path: execute cells in-process, with retries/backoff."""
     for position, cell in enumerate(pending):
         if state.tripped:
@@ -661,7 +702,7 @@ def _run_inline(state: _SweepState, pending: list[_Cell],
             try:
                 _, result, error, transient, seconds, fragment = \
                     _guarded_execute((cell.index, cell.job), collect,
-                                     trace_memory, attempt)
+                                     trace_memory, attempt, pack_dir)
             except KeyboardInterrupt:
                 state.interrupted = True
                 return
@@ -683,7 +724,7 @@ def _run_inline(state: _SweepState, pending: list[_Cell],
 
 def _run_pool(state: _SweepState, pending: list[_Cell],
               max_workers: int, collect: bool,
-              trace_memory: bool) -> None:
+              trace_memory: bool, pack_dir: str | None = None) -> None:
     """Pool path: slot-limited scheduling with deadline enforcement,
     broken-pool recovery, and crash-suspect serialization.
 
@@ -742,7 +783,7 @@ def _run_pool(state: _SweepState, pending: list[_Cell],
             try:
                 future = pool.submit(_guarded_execute,
                                      (cell.index, cell.job), collect,
-                                     trace_memory, attempt)
+                                     trace_memory, attempt, pack_dir)
             except BrokenProcessPool:
                 queue.insert(0, cell)
                 return False

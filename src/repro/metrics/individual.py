@@ -36,7 +36,9 @@ __all__ = [
     "CounterfactualFairnessResult",
     "counterfactual_fairness",
     "path_specific_counterfactual_fairness",
+    "SituationReference",
     "SituationTestingResult",
+    "prepare_situation_reference",
     "situation_testing",
     "fairness_through_awareness",
     "metric_multifairness",
@@ -355,6 +357,104 @@ def situation_testing(X: np.ndarray, s: np.ndarray, y_hat: np.ndarray,
         mean_gap=float(gaps.mean()),
         threshold=threshold,
         n_audited=int(gaps.size),
+    )
+
+
+# ----------------------------------------------------------------------
+# Prepared situation testing (the fit-once/query-many serving form)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SituationReference:
+    """A frozen reference population for per-request situation testing.
+
+    Everything :func:`situation_testing` recomputes per call — the
+    min-max scaling constants, the per-group neighbour pools as
+    :class:`~repro.metrics.pairwise.PreparedReference` (Gram vectors
+    precomputed), and the pools' decisions — is fitted once by
+    :func:`prepare_situation_reference`.  :meth:`audit_rows` then costs
+    two blockwise top-k queries per call and is row-independent, so a
+    one-row request and a batch containing that row give identical
+    answers.
+    """
+
+    lo: np.ndarray
+    span: np.ndarray
+    priv: pairwise.PreparedReference
+    unpriv: pairwise.PreparedReference
+    y_priv: np.ndarray
+    y_unpriv: np.ndarray
+    k: int
+    threshold: float
+
+    def scale(self, X: np.ndarray) -> np.ndarray:
+        """Map query features into the frozen [0, 1] coordinates."""
+        X = np.asarray(X, dtype=float)
+        return (X - self.lo) / self.span
+
+    def audit_rows(self, X: np.ndarray,
+                   block_size: int | None = None) -> dict[str, np.ndarray]:
+        """Situation-test query rows against the frozen reference.
+
+        Unlike the offline audit, query rows are *new* individuals —
+        they are not members of either pool, so no self-exclusion is
+        needed.  Returns per-row arrays: ``rate_privileged``,
+        ``rate_unprivileged``, ``gap`` (privileged minus unprivileged),
+        and boolean ``flagged`` (``|gap| > threshold``).
+        """
+        Z = self.scale(X)
+        rates = []
+        for pool, y_pool in ((self.priv, self.y_priv),
+                             (self.unpriv, self.y_unpriv)):
+            nearest, d2 = pairwise.topk(Z, pool, self.k,
+                                        block_size=block_size)
+            usable = np.isfinite(d2)
+            counts = usable.sum(axis=1)
+            votes = (y_pool[nearest] * usable).sum(axis=1)
+            rates.append(np.where(counts > 0,
+                                  votes / np.maximum(counts, 1), np.nan))
+        gaps = rates[0] - rates[1]
+        return {
+            "rate_privileged": rates[0],
+            "rate_unprivileged": rates[1],
+            "gap": gaps,
+            "flagged": np.abs(gaps) > self.threshold,
+        }
+
+
+def prepare_situation_reference(X: np.ndarray, s: np.ndarray,
+                                y_hat: np.ndarray, k: int = 8,
+                                threshold: float = 0.2,
+                                ) -> SituationReference:
+    """Fit a :class:`SituationReference` from a labelled population.
+
+    ``X``/``s``/``y_hat`` play the same roles as in
+    :func:`situation_testing`; the min-max scaling constants are frozen
+    from ``X`` so later queries land in the same coordinate system.
+    """
+    X = np.asarray(X, dtype=float)
+    s = np.asarray(s, dtype=int)
+    y_hat = (np.asarray(y_hat, dtype=float) > 0.5).astype(float)
+    if X.shape[0] != s.shape[0] or s.shape != y_hat.shape:
+        raise ValueError("X, s, y_hat must be aligned")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    idx_priv = np.flatnonzero(s == 1)
+    idx_unpriv = np.flatnonzero(s == 0)
+    if idx_priv.size == 0 or idx_unpriv.size == 0:
+        raise ValueError(
+            "situation reference needs both sensitive groups non-empty; "
+            f"got {idx_priv.size} privileged and {idx_unpriv.size} "
+            "unprivileged members")
+    lo = X.min(axis=0)
+    span = X.max(axis=0) - lo
+    span = np.where(span == 0, 1.0, span)
+    Z = (X - lo) / span
+    return SituationReference(
+        lo=lo, span=span,
+        priv=pairwise.prepare_reference(Z[idx_priv]),
+        unpriv=pairwise.prepare_reference(Z[idx_unpriv]),
+        y_priv=y_hat[idx_priv], y_unpriv=y_hat[idx_unpriv],
+        k=int(k), threshold=float(threshold),
     )
 
 

@@ -83,6 +83,19 @@ class Classifier(abc.ABC):
             if name.endswith("_") and not name.endswith("__"):
                 setattr(self, name, None)
 
+    # ------------------------------------------------------------------
+    # Serialization (the artifact-bundle state protocol; see
+    # repro.registry.extract_state).  Models keep hyper-parameters and
+    # fitted ``*_`` attributes in plain instance attributes, so the
+    # whole ``__dict__`` is the state.  Subclasses holding anything
+    # unserializable must override the pair.
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return dict(self.__dict__)
+
+    def set_state(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""

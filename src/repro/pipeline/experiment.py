@@ -13,6 +13,7 @@ plain-LR baseline subtracted in runtime experiments).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -204,6 +205,23 @@ class FairPipeline:
             return scores if proba else (scores >= 0.5).astype(int)
         rng = np.random.default_rng(self.seed)
         return approach.adjust(scores, s, rng)
+
+    # ------------------------------------------------------------------
+    # Serialization (the artifact-bundle state protocol)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        state = dict(self.__dict__)
+        schema = state.get("_schema")
+        if schema is not None:
+            # Prediction needs only the schema's column roles and causal
+            # graph, not the training rows or the synthetic-generator
+            # mechanisms (callables, unserializable).  A one-row head
+            # keeps the Dataset invariants (binary s/y) satisfied.
+            state["_schema"] = dataclasses.replace(schema.head(1), scm=None)
+        return state
+
+    def set_state(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     def predict_columns(self, columns: dict[str, np.ndarray]) -> np.ndarray:

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from .components import (APPROACHES, DATASETS, ERRORS, IMPUTERS, METRICS,
                          MODELS, ErrorInjector, Metric)
-from .core import Component, Registry, format_spec, parse_spec
+from .core import (Component, Registry, extract_state, format_spec,
+                   parse_spec, restore_instance)
 
 #: All registries by family name.
 REGISTRIES: dict[str, Registry] = {
@@ -42,7 +43,8 @@ REGISTRIES: dict[str, Registry] = {
 __all__ = [
     "APPROACHES", "Component", "DATASETS", "ERRORS", "ErrorInjector",
     "IMPUTERS", "METRICS", "MODELS", "Metric", "REGISTRIES", "Registry",
-    "build", "format_spec", "get_registry", "parse_spec", "register",
+    "build", "extract_state", "format_spec", "get_registry", "parse_spec",
+    "register", "restore_instance",
 ]
 
 

@@ -36,7 +36,8 @@ import inspect
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["Component", "Registry", "format_spec", "parse_spec"]
+__all__ = ["Component", "Registry", "extract_state", "format_spec",
+           "parse_spec", "restore_instance"]
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +136,66 @@ def _accepted_params(factory: Callable) -> frozenset[str] | None:
             names.add(parameter.name)
     names.discard("self")
     return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# Fitted-state protocol
+# ----------------------------------------------------------------------
+#
+# Registry-built components are serialized as (spec string + fitted
+# state).  The spec rebuilds an *unfitted* component; the state carries
+# everything :meth:`fit` computed.  A component opts into custom
+# serialization by defining::
+#
+#     def get_state(self) -> dict: ...
+#     def set_state(self, state: dict) -> None: ...
+#
+# ``get_state`` must return a mapping of plain values — numbers,
+# strings, tuples, lists, dicts, numpy arrays, or other repro-package
+# objects that themselves follow the protocol.  ``set_state`` must
+# restore the instance from exactly that mapping without refitting.
+# Components that keep all fitted state in plain instance attributes
+# (the common case — classifiers, encoders, imputers) need neither
+# method: the fallbacks below snapshot and restore ``__dict__``
+# directly, and frozen dataclasses are restored attribute by attribute.
+
+
+def extract_state(obj) -> dict:
+    """Snapshot ``obj``'s fitted state as a plain mapping.
+
+    Uses ``obj.get_state()`` when the class defines it, else the
+    instance ``__dict__``.  Objects with neither (slots-only,
+    extension types) raise ``TypeError`` — they must implement the
+    protocol explicitly to be serializable.
+    """
+    getter = getattr(type(obj), "get_state", None)
+    if getter is not None:
+        return getter(obj)
+    try:
+        return dict(vars(obj))
+    except TypeError:
+        raise TypeError(
+            f"{type(obj).__name__} has no __dict__ and does not define "
+            "get_state(); implement the get_state/set_state protocol to "
+            "make it serializable") from None
+
+
+def restore_instance(cls: type, state: Mapping):
+    """Rebuild an instance of ``cls`` from :func:`extract_state` output.
+
+    The instance is created without calling ``__init__``; state is
+    restored via ``cls.set_state`` when defined, else attribute by
+    attribute (``object.__setattr__``, so frozen dataclasses restore
+    too).
+    """
+    obj = cls.__new__(cls)
+    setter = getattr(cls, "set_state", None)
+    if setter is not None:
+        setter(obj, dict(state))
+    else:
+        for name, value in state.items():
+            object.__setattr__(obj, name, value)
+    return obj
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,21 @@
+"""Online audit serving: load a bundle once, audit rows per request.
+
+Two entry points over the same :class:`AuditService`:
+
+* **in-process** — ``AuditService.from_bundle(path).audit_row({...})``
+  for embedding the audit path in another Python service;
+* **HTTP/JSON** — ``repro serve BUNDLE`` (see
+  :mod:`repro.serve.http`), a stdlib ``http.server`` front end with
+  ``/audit-one-row`` and ``/audit-batch`` routes.
+
+Both are instrumented with :mod:`repro.obs` (``serve.requests`` /
+``serve.rows`` / ``serve.errors`` counters, per-phase request spans)
+and both honour the determinism contract: a row's verdict does not
+depend on which batch it arrived in.
+"""
+
+from .http import AuditHTTPServer, serve_forever
+from .service import AuditRequestError, AuditService
+
+__all__ = ["AuditHTTPServer", "AuditRequestError", "AuditService",
+           "serve_forever"]

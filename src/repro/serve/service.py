@@ -1,0 +1,218 @@
+"""In-process audit service over packed serving components.
+
+:class:`AuditService` loads a bundle (or freshly built
+:class:`~repro.artifacts.ServingComponents`) once and answers
+per-request fairness audits: each audited row gets a situation-testing
+verdict (k-NN decision gap against the frozen reference population)
+and a rung-3 counterfactual verdict (abduction–action–prediction flip
+probability under ``do(S)``), plus the deployed pipeline's own
+decision.
+
+Determinism contract: ``audit_row(r)`` equals the entry for ``r`` in
+``audit_batch([...])`` byte for byte, regardless of batch composition.
+Two properties make that hold:
+
+* every per-row abduction draws from an RNG seeded by a hash of the
+  service seed and the row's own (discretised) evidence — no shared
+  stream whose position depends on earlier rows;
+* the pipeline is invoked exactly once per audited row, on that row's
+  ``2 × n_particles + 1`` stacked worlds (both counterfactual worlds
+  plus the factual row) — post-processors draw their adjustment
+  randomness per ``predict`` call, so the call shape must be a
+  per-row constant for single- and batch-path predictions to match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from ..artifacts import ServingComponents, components_from_bundle
+
+__all__ = ["AuditRequestError", "AuditService"]
+
+
+class AuditRequestError(ValueError):
+    """A malformed audit request (the HTTP layer's 400 class)."""
+
+
+class AuditService:
+    """Load once, audit many: the embedding API behind ``repro serve``."""
+
+    def __init__(self, components: ServingComponents):
+        self.components = components
+        meta = components.meta
+        self.sensitive = meta["sensitive"]
+        self.label = meta["label"]
+        self.feature_names = tuple(meta["feature_names"])
+        self.nodes = tuple(meta["nodes"])
+        self.seed = int(meta.get("seed", 0))
+        self.n_particles = int(meta.get("n_particles", 150))
+        self.cf_threshold = float(meta.get("cf_threshold", 0.05))
+        self.required = tuple(dict.fromkeys(
+            (*self.nodes, *self.feature_names, self.sensitive, self.label)))
+
+    @classmethod
+    def from_bundle(cls, path: str | Path) -> "AuditService":
+        """Open a bundle directory and build the service from it."""
+        return cls(components_from_bundle(path))
+
+    # ------------------------------------------------------------------
+    # Request decoding
+    # ------------------------------------------------------------------
+    def _decode_rows(self, rows) -> dict[str, np.ndarray]:
+        """Validate request rows into discretised column arrays."""
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise AuditRequestError(
+                "request must carry a non-empty list of rows")
+        columns: dict[str, list[float]] = {name: [] for name in self.required}
+        for position, row in enumerate(rows):
+            if not isinstance(row, dict):
+                raise AuditRequestError(
+                    f"row {position} is not an object of column values")
+            missing = [name for name in self.required if name not in row]
+            if missing:
+                raise AuditRequestError(
+                    f"row {position} is missing required columns "
+                    f"{missing}; every audit row must carry "
+                    f"{list(self.required)}")
+            for name in self.required:
+                try:
+                    columns[name].append(float(row[name]))
+                except (TypeError, ValueError):
+                    raise AuditRequestError(
+                        f"row {position} column {name!r} is not numeric: "
+                        f"{row[name]!r}") from None
+        out = {name: np.asarray(values, dtype=float)
+               for name, values in columns.items()}
+        for name in (self.sensitive, self.label):
+            bad = (out[name] != 0.0) & (out[name] != 1.0)
+            if bad.any():
+                raise AuditRequestError(
+                    f"column {name!r} must be binary 0/1; got "
+                    f"{sorted(np.unique(out[name][bad]).tolist())}")
+        discretizer = self.components.discretizer
+        numeric = self.components.numeric
+        if discretizer is not None and numeric:
+            matrix = np.column_stack([out[name] for name in numeric])
+            binned = discretizer.transform(matrix)
+            for j, name in enumerate(numeric):
+                out[name] = binned[:, j]
+        return out
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+    def _row_rng(self, evidence: tuple[float, ...]) -> np.random.Generator:
+        """Deterministic, batch-independent RNG for one audited row."""
+        payload = json.dumps([self.seed, list(evidence)],
+                             separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode()).digest()
+        entropy = int.from_bytes(digest[:16], "little")
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def _audit_counterfactual_row(self, values: dict[str, float]) -> dict:
+        """Abduction–action–prediction for one row (both worlds + the
+        factual decision in a single pipeline call)."""
+        scm, pipeline = self.components.scm, self.components.pipeline
+        particles = self.n_particles
+        # Broadcast views, not materialised arrays: evidence columns are
+        # per-row constants and every consumer only reads them.
+        evidence = {node: np.broadcast_to(float(values[node]), (particles,))
+                    for node in self.nodes}
+        rng = self._row_rng(tuple(values[node] for node in self.nodes))
+        noise = scm.abduct_rows(evidence, rng)
+        worlds = [scm.evaluate(noise, {self.sensitive: flip}, base=evidence)
+                  for flip in (1.0, 0.0)]
+        stacked: dict[str, np.ndarray] = {}
+        for name in (*self.feature_names, self.sensitive, self.label):
+            parts = []
+            for world in worlds:
+                arr = world.get(name)
+                if arr is None:
+                    arr = np.broadcast_to(float(values[name]), (particles,))
+                parts.append(arr)
+            parts.append(np.asarray([values[name]]))
+            stacked[name] = np.concatenate(parts)
+        positive = np.asarray(pipeline.predict_columns(stacked),
+                              dtype=float) > 0.5
+        rate_s1 = float(positive[:particles].mean())
+        rate_s0 = float(positive[particles:2 * particles].mean())
+        gap = abs(rate_s1 - rate_s0)
+        return {
+            "prediction": int(positive[-1]),
+            "gap": gap,
+            "rate_s1": rate_s1,
+            "rate_s0": rate_s0,
+            "unfair": bool(gap > self.cf_threshold),
+        }
+
+    def audit_batch(self, rows) -> list[dict]:
+        """Audit a list of raw-column rows; one verdict dict per row.
+
+        Raises :class:`AuditRequestError` on malformed input (missing
+        columns, non-numeric values, values outside the SCM domains).
+        """
+        obs.add("serve.requests")
+        try:
+            with obs.span("serve.decode", rows=len(rows)
+                          if isinstance(rows, (list, tuple)) else 0):
+                columns = self._decode_rows(rows)
+            n = columns[self.sensitive].shape[0]
+            obs.add("serve.rows", n)
+            reference = self.components.reference
+            with obs.span("serve.situation", rows=n):
+                X = np.column_stack(
+                    [columns[name] for name in self.feature_names])
+                situation = reference.audit_rows(X)
+            with obs.span("serve.counterfactual", rows=n,
+                          particles=self.n_particles):
+                counterfactual = []
+                for i in range(n):
+                    values = {name: float(columns[name][i])
+                              for name in self.required}
+                    try:
+                        counterfactual.append(
+                            self._audit_counterfactual_row(values))
+                    except ValueError as exc:
+                        # SCM rejections (value outside a CPT domain,
+                        # zero-probability evidence) are request
+                        # errors, not server faults.
+                        raise AuditRequestError(
+                            f"row {i} is not auditable: {exc}") from None
+        except AuditRequestError as exc:
+            obs.add("serve.errors")
+            # Mark so the HTTP layer doesn't count the same failure
+            # twice on serve.errors.
+            exc._counted = True
+            raise
+        responses = []
+        for i in range(n):
+            cf = counterfactual[i]
+            responses.append({
+                "prediction": cf.pop("prediction"),
+                "counterfactual": {
+                    **cf,
+                    "threshold": self.cf_threshold,
+                    "n_particles": self.n_particles,
+                },
+                "situation": {
+                    "gap": float(situation["gap"][i]),
+                    "rate_privileged":
+                        float(situation["rate_privileged"][i]),
+                    "rate_unprivileged":
+                        float(situation["rate_unprivileged"][i]),
+                    "flagged": bool(situation["flagged"][i]),
+                    "threshold": reference.threshold,
+                    "k": reference.k,
+                },
+            })
+        return responses
+
+    def audit_row(self, row: dict) -> dict:
+        """Audit one row; identical to its entry in a batch audit."""
+        return self.audit_batch([row])[0]

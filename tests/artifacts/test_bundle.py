@@ -1,0 +1,130 @@
+"""Bundle format: manifest, checksums, schema versioning, atomicity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (BUNDLE_SCHEMA_VERSION, BundleError,
+                             format_manifest, load_bundle, write_bundle)
+
+
+def write_simple(path, **kwargs):
+    return write_bundle(
+        path, fingerprint="f" * 64, job_params={"dataset": "german"},
+        artifacts=[("weights", "lr", {"w": np.array([1.0, 2.0])}),
+                   ("knobs", "plain", {"k": 3})],
+        serving={"dataset": "german"}, **kwargs)
+
+
+class TestWrite:
+    def test_layout_and_manifest(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["schema_version"] == BUNDLE_SCHEMA_VERSION
+        assert manifest["fingerprint"] == "f" * 64
+        assert manifest["job"] == {"dataset": "german"}
+        assert manifest["serving"] == {"dataset": "german"}
+        assert "python" in manifest["environment"]
+        assert (path / "artifacts" / "weights.json").is_file()
+        assert (path / "artifacts" / "weights.npz").is_file()
+        # knobs has no arrays, so no sidecar file
+        assert not (path / "artifacts" / "knobs.npz").exists()
+
+    def test_existing_target_needs_overwrite(self, tmp_path):
+        write_simple(tmp_path / "b")
+        with pytest.raises(BundleError, match="already exists"):
+            write_simple(tmp_path / "b")
+        write_simple(tmp_path / "b", overwrite=True)
+
+    def test_refuses_to_clobber_non_bundle(self, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("keep me")
+        with pytest.raises(BundleError, match="not a bundle"):
+            write_simple(target, overwrite=True)
+        assert (target / "data.txt").read_text() == "keep me"
+
+    def test_no_temp_residue(self, tmp_path):
+        write_simple(tmp_path / "b")
+        residue = [p for p in tmp_path.iterdir() if p.name != "b"]
+        assert residue == []
+
+
+class TestLoad:
+    def test_roundtrip(self, tmp_path):
+        bundle = load_bundle(write_simple(tmp_path / "b"))
+        assert bundle.artifact_names() == ["weights", "knobs"]
+        assert bundle.artifact_spec("weights") == "lr"
+        loaded = bundle.load_artifact("weights")
+        np.testing.assert_array_equal(loaded["w"], [1.0, 2.0])
+        assert bundle.load_artifact("knobs") == {"k": 3}
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(BundleError, match="not a bundle"):
+            load_bundle(tmp_path / "empty")
+
+    def test_unknown_schema_version_checked_first(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["schema_version"] = 99
+        # also break the artifact index: the version error must win
+        manifest["artifacts"] = "garbage"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(BundleError,
+                           match=r"unsupported bundle schema version 99"):
+            load_bundle(path)
+
+    def test_unparseable_manifest(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(BundleError, match="unparseable manifest"):
+            load_bundle(path)
+
+    def test_unknown_artifact_name(self, tmp_path):
+        bundle = load_bundle(write_simple(tmp_path / "b"))
+        with pytest.raises(BundleError, match="no artifact 'missing'"):
+            bundle.load_artifact("missing")
+
+
+class TestCorruption:
+    def test_corrupted_state_file(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        state = path / "artifacts" / "weights.json"
+        state.write_text(state.read_text() + " ")
+        bundle = load_bundle(path)
+        with pytest.raises(BundleError, match="checksum mismatch"):
+            bundle.load_artifact("weights")
+
+    def test_corrupted_sidecar(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        sidecar = path / "artifacts" / "weights.npz"
+        raw = bytearray(sidecar.read_bytes())
+        raw[-1] ^= 0xFF
+        sidecar.write_bytes(bytes(raw))
+        bundle = load_bundle(path)
+        with pytest.raises(BundleError, match="checksum mismatch"):
+            bundle.load_artifact("weights")
+
+    def test_deleted_artifact_file(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        (path / "artifacts" / "weights.npz").unlink()
+        with pytest.raises(BundleError, match="missing file"):
+            load_bundle(path).load_artifact("weights")
+
+    def test_intact_artifact_still_loads(self, tmp_path):
+        path = write_simple(tmp_path / "b")
+        state = path / "artifacts" / "weights.json"
+        state.write_text(state.read_text() + " ")
+        assert load_bundle(path).load_artifact("knobs") == {"k": 3}
+
+
+class TestFormatManifest:
+    def test_mentions_key_facts(self, tmp_path):
+        bundle = load_bundle(write_simple(tmp_path / "b"))
+        text = format_manifest(bundle)
+        assert f"schema version: {BUNDLE_SCHEMA_VERSION}" in text
+        assert "f" * 64 in text
+        assert "weights: lr" in text
+        assert "artifacts (2):" in text

@@ -1,0 +1,121 @@
+"""Pack → load parity: every serving component survives the bundle
+bit-exactly, in this process and in a fresh one."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.artifacts import components_from_bundle, load_bundle
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def reloaded(serving_bundle):
+    return components_from_bundle(serving_bundle)
+
+
+class TestManifest:
+    def test_serving_metadata(self, serving_bundle, serving_job):
+        bundle = load_bundle(serving_bundle)
+        assert bundle.fingerprint == serving_job.fingerprint
+        meta = bundle.serving
+        assert meta["dataset"] == "german"
+        assert meta["nodes"]
+        assert meta["n_particles"] == 10
+        assert bundle.artifact_names() == ["pipeline", "scm", "encoding",
+                                           "reference"]
+
+    def test_not_a_serving_bundle(self, tmp_path):
+        from repro.artifacts import BundleError, write_bundle
+
+        path = write_bundle(tmp_path / "partial", fingerprint="f" * 64,
+                            job_params={},
+                            artifacts=[("pipeline", "lr", {"w": 1})])
+        with pytest.raises(BundleError, match="missing artifact 'scm'"):
+            components_from_bundle(path)
+
+
+class TestComponentParity:
+    def test_pipeline_predictions_identical(self, serving_components,
+                                            reloaded, german_small):
+        live, cold = serving_components.pipeline, reloaded.pipeline
+        table = german_small.table
+        columns = {name: table[name].astype(float)
+                   for name in (*german_small.feature_names,
+                                german_small.sensitive,
+                                german_small.label)}
+        np.testing.assert_array_equal(live.predict_columns(columns),
+                                      cold.predict_columns(columns))
+
+    def test_scm_cpts_bit_identical(self, serving_components, reloaded):
+        live, cold = serving_components.scm, reloaded.scm
+        assert live.graph.edges == cold.graph.edges
+        assert set(live._cpts) == set(cold._cpts)
+        for node, cpt in live._cpts.items():
+            other = cold._cpts[node]
+            assert cpt.parents == other.parents
+            np.testing.assert_array_equal(cpt.domain, other.domain)
+            # _cdf drives particle sampling: it must match to the bit,
+            # not merely within tolerance, for served audits to equal
+            # offline ones.
+            np.testing.assert_array_equal(cpt._cdf, other._cdf)
+            np.testing.assert_array_equal(cpt.fallback, other.fallback)
+
+    def test_discretizer_edges_identical(self, serving_components,
+                                         reloaded):
+        assert reloaded.numeric == serving_components.numeric
+        live = serving_components.discretizer
+        cold = reloaded.discretizer
+        assert (live is None) == (cold is None)
+        if live is not None:
+            np.testing.assert_array_equal(live.edges_, cold.edges_)
+
+    def test_reference_identical(self, serving_components, reloaded):
+        live, cold = serving_components.reference, reloaded.reference
+        assert (live.k, live.threshold) == (cold.k, cold.threshold)
+        np.testing.assert_array_equal(live.lo, cold.lo)
+        np.testing.assert_array_equal(live.span, cold.span)
+        np.testing.assert_array_equal(live.y_priv, cold.y_priv)
+        np.testing.assert_array_equal(live.y_unpriv, cold.y_unpriv)
+
+
+class TestAuditParity:
+    def test_live_vs_bundle_verdicts_byte_identical(
+            self, serving_components, serving_bundle, audit_rows):
+        from repro.serve import AuditService
+
+        live = AuditService(serving_components).audit_batch(audit_rows)
+        cold = AuditService.from_bundle(serving_bundle) \
+            .audit_batch(audit_rows)
+        assert json.dumps(live, sort_keys=True) == \
+            json.dumps(cold, sort_keys=True)
+
+    def test_cross_process_load_matches(self, serving_bundle,
+                                        serving_components, audit_rows,
+                                        tmp_path):
+        """A fresh interpreter loading the bundle must produce the very
+        same verdicts — no state smuggled through module globals."""
+        from repro.serve import AuditService
+
+        here = AuditService(serving_components).audit_batch(audit_rows)
+        rows_file = tmp_path / "rows.json"
+        rows_file.write_text(json.dumps(audit_rows))
+        script = (
+            "import json, sys\n"
+            "from repro.serve import AuditService\n"
+            "service = AuditService.from_bundle(sys.argv[1])\n"
+            "rows = json.loads(open(sys.argv[2]).read())\n"
+            "print(json.dumps(service.audit_batch(rows), sort_keys=True))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(serving_bundle),
+             str(rows_file)],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == json.dumps(here, sort_keys=True)

@@ -37,6 +37,49 @@ def adult_split(adult_small):
     return train_test_split(adult_small, seed=3)
 
 
+@pytest.fixture(scope="session")
+def serving_job():
+    """A small audit-capable grid cell for bundle/serve tests."""
+    from repro.engine import Job
+
+    return Job(dataset="german", approach="Hardt-eo", model="lr",
+               seed=0, rows=400, causal_samples=300,
+               audit_params={"n_particles": 10})
+
+
+@pytest.fixture(scope="session")
+def serving_components(serving_job):
+    from repro.artifacts import build_serving_components
+
+    return build_serving_components(serving_job)
+
+
+@pytest.fixture(scope="session")
+def serving_bundle(tmp_path_factory, serving_job, serving_components):
+    from repro.artifacts import pack_bundle
+
+    out = tmp_path_factory.mktemp("bundles") / "german-hardt"
+    return pack_bundle(serving_job, out, components=serving_components)
+
+
+@pytest.fixture(scope="session")
+def audit_rows(serving_components):
+    """Raw request rows drawn from the same dataset's held-out split."""
+    from repro.datasets import train_test_split
+    from repro.registry import DATASETS
+
+    dataset = DATASETS.build("german", n=400, seed=0)
+    split = train_test_split(dataset, seed=0)
+    names = serving_components.meta["nodes"]
+    extra = [n for n in (*serving_components.meta["feature_names"],
+                         serving_components.meta["sensitive"],
+                         serving_components.meta["label"])
+             if n not in names]
+    columns = [*names, *extra]
+    return [{name: float(split.test.table[name][i]) for name in columns}
+            for i in range(6)]
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)

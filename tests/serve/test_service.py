@@ -1,0 +1,105 @@
+"""AuditService semantics: determinism, validation, counters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import AuditRequestError, AuditService
+
+
+@pytest.fixture(scope="module")
+def service(serving_components):
+    return AuditService(serving_components)
+
+
+class TestDeterminism:
+    def test_single_equals_batch_entry(self, service, audit_rows):
+        batch = service.audit_batch(audit_rows)
+        for i in (0, 2, 5):
+            assert json.dumps(service.audit_row(audit_rows[i])) == \
+                json.dumps(batch[i])
+
+    def test_verdict_independent_of_batch_composition(self, service,
+                                                      audit_rows):
+        alone = service.audit_batch([audit_rows[3]])[0]
+        shuffled = service.audit_batch(list(reversed(audit_rows)))
+        assert json.dumps(alone) == json.dumps(shuffled[2])
+
+    def test_repeat_calls_identical(self, service, audit_rows):
+        first = service.audit_batch(audit_rows)
+        second = service.audit_batch(audit_rows)
+        assert json.dumps(first) == json.dumps(second)
+
+
+class TestResponseShape:
+    def test_fields(self, service, audit_rows):
+        verdict = service.audit_row(audit_rows[0])
+        assert set(verdict) == {"prediction", "counterfactual",
+                                "situation"}
+        assert verdict["prediction"] in (0, 1)
+        cf = verdict["counterfactual"]
+        assert set(cf) == {"gap", "rate_s1", "rate_s0", "unfair",
+                           "threshold", "n_particles"}
+        assert 0.0 <= cf["gap"] <= 1.0
+        assert cf["n_particles"] == 10
+        st = verdict["situation"]
+        assert set(st) == {"gap", "rate_privileged", "rate_unprivileged",
+                           "flagged", "threshold", "k"}
+        assert isinstance(st["flagged"], bool)
+
+    def test_response_is_json_serializable(self, service, audit_rows):
+        json.dumps(service.audit_batch(audit_rows))
+
+
+class TestValidation:
+    def test_empty_batch(self, service):
+        with pytest.raises(AuditRequestError, match="non-empty"):
+            service.audit_batch([])
+
+    def test_missing_columns_named(self, service, audit_rows):
+        row = dict(audit_rows[0])
+        gone = service.feature_names[0]
+        del row[gone]
+        with pytest.raises(AuditRequestError, match=gone):
+            service.audit_row(row)
+
+    def test_non_numeric_value(self, service, audit_rows):
+        row = dict(audit_rows[0])
+        row[service.sensitive] = "maybe"
+        with pytest.raises(AuditRequestError, match="not numeric"):
+            service.audit_row(row)
+
+    def test_non_binary_sensitive(self, service, audit_rows):
+        row = dict(audit_rows[0])
+        row[service.sensitive] = 2.0
+        with pytest.raises(AuditRequestError, match="binary 0/1"):
+            service.audit_row(row)
+
+    def test_row_is_not_an_object(self, service):
+        with pytest.raises(AuditRequestError, match="not an object"):
+            service.audit_batch(["not a dict"])
+
+
+class TestCounters:
+    def test_requests_and_rows_counted(self, service, audit_rows):
+        with obs.recording() as rec:
+            service.audit_batch(audit_rows)
+            service.audit_row(audit_rows[0])
+        assert rec.counters["serve.requests"] == 2
+        assert rec.counters["serve.rows"] == len(audit_rows) + 1
+        assert "serve.errors" not in rec.counters
+
+    def test_errors_counted_once(self, service):
+        with obs.recording() as rec:
+            with pytest.raises(AuditRequestError):
+                service.audit_batch([{"bogus": 1}])
+        assert rec.counters["serve.errors"] == 1
+        assert rec.counters["serve.requests"] == 1
+
+    def test_phase_spans_recorded(self, service, audit_rows):
+        with obs.recording() as rec:
+            service.audit_batch(audit_rows)
+        names = {span["name"] for span in rec.spans}
+        assert {"serve.decode", "serve.situation",
+                "serve.counterfactual"} <= names
