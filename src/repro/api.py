@@ -32,7 +32,10 @@ Config schema (YAML shown; JSON is isomorphic)::
       block_size: 1024                      # pairwise-kernel blocks
     engine:
       jobs: 2
-      cache_dir: .sweep-cache
+      cache_dir: .sweep-cache               # or store: sqlite:results.db
+                                            # (any backend URI; `store`
+                                            # and `cache_dir` are the
+                                            # same knob)
       resume: true
       retry: 3                              # attempts per cell on
                                             # transient failures
@@ -63,8 +66,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .engine import (Job, ResultCache, RetryPolicy, ScenarioGrid,
-                     SweepReport, execute_job, filter_outcomes,
-                     run_sweep)
+                     SweepReport, execute_job, run_sweep)
 from .engine.spec import (_normalise_approach, check_audit_params,
                           check_fingerprintable_params,
                           check_reserved_params)
@@ -261,8 +263,9 @@ class ExperimentSpec:
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
-_ENGINE_FIELDS = ("jobs", "cache_dir", "resume", "retry", "timeout",
-                  "backoff", "max_failures", "pack_artifacts")
+_ENGINE_FIELDS = ("jobs", "cache_dir", "store", "resume", "retry",
+                  "timeout", "backoff", "max_failures",
+                  "pack_artifacts")
 
 
 @dataclass
@@ -293,6 +296,7 @@ class SweepSpec:
     block_size: int | None = None
     jobs: int = 1
     cache_dir: str | None = None
+    store: str | None = None
     resume: bool = True
     retry: int = 1
     timeout: float | None = None
@@ -315,6 +319,17 @@ class SweepSpec:
         self.jobs = int(self.jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+        if self.store is not None:
+            # `store` is the backend-URI spelling of `cache_dir`
+            # (file:DIR / sqlite:PATH / duckdb:PATH); fold it in so
+            # the rest of the engine sees one field.
+            if self.cache_dir is not None \
+                    and self.cache_dir != self.store:
+                raise ValueError(
+                    f"cache_dir {self.cache_dir!r} and store "
+                    f"{self.store!r} disagree; set only one")
+            self.cache_dir = self.store
+            self.store = None
         self.retry = int(self.retry)
         self.to_policy()  # validates retry/timeout/backoff/max_failures
 
@@ -444,25 +459,27 @@ def sweep(config, progress=None, trace=None, chaos=None) -> SweepReport:
 
 def report(cache_dir, where: Mapping | None = None) -> SweepReport:
     """Load a finished sweep cache as a :class:`SweepReport` — the
-    cache directory is the query surface, nothing is re-executed.
+    cache is the query surface, nothing is re-executed.
 
-    Every cached cell's stored ``params`` block is reconstructed into
-    its job, so the returned outcomes support the full aggregation
-    toolkit (``grid_table``/``pivot``/``overhead_series``/exports)
-    exactly like a live sweep's, with the baseline ordered first per
-    dataset.  ``where`` filters by any job axis before returning,
-    e.g. ``{"dataset": "adult", "approach": "Celis-pp(tau=0.9)"}``.
+    ``cache_dir`` is a directory path or any store URI (``file:DIR``,
+    ``sqlite:PATH``, ``duckdb:PATH``) — see
+    :mod:`repro.engine.backend`.  Every cached cell's stored
+    ``params`` block is reconstructed into its job, so the returned
+    outcomes support the full aggregation toolkit
+    (``grid_table``/``pivot``/``overhead_series``/exports) exactly
+    like a live sweep's, with the baseline ordered first per dataset.
+    ``where`` filters by any job axis before returning, e.g.
+    ``{"dataset": "adult", "approach": "Celis-pp(tau=0.9)"}`` (pushed
+    down into the SQL row scan on SQL backends).
 
     Raises
     ------
     FileNotFoundError
-        If ``cache_dir`` does not exist (an existing-but-empty cache
+        If the store does not exist (an existing-but-empty cache
         returns an empty report instead).
     """
-    root = Path(cache_dir)
-    if not root.exists():
-        raise FileNotFoundError(f"no sweep cache at {root}")
-    outcomes = ResultCache(root).outcomes()
-    if where:
-        outcomes = filter_outcomes(outcomes, where)
+    cache = ResultCache(cache_dir)
+    if not cache.exists():
+        raise FileNotFoundError(f"no sweep cache at {cache.location}")
+    outcomes = cache.outcomes(where=where or None)
     return SweepReport(outcomes=outcomes)

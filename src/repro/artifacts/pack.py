@@ -232,8 +232,10 @@ def pack_from_cache(cache, out, *, where: dict | None = None,
                     overwrite: bool = False) -> Path:
     """Pack a bundle for one finished cell of a sweep cache.
 
-    ``cache`` is a :class:`~repro.engine.cache.ResultCache` or its root
-    directory.  The cell is selected by ``fingerprint`` or by a
+    ``cache`` is a :class:`~repro.engine.cache.ResultCache` or any
+    store URI :func:`~repro.engine.backend.parse_store` accepts
+    (``file:DIR``, ``sqlite:PATH``, or a bare directory).  The cell is
+    selected by ``fingerprint`` or by a
     ``--where``-style axis filter; exactly one cell must match.  When
     the sweep stored an artifact payload for the cell (``repro sweep
     --pack-artifacts``), it is reused verbatim — no refitting;
@@ -246,10 +248,9 @@ def pack_from_cache(cache, out, *, where: dict | None = None,
     from ..engine.report import filter_outcomes
 
     if not isinstance(cache, ResultCache):
-        root = Path(cache)
-        if not root.is_dir():
-            raise FileNotFoundError(f"no cache directory at {root}")
-        cache = ResultCache(root)
+        cache = ResultCache(cache)
+    if not cache.exists():
+        raise FileNotFoundError(f"no sweep cache at {cache.location}")
     outcomes = cache.outcomes()
     if fingerprint is not None:
         outcomes = [o for o in outcomes

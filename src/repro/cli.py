@@ -213,6 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="content-addressed result cache "
                                 "(default: .sweep-cache; 'none' "
                                 "disables caching)")
+    sweep_cmd.add_argument("--store", metavar="URI", default=None,
+                           help="result-store backend URI: file:DIR "
+                                "(sharded JSON, the default layout), "
+                                "sqlite:PATH, or duckdb:PATH; "
+                                "replaces --cache-dir")
     sweep_cmd.add_argument("--resume", default=None,
                            action=argparse.BooleanOptionalAction,
                            help="reuse cached cells (--no-resume "
@@ -264,14 +269,30 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.set_defaults(func=cmd_sweep)
 
     cache_cmd = sub.add_parser(
-        "cache", help="inspect and repair a sweep result cache")
-    cache_cmd.add_argument("action", choices=["verify"],
-                           help="verify: walk every shard and report "
-                                "corrupt, stale, or mismatched entries")
+        "cache", help="inspect, repair, compact, and merge sweep "
+                      "result caches")
+    cache_cmd.add_argument("action",
+                           choices=["verify", "compact", "merge"],
+                           help="verify: walk every entry and report "
+                                "corrupt, stale, mismatched, or "
+                                "orphaned ones; compact: fold stale "
+                                "spec-version duplicates and reclaim "
+                                "space; merge: copy SRC's cells into "
+                                "DST (insert-or-ignore on "
+                                "fingerprint, newest spec_version "
+                                "wins)")
+    cache_cmd.add_argument("stores", nargs="*", metavar="STORE",
+                           help="for merge: SRC DST store URIs or "
+                                "directories (e.g. file:host1-cache "
+                                "sqlite:merged.db)")
     cache_cmd.add_argument("--cache-dir", metavar="DIR",
                            default=".sweep-cache",
-                           help="sweep cache to audit (default: "
-                                ".sweep-cache)")
+                           help="sweep cache to operate on (default: "
+                                ".sweep-cache; verify/compact only)")
+    cache_cmd.add_argument("--store", metavar="URI", default=None,
+                           help="store URI to operate on (file:DIR / "
+                                "sqlite:PATH / duckdb:PATH; replaces "
+                                "--cache-dir for verify/compact)")
     cache_cmd.add_argument("--repair", action="store_true",
                            help="delete defective entries so the next "
                                 "sweep recomputes exactly those cells")
@@ -305,6 +326,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             default=".sweep-cache",
                             help="sweep cache to load (default: "
                                  ".sweep-cache)")
+    report_cmd.add_argument("--store", metavar="URI", default=None,
+                            help="store URI to load (file:DIR / "
+                                 "sqlite:PATH / duckdb:PATH; replaces "
+                                 "--cache-dir); on SQL stores filters, "
+                                 "pivots, and overhead series compile "
+                                 "to SQL")
     report_cmd.add_argument("--where", nargs="*", default=[],
                             metavar="AXIS=VALUE",
                             help="filter cells by job axes, e.g. "
@@ -334,6 +361,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=".sweep-cache",
                           help="sweep cache holding the cell "
                                "(default: .sweep-cache)")
+    pack_cmd.add_argument("--store", metavar="URI", default=None,
+                          help="store URI holding the cell "
+                               "(replaces --cache-dir)")
     pack_cmd.add_argument("--where", nargs="*", default=[],
                           metavar="AXIS=VALUE",
                           help="select exactly one cached cell by job "
@@ -574,7 +604,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # CLI engine/audit flags override the config (or fill defaults).
     if args.jobs is not None:
         spec.jobs = args.jobs
-    if args.cache_dir is not None:
+    if args.store is not None and args.cache_dir is not None:
+        print("error: --store replaces --cache-dir; set only one",
+              file=sys.stderr)
+        return 2
+    if args.store is not None:
+        spec.cache_dir = args.store
+    elif args.cache_dir is not None:
         spec.cache_dir = args.cache_dir
     elif spec.cache_dir is None:
         # The CLI always caches by default (configs disable it
@@ -608,8 +644,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               "cache; it cannot be combined with --cache-dir none",
               file=sys.stderr)
         return 2
-    cache = ResultCache(spec.cache_dir) if caching else None
-    print(grid.describe() + (f", cache at {cache.root}" if caching
+    if caching:
+        try:
+            cache = ResultCache(spec.cache_dir)
+        except (ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        cache = None
+    print(grid.describe() + (f", cache at {cache.location}" if caching
                              else ", caching disabled"))
 
     from . import obs
@@ -675,24 +718,35 @@ def _parse_where(pairs: Sequence[str]) -> dict:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from .api import report
     from .engine import (export_csv, export_json, format_pivot_table,
-                         grid_slices, overhead_series, pivot)
+                         grid_slices)
     from .pipeline.report import format_runtime_table
 
+    store = args.store if args.store is not None else args.cache_dir
     try:
-        where = _parse_where(args.where)
-        sweep_report = report(args.cache_dir, where=where)
-    except FileNotFoundError as exc:
+        cache = ResultCache(store)
+    except (ValueError, RuntimeError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not cache.exists():
+        print(f"error: no sweep cache at {cache.location}",
+              file=sys.stderr)
+        return 2
+    try:
+        where = _parse_where(args.where)
+        if len(cache) == 0:
+            print(f"error: sweep cache at {cache.location} is empty — "
+                  "nothing to report (run `repro sweep` first)",
+                  file=sys.stderr)
+            return 2
+        outcomes = cache.outcomes(where=where or None)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
-    outcomes = sweep_report.outcomes
     selection = f" matching {' '.join(args.where)}" if where else ""
-    print(f"{len(outcomes)} cached cells{selection} in {args.cache_dir}")
+    print(f"{len(outcomes)} cached cells{selection} in "
+          f"{cache.location}")
     if not outcomes:
         return 1
 
@@ -715,10 +769,14 @@ def cmd_report(args: argparse.Namespace) -> int:
                                        f"seed-averaged over "
                                        f"{len(seeds)} seeds)"))
 
+    # Pivots and overhead series go through the cache so SQL backends
+    # compile them (window functions + GROUP BY) instead of walking
+    # the preloaded outcomes; file backends reuse `outcomes` as-is.
     for index, columns, value in args.pivot:
         try:
-            table = pivot(outcomes, index=index, columns=columns,
-                          value=value)
+            table = cache.pivot(index=index, columns=columns,
+                                value=value, where=where or None,
+                                outcomes=outcomes)
         except (AttributeError, KeyError) as exc:
             message = exc.args[0] if exc.args else exc
             print(f"error: {message}", file=sys.stderr)
@@ -729,7 +787,9 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     if args.overhead is not None:
         try:
-            series = overhead_series(outcomes, sweep=args.overhead)
+            series = cache.overhead_series(sweep=args.overhead,
+                                           where=where or None,
+                                           outcomes=outcomes)
         except (AttributeError, KeyError, ValueError) as exc:
             message = exc.args[0] if exc.args else exc
             print(f"error: {message}", file=sys.stderr)
@@ -747,17 +807,39 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
-    root = Path(args.cache_dir)
-    if not root.exists():
-        print(f"error: no sweep cache at {root}", file=sys.stderr)
+    if args.action == "merge":
+        return _cmd_cache_merge(args)
+    if args.stores:
+        print(f"error: cache {args.action} takes no positional "
+              "stores (use --store/--cache-dir)", file=sys.stderr)
         return 2
-    cache = ResultCache(root)
-    problems = cache.verify(repair=args.repair)
+    store = args.store if args.store is not None else args.cache_dir
+    try:
+        cache = ResultCache(store)
+    except (ValueError, RuntimeError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not cache.exists():
+        print(f"error: no sweep cache at {cache.location}",
+              file=sys.stderr)
+        return 2
+    if args.action == "compact":
+        try:
+            stats = cache.compact()
+        except (ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"compacted {cache.location}: {stats.describe()}")
+        return 0
+    try:
+        problems = cache.verify(repair=args.repair)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     total = len(cache) + (len(problems) if args.repair else 0)
     if not problems:
-        print(f"cache at {root} is healthy: {total} entries verified")
+        print(f"cache at {cache.location} is healthy: {total} "
+              f"entries verified")
         return 0
     for problem in problems:
         print(problem.describe(), file=sys.stderr)
@@ -771,18 +853,48 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_pack(args: argparse.Namespace) -> int:
-    from pathlib import Path
+def _cmd_cache_merge(args: argparse.Namespace) -> int:
+    if len(args.stores) != 2:
+        print("error: cache merge takes exactly two stores: "
+              "`repro cache merge SRC DST`", file=sys.stderr)
+        return 2
+    try:
+        src = ResultCache(args.stores[0])
+        dst = ResultCache(args.stores[1])
+    except (ValueError, RuntimeError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not src.exists():
+        print(f"error: no sweep cache at {src.location}",
+              file=sys.stderr)
+        return 2
+    try:
+        stats = dst.merge_from(src)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged {src.location} into {dst.location}: "
+          f"{stats.describe()}")
+    print(f"{len(dst)} cells now in {dst.location}")
+    return 0
 
+
+def cmd_pack(args: argparse.Namespace) -> int:
     from .artifacts import BundleError, load_bundle, pack_from_cache
 
-    root = Path(args.cache_dir)
-    if not root.exists():
-        print(f"error: no sweep cache at {root}", file=sys.stderr)
+    store = args.store if args.store is not None else args.cache_dir
+    try:
+        cache = ResultCache(store)
+    except (ValueError, RuntimeError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not cache.exists():
+        print(f"error: no sweep cache at {cache.location}",
+              file=sys.stderr)
         return 2
     try:
         where = _parse_where(args.where)
-        path = pack_from_cache(ResultCache(root), args.out,
+        path = pack_from_cache(cache, args.out,
                                where=where or None,
                                fingerprint=args.fingerprint,
                                overwrite=args.force)

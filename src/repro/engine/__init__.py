@@ -8,6 +8,13 @@ seed) — and this subsystem is the one way to run them:
   and expands it to fingerprinted :class:`Job` cells.
 * :mod:`~repro.engine.cache` — :class:`ResultCache` skips any cell
   whose fingerprint already has a stored result.
+* :mod:`~repro.engine.backend` — pluggable result-store backends
+  behind the cache (``file:DIR`` sharded JSON, ``sqlite:PATH`` /
+  ``duckdb:PATH`` one-row-per-cell databases) with compaction and
+  cross-host merge.
+* :mod:`~repro.engine.sqlreport` — report filters, pivots, and
+  overhead series compiled to SQL (window functions + ``GROUP BY``)
+  on the SQL backends, bit-identical to the in-memory path.
 * :mod:`~repro.engine.executor` — :func:`run_sweep` executes cells
   over a process pool with failure isolation and progress/ETA.
 * :mod:`~repro.engine.resilience` — :class:`RetryPolicy` adds retries
@@ -23,7 +30,10 @@ seed) — and this subsystem is the one way to run them:
   cache directory into a query surface (``repro report``).
 """
 
-from .cache import CacheProblem, ResultCache
+from .backend import (FileBackend, SqlBackend, StoreBackend,
+                      parse_store)
+from .cache import (CacheProblem, CompactStats, MergeStats,
+                    ResultCache)
 from .chaos import Fault, FaultPlan
 from .executor import (JobOutcome, SweepProgress, SweepReport, cell_attrs,
                        execute_job, run_sweep)
@@ -40,7 +50,8 @@ from .spec import (AUDITS, BASELINE_ALIASES, SPEC_VERSION, Job,
 __all__ = [
     "AUDITS", "BASELINE_ALIASES", "Job", "ScenarioGrid", "SPEC_VERSION",
     "job_from_params",
-    "CacheProblem", "ResultCache",
+    "CacheProblem", "CompactStats", "MergeStats", "ResultCache",
+    "FileBackend", "SqlBackend", "StoreBackend", "parse_store",
     "JobOutcome", "SweepProgress", "SweepReport", "cell_attrs",
     "execute_job", "run_sweep",
     "Attempt", "RetryPolicy", "TransientError", "classify_exception",

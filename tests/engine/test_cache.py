@@ -143,6 +143,37 @@ class TestVerify:
         path.write_text(json.dumps(entry))
         assert [p.kind for p in cache.verify()] == ["empty"]
 
+    def test_orphaned_artifact_flagged_and_repaired(self, tmp_path):
+        # A bundle whose metrics entry is gone (e.g. an earlier repair
+        # deleted the shard): nothing can ever address it.
+        cache = ResultCache(tmp_path)
+        cache.put(JOB, make_result())
+        orphan = cache.artifact_path(self.OTHER)
+        orphan.mkdir(parents=True)
+        (orphan / "manifest.json").write_text("{}")
+
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["orphaned"]
+        assert problems[0].fingerprint == self.OTHER.fingerprint
+        assert problems[0].path == orphan
+        assert orphan.exists()  # report-only without repair
+
+        cache.verify(repair=True)
+        assert not orphan.exists()
+        assert len(cache) == 1  # the healthy entry survives
+        assert cache.verify() == []
+
+    def test_repair_removes_defective_entrys_artifact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(JOB, make_result())
+        bundle = cache.artifact_path(JOB)
+        bundle.mkdir(parents=True)
+        (bundle / "manifest.json").write_text("{}")
+        path.write_text("{not json")
+        cache.verify(repair=True)
+        assert not path.exists()
+        assert not bundle.exists()  # no orphan left behind
+
     def test_sweep_recomputes_exactly_repaired_cells(self, tmp_path):
         from repro.engine import ScenarioGrid, run_sweep
         from repro.engine.chaos import corrupt_entry

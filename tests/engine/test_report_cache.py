@@ -200,7 +200,9 @@ class TestCli:
     def test_report_empty_cache_fails(self, tmp_path, capsys):
         (tmp_path / "empty").mkdir()
         assert main(["report", "--cache-dir",
-                     str(tmp_path / "empty")]) == 1
+                     str(tmp_path / "empty")]) == 2
+        err = capsys.readouterr().err
+        assert "is empty" in err and "repro sweep" in err
 
     def test_report_missing_dir_fails(self, tmp_path, capsys):
         assert main(["report", "--cache-dir",

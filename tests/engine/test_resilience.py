@@ -203,7 +203,7 @@ class TestCacheWriteDegradation:
     def test_write_failure_keeps_the_result(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path)
 
-        def broken_put(job, result):
+        def broken_put(job, result, attempts=()):
             raise OSError(28, "No space left on device")
 
         monkeypatch.setattr(cache, "put", broken_put)
@@ -218,7 +218,8 @@ class TestCacheWriteDegradation:
         cache = ResultCache(tmp_path)
         monkeypatch.setattr(
             cache, "put",
-            lambda job, result: (_ for _ in ()).throw(OSError("full")))
+            lambda job, result, attempts=():
+                (_ for _ in ()).throw(OSError("full")))
         with obs.recording() as rec:
             run_sweep(GRID.expand(), cache=cache)
         snapshot = rec.snapshot()
