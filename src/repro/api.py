@@ -30,6 +30,10 @@ Config schema (YAML shown; JSON is isomorphic)::
       chunk_rows: 256                       # abduction batch bound
       audit_params: {n_particles: 20, max_rows: 40}
       block_size: 1024                      # pairwise-kernel blocks
+      threads: 4                            # kernel/abduction worker
+                                            # threads per cell (results
+                                            # identical at any count,
+                                            # so not fingerprinted)
     engine:
       jobs: 2
       cache_dir: .sweep-cache               # or store: sqlite:results.db
@@ -173,6 +177,7 @@ class ExperimentSpec:
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
     block_size: int | None = None
+    threads: int | None = None
 
     def __post_init__(self) -> None:
         self.dataset = DATASETS.canonical(self.dataset)
@@ -208,6 +213,9 @@ class ExperimentSpec:
         if self.block_size is not None and self.block_size < 1:
             raise ValueError(
                 f"block_size must be positive, got {self.block_size}")
+        if self.threads is not None and self.threads < 1:
+            raise ValueError(
+                f"threads must be positive, got {self.threads}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -252,7 +260,8 @@ class ExperimentSpec:
                    metric_params=metric_params,
                    audit=self.audit, chunk_rows=self.chunk_rows,
                    audit_params=dict(self.audit_params),
-                   block_size=self.block_size)
+                   block_size=self.block_size,
+                   threads=self.threads)
 
     def run(self) -> EvaluationResult:
         """Execute the experiment (load → split → corrupt → fit →
@@ -294,6 +303,7 @@ class SweepSpec:
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
     block_size: int | None = None
+    threads: int | None = None
     jobs: int = 1
     cache_dir: str | None = None
     store: str | None = None
@@ -376,7 +386,8 @@ class SweepSpec:
             test_fraction=self.test_fraction, audit=self.audit,
             chunk_rows=self.chunk_rows,
             audit_params=dict(self.audit_params),
-            block_size=self.block_size)
+            block_size=self.block_size,
+            threads=self.threads)
 
     def to_policy(self) -> RetryPolicy:
         """The :class:`~repro.engine.RetryPolicy` the engine fields

@@ -91,7 +91,8 @@ def build_serving_components(job: Job) -> ServingComponents:
     from ..metrics import pairwise
     from ..registry import APPROACHES, DATASETS, ERRORS, MODELS
 
-    with pairwise.default_block_size(job.block_size):
+    with pairwise.default_block_size(job.block_size), \
+            pairwise.default_threads(job.threads):
         with obs.span("pack.dataset", dataset=job.dataset, rows=job.rows):
             dataset = DATASETS.build(job.dataset, **{
                 "n": job.rows, "seed": job.seed, **job.dataset_params})

@@ -122,7 +122,8 @@ def execute_job(job: Job) -> EvaluationResult:
     from ..pipeline.experiment import run_experiment
     from ..registry import DATASETS, ERRORS, METRICS, MODELS
 
-    with pairwise.default_block_size(job.block_size):
+    with pairwise.default_block_size(job.block_size), \
+            pairwise.default_threads(job.threads):
         # dataset_params may override the protocol's n/seed only on a
         # hand-built Job; grid- and spec-built jobs reject that
         # upstream.

@@ -108,6 +108,12 @@ class Job:
     # Pairwise-kernel block size for every k-NN-shaped component the
     # cell builds (knn model/imputer, metric audits); None = default.
     block_size: int | None = None
+    # Worker threads over kernel tiles / abduction chunks inside the
+    # cell; None = default (REPRO_THREADS or 1).  Purely executional:
+    # exact float64 results are thread-count-independent, so this
+    # field is deliberately EXCLUDED from params()/fingerprint — two
+    # runs at different thread counts share one cache entry.
+    threads: int | None = None
 
     def params(self) -> dict:
         """The job's full parameterization as a JSON-ready mapping.
@@ -162,6 +168,8 @@ class Job:
             "audit_params": dict(self.audit_params),
             "block_size": (None if self.block_size is None
                            else int(self.block_size)),
+            # `threads` intentionally absent: it cannot change results
+            # (see the field comment), so it must not split the cache.
         }
 
     @property
@@ -350,7 +358,9 @@ class ScenarioGrid:
     and ``audit_params`` (``n_particles``, ``max_rows``, ``n_bins``,
     ``n_samples``) tune its cost.  ``block_size`` bounds the pairwise
     kernel's query blocks for every k-NN-shaped component a cell
-    builds (the knn model and imputer).
+    builds (the knn model and imputer); ``threads`` parallelises
+    those kernel tiles (and abduction chunks) inside each cell —
+    execution-only, never part of the fingerprint.
     """
 
     datasets: Sequence[str]
@@ -368,6 +378,7 @@ class ScenarioGrid:
     chunk_rows: int | None = None
     audit_params: dict = field(default_factory=dict)
     block_size: int | None = None
+    threads: int | None = None
 
     def __post_init__(self) -> None:
         from ..registry import (APPROACHES, DATASETS, ERRORS, IMPUTERS,
@@ -425,6 +436,9 @@ class ScenarioGrid:
         if self.block_size is not None and self.block_size < 1:
             raise ValueError(
                 f"block_size must be positive, got {self.block_size}")
+        if self.threads is not None and self.threads < 1:
+            raise ValueError(
+                f"threads must be positive, got {self.threads}")
 
     # ------------------------------------------------------------------
     @property
@@ -506,6 +520,7 @@ class ScenarioGrid:
                     audit=self.audit, chunk_rows=self.chunk_rows,
                     audit_params=dict(self.audit_params),
                     block_size=self.block_size,
+                    threads=self.threads,
                 )
                 fingerprint = job.fingerprint
                 if fingerprint not in seen:

@@ -62,7 +62,12 @@ def impute_knn(X: np.ndarray, k: int = 5,
     Donor distances come from the shared masked block-matmul kernel
     (:func:`repro.metrics.pairwise.masked_sq_blocks`): rows needing
     repair are processed ``block_size`` at a time against the whole
-    matrix, instead of one Python-level row at a time.
+    matrix, instead of one Python-level row at a time.  Row pairs with
+    fully disjoint observation patterns are *incomparable* — they get
+    an explicit infinite distance
+    (:func:`repro.metrics.pairwise.masked_mean_distances`) and are
+    never donors; a cell with no comparable observed donor at all
+    falls back to the column mean.
 
     Parameters
     ----------
@@ -106,9 +111,7 @@ def impute_knn(X: np.ndarray, k: int = 5,
     for start, stop, d2, counts in pairwise.masked_sq_blocks(
             Z, observed, needs, block_size=block_size):
         rows = needs[start:stop]
-        with np.errstate(invalid="ignore", divide="ignore"):
-            dist = np.sqrt(d2 / np.maximum(counts, 1))
-        dist[counts == 0] = np.inf
+        dist = pairwise.masked_mean_distances(d2, counts)
         dist[np.arange(rows.size), rows] = np.inf  # never one's own row
         order = np.argsort(dist, axis=1, kind="stable")
         finite = np.take_along_axis(np.isfinite(dist), order, axis=1)

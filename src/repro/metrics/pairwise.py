@@ -40,11 +40,40 @@ job fingerprints rather than assuming bitwise equivalence.  Callers
 that take an optional ``block_size`` should pass it through
 :func:`resolve_block_size`; the engine threads a per-job value via
 :func:`default_block_size`.
+
+``threads`` is a second, purely-executional knob: row tiles are
+independent, and BLAS releases the GIL inside the Gram matmuls, so a
+bounded :class:`~concurrent.futures.ThreadPoolExecutor` over tiles
+genuinely overlaps them.  Each tile computes the *same float64 blocks
+in the same order* whatever the thread count — only the wall-clock
+schedule changes — so results are byte-identical across thread
+counts and ``threads`` deliberately does **not** enter job
+fingerprints (the parity suite in
+``tests/metrics/test_thread_parity.py`` locks this in).  Resolution
+order: explicit argument > :func:`default_threads` context (the
+engine sets it per job) > the ``REPRO_THREADS`` environment variable
+> 1.
+
+Dense outputs additionally take ``dtype`` (float32 halves the
+resident footprint; the blocks themselves are always computed in
+exact float64 and only *stored* narrower) and ``memory_budget_mb``
+(outputs whose resident size would exceed the budget are spilled to
+an anonymous disk-backed ``np.memmap`` so ``n`` in the hundreds of
+thousands stays feasible; default via ``REPRO_DENSE_BUDGET_MB``,
+unset = never spill).  Both kernel defaults live in
+:class:`contextvars.ContextVar`\\ s, so concurrent in-process callers
+(worker threads, two ``AuditService`` requests with different cells)
+see their own overrides instead of racing on a module global.
 """
 
 from __future__ import annotations
 
+import contextvars
+import os
+import tempfile
+from collections import deque
 from collections.abc import Iterator
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -56,6 +85,9 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "default_block_size",
     "resolve_block_size",
+    "default_threads",
+    "resolve_threads",
+    "resolve_memory_budget",
     "minmax_scale",
     "sq_norms",
     "iter_sq_blocks",
@@ -67,6 +99,7 @@ __all__ = [
     "topk",
     "topk_dense",
     "masked_sq_blocks",
+    "masked_mean_distances",
 ]
 
 #: Query rows per Gram block.  Big enough that the BLAS calls and the
@@ -81,14 +114,25 @@ DEFAULT_BLOCK_SIZE = 1024
 #: distance — pathological even for discretised data.
 _SCREEN_MARGIN = 8
 
-_default_block: int = DEFAULT_BLOCK_SIZE
+#: Kernel defaults as context variables, not module globals: worker
+#: threads inherit the enclosing override through their submission
+#: context, and concurrent in-process callers cannot leak overrides
+#: into each other.
+_default_block_var: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_pairwise_block", default=DEFAULT_BLOCK_SIZE)
+_default_threads_var: contextvars.ContextVar[int | None] = \
+    contextvars.ContextVar("repro_pairwise_threads", default=None)
+
+#: Dense outputs are float64 (exact) or float32 (half the footprint;
+#: storage-only narrowing of exactly-computed blocks).
+_DENSE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 def resolve_block_size(block_size: int | None) -> int:
-    """Validate an optional block size, falling back to the module
+    """Validate an optional block size, falling back to the context
     default (which :func:`default_block_size` can override)."""
     if block_size is None:
-        return _default_block
+        return _default_block_var.get()
     block_size = int(block_size)
     if block_size < 1:
         raise ValueError(f"block_size must be at least 1, "
@@ -104,18 +148,146 @@ def default_block_size(block_size: int | None):
     ``block_size`` knob reaches every kernel consumer the cell touches
     (k-NN model, k-NN imputer, metric audits) without threading the
     parameter through every intermediate signature.  ``None`` is a
-    no-op.
+    no-op.  The override lives in a :class:`contextvars.ContextVar`,
+    so concurrent callers in one process each see their own value.
     """
-    global _default_block
     if block_size is None:
         yield
         return
-    previous = _default_block
-    _default_block = resolve_block_size(block_size)
+    token = _default_block_var.set(resolve_block_size(block_size))
     try:
         yield
     finally:
-        _default_block = previous
+        _default_block_var.reset(token)
+
+
+def resolve_threads(threads: int | None = None) -> int:
+    """Validate an optional tile thread count, falling back to the
+    :func:`default_threads` context, then ``REPRO_THREADS``, then 1."""
+    if threads is None:
+        threads = _default_threads_var.get()
+    if threads is None:
+        env = os.environ.get("REPRO_THREADS")
+        if not env:
+            return 1
+        try:
+            threads = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_THREADS must be an integer, got {env!r}"
+            ) from None
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"threads must be at least 1, got {threads}")
+    return threads
+
+
+@contextmanager
+def default_threads(threads: int | None):
+    """Temporarily override the kernel's default tile thread count.
+
+    The engine wraps each job's execution in this (mirroring
+    :func:`default_block_size`), so ``repro sweep --threads`` reaches
+    every kernel consumer the cell touches.  ``None`` is a no-op
+    (the ``REPRO_THREADS`` environment variable then applies).
+    """
+    if threads is None:
+        yield
+        return
+    token = _default_threads_var.set(resolve_threads(threads))
+    try:
+        yield
+    finally:
+        _default_threads_var.reset(token)
+
+
+def resolve_memory_budget(memory_budget_mb: float | None = None
+                          ) -> float | None:
+    """Validate an optional dense-output memory budget (MB), falling
+    back to ``REPRO_DENSE_BUDGET_MB`` (unset/empty = no budget: dense
+    outputs are never spilled to disk)."""
+    if memory_budget_mb is None:
+        env = os.environ.get("REPRO_DENSE_BUDGET_MB")
+        if not env:
+            return None
+        try:
+            memory_budget_mb = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_DENSE_BUDGET_MB must be a number, got {env!r}"
+            ) from None
+    budget = float(memory_budget_mb)
+    if budget <= 0:
+        raise ValueError(
+            f"memory budget must be positive, got {budget}")
+    return budget
+
+
+def _alloc_dense(shape: tuple[int, int], dtype,
+                 memory_budget_mb: float | None) -> tuple[np.ndarray, bool]:
+    """Allocate a dense output, spilling to a disk-backed memmap when
+    its resident size would exceed the memory budget.
+
+    The backing file is created under ``REPRO_SPILL_DIR`` (default:
+    the system temp dir) and unlinked immediately, so the mapping is
+    anonymous-by-name: the space is reclaimed as soon as the array is
+    garbage-collected, even on hard process death.  Returns
+    ``(array, spilled)``.
+    """
+    dtype = np.dtype(np.float64 if dtype is None else dtype)
+    if dtype not in _DENSE_DTYPES:
+        raise ValueError(
+            f"dense outputs support float64 or float32, got {dtype}")
+    budget = resolve_memory_budget(memory_budget_mb)
+    nbytes = int(shape[0]) * int(shape[1]) * dtype.itemsize
+    if budget is None or nbytes <= budget * (1 << 20) or nbytes == 0:
+        return np.empty(shape, dtype=dtype), False
+    fd, path = tempfile.mkstemp(
+        prefix="repro-dense-", suffix=".spill",
+        dir=os.environ.get("REPRO_SPILL_DIR") or None)
+    os.close(fd)
+    out = np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - non-POSIX semantics
+        pass  # reclaimed when the last handle closes instead
+    return out, True
+
+
+# ----------------------------------------------------------------------
+# Threaded tile execution
+# ----------------------------------------------------------------------
+def _run_tiles(compute, starts: list[int], threads: int):
+    """Yield ``compute(start)`` results in ``starts`` order.
+
+    Serial when ``threads <= 1`` or there is a single tile.  Otherwise
+    tiles run on a bounded pool with a submission window one deeper
+    than the worker count, so memory stays ``O(threads · tile)`` while
+    workers never starve; results still come back in tile order, which
+    keeps consumers (and their obs counters) deterministic.  Each tile
+    is submitted under a fresh :func:`contextvars.copy_context`, so
+    kernel defaults set via :func:`default_block_size` /
+    :func:`default_threads` reach the workers (one copy per tile — a
+    single Context object cannot be entered concurrently).
+    """
+    if threads <= 1 or len(starts) <= 1:
+        for start in starts:
+            yield compute(start)
+        return
+    workers = min(threads, len(starts))
+    # Counted once per threaded kernel call, in the submitting thread
+    # (obs counters are not thread-safe): total workers dispatched.
+    obs.add("pairwise.threads_used", workers)
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="repro-pairwise") as pool:
+        pending: deque = deque()
+        for start in starts:
+            ctx = contextvars.copy_context()
+            pending.append(pool.submit(ctx.run, compute, start))
+            if len(pending) > workers:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
 
 
 # ----------------------------------------------------------------------
@@ -128,8 +300,19 @@ def minmax_scale(X: np.ndarray) -> np.ndarray:
     (constant) features get a unit span so they contribute zero to
     every distance instead of dividing by zero — a single-row input is
     the all-constant corner of the same rule.
+
+    Raises
+    ------
+    ValueError
+        On an empty (zero-row) input — there is no feature range to
+        scale by (numpy would otherwise fail with an opaque
+        zero-size-reduction error).
     """
     X = np.asarray(X, dtype=float)
+    if X.shape[0] == 0:
+        raise ValueError(
+            "minmax_scale: cannot scale an empty input "
+            f"(shape {X.shape}); pass at least one row")
     lo = X.min(axis=0)
     span = X.max(axis=0) - lo
     span[span == 0] = 1.0
@@ -148,6 +331,7 @@ def sq_norms(Z: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 def iter_sq_blocks(A: np.ndarray, B: np.ndarray | None = None, *,
                    block_size: int | None = None,
+                   threads: int | None = None,
                    a_sq: np.ndarray | None = None,
                    b_sq: np.ndarray | None = None,
                    ) -> Iterator[tuple[int, int, np.ndarray]]:
@@ -157,7 +341,9 @@ def iter_sq_blocks(A: np.ndarray, B: np.ndarray | None = None, *,
     ``‖a‖² + ‖b‖² − 2·a@bᵀ`` over ``block_size`` query rows, clipped
     at zero (the expansion can go slightly negative in floating
     point).  Norm vectors are accepted so repeated sweeps over the
-    same points reuse them.
+    same points reuse them.  With ``threads > 1`` blocks are computed
+    ahead on a bounded pool but still yielded in order, with
+    block-for-block identical float64 contents.
     """
     A = np.asarray(A, dtype=float)
     B = A if B is None else np.asarray(B, dtype=float)
@@ -167,41 +353,60 @@ def iter_sq_blocks(A: np.ndarray, B: np.ndarray | None = None, *,
     if b_sq is None:
         b_sq = a_sq if B is A else sq_norms(B)
     BT = B.T
-    for start in range(0, A.shape[0], block):
+
+    def compute(start: int) -> tuple[int, int, np.ndarray]:
         stop = min(start + block, A.shape[0])
-        obs.add("pairwise.blocks")
         d2 = A[start:stop] @ BT
         d2 *= -2.0
         d2 += a_sq[start:stop, None]
         d2 += b_sq[None, :]
         np.maximum(d2, 0.0, out=d2)
-        yield start, stop, d2
+        return start, stop, d2
+
+    starts = list(range(0, A.shape[0], block))
+    for result in _run_tiles(compute, starts, resolve_threads(threads)):
+        obs.add("pairwise.blocks")
+        yield result
 
 
 def sq_distances(A: np.ndarray, B: np.ndarray | None = None, *,
-                 block_size: int | None = None) -> np.ndarray:
+                 block_size: int | None = None,
+                 threads: int | None = None,
+                 dtype=None,
+                 memory_budget_mb: float | None = None) -> np.ndarray:
     """Dense squared-distance matrix, filled in row blocks.
 
     Peak *temporary* memory is one ``block_size × n`` block on top of
     the returned matrix.  In self mode (``B=None``) the diagonal is
-    forced to exactly zero.
+    forced to exactly zero.  ``dtype=np.float32`` stores the output at
+    half the footprint (blocks are still computed in exact float64 and
+    narrowed on assignment); past ``memory_budget_mb`` the output
+    spills to a disk-backed memmap (see :func:`resolve_memory_budget`).
     """
     A = np.asarray(A, dtype=float)
     self_mode = B is None
     B = A if self_mode else np.asarray(B, dtype=float)
-    out = np.empty((A.shape[0], B.shape[0]))
+    out, spilled = _alloc_dense((A.shape[0], B.shape[0]), dtype,
+                                memory_budget_mb)
     for start, stop, d2 in iter_sq_blocks(A, None if self_mode else B,
-                                          block_size=block_size):
+                                          block_size=block_size,
+                                          threads=threads):
         out[start:stop] = d2
+        if spilled:
+            obs.add("pairwise.tiles_spilled")
     if self_mode:
         np.fill_diagonal(out, 0.0)
     return out
 
 
 def distances(A: np.ndarray, B: np.ndarray | None = None, *,
-              block_size: int | None = None) -> np.ndarray:
+              block_size: int | None = None,
+              threads: int | None = None,
+              dtype=None,
+              memory_budget_mb: float | None = None) -> np.ndarray:
     """Dense Euclidean-distance matrix, filled in row blocks."""
-    out = sq_distances(A, B, block_size=block_size)
+    out = sq_distances(A, B, block_size=block_size, threads=threads,
+                       dtype=dtype, memory_budget_mb=memory_budget_mb)
     return np.sqrt(out, out=out)
 
 
@@ -266,6 +471,7 @@ def prepare_reference(B: np.ndarray) -> PreparedReference:
 
 def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
          block_size: int | None = None,
+         threads: int | None = None,
          exclude: np.ndarray | None = None,
          ) -> tuple[np.ndarray, np.ndarray]:
     """k nearest rows of ``B`` for every row of ``A``, blockwise.
@@ -287,6 +493,11 @@ def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
         Neighbours per query row (clipped to ``len(B)``).
     block_size:
         Query rows per screen block (``None`` = the kernel default).
+    threads:
+        Worker threads over query blocks (``None`` = the kernel
+        default).  Blocks write disjoint output slices and each block
+        is computed identically whatever the schedule, so results are
+        byte-identical across thread counts.
     exclude:
         Optional per-query index into ``B`` to mask out (``-1`` =
         nothing), for self-exclusion when the query point is a member
@@ -326,10 +537,10 @@ def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
 
     idx = np.empty((n_q, kk), dtype=np.intp)
     d2 = np.empty((n_q, kk))
-    for start in range(0, n_q, block):
+
+    def compute(start: int) -> None:
         stop = min(start + block, n_q)
         rows = slice(start, stop)
-        obs.add("pairwise.blocks")
         G = A2_32[rows] @ ref.BT_32
         G += ref.b_sq_32
         excl = None
@@ -343,12 +554,16 @@ def topk(A: np.ndarray, B: np.ndarray | PreparedReference, k: int, *,
             cand = np.broadcast_to(np.arange(m), (stop - start, m))
         # Exact float64 re-rank of the surviving candidates, from the
         # coordinate differences directly (no Gram cancellation).
-        obs.add("pairwise.candidates", cand.shape[0] * cand.shape[1])
         diff = A[rows][:, None, :] - B[cand]
         exact = np.einsum("rcd,rcd->rc", diff, diff)
         if excl is not None:
             exact[cand == excl[:, None]] = np.inf
         idx[rows], d2[rows] = _stable_smallest(cand, exact, kk)
+
+    starts = list(range(0, n_q, block))
+    for _ in _run_tiles(compute, starts, resolve_threads(threads)):
+        obs.add("pairwise.blocks")
+    obs.add("pairwise.candidates", n_q * n_cand)
     return idx, d2
 
 
@@ -356,6 +571,7 @@ def topk_dense(D: np.ndarray, k: int, *,
                rows: np.ndarray | None = None,
                columns: np.ndarray | None = None,
                block_size: int | None = None,
+               threads: int | None = None,
                exclude: np.ndarray | None = None,
                ) -> tuple[np.ndarray, np.ndarray]:
     """:func:`topk` over a precomputed distance matrix.
@@ -392,9 +608,9 @@ def topk_dense(D: np.ndarray, k: int, *,
     idx = np.empty((n_q, kk), dtype=np.intp)
     vals = np.empty((n_q, kk))
     all_cols = np.arange(m)
-    for start in range(0, n_q, block):
+
+    def compute(start: int) -> None:
         stop = min(start + block, n_q)
-        obs.add("pairwise.blocks")
         # One fancy-indexed copy of exactly the block × columns
         # submatrix — never a full-width intermediate.
         sub = (D[rows[start:stop]] if columns is None
@@ -411,6 +627,10 @@ def topk_dense(D: np.ndarray, k: int, *,
             picked = sub
         idx[start:stop], vals[start:stop] = _stable_smallest(
             cand, np.ascontiguousarray(picked, dtype=float), kk)
+
+    starts = list(range(0, n_q, block))
+    for _ in _run_tiles(compute, starts, resolve_threads(threads)):
+        obs.add("pairwise.blocks")
     return idx, vals
 
 
@@ -420,6 +640,7 @@ def topk_dense(D: np.ndarray, k: int, *,
 def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
                      rows: np.ndarray, *,
                      block_size: int | None = None,
+                     threads: int | None = None,
                      ) -> Iterator[tuple[int, int, np.ndarray, np.ndarray]]:
     """Blockwise masked squared distances and overlap counts.
 
@@ -434,9 +655,9 @@ def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
     Yields ``(start, stop, d2, counts)`` over blocks of ``rows``
     (query-row indices into ``Z``): the masked squared-difference sums
     (clipped at zero) against **every** row of ``Z``, and the shared
-    observed-feature counts — both exact in float64.  Consumers divide
-    by the counts themselves (zero overlap means the pair is
-    incomparable).
+    observed-feature counts — both exact in float64.  Consumers must
+    treat zero overlap as *incomparable*, not divide by it —
+    :func:`masked_mean_distances` is the canonical guard.
     """
     Z = np.asarray(Z, dtype=float)
     rows = np.asarray(rows)
@@ -448,9 +669,9 @@ def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
     ZM = np.where(observed, Z, 0.0)
     ZM_sq = ZM * ZM
     MT, ZMT, ZM_sqT = M.T, ZM.T, ZM_sq.T
-    for start in range(0, rows.size, block):
+
+    def compute(start: int) -> tuple[int, int, np.ndarray, np.ndarray]:
         stop = min(start + block, rows.size)
-        obs.add("pairwise.blocks")
         take = rows[start:stop]
         d2 = ZM[take] @ ZMT
         d2 *= -2.0
@@ -458,4 +679,28 @@ def masked_sq_blocks(Z: np.ndarray, observed: np.ndarray,
         d2 += M[take] @ ZM_sqT
         np.maximum(d2, 0.0, out=d2)
         counts = M[take] @ MT
-        yield start, stop, d2, counts
+        return start, stop, d2, counts
+
+    starts = list(range(0, rows.size, block))
+    for result in _run_tiles(compute, starts, resolve_threads(threads)):
+        obs.add("pairwise.blocks")
+        yield result
+
+
+def masked_mean_distances(d2: np.ndarray, counts: np.ndarray
+                          ) -> np.ndarray:
+    """Per-pair RMS distance over the shared-observed features.
+
+    The canonical consumer-side guard for :func:`masked_sq_blocks`
+    output: pairs with **zero** shared observed features are
+    incomparable and get an explicit ``inf`` (so stable argsorts push
+    them last and ``np.isfinite`` filters them), with no division by
+    zero and no ``RuntimeWarning`` — fully disjoint observation
+    patterns are a legitimate input, not a numerics accident.
+    Comparable pairs get exactly ``sqrt(d2 / counts)``.
+    """
+    d2 = np.asarray(d2, dtype=float)
+    counts = np.asarray(counts, dtype=float)
+    dist = np.full(d2.shape, np.inf)
+    np.divide(d2, counts, out=dist, where=counts > 0)
+    return np.sqrt(dist, out=dist)

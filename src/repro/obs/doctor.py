@@ -15,7 +15,8 @@ import platform
 
 __all__ = ["THREAD_ENV_VARS", "environment_info", "format_doctor"]
 
-#: Thread-count environment variables the numerical stack honours.
+#: Thread-count environment variables the numerical stack honours
+#: (``REPRO_THREADS`` is this library's own kernel-tile knob).
 THREAD_ENV_VARS = (
     "OMP_NUM_THREADS",
     "OPENBLAS_NUM_THREADS",
@@ -23,6 +24,7 @@ THREAD_ENV_VARS = (
     "VECLIB_MAXIMUM_THREADS",
     "NUMEXPR_NUM_THREADS",
     "BLIS_NUM_THREADS",
+    "REPRO_THREADS",
 )
 
 
@@ -60,7 +62,9 @@ def environment_info() -> dict:
 
     from .. import __version__
     from ..metrics.individual import _MAX_BATCH
-    from ..metrics.pairwise import DEFAULT_BLOCK_SIZE
+    from ..metrics.pairwise import (DEFAULT_BLOCK_SIZE,
+                                    resolve_memory_budget,
+                                    resolve_threads)
 
     return {
         "repro": __version__,
@@ -74,6 +78,10 @@ def environment_info() -> dict:
         "defaults": {
             "pairwise_block_size": DEFAULT_BLOCK_SIZE,
             "abduction_max_batch": _MAX_BATCH,
+            # Resolved defaults (REPRO_THREADS / REPRO_DENSE_BUDGET_MB
+            # applied); None budget = dense outputs never spill.
+            "pairwise_threads": resolve_threads(None),
+            "dense_spill_budget_mb": resolve_memory_budget(None),
         },
     }
 
