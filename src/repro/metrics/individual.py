@@ -21,6 +21,7 @@ model:
 
 from __future__ import annotations
 
+import contextvars
 from collections import deque
 from collections.abc import Callable, Mapping
 from concurrent.futures import ThreadPoolExecutor
@@ -228,6 +229,16 @@ def counterfactual_fairness(scm: CounterfactualSCM,
         # are bumped in the submitting thread (obs is not thread-safe).
         workers = min(n_threads, len(starts))
         obs.add("pairwise.threads_used", workers)
+
+        def run_chunk_pinned(start: int, tape) -> None:
+            # The chunk workers already saturate the audit; nested
+            # kernel consumers (predict → k-NN topk / masked blocks)
+            # must not stack their own tile pools on top — under
+            # REPRO_THREADS=N each of the N workers would re-read the
+            # env and spawn N more.
+            with pairwise.default_threads(1):
+                run_chunk(start, tape)
+
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="repro-abduct") as pool:
             pending: deque = deque()
@@ -237,7 +248,13 @@ def counterfactual_fairness(scm: CounterfactualSCM,
                 obs.add("abduction.rows", stop - start)
                 n_ev = (stop - start) * n_particles
                 tape = _UniformTape([rng.random(n_ev) for _ in nodes])
-                pending.append(pool.submit(run_chunk, start, tape))
+                # Fresh context copy per chunk (mirroring
+                # pairwise._run_tiles): workers inherit the enclosing
+                # default_block_size/default_threads overrides instead
+                # of starting from an empty context.
+                ctx = contextvars.copy_context()
+                pending.append(pool.submit(ctx.run, run_chunk_pinned,
+                                           start, tape))
                 if len(pending) > workers:
                     pending.popleft().result()
             while pending:

@@ -269,6 +269,11 @@ def _run_tiles(compute, starts: list[int], threads: int):
     kernel defaults set via :func:`default_block_size` /
     :func:`default_threads` reach the workers (one copy per tile — a
     single Context object cannot be entered concurrently).
+
+    A consumer that abandons iteration early (``break``, ``islice``)
+    should ``close()`` the generator — ``with closing(...)`` — to shut
+    the pool down promptly; not-yet-started tiles are cancelled on
+    close, and only the tiles already running finish.
     """
     if threads <= 1 or len(starts) <= 1:
         for start in starts:
@@ -281,13 +286,19 @@ def _run_tiles(compute, starts: list[int], threads: int):
     with ThreadPoolExecutor(max_workers=workers,
                             thread_name_prefix="repro-pairwise") as pool:
         pending: deque = deque()
-        for start in starts:
-            ctx = contextvars.copy_context()
-            pending.append(pool.submit(ctx.run, compute, start))
-            if len(pending) > workers:
+        try:
+            for start in starts:
+                ctx = contextvars.copy_context()
+                pending.append(pool.submit(ctx.run, compute, start))
+                if len(pending) > workers:
+                    yield pending.popleft().result()
+            while pending:
                 yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
+        finally:
+            # On early exit (GeneratorExit, consumer error) don't let
+            # queued tiles run to completion behind our back.
+            for future in pending:
+                future.cancel()
 
 
 # ----------------------------------------------------------------------

@@ -66,6 +66,15 @@ def environment_info() -> dict:
                                     resolve_memory_budget,
                                     resolve_threads)
 
+    def _resolved(resolve):
+        # The doctor exists to surface misconfiguration: a malformed
+        # REPRO_THREADS / REPRO_DENSE_BUDGET_MB must show up in the
+        # report, not crash it.
+        try:
+            return resolve(None)
+        except ValueError as exc:
+            return f"(invalid: {exc})"
+
     return {
         "repro": __version__,
         "python": platform.python_version(),
@@ -80,8 +89,8 @@ def environment_info() -> dict:
             "abduction_max_batch": _MAX_BATCH,
             # Resolved defaults (REPRO_THREADS / REPRO_DENSE_BUDGET_MB
             # applied); None budget = dense outputs never spill.
-            "pairwise_threads": resolve_threads(None),
-            "dense_spill_budget_mb": resolve_memory_budget(None),
+            "pairwise_threads": _resolved(resolve_threads),
+            "dense_spill_budget_mb": _resolved(resolve_memory_budget),
         },
     }
 

@@ -13,6 +13,7 @@ zero-overlap masked distances.
 import threading
 import time
 import warnings
+from contextlib import closing
 
 import numpy as np
 import pytest
@@ -139,6 +140,27 @@ class TestKernelThreadParity:
         counters = rec.snapshot()["counters"]
         assert counters.get("pairwise.threads_used", 0) == 3
 
+    def test_run_tiles_early_close_stops_work(self):
+        """A consumer abandoning iteration closes the generator; the
+        pool shuts down eagerly and unsubmitted tiles never run."""
+        gate = threading.Event()
+        started = []
+
+        def compute(start):
+            started.append(start)
+            if start:
+                gate.wait(timeout=10)
+            return start
+
+        with closing(pairwise._run_tiles(compute, list(range(10)),
+                                         threads=2)) as tiles:
+            assert next(tiles) == 0
+            gate.set()
+        # close() returned => the pool is shut down; only the tiles in
+        # the submission window (0..2) ever started, 3..9 are dropped.
+        time.sleep(0.05)
+        assert set(started) <= {0, 1, 2}
+
 
 class TestAbductionThreadParity:
     @pytest.mark.parametrize("threads", THREAD_COUNTS)
@@ -165,6 +187,35 @@ class TestAbductionThreadParity:
         counters = rec.snapshot()["counters"]
         assert counters["abduction.chunks"] == -(-100 // 17)
         assert counters["abduction.rows"] == 100
+
+    def test_chunk_workers_inherit_context_and_pin_nested_threads(
+            self, audit, monkeypatch):
+        """Regression: abduction chunks were submitted without
+        ``copy_context``, so engine-level ``default_block_size`` /
+        ``default_threads`` overrides were silently lost inside the
+        workers; and each worker re-read ``REPRO_THREADS``, stacking
+        its own tile pool on top of the chunk pool (N² threads)."""
+        ds, scm, cols, _ = audit
+        monkeypatch.setenv("REPRO_THREADS", "4")
+        seen = []
+
+        def probe_predict(values):
+            if threading.current_thread().name.startswith("repro-abduct"):
+                seen.append((pairwise.resolve_block_size(None),
+                             pairwise.resolve_threads(None)))
+            first = np.asarray(values[next(iter(values))], dtype=float)
+            return (first > 0).astype(float)
+
+        with pairwise.default_block_size(19):
+            counterfactual_fairness(
+                scm, cols, ds.sensitive, ds.label, probe_predict,
+                np.random.default_rng(2), n_particles=3, max_rows=80,
+                chunk_rows=11, threads=4)
+        assert seen  # predict really ran inside the chunk pool
+        # Block-size override crossed into the workers...
+        assert {block for block, _ in seen} == {19}
+        # ...and nested kernel threading is pinned to 1 there.
+        assert {nested for _, nested in seen} == {1}
 
 
 class TestDenseStorageAndSpill:

@@ -31,6 +31,19 @@ class TestEnvironmentInfo:
         import json
         json.dumps(obs.environment_info())
 
+    def test_reports_malformed_env_instead_of_crashing(self, monkeypatch):
+        """Regression: a malformed REPRO_THREADS / REPRO_DENSE_BUDGET_MB
+        crashed the doctor — the very misconfiguration it should
+        surface."""
+        monkeypatch.setenv("REPRO_THREADS", "lots")
+        monkeypatch.setenv("REPRO_DENSE_BUDGET_MB", "big")
+        defaults = obs.environment_info()["defaults"]
+        assert "invalid" in str(defaults["pairwise_threads"])
+        assert "'lots'" in str(defaults["pairwise_threads"])
+        assert "invalid" in str(defaults["dense_spill_budget_mb"])
+        text = obs.format_doctor()  # renders, does not raise
+        assert "invalid" in text
+
 
 class TestFormatDoctor:
     def test_renders_all_sections(self):
